@@ -1,0 +1,183 @@
+package anufs
+
+// One benchmark per figure of the paper's evaluation (§7), so
+// `go test -bench=.` regenerates every result at quick scale and reports
+// the cost of doing so, plus headline microbenchmarks for the claims the
+// paper makes about the algorithm itself: O(1) no-I/O lookup (§5), ~2 hash
+// probes at half occupancy (§4), cheap delegate rounds, and minimal
+// movement on failure (§4).
+
+import (
+	"fmt"
+	"testing"
+
+	"anufs/internal/core"
+	"anufs/internal/experiment"
+)
+
+// benchExperiment runs one registered experiment per iteration and reports
+// headline metrics of the last run as benchmark custom units.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var out *experiment.Output
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = experiment.RunByID(id, experiment.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range out.Runs {
+		s := r.Result.Series.Summarize()
+		b.ReportMetric(s.SteadyMean*1000, r.Label+"_steady_ms")
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6: four policies on the DFSTrace-like
+// workload. Shape: static policies skew, prescient and ANU balance.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7: prescient vs ANU closeup (DFSTrace).
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8: four policies on the synthetic
+// heavy-tailed workload.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9: prescient vs ANU closeup (synthetic).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10a regenerates Figure 10(a): raw ANU over-tuning.
+func BenchmarkFig10a(b *testing.B) { benchExperiment(b, "fig10a") }
+
+// BenchmarkFig10b regenerates Figure 10(b): the three heuristics fix it.
+func BenchmarkFig10b(b *testing.B) { benchExperiment(b, "fig10b") }
+
+// BenchmarkFig11a regenerates Figure 11(a): thresholding only.
+func BenchmarkFig11a(b *testing.B) { benchExperiment(b, "fig11a") }
+
+// BenchmarkFig11b regenerates Figure 11(b): top-off only.
+func BenchmarkFig11b(b *testing.B) { benchExperiment(b, "fig11b") }
+
+// BenchmarkFig11c regenerates Figure 11(c): divergent only.
+func BenchmarkFig11c(b *testing.B) { benchExperiment(b, "fig11c") }
+
+// BenchmarkFailureRecovery regenerates extension experiment X2.
+func BenchmarkFailureRecovery(b *testing.B) { benchExperiment(b, "failure") }
+
+// BenchmarkAggregatorAblation regenerates extension experiment X3.
+func BenchmarkAggregatorAblation(b *testing.B) { benchExperiment(b, "aggregator") }
+
+// BenchmarkMoveCostAblation regenerates extension experiment X5.
+func BenchmarkMoveCostAblation(b *testing.B) { benchExperiment(b, "movecost") }
+
+// BenchmarkPairwiseTuning regenerates extension experiment X4.
+func BenchmarkPairwiseTuning(b *testing.B) { benchExperiment(b, "pairwise") }
+
+// BenchmarkScaleOut regenerates extension experiment X6.
+func BenchmarkScaleOut(b *testing.B) { benchExperiment(b, "scaleout") }
+
+// BenchmarkOnlineUpgrade regenerates extension experiment X7.
+func BenchmarkOnlineUpgrade(b *testing.B) { benchExperiment(b, "upgrade") }
+
+// BenchmarkPhaseShift regenerates extension experiment X8.
+func BenchmarkPhaseShift(b *testing.B) { benchExperiment(b, "phaseshift") }
+
+// BenchmarkThresholdSweep regenerates extension experiment X9.
+func BenchmarkThresholdSweep(b *testing.B) { benchExperiment(b, "threshold") }
+
+// BenchmarkSieveBaseline regenerates extension experiment X10.
+func BenchmarkSieveBaseline(b *testing.B) { benchExperiment(b, "sieve") }
+
+// BenchmarkLookup measures the §5 claim directly: locating a file set is a
+// handful of hashes with no I/O and no per-file-set state.
+func BenchmarkLookup(b *testing.B) {
+	for _, n := range []int{5, 20, 80} {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			ids := make([]int, n)
+			for i := range ids {
+				ids[i] = i
+			}
+			m, err := core.NewMapper(core.Defaults(), ids)
+			if err != nil {
+				b.Fatal(err)
+			}
+			names := make([]string, 1024)
+			for i := range names {
+				names[i] = fmt.Sprintf("fileset-%04d", i)
+			}
+			probes := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, p := m.Locate(names[i&1023])
+				probes += p
+			}
+			b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
+		})
+	}
+}
+
+// BenchmarkDelegateRound measures one full tuning round.
+func BenchmarkDelegateRound(b *testing.B) {
+	for _, n := range []int{5, 20, 80} {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			ids := make([]int, n)
+			for i := range ids {
+				ids[i] = i
+			}
+			m, err := core.NewMapper(core.Defaults(), ids)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := core.NewDelegate(core.Defaults())
+			reports := make([]core.LatencyReport, n)
+			for i := range reports {
+				reports[i] = core.LatencyReport{
+					ServerID:    i,
+					MeanLatency: float64(1+(i*37)%100) / 1000,
+					Requests:    50,
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Update(m, reports); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFailureReconfig measures removing and re-adding a server — the
+// §4 failure/recovery path whose cost is what "minimal movement" bounds.
+func BenchmarkFailureReconfig(b *testing.B) {
+	ids := make([]int, 16)
+	for i := range ids {
+		ids[i] = i
+	}
+	m, err := core.NewMapper(core.Defaults(), ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.RemoveServer(3); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.AddServer(3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDHTBaseline regenerates extension experiment X11.
+func BenchmarkDHTBaseline(b *testing.B) { benchExperiment(b, "dht") }
+
+// BenchmarkClosedLoop regenerates extension experiment X12.
+func BenchmarkClosedLoop(b *testing.B) { benchExperiment(b, "closedloop") }
+
+// BenchmarkHysteresisAblation regenerates extension experiment X13.
+func BenchmarkHysteresisAblation(b *testing.B) { benchExperiment(b, "hysteresis") }
+
+// BenchmarkGammaAblation regenerates extension experiment X14.
+func BenchmarkGammaAblation(b *testing.B) { benchExperiment(b, "gamma") }

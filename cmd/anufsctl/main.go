@@ -1,0 +1,155 @@
+// Command anufsctl is the CLI client for anufsd.
+//
+// Usage:
+//
+//	anufsctl [-addr host:7460] mkfs <fileset>
+//	anufsctl create <fileset> <path> [size]
+//	anufsctl stat   <fileset> <path>
+//	anufsctl rm     <fileset> <path>
+//	anufsctl ls     <fileset> [prefix]
+//	anufsctl owner  <fileset>
+//	anufsctl lock   <fileset> <path> [shared|exclusive]
+//	anufsctl stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"anufs/internal/sharedisk"
+	"anufs/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7460", "anufsd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c, err := wire.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "mkfs":
+		need(rest, 1)
+		check(c.CreateFileSet(rest[0]))
+		fmt.Println("ok")
+	case "create":
+		need(rest, 2)
+		var size int64
+		if len(rest) >= 3 {
+			size, err = strconv.ParseInt(rest[2], 10, 64)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		check(c.Create(rest[0], rest[1], sharedisk.Record{Size: size, Owner: "anufsctl"}))
+		fmt.Println("ok")
+	case "stat":
+		need(rest, 2)
+		rec, err := c.Stat(rest[0], rest[1])
+		check(err)
+		fmt.Printf("size=%d mode=%o owner=%s modtime=%s\n", rec.Size, rec.Mode, rec.Owner, rec.ModTime)
+	case "rm":
+		need(rest, 2)
+		check(c.Remove(rest[0], rest[1]))
+		fmt.Println("ok")
+	case "ls":
+		need(rest, 1)
+		prefix := "/"
+		if len(rest) >= 2 {
+			prefix = rest[1]
+		}
+		paths, err := c.List(rest[0], prefix)
+		check(err)
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+	case "owner":
+		need(rest, 1)
+		owner, err := c.Owner(rest[0])
+		check(err)
+		fmt.Printf("server %d\n", owner)
+	case "lock":
+		need(rest, 2)
+		excl := len(rest) >= 3 && rest[2] == "exclusive"
+		sid, err := c.Register()
+		check(err)
+		check(c.Lock(sid, rest[0], rest[1], excl))
+		fmt.Printf("locked (session %d; lock lapses with the session lease)\n", sid)
+	case "mount":
+		need(rest, 2)
+		check(c.Mount(rest[0], rest[1]))
+		fmt.Println("ok")
+	case "umount":
+		need(rest, 1)
+		check(c.Unmount(rest[0]))
+		fmt.Println("ok")
+	case "resolve":
+		need(rest, 1)
+		fs, rel, err := c.Resolve(rest[0])
+		check(err)
+		fmt.Printf("fileset=%s rel=%s\n", fs, rel)
+	case "pcreate":
+		need(rest, 1)
+		check(c.PCreate(rest[0], sharedisk.Record{Owner: "anufsctl"}))
+		fmt.Println("ok")
+	case "pstat":
+		need(rest, 1)
+		rec, err := c.PStat(rest[0])
+		check(err)
+		fmt.Printf("size=%d mode=%o owner=%s modtime=%s\n", rec.Size, rec.Mode, rec.Owner, rec.ModTime)
+	case "stats":
+		stats, err := c.Stats()
+		check(err)
+		for _, st := range stats {
+			fmt.Printf("server %d: speed %g share %5.1f%% owned %d served %d\n",
+				st.ID, st.Speed, st.ShareFrac*100, st.Owned, st.Served)
+		}
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "anufsctl:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: anufsctl [-addr host:port] <command>
+commands:
+  mkfs <fileset>
+  create <fileset> <path> [size]
+  stat <fileset> <path>
+  rm <fileset> <path>
+  ls <fileset> [prefix]
+  owner <fileset>
+  lock <fileset> <path> [shared|exclusive]
+  mount <prefix> <fileset>
+  umount <prefix>
+  resolve <global-path>
+  pcreate <global-path>
+  pstat <global-path>
+  stats`)
+	os.Exit(2)
+}

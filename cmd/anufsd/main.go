@@ -1,0 +1,82 @@
+// Command anufsd runs an ANU-managed metadata cluster as a network daemon:
+// a live cluster (goroutine metadata servers over an in-memory shared
+// disk) behind the wire TCP protocol. Drive it with cmd/anufsctl.
+//
+// Usage:
+//
+//	anufsd -listen :7460 -speeds 1,3,5,7,9 -filesets 16 -window 250ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"anufs/internal/live"
+	"anufs/internal/sharedisk"
+	"anufs/internal/wire"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7460", "TCP listen address")
+		speeds   = flag.String("speeds", "1,3,5,7,9", "comma-separated relative server speeds")
+		fileSets = flag.Int("filesets", 16, "file sets to pre-create (vol00..)")
+		window   = flag.Duration("window", 250*time.Millisecond, "delegate tuning interval")
+		opCost   = flag.Duration("opcost", 2*time.Millisecond, "metadata op service time at speed 1")
+	)
+	flag.Parse()
+
+	speedMap, err := parseSpeeds(*speeds)
+	if err != nil {
+		log.Fatalf("anufsd: %v", err)
+	}
+	disk := sharedisk.NewStore(0)
+	for i := 0; i < *fileSets; i++ {
+		if err := disk.CreateFileSet(fmt.Sprintf("vol%02d", i)); err != nil {
+			log.Fatalf("anufsd: %v", err)
+		}
+	}
+	cfg := live.DefaultConfig()
+	cfg.Window = *window
+	cfg.OpCost = *opCost
+	cluster, err := live.NewCluster(cfg, disk, speedMap)
+	if err != nil {
+		log.Fatalf("anufsd: %v", err)
+	}
+	defer cluster.Stop()
+
+	srv := wire.NewServer(cluster)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("anufsd: %v", err)
+	}
+	defer srv.Close()
+	log.Printf("anufsd: serving %d file sets on %d servers at %s", *fileSets, len(speedMap), addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("anufsd: shutting down")
+}
+
+func parseSpeeds(s string) (map[int]float64, error) {
+	out := map[int]float64{}
+	for i, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad speed %q", part)
+		}
+		out[i] = v
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no speeds given")
+	}
+	return out, nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseSpeeds(t *testing.T) {
+	m, err := parseSpeeds("1,3,5")
+	if err != nil || len(m) != 3 || m[0] != 1 || m[2] != 5 {
+		t.Fatalf("parseSpeeds = %v, %v", m, err)
+	}
+	if _, err := parseSpeeds(""); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := parseSpeeds("1,abc"); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+	if _, err := parseSpeeds("1,-2"); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if m, err := parseSpeeds(" 2 , 4 "); err != nil || m[1] != 4 {
+		t.Fatalf("whitespace handling: %v, %v", m, err)
+	}
+}

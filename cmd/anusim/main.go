@@ -1,0 +1,120 @@
+// Command anusim runs one of the paper's experiments and emits its data:
+// per-server latency series as CSV (one file per policy), a gnuplot script
+// per policy, a summary table, and an ASCII rendition for the terminal.
+//
+// Usage:
+//
+//	anusim -list
+//	anusim -experiment fig6 -scale full -outdir results/
+//	anusim -experiment fig10a -ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"anufs/internal/experiment"
+	"anufs/internal/plot"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		expID  = flag.String("experiment", "", "experiment id (see -list)")
+		scale  = flag.String("scale", "full", `experiment scale: "full" (paper scale) or "quick"`)
+		outdir = flag.String("outdir", "", "directory for CSV + gnuplot output (omit to skip files)")
+		ascii  = flag.Bool("ascii", true, "render ASCII charts to stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Printf("%-12s %s\n", id, experiment.Describe(id))
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "anusim: -experiment required (use -list to see options)")
+		os.Exit(2)
+	}
+	sc := experiment.Full
+	switch *scale {
+	case "full":
+	case "quick":
+		sc = experiment.Quick
+	default:
+		fmt.Fprintf(os.Stderr, "anusim: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	out, err := experiment.RunByID(*expID, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anusim:", err)
+		os.Exit(1)
+	}
+	if err := emit(out, *outdir, *ascii); err != nil {
+		fmt.Fprintln(os.Stderr, "anusim:", err)
+		os.Exit(1)
+	}
+}
+
+func emit(out *experiment.Output, outdir string, ascii bool) error {
+	fmt.Printf("%s — %s\n%s\n\n", out.ID, out.Title, out.Description)
+	rows := make([]plot.SummaryRow, 0, len(out.Runs))
+	for _, r := range out.Runs {
+		rows = append(rows, plot.SummaryRow{
+			Label:   r.Label,
+			Summary: r.Result.Series.Summarize(),
+			Moves:   r.Result.Moves,
+		})
+	}
+	if err := plot.WriteSummaryTable(os.Stdout, rows); err != nil {
+		return err
+	}
+	for _, n := range out.Notes {
+		fmt.Println("note:", n)
+	}
+	fmt.Println()
+
+	for _, r := range out.Runs {
+		if ascii {
+			fmt.Printf("--- %s / %s ---\n", out.ID, r.Label)
+			fmt.Print(plot.ASCII(r.Result.Series, 72, 14))
+			fmt.Println()
+		}
+		if outdir != "" {
+			if err := os.MkdirAll(outdir, 0o755); err != nil {
+				return err
+			}
+			base := fmt.Sprintf("%s_%s", out.ID, r.Label)
+			csvPath := filepath.Join(outdir, base+".csv")
+			f, err := os.Create(csvPath)
+			if err != nil {
+				return err
+			}
+			if err := plot.WriteCSV(f, r.Result.Series); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			gp, err := os.Create(filepath.Join(outdir, base+".gp"))
+			if err != nil {
+				return err
+			}
+			title := fmt.Sprintf("%s (%s)", out.Title, r.Label)
+			if err := plot.WriteGnuplot(gp, title, base+".csv", base+".png", r.Result.Series.Servers()); err != nil {
+				gp.Close()
+				return err
+			}
+			if err := gp.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", csvPath)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// Command expall runs every registered experiment and writes the complete
+// reproduction artifact set: per-run CSVs and gnuplot scripts plus a
+// SUMMARY.md with one table per experiment — the data EXPERIMENTS.md is
+// built from.
+//
+// Usage:
+//
+//	expall -outdir results -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"anufs/internal/experiment"
+	"anufs/internal/plot"
+)
+
+func main() {
+	var (
+		outdir = flag.String("outdir", "results", "output directory")
+		scale  = flag.String("scale", "full", `"full" or "quick"`)
+	)
+	flag.Parse()
+	sc := experiment.Full
+	if *scale == "quick" {
+		sc = experiment.Quick
+	}
+	if err := run(*outdir, sc); err != nil {
+		fmt.Fprintln(os.Stderr, "expall:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outdir string, sc experiment.Scale) error {
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	summary, err := os.Create(filepath.Join(outdir, "SUMMARY.md"))
+	if err != nil {
+		return err
+	}
+	defer summary.Close()
+	fmt.Fprintf(summary, "# anufs experiment summary (scale: %s)\n\n", sc)
+
+	// Experiments are independent and deterministic, so run them across the
+	// cores and emit in registry order.
+	ids := experiment.IDs()
+	type done struct {
+		out *experiment.Output
+		dur time.Duration
+		err error
+	}
+	results := make([]done, len(ids))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			out, err := experiment.RunByID(id, sc)
+			results[i] = done{out: out, dur: time.Since(t0), err: err}
+		}(i, id)
+	}
+	wg.Wait()
+
+	for i, id := range ids {
+		if results[i].err != nil {
+			return fmt.Errorf("%s: %w", id, results[i].err)
+		}
+		out := results[i].out
+		fmt.Printf("%-12s done in %s\n", id, results[i].dur.Round(time.Millisecond))
+
+		fmt.Fprintf(summary, "## %s — %s\n\n%s\n\n", out.ID, out.Title, out.Description)
+		rows := make([]plot.SummaryRow, 0, len(out.Runs))
+		for _, r := range out.Runs {
+			rows = append(rows, plot.SummaryRow{
+				Label:   r.Label,
+				Summary: r.Result.Series.Summarize(),
+				Moves:   r.Result.Moves,
+			})
+		}
+		if err := plot.WriteSummaryTable(summary, rows); err != nil {
+			return err
+		}
+		for _, n := range out.Notes {
+			fmt.Fprintf(summary, "\n- %s", n)
+		}
+		fmt.Fprintln(summary)
+		fmt.Fprintln(summary)
+
+		for _, r := range out.Runs {
+			base := fmt.Sprintf("%s_%s", out.ID, r.Label)
+			f, err := os.Create(filepath.Join(outdir, base+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := plot.WriteCSV(f, r.Result.Series); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			gp, err := os.Create(filepath.Join(outdir, base+".gp"))
+			if err != nil {
+				return err
+			}
+			if err := plot.WriteGnuplot(gp, out.Title+" ("+r.Label+")",
+				base+".csv", base+".png", r.Result.Series.Servers()); err != nil {
+				gp.Close()
+				return err
+			}
+			if err := gp.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("summary written to %s\n", filepath.Join(outdir, "SUMMARY.md"))
+	return nil
+}

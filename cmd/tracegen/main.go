@@ -1,0 +1,78 @@
+// Command tracegen generates workload traces in the anufs text format:
+// either the DFSTrace-like trace (the paper's trace-driven experiments) or
+// the paper's synthetic Poisson workload.
+//
+// Usage:
+//
+//	tracegen -kind dfslike -seed 2003 -out dfs.trace
+//	tracegen -kind synthetic -filesets 500 -requests 100000 -out syn.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anufs/internal/trace"
+	"anufs/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "dfslike", `"dfslike" or "synthetic"`)
+		seed     = flag.Uint64("seed", 2003, "generator seed")
+		out      = flag.String("out", "", "output path (default stdout)")
+		fileSets = flag.Int("filesets", 0, "override file-set count")
+		requests = flag.Int("requests", 0, "override request count")
+		duration = flag.Float64("duration", 0, "override duration (seconds)")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch *kind {
+	case "dfslike":
+		cfg := trace.DefaultDFSLike(*seed)
+		if *fileSets > 0 {
+			cfg.FileSets = *fileSets
+		}
+		if *requests > 0 {
+			cfg.Requests = *requests
+		}
+		if *duration > 0 {
+			cfg.Duration = *duration
+		}
+		tr = trace.GenerateDFSLike(cfg)
+	case "synthetic":
+		cfg := workload.DefaultSynthetic(*seed)
+		if *fileSets > 0 {
+			cfg.FileSets = *fileSets
+		}
+		if *requests > 0 {
+			cfg.Requests = *requests
+		}
+		if *duration > 0 {
+			cfg.Duration = *duration
+		}
+		tr = workload.Generate(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d requests, %d file sets, %.0f s\n",
+		tr.Len(), len(tr.FileSets()), tr.Duration())
+}

@@ -1,0 +1,87 @@
+// Failover demo: a live, concurrent metadata cluster losing and regaining a
+// server.
+//
+// Builds a real goroutine-based cluster over an in-memory shared disk,
+// writes metadata into every file set, crashes a server, and shows the
+// paper's recovery properties in action: the survivors take over only the
+// victim's file sets (load locality is preserved), flushed metadata
+// survives the crash, and a recovered server rejoins into a free partition.
+//
+// Run with: go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"anufs/internal/live"
+	"anufs/internal/sharedisk"
+)
+
+func main() {
+	disk := sharedisk.NewStore(0)
+	for i := 0; i < 12; i++ {
+		if err := disk.CreateFileSet(fmt.Sprintf("vol%02d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cfg := live.DefaultConfig()
+	cfg.Window = time.Hour // tune manually in this demo
+	c, err := live.NewCluster(cfg, disk, map[int]float64{0: 1, 1: 3, 2: 5, 3: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	fmt.Println("== initial ownership ==")
+	printStats(c)
+
+	// Write a record into every file set, then checkpoint by a no-op tune
+	// (records flush when file sets move; here we rely on graceful paths).
+	for i := 0; i < 12; i++ {
+		fs := fmt.Sprintf("vol%02d", i)
+		if err := c.Create(fs, "/README", sharedisk.Record{Size: 1024, Owner: "admin"}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	victim := 3
+	fmt.Printf("\n== killing server %d ==\n", victim)
+	movesBefore := c.Moves()
+	if err := c.Kill(victim); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("file sets moved by the failure: %d (only the victim's sets re-hash)\n",
+		c.Moves()-movesBefore)
+	printStats(c)
+
+	// Every file set is still reachable; unflushed records on the victim
+	// were lost (crash semantics), the rest survive.
+	lost, kept := 0, 0
+	for i := 0; i < 12; i++ {
+		fs := fmt.Sprintf("vol%02d", i)
+		if _, err := c.Stat(fs, "/README"); err != nil {
+			lost++
+		} else {
+			kept++
+		}
+	}
+	fmt.Printf("records kept: %d, lost to the crash (unflushed on victim): %d\n", kept, lost)
+
+	fmt.Println("\n== recovering as server 9 ==")
+	movesBefore = c.Moves()
+	if err := c.AddServer(9, 7); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("file sets moved by the join: %d (seed share only; tuning grows it)\n",
+		c.Moves()-movesBefore)
+	printStats(c)
+}
+
+func printStats(c *live.Cluster) {
+	for _, st := range c.Stats() {
+		fmt.Printf("  server %d (speed %g): share %5.1f%%, owns %2d file sets, served %d ops\n",
+			st.ID, st.Speed, st.ShareFrac*100, len(st.Owned), st.Served)
+	}
+}

@@ -1,0 +1,67 @@
+// Heterogeneous-cluster demo: the paper's headline result on your terminal.
+//
+// Simulates the 5-server cluster with speeds 1, 3, 5, 7, 9 serving the
+// synthetic heavy-tailed workload under three policies — round-robin
+// (heterogeneity-blind), dynamic prescient (perfect knowledge), and ANU
+// randomization (no knowledge, adaptive) — then renders the per-server
+// latency series and a summary table. The shape to look for: round-robin's
+// slow server runs away, prescient is balanced from the start, and ANU
+// converges to prescient-comparable balance within a few windows.
+//
+// Run with: go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"anufs/internal/cluster"
+	"anufs/internal/core"
+	"anufs/internal/placement"
+	"anufs/internal/plot"
+	"anufs/internal/workload"
+)
+
+func main() {
+	// A reduced copy of the paper's synthetic workload so the demo runs in
+	// under a second: 60 file sets with w = 10^(3x) weights, 20 windows.
+	wcfg := workload.SyntheticConfig{
+		Seed:       42,
+		FileSets:   60,
+		Requests:   18000,
+		Duration:   2400,
+		WeightSpan: 3,
+		Alpha:      0.625 * (100000.0 / 10000.0) / (18000.0 / 2400.0),
+	}
+	tr := workload.Generate(wcfg)
+	ccfg := cluster.Defaults()
+
+	policies := []placement.Policy{
+		placement.NewRoundRobin(),
+		placement.NewPrescient(ccfg.Speeds, tr, ccfg.Window),
+		placement.NewANU(core.Defaults()),
+	}
+
+	var rows []plot.SummaryRow
+	for _, pol := range policies {
+		res, err := cluster.Run(ccfg, tr, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", pol.Name())
+		fmt.Print(plot.ASCII(res.Series, 72, 12))
+		fmt.Println()
+		rows = append(rows, plot.SummaryRow{
+			Label:   pol.Name(),
+			Summary: res.Series.Summarize(),
+			Moves:   res.Moves,
+		})
+	}
+	fmt.Println("=== summary ===")
+	if err := plot.WriteSummaryTable(os.Stdout, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nNote how ANU reaches the prescient regime with zero a-priori")
+	fmt.Println("knowledge of server speeds or file-set weights (paper §7).")
+}

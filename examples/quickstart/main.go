@@ -1,0 +1,120 @@
+// Quickstart: the ANU placement API in five minutes.
+//
+// This example exercises the core algorithm directly — no simulator, no
+// cluster — to show what a downstream system embeds: a Mapper that places
+// file sets by hashing, a Delegate that retunes mapped regions from
+// observed latencies, and the failure/recovery paths that move the minimum
+// number of file sets.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anufs/internal/core"
+)
+
+func main() {
+	// A five-server cluster. ANU needs no speeds, no workload model — only
+	// the server IDs and a shared hash seed (in core.Config).
+	cfg := core.Defaults()
+	mapper, err := core.NewMapper(cfg, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// File sets are placed by hashing their names — no table, no I/O.
+	fileSets := make([]string, 40)
+	for i := range fileSets {
+		fileSets[i] = fmt.Sprintf("projects/team-%02d", i)
+	}
+	fmt.Println("== initial placement (equal shares) ==")
+	printPlacement(mapper, fileSets)
+
+	// Suppose server 0 is slow and overloaded: it reports high latency.
+	// The delegate shrinks its mapped region and the others absorb the
+	// load through the half-occupancy renormalization.
+	delegate := core.NewDelegate(cfg)
+	reports := []core.LatencyReport{
+		{ServerID: 0, MeanLatency: 0.500, Requests: 120}, // 500 ms — overloaded
+		{ServerID: 1, MeanLatency: 0.040, Requests: 100},
+		{ServerID: 2, MeanLatency: 0.035, Requests: 110},
+		{ServerID: 3, MeanLatency: 0.030, Requests: 95},
+		{ServerID: 4, MeanLatency: 0.028, Requests: 130},
+	}
+	before := mapper.Clone()
+	res, err := delegate.Update(mapper, reports)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== after one delegate round (aggregate %.0f ms) ==\n", res.Aggregate*1000)
+	for _, d := range res.Decisions {
+		fmt.Printf("  server %d: latency %5.0f ms, factor %.2f (%s)\n",
+			d.ServerID, d.Latency*1000, d.Factor, d.Reason)
+	}
+	moves := core.Moves(before, mapper, fileSets)
+	fmt.Printf("  %d of %d file sets moved\n", len(moves), len(fileSets))
+	printPlacement(mapper, fileSets)
+
+	// Failure: server 2 dies. Only its file sets re-hash; survivors grow
+	// proportionally (cache-preserving recovery).
+	before = mapper.Clone()
+	if err := mapper.RemoveServer(2); err != nil {
+		log.Fatal(err)
+	}
+	moves = core.Moves(before, mapper, fileSets)
+	fmt.Printf("\n== server 2 failed: %d file sets moved ==\n", len(moves))
+	for _, mv := range moves {
+		fmt.Printf("  %s: %d -> %d\n", mv.Name, mv.From, mv.To)
+	}
+
+	// Recovery: the server rejoins into a free partition with a seed share
+	// and will grow back under tuning.
+	before = mapper.Clone()
+	if err := mapper.AddServer(2, 0); err != nil {
+		log.Fatal(err)
+	}
+	moves = core.Moves(before, mapper, fileSets)
+	fmt.Printf("\n== server 2 recovered: %d file sets moved back ==\n", len(moves))
+	printPlacement(mapper, fileSets)
+}
+
+func printPlacement(m *core.Mapper, fileSets []string) {
+	counts := map[int]int{}
+	for _, fs := range fileSets {
+		counts[m.Owner(fs)]++
+	}
+	for _, id := range m.Servers() {
+		frac, _ := m.ShareFrac(id)
+		fmt.Printf("  server %d: share %5.1f%% of interval, %2d file sets\n",
+			id, frac*100, counts[id])
+	}
+	// The unit interval itself (paper Figure 2): digits are server regions,
+	// dots the unmapped half that keeps a free partition for recovery.
+	fmt.Print(indent(m.Interval().Render(72)))
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"anufs/internal/core"
+	"anufs/internal/placement"
+	"anufs/internal/rng"
+)
+
+func closedWeights(n int, seed uint64) map[string]float64 {
+	r := rng.NewStream(seed)
+	w := map[string]float64{}
+	for i := 0; i < n; i++ {
+		w[fmt.Sprintf("cfs%02d", i)] = r.LogUniform10(3)
+	}
+	return w
+}
+
+func closedCfg() ClosedConfig {
+	return ClosedConfig{
+		Clients:   80,
+		ThinkTime: 0.5,
+		Duration:  1200,
+		Weights:   closedWeights(40, 11),
+		Work:      0.15,
+	}
+}
+
+func TestRunClosedBasics(t *testing.T) {
+	res, err := RunClosed(Defaults(), closedCfg(), placement.NewANU(core.Defaults()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests < 1000 {
+		t.Fatalf("only %d requests from 80 clients over 1200 s", res.Requests)
+	}
+	if res.Series.Windows() < 10 {
+		t.Fatalf("windows = %d", res.Series.Windows())
+	}
+	if res.LostRequests > res.Requests/10 {
+		t.Fatalf("lost %d of %d without any failure", res.LostRequests, res.Requests)
+	}
+}
+
+func TestRunClosedDeterministic(t *testing.T) {
+	run := func() *Result {
+		res, err := RunClosed(Defaults(), closedCfg(), placement.NewANU(core.Defaults()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Requests != b.Requests || a.Moves != b.Moves {
+		t.Fatalf("closed-loop runs differ: %d/%d requests, %d/%d moves",
+			a.Requests, b.Requests, a.Moves, b.Moves)
+	}
+}
+
+func TestRunClosedValidation(t *testing.T) {
+	ok := closedCfg()
+	for name, mutate := range map[string]func(*ClosedConfig){
+		"no clients": func(c *ClosedConfig) { c.Clients = 0 },
+		"no weights": func(c *ClosedConfig) { c.Weights = nil },
+		"zero work":  func(c *ClosedConfig) { c.Work = 0 },
+		"neg think":  func(c *ClosedConfig) { c.ThinkTime = -1 },
+		"zero dur":   func(c *ClosedConfig) { c.Duration = 0 },
+	} {
+		bad := ok
+		mutate(&bad)
+		if _, err := RunClosed(Defaults(), bad, placement.NewRoundRobin()); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	allZero := ok
+	allZero.Weights = map[string]float64{"a": 0}
+	if _, err := RunClosed(Defaults(), allZero, placement.NewRoundRobin()); err == nil {
+		t.Error("zero-sum weights accepted")
+	}
+	neg := ok
+	neg.Weights = map[string]float64{"a": -1, "b": 2}
+	if _, err := RunClosed(Defaults(), neg, placement.NewRoundRobin()); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+// Closed-loop steady state: once converged, ANU's per-window completion
+// rate matches the static policies' — and the total-throughput gap it pays
+// is the cost of its convergence moves, which stall closed-loop clients
+// for the 5-10 s move time. This is exactly why the paper is "relatively
+// conservative in moving data in response to short-term bursts" (§7): in a
+// closed system, move stalls translate directly into lost throughput.
+func TestClosedLoopSteadyThroughputConverges(t *testing.T) {
+	ccfg := closedCfg()
+	ccfg.ThinkTime = 0.05 // nearly saturating: throughput limited by service
+	rr, err := RunClosed(Defaults(), ccfg, placement.NewRoundRobin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anu, err := RunClosed(Defaults(), ccfg, placement.NewANU(core.Defaults()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalQuarter := func(r *Result) int {
+		s := r.Series
+		total := 0
+		for w := s.Windows() * 3 / 4; w < s.Windows(); w++ {
+			for _, id := range s.Servers() {
+				total += s.Count(id, w)
+			}
+		}
+		return total
+	}
+	fr, fa := finalQuarter(rr), finalQuarter(anu)
+	if float64(fa) < 0.7*float64(fr) {
+		t.Fatalf("closed loop steady state: ANU %d completions vs round-robin %d — did not converge", fa, fr)
+	}
+	// The total gap is move cost: ANU moved file sets, the statics did not.
+	if anu.Moves == 0 {
+		t.Fatal("ANU performed no moves")
+	}
+}
+
+// Closed-loop latency stays bounded even under a static policy: blocked
+// clients throttle the arrival rate (no unbounded queues, §2).
+func TestClosedLoopLatencyBounded(t *testing.T) {
+	ccfg := closedCfg()
+	res, err := RunClosed(Defaults(), ccfg, placement.NewRoundRobin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst possible sojourn: all 80 clients queued on the slow server:
+	// 80 × 0.15/1 = 12 s. Anything near the open-loop runaway (hundreds of
+	// seconds) would mean the closed loop is broken.
+	if res.Series.MaxMean() > 20 {
+		t.Fatalf("closed-loop max window mean %.1fs — queue not bounded by population", res.Series.MaxMean())
+	}
+	if math.IsNaN(res.Series.SteadyStateCoV()) {
+		t.Fatal("NaN CoV")
+	}
+}
+
+func TestClosedLoopWithMembershipEvents(t *testing.T) {
+	// Failure mid-run under the closed-loop driver: the run completes,
+	// survivors serve, and requests routed to the dead server are lost
+	// rather than wedging client loops.
+	ccfg := closedCfg()
+	cfg := Defaults()
+	cfg.Events = []Event{{At: 600, ServerID: 4, Up: false}}
+	res, err := RunClosed(cfg, ccfg, placement.NewANU(core.Defaults()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Series
+	lastWin := s.Windows() - 2
+	if c := s.Count(4, lastWin); c != 0 {
+		t.Fatalf("dead server completed %d in window %d", c, lastWin)
+	}
+	served := 0
+	for _, id := range []int{0, 1, 2, 3} {
+		served += s.Count(id, lastWin)
+	}
+	if served == 0 {
+		t.Fatal("survivors served nothing after the failure")
+	}
+}

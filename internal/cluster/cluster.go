@@ -1,0 +1,414 @@
+// Package cluster simulates a shared-disk file system metadata-server
+// cluster (paper §2, §7): heterogeneous servers with FIFO queues serve the
+// metadata requests of a trace, a placement policy routes file sets to
+// servers and reconfigures at a fixed interval, and file-set movement pays
+// the costs the paper describes — the shedding server flushes its cache,
+// the move takes five to ten seconds, and the acquiring server starts with
+// a cold cache.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"anufs/internal/desim"
+	"anufs/internal/metrics"
+	"anufs/internal/placement"
+	"anufs/internal/rng"
+	"anufs/internal/trace"
+)
+
+// Event is a membership or hardware change at the given simulated time:
+// a server going down (failure/decommission), coming up
+// (recovery/commission), or — when NewSpeed > 0 — changing speed in place,
+// the paper's "upgrading hardware while the system is on-line and taking
+// full advantage of faster hardware" (§1). Speed changes apply to a live
+// server and need no support from the placement policy: ANU discovers the
+// new capability through latency alone.
+type Event struct {
+	At       float64
+	ServerID int
+	Up       bool
+	NewSpeed float64
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Speeds maps server ID to relative processing power (paper §7 uses
+	// 1, 3, 5, 7, 9). All servers in the map start alive.
+	Speeds map[int]float64
+	// Window is the measurement/reconfiguration interval in seconds
+	// (paper: two minutes).
+	Window float64
+	// MoveTimeMin/Max bound the per-file-set move duration, drawn uniformly
+	// (paper: "it takes five to ten seconds to move a file set").
+	MoveTimeMin, MoveTimeMax float64
+	// FlushTime is how long the shedding server is busy flushing dirty
+	// cache state per shed file set.
+	FlushTime float64
+	// ColdCacheFactor inflates the service work of the first
+	// ColdCacheRequests requests a file set receives after moving.
+	ColdCacheFactor   float64
+	ColdCacheRequests int
+	// Seed drives the simulation's random draws (move durations).
+	Seed uint64
+	// Events are membership changes, applied in time order. Policies must
+	// implement placement.MembershipHandler if Events is non-empty.
+	Events []Event
+}
+
+// Defaults returns the paper-calibrated configuration for the standard
+// 5-server heterogeneous cluster.
+func Defaults() Config {
+	return Config{
+		Speeds:            map[int]float64{0: 1, 1: 3, 2: 5, 3: 7, 4: 9},
+		Window:            120,
+		MoveTimeMin:       5,
+		MoveTimeMax:       10,
+		FlushTime:         1,
+		ColdCacheFactor:   2,
+		ColdCacheRequests: 32,
+		Seed:              1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Defaults()
+	if c.Speeds == nil {
+		c.Speeds = d.Speeds
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.MoveTimeMin <= 0 {
+		c.MoveTimeMin = d.MoveTimeMin
+	}
+	if c.MoveTimeMax <= 0 {
+		c.MoveTimeMax = d.MoveTimeMax
+	}
+	if c.MoveTimeMax < c.MoveTimeMin {
+		c.MoveTimeMax = c.MoveTimeMin
+	}
+	if c.ColdCacheFactor < 1 {
+		c.ColdCacheFactor = 1
+	}
+	if c.ColdCacheRequests < 0 {
+		c.ColdCacheRequests = 0
+	}
+	if c.FlushTime < 0 {
+		c.FlushTime = 0
+	}
+	return c
+}
+
+// Result is what one simulation run produces.
+type Result struct {
+	Policy string
+	// Series holds the per-server, per-window mean latencies (seconds) —
+	// the data behind the paper's figures.
+	Series *metrics.Series
+	// Moves is the total number of file-set movements.
+	Moves int
+	// MovesByWindow indexes movements by the window in which the
+	// reconfiguration fired.
+	MovesByWindow []int
+	// LostRequests counts requests that were queued on a server when it
+	// failed (clients would retry these).
+	LostRequests int
+	// Requests is the number of requests dispatched.
+	Requests int
+}
+
+// setup builds the simulation state shared by the open-loop (Run) and
+// closed-loop (RunClosed) drivers: stations, policy initialization, the
+// reconfiguration schedule, and the membership events.
+func setup(cfg Config, fileSets []string, pol placement.Policy, duration float64) (*state, error) {
+	for _, ev := range cfg.Events {
+		if ev.NewSpeed > 0 {
+			continue // in-place speed changes do not involve the policy
+		}
+		if _, ok := pol.(placement.MembershipHandler); !ok {
+			return nil, fmt.Errorf("cluster: policy %s does not support membership events", pol.Name())
+		}
+	}
+
+	sim := desim.New()
+	r := rng.NewStream(cfg.Seed)
+
+	servers := make([]int, 0, len(cfg.Speeds))
+	for id, sp := range cfg.Speeds {
+		if sp <= 0 {
+			return nil, fmt.Errorf("cluster: server %d has non-positive speed %v", id, sp)
+		}
+		servers = append(servers, id)
+	}
+	sort.Ints(servers)
+
+	stations := make(map[int]*desim.Station, len(servers))
+	for _, id := range servers {
+		stations[id] = desim.NewStation(sim, cfg.Speeds[id])
+	}
+
+	if err := pol.Init(servers, fileSets); err != nil {
+		return nil, err
+	}
+
+	st := &state{
+		cfg:       cfg,
+		sim:       sim,
+		rng:       r,
+		pol:       pol,
+		stations:  stations,
+		alive:     map[int]bool{},
+		fileSets:  fileSets,
+		owner:     map[string]int{},
+		availAt:   map[string]float64{},
+		coldLeft:  map[string]int{},
+		collector: metrics.NewCollector(cfg.Window),
+		winCount:  map[int]int{},
+		winSum:    map[int]float64{},
+		result:    &Result{Policy: pol.Name()},
+	}
+	for _, id := range servers {
+		st.alive[id] = true
+	}
+	for _, fs := range fileSets {
+		st.owner[fs] = pol.Owner(fs)
+	}
+
+	// Schedule reconfigurations at every window boundary within the run.
+	windows := int(duration/cfg.Window) + 1
+	for k := 1; k <= windows; k++ {
+		at := float64(k) * cfg.Window
+		win := k - 1
+		sim.At(desim.Time(at), func() { st.reconfigure(at, win) })
+	}
+	st.windows = windows
+	st.result.MovesByWindow = make([]int, windows)
+
+	// Schedule membership events.
+	evs := append([]Event(nil), cfg.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for i := range evs {
+		ev := evs[i]
+		if ev.At < 0 || ev.At > duration {
+			return nil, fmt.Errorf("cluster: event at %v outside duration %v", ev.At, duration)
+		}
+		sim.At(desim.Time(ev.At), func() { st.membership(ev) })
+	}
+	return st, nil
+}
+
+// Run simulates the policy over the trace and returns the collected
+// metrics. It is deterministic for fixed (cfg, trace, policy construction).
+func Run(cfg Config, tr *trace.Trace, pol placement.Policy) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("cluster: empty trace")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := setup(cfg, tr.FileSets(), pol, tr.Duration())
+	if err != nil {
+		return nil, err
+	}
+
+	// Schedule the workload.
+	for i := range tr.Requests {
+		req := tr.Requests[i]
+		st.sim.At(desim.Time(req.At), func() { st.dispatch(req) })
+	}
+
+	st.sim.Run()
+	if st.err != nil {
+		return nil, st.err
+	}
+	st.result.Series = st.collector.Series(st.windows)
+	return st.result, nil
+}
+
+// state is the mutable simulation state shared by event callbacks.
+type state struct {
+	cfg       Config
+	sim       *desim.Sim
+	rng       *rng.Stream
+	pol       placement.Policy
+	stations  map[int]*desim.Station
+	alive     map[int]bool
+	fileSets  []string
+	owner     map[string]int
+	availAt   map[string]float64 // file set unavailable until (mid-move)
+	coldLeft  map[string]int     // cold-cache requests remaining
+	collector *metrics.Collector
+	winCount  map[int]int
+	winSum    map[int]float64
+	result    *Result
+	windows   int
+	err       error
+}
+
+func (st *state) dispatch(req trace.Request) {
+	st.submit(req.FileSet, req.Work, req.At, nil)
+}
+
+// submit routes one request to the file set's current owner. A request for
+// a file set that is mid-move waits until the move completes and then
+// enqueues (it does not block the server's other file sets). onDone, if
+// non-nil, fires at completion (the closed-loop driver's continuation) even
+// when the serving server died mid-request.
+func (st *state) submit(fileSet string, reqWork, arrival float64, onDone func(finish float64)) {
+	if st.err != nil {
+		return
+	}
+	st.result.Requests++
+	if avail := st.availAt[fileSet]; avail > float64(st.sim.Now()) {
+		st.sim.At(desim.Time(avail), func() { st.enqueue(fileSet, reqWork, arrival, onDone) })
+		return
+	}
+	st.enqueue(fileSet, reqWork, arrival, onDone)
+}
+
+func (st *state) enqueue(fileSet string, reqWork, arrival float64, onDone func(finish float64)) {
+	if st.err != nil {
+		return
+	}
+	// The owner is resolved at enqueue time: a request that waited out a
+	// move goes to the new owner.
+	id := st.owner[fileSet]
+	station, ok := st.stations[id]
+	if !ok {
+		st.err = fmt.Errorf("cluster: request for %q routed to unknown server %d", fileSet, id)
+		return
+	}
+	work := reqWork
+	if st.coldLeft[fileSet] > 0 {
+		work *= st.cfg.ColdCacheFactor
+		st.coldLeft[fileSet]--
+	}
+	station.Submit(0, desim.Time(work), func(_, finish desim.Time) {
+		if st.alive[id] {
+			lat := float64(finish) - arrival
+			st.collector.Observe(id, float64(finish), lat)
+			st.winCount[id]++
+			st.winSum[id] += lat
+		} else {
+			st.result.LostRequests++
+		}
+		if onDone != nil {
+			onDone(float64(finish))
+		}
+	})
+}
+
+// reports builds the per-server latency reports for the elapsed window.
+// Every live server reports; idle servers report zero requests, which is
+// how the delegate learns a server sat idle (paper §6 top-off discussion).
+func (st *state) reports() []placement.Report {
+	ids := make([]int, 0, len(st.alive))
+	for id, up := range st.alive {
+		if up {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	reps := make([]placement.Report, 0, len(ids))
+	for _, id := range ids {
+		rep := placement.Report{ServerID: id}
+		if n := st.winCount[id]; n > 0 {
+			rep.Requests = n
+			rep.MeanLatency = st.winSum[id] / float64(n)
+		}
+		reps = append(reps, rep)
+	}
+	return reps
+}
+
+func (st *state) reconfigure(now float64, window int) {
+	if st.err != nil {
+		return
+	}
+	if err := st.pol.Reconfigure(now, st.reports()); err != nil {
+		st.err = err
+		return
+	}
+	st.winCount = map[int]int{}
+	st.winSum = map[int]float64{}
+	st.applyMoves(now, window)
+}
+
+func (st *state) membership(ev Event) {
+	if st.err != nil {
+		return
+	}
+	if ev.NewSpeed > 0 {
+		// In-place hardware change: jobs already queued keep their finish
+		// times; new arrivals see the new speed.
+		s, ok := st.stations[ev.ServerID]
+		if !ok || !st.alive[ev.ServerID] {
+			st.err = fmt.Errorf("cluster: speed change for missing server %d at t=%v", ev.ServerID, ev.At)
+			return
+		}
+		s.SetSpeed(ev.NewSpeed)
+		return
+	}
+	h := st.pol.(placement.MembershipHandler)
+	if ev.Up {
+		if st.alive[ev.ServerID] {
+			st.err = fmt.Errorf("cluster: server %d already up at t=%v", ev.ServerID, ev.At)
+			return
+		}
+		if st.stations[ev.ServerID] == nil {
+			st.stations[ev.ServerID] = desim.NewStation(st.sim, st.cfg.Speeds[ev.ServerID])
+		}
+		st.alive[ev.ServerID] = true
+		if err := h.ServerUp(ev.ServerID); err != nil {
+			st.err = err
+			return
+		}
+	} else {
+		if !st.alive[ev.ServerID] {
+			st.err = fmt.Errorf("cluster: server %d already down at t=%v", ev.ServerID, ev.At)
+			return
+		}
+		st.alive[ev.ServerID] = false
+		if err := h.ServerDown(ev.ServerID); err != nil {
+			st.err = err
+			return
+		}
+	}
+	win := int(ev.At / st.cfg.Window)
+	if win >= len(st.result.MovesByWindow) {
+		win = len(st.result.MovesByWindow) - 1
+	}
+	st.applyMoves(ev.At, win)
+}
+
+// applyMoves diffs the policy's ownership against the routing table and
+// applies movement costs: the shedding server (if alive) blocks for the
+// flush, the file set is unavailable for the move duration, and its next
+// requests run against a cold cache.
+func (st *state) applyMoves(now float64, window int) {
+	for _, fs := range st.fileSets {
+		newOwner := st.pol.Owner(fs)
+		oldOwner := st.owner[fs]
+		if newOwner == oldOwner {
+			continue
+		}
+		st.owner[fs] = newOwner
+		st.result.Moves++
+		if window >= 0 && window < len(st.result.MovesByWindow) {
+			st.result.MovesByWindow[window]++
+		}
+		if st.alive[oldOwner] {
+			if s := st.stations[oldOwner]; s != nil && st.cfg.FlushTime > 0 {
+				s.Block(desim.Time(st.cfg.FlushTime))
+			}
+		}
+		moveTime := st.rng.Uniform(st.cfg.MoveTimeMin, st.cfg.MoveTimeMax)
+		if until := now + moveTime; until > st.availAt[fs] {
+			st.availAt[fs] = until
+		}
+		st.coldLeft[fs] = st.cfg.ColdCacheRequests
+	}
+}

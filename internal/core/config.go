@@ -1,0 +1,129 @@
+// Package core implements ANU (adaptive, non-uniform) randomization, the
+// load-placement and server-provisioning algorithm of Wu & Burns,
+// "Handling Heterogeneity in Shared-Disk File Systems" (SC'03).
+//
+// The algorithm has two halves:
+//
+//   - A Mapper locates file sets: the file-set name is hashed into the unit
+//     interval by an agreed family of hash functions and re-hashed until it
+//     lands in some server's mapped region (paper §4, Figure 2). Lookup is
+//     deterministic and does no I/O; the only replicated state is the
+//     server→interval mapping, which scales with the number of servers, not
+//     the number of file sets (paper §5).
+//
+//   - A Delegate tunes the mapping: each measurement interval the servers
+//     report observed request latency, the delegate computes an aggregate
+//     and rescales the mapped regions of servers whose latency deviates
+//     from it, subject to the three over-tuning heuristics — thresholding,
+//     top-off tuning, and divergent tuning (paper §6).
+//
+// The delegate protocol is stateless (divergent tuning excepted): a failover
+// delegate reaches the same decisions from the same reports.
+package core
+
+// Aggregator selects how the delegate condenses per-server latencies into
+// the system "average" the paper tunes against (§4: "an appropriate average
+// is difficult to determine … our system is robust to the choice").
+type Aggregator int
+
+const (
+	// WeightedMean weights each server's latency by its request count.
+	// Caution: when one saturated server completes most of the cluster's
+	// requests, its own latency dominates the aggregate and it can sit
+	// "within threshold" of itself; Mean and Median are immune.
+	WeightedMean Aggregator = iota
+	// Median takes the unweighted median over servers that saw requests.
+	Median
+	// Mean is the unweighted mean over servers that saw requests.
+	Mean
+)
+
+func (a Aggregator) String() string {
+	switch a {
+	case WeightedMean:
+		return "weighted-mean"
+	case Median:
+		return "median"
+	case Mean:
+		return "mean"
+	default:
+		return "unknown-aggregator"
+	}
+}
+
+// Tuning enables the over-tuning heuristics of paper §6. The zero value is
+// the paper's "early-stage" algorithm that exhibits over-tuning; AllTuning
+// is the shipped configuration.
+type Tuning struct {
+	// Thresholding leaves servers alone while their latency lies within
+	// [(1-Threshold)·A, (1+Threshold)·A] of the aggregate A.
+	Thresholding bool
+	// TopOff restricts the delegate to shrinking overloaded servers;
+	// underloaded servers gain mass only implicitly through the
+	// half-occupancy renormalization.
+	TopOff bool
+	// Divergent only tunes servers moving away from the aggregate:
+	// above A and rising, or below A and falling. It requires the previous
+	// interval's latencies; after a delegate failover the policy is skipped
+	// for one interval (paper §6).
+	Divergent bool
+}
+
+// AllTuning is the paper's final configuration: all three heuristics on.
+func AllTuning() Tuning {
+	return Tuning{Thresholding: true, TopOff: true, Divergent: true}
+}
+
+// Config parameterizes the ANU algorithm. The zero value is not valid;
+// fill in or start from Defaults().
+type Config struct {
+	// HashSeed seeds the shared hash family. Every node must agree on it.
+	HashSeed uint64
+	// MaxRounds bounds re-hash probes before the direct-to-server fallback;
+	// <= 0 selects hashfam.DefaultMaxRounds.
+	MaxRounds int
+	// Gamma bounds the per-interval scale factor applied to a mapped
+	// region: factors are clamped to [1/Gamma, Gamma]. Must be > 1.
+	Gamma float64
+	// Threshold is the paper's t parameter. The paper reports that "fairly
+	// large values" are needed for heterogeneous workloads; its exact value
+	// is lost to the OCR, so we default to 0.5 and expose it. The paper's
+	// delegate uses "a weighted average of the current latencies" (weights
+	// unspecified) and reports robustness to the choice; we default to the
+	// unweighted Mean because request-count weighting lets a saturated
+	// server that completes most of the traffic dominate the aggregate and
+	// hide inside its own threshold band (see Aggregator).
+	Threshold float64
+	// Tuning selects the over-tuning heuristics.
+	Tuning Tuning
+	// Aggregator selects the latency average.
+	Aggregator Aggregator
+	// SeedShareFrac is the share (as a fraction of the whole interval)
+	// granted to a server growing from zero mapped mass, and to a newly
+	// commissioned server. <= 0 selects one partition width.
+	SeedShareFrac float64
+}
+
+// Defaults returns the configuration used throughout the paper's final
+// experiments.
+func Defaults() Config {
+	return Config{
+		HashSeed:   0x414e5546535f3033, // "ANUFS_03"
+		MaxRounds:  0,
+		Gamma:      2,
+		Threshold:  0.5,
+		Tuning:     AllTuning(),
+		Aggregator: Mean,
+	}
+}
+
+// withDefaults fills unset fields with their defaults.
+func (c Config) withDefaults() Config {
+	if c.Gamma <= 1 {
+		c.Gamma = 2
+	}
+	if c.Threshold < 0 {
+		c.Threshold = 0
+	}
+	return c
+}

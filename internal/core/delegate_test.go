@@ -1,0 +1,404 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"anufs/internal/interval"
+)
+
+func reports(lats []float64, reqs []int) []LatencyReport {
+	out := make([]LatencyReport, len(lats))
+	for i := range lats {
+		out[i] = LatencyReport{ServerID: i, MeanLatency: lats[i], Requests: reqs[i]}
+	}
+	return out
+}
+
+func TestAggregateWeightedMean(t *testing.T) {
+	cfg := Defaults()
+	cfg.Aggregator = WeightedMean
+	d := NewDelegate(cfg)
+	got := d.Aggregate(reports([]float64{10, 20}, []int{1, 3}))
+	want := (10.0 + 60.0) / 4
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("weighted mean %v, want %v", got, want)
+	}
+}
+
+func TestAggregateIgnoresIdleServers(t *testing.T) {
+	for _, agg := range []Aggregator{WeightedMean, Mean, Median} {
+		cfg := Defaults()
+		cfg.Aggregator = agg
+		d := NewDelegate(cfg)
+		got := d.Aggregate(reports([]float64{10, 0, 20}, []int{2, 0, 2}))
+		if math.Abs(got-15) > 1e-12 {
+			t.Fatalf("%s aggregate %v, want 15 (idle server excluded)", agg, got)
+		}
+	}
+}
+
+func TestAggregateMean(t *testing.T) {
+	cfg := Defaults()
+	cfg.Aggregator = Mean
+	d := NewDelegate(cfg)
+	// Unweighted: a busy saturated server must not dominate.
+	got := d.Aggregate(reports([]float64{1000, 10, 20}, []int{9000, 5, 5}))
+	want := (1000.0 + 10 + 20) / 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean %v, want %v", got, want)
+	}
+	if d.Aggregate(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestAggregateMedian(t *testing.T) {
+	cfg := Defaults()
+	cfg.Aggregator = Median
+	d := NewDelegate(cfg)
+	if got := d.Aggregate(reports([]float64{5, 100, 7}, []int{1, 1, 1})); got != 7 {
+		t.Fatalf("odd median %v, want 7", got)
+	}
+	if got := d.Aggregate(reports([]float64{4, 8}, []int{1, 1})); got != 6 {
+		t.Fatalf("even median %v, want 6", got)
+	}
+	if got := d.Aggregate(nil); got != 0 {
+		t.Fatalf("empty median %v, want 0", got)
+	}
+}
+
+func TestAggregatorString(t *testing.T) {
+	if WeightedMean.String() != "weighted-mean" || Median.String() != "median" || Mean.String() != "mean" {
+		t.Fatal("Aggregator.String mismatch")
+	}
+	if Aggregator(9).String() != "unknown-aggregator" {
+		t.Fatal("unknown aggregator string")
+	}
+}
+
+func TestUpdateShrinksOverloadedGrowsUnderloaded(t *testing.T) {
+	cfg := Defaults()
+	cfg.Tuning = Tuning{} // raw algorithm
+	m := newMapper(t, 2)
+	d := NewDelegate(cfg)
+	res, err := d.Update(m, reports([]float64{100, 10}, []int{50, 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := m.ShareFrac(0)
+	s1, _ := m.ShareFrac(1)
+	if s0 >= s1 {
+		t.Fatalf("overloaded server share %v not below underloaded %v", s0, s1)
+	}
+	if !res.Tuned || res.ChangedMass == 0 {
+		t.Fatalf("update reported no tuning: %+v", res)
+	}
+	if math.Abs(s0+s1-0.5) > 1e-9 {
+		t.Fatalf("half occupancy violated: %v", s0+s1)
+	}
+}
+
+func TestUpdateNoTrafficNoChange(t *testing.T) {
+	m := newMapper(t, 3)
+	before := m.Shares()
+	d := NewDelegate(Defaults())
+	res, err := d.Update(m, reports([]float64{0, 0, 0}, []int{0, 0, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuned || res.Aggregate != 0 {
+		t.Fatalf("tuned with no traffic: %+v", res)
+	}
+	for id, s := range m.Shares() {
+		if before[id] != s {
+			t.Fatalf("share of %d changed with no traffic", id)
+		}
+	}
+}
+
+func TestUpdateRejectsUnknownServer(t *testing.T) {
+	m := newMapper(t, 2)
+	d := NewDelegate(Defaults())
+	_, err := d.Update(m, []LatencyReport{{ServerID: 42, MeanLatency: 5, Requests: 1}})
+	if err == nil {
+		t.Fatal("report from unknown server accepted")
+	}
+}
+
+func TestThresholdingLeavesBandAlone(t *testing.T) {
+	cfg := Defaults()
+	cfg.Tuning = Tuning{Thresholding: true}
+	cfg.Threshold = 0.5
+	m := newMapper(t, 2)
+	d := NewDelegate(cfg)
+	// Latencies 90 and 110 around aggregate 100: both inside ±50%.
+	res, err := d.Update(m, reports([]float64{90, 110}, []int{50, 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuned {
+		t.Fatalf("tuned inside threshold band: %+v", res.Decisions)
+	}
+	for _, dec := range res.Decisions {
+		if dec.Factor != 1 || dec.Reason != "within-threshold" {
+			t.Fatalf("decision %+v, want within-threshold factor 1", dec)
+		}
+	}
+}
+
+func TestThresholdingTunesOutsideBand(t *testing.T) {
+	cfg := Defaults()
+	cfg.Tuning = Tuning{Thresholding: true}
+	cfg.Threshold = 0.5
+	m := newMapper(t, 2)
+	d := NewDelegate(cfg)
+	res, err := d.Update(m, reports([]float64{300, 10}, []int{50, 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tuned {
+		t.Fatal("no tuning despite latencies far outside band")
+	}
+}
+
+func TestTopOffNeverExplicitlyGrows(t *testing.T) {
+	cfg := Defaults()
+	cfg.Tuning = Tuning{TopOff: true}
+	cfg.Threshold = 0.5
+	m := newMapper(t, 3)
+	d := NewDelegate(cfg)
+	res, err := d.Update(m, reports([]float64{500, 100, 1}, []int{30, 30, 30}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dec := range res.Decisions {
+		if dec.Factor > 1 {
+			t.Fatalf("top-off produced explicit growth: %+v", dec)
+		}
+		if dec.ServerID == 2 && dec.Reason == "grow-underload" {
+			t.Fatalf("idle server explicitly grown under top-off: %+v", dec)
+		}
+	}
+	// Server 2 still gains implicitly via renormalization.
+	s2, _ := m.ShareFrac(2)
+	if s2 <= 1.0/6 {
+		t.Fatalf("underloaded server did not gain implicitly: share %v", s2)
+	}
+	_ = res
+}
+
+func TestDivergentSkipsConvergingServers(t *testing.T) {
+	cfg := Defaults()
+	cfg.Tuning = Tuning{Divergent: true}
+	m := newMapper(t, 2)
+	d := NewDelegate(cfg)
+	// First round establishes prev: server 0 at 200, server 1 at 50.
+	if _, err := d.Update(m, reports([]float64{200, 50}, []int{50, 50})); err != nil {
+		t.Fatal(err)
+	}
+	shares := m.Shares()
+	// Second round: server 0 fell to 150 (above avg but converging),
+	// server 1 rose to 80 (below avg but converging): no tuning.
+	res, err := d.Update(m, reports([]float64{150, 80}, []int{50, 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuned {
+		t.Fatalf("divergent tuning acted on converging servers: %+v", res.Decisions)
+	}
+	for _, dec := range res.Decisions {
+		if dec.Reason != "convergent" {
+			t.Fatalf("decision %+v, want convergent", dec)
+		}
+	}
+	for id, s := range m.Shares() {
+		if shares[id] != s {
+			t.Fatal("shares changed despite convergent latencies")
+		}
+	}
+}
+
+func TestDivergentActsOnDivergingServers(t *testing.T) {
+	cfg := Defaults()
+	cfg.Tuning = Tuning{Divergent: true}
+	m := newMapper(t, 2)
+	d := NewDelegate(cfg)
+	if _, err := d.Update(m, reports([]float64{150, 80}, []int{50, 50})); err != nil {
+		t.Fatal(err)
+	}
+	// Server 0 rising above average: diverging, must be tuned down.
+	res, err := d.Update(m, reports([]float64{200, 80}, []int{50, 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tuned {
+		t.Fatal("divergent tuning ignored a diverging server")
+	}
+}
+
+func TestDivergentSkippedAfterFailover(t *testing.T) {
+	cfg := Defaults()
+	cfg.Tuning = Tuning{Divergent: true}
+	m := newMapper(t, 2)
+	d := NewDelegate(cfg)
+	if _, err := d.Update(m, reports([]float64{200, 50}, []int{50, 50})); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetState() // delegate crash: next elected delegate has no history
+	res, err := d.Update(m, reports([]float64{150, 80}, []int{50, 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without history the policy is ignored and normal tuning proceeds.
+	if !res.Tuned {
+		t.Fatal("post-failover update did not tune (divergent should be skipped)")
+	}
+}
+
+func TestStatelessSameReportsSameDecision(t *testing.T) {
+	// Two delegates (one "failed over") reach identical targets from the
+	// same reports when divergent tuning is off — the paper's stateless
+	// property (§4).
+	cfg := Defaults()
+	cfg.Tuning = Tuning{Thresholding: true, TopOff: true}
+	m1 := newMapper(t, 5)
+	m2 := newMapper(t, 5)
+	r := reports([]float64{500, 90, 100, 110, 2}, []int{20, 20, 20, 20, 20})
+	res1, err := NewDelegate(cfg).Update(m1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := NewDelegate(cfg).Update(m2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range res1.Targets {
+		if res2.Targets[id] != v {
+			t.Fatalf("delegates disagree on server %d: %d vs %d", id, v, res2.Targets[id])
+		}
+	}
+}
+
+func TestGammaClampsFactor(t *testing.T) {
+	cfg := Defaults()
+	cfg.Tuning = Tuning{}
+	cfg.Gamma = 2
+	m := newMapper(t, 2)
+	d := NewDelegate(cfg)
+	res, err := d.Update(m, reports([]float64{10000, 1}, []int{50, 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dec := range res.Decisions {
+		if dec.Factor < 0.5-1e-12 || dec.Factor > 2+1e-12 {
+			t.Fatalf("factor %v outside [1/Gamma, Gamma]", dec.Factor)
+		}
+	}
+}
+
+func TestZeroShareServerGetsSeeded(t *testing.T) {
+	cfg := Defaults()
+	cfg.Tuning = Tuning{} // allow explicit growth
+	m := newMapper(t, 2)
+	if err := m.Rescale(map[int]uint64{0: interval.Half, 1: 0}); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelegate(cfg)
+	// Server 1 idle at zero latency, server 0 loaded: 1 must grow from zero.
+	if _, err := d.Update(m, reports([]float64{100, 0}, []int{50, 0})); err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := m.ShareFrac(1)
+	if s1 == 0 {
+		t.Fatal("zero-share server not seeded despite wanting growth")
+	}
+}
+
+func TestUpdatePreservesHalfOccupancy(t *testing.T) {
+	m := newMapper(t, 5)
+	cfg := Defaults()
+	cfg.Tuning = Tuning{}
+	d := NewDelegate(cfg)
+	lat := []float64{400, 200, 100, 50, 10}
+	for round := 0; round < 10; round++ {
+		if _, err := d.Update(m, reports(lat, []int{10, 10, 10, 10, 10})); err != nil {
+			t.Fatal(err)
+		}
+		var sum uint64
+		for _, s := range m.Shares() {
+			sum += s
+		}
+		if sum != interval.Half {
+			t.Fatalf("round %d: shares sum %d != Half", round, sum)
+		}
+	}
+}
+
+// Convergence property: with latency proportional to share/speed (a fluid
+// model of a heterogeneous cluster), repeated delegate rounds drive shares
+// toward the speed-proportional optimum.
+func TestDelegateConvergesOnFluidModel(t *testing.T) {
+	speeds := []float64{1, 3, 5, 7, 9}
+	m := newMapper(t, len(speeds))
+	cfg := Defaults()
+	cfg.Tuning = Tuning{Thresholding: true}
+	cfg.Threshold = 0.05
+	d := NewDelegate(cfg)
+	for round := 0; round < 60; round++ {
+		lats := make([]float64, len(speeds))
+		reqs := make([]int, len(speeds))
+		for i := range speeds {
+			f, _ := m.ShareFrac(i)
+			lats[i] = f / speeds[i] * 1000 // latency ∝ assigned load / speed
+			reqs[i] = 1 + int(f*1000)
+		}
+		if _, err := d.Update(m, reports(lats, reqs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var speedSum float64
+	for _, s := range speeds {
+		speedSum += s
+	}
+	for i, s := range speeds {
+		f, _ := m.ShareFrac(i)
+		want := 0.5 * s / speedSum
+		if math.Abs(f-want) > 0.25*want {
+			t.Fatalf("server %d share %v, want ~%v (speed-proportional)", i, f, want)
+		}
+	}
+}
+
+func TestDefaultsSane(t *testing.T) {
+	cfg := Defaults()
+	if cfg.Gamma <= 1 || cfg.Threshold <= 0 {
+		t.Fatalf("Defaults: %+v", cfg)
+	}
+	if !cfg.Tuning.Thresholding || !cfg.Tuning.TopOff || !cfg.Tuning.Divergent {
+		t.Fatal("Defaults must enable all three heuristics (the paper's final config)")
+	}
+	wd := Config{}.withDefaults()
+	if wd.Gamma <= 1 {
+		t.Fatal("withDefaults did not set Gamma")
+	}
+	neg := Config{Threshold: -1}.withDefaults()
+	if neg.Threshold != 0 {
+		t.Fatal("withDefaults did not clamp negative threshold")
+	}
+}
+
+func BenchmarkDelegateUpdate(b *testing.B) {
+	m := newMapper(b, 16)
+	d := NewDelegate(Defaults())
+	rep := make([]LatencyReport, 16)
+	for i := range rep {
+		rep[i] = LatencyReport{ServerID: i, MeanLatency: float64(10 + i*13%97), Requests: 100}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Update(m, rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"anufs/internal/rng"
+)
+
+// PairwiseTuner implements the paper's future-work extension (§5):
+// replacing centralized rescaling with pair-wise interactions in which two
+// servers exchange latencies and shift mapped mass between themselves. Each
+// exchange conserves the pair's combined mass exactly, so the half-occupancy
+// invariant holds with no global renormalization step — the property that
+// makes the scheme decentralizable.
+type PairwiseTuner struct {
+	cfg Config
+	r   *rng.Stream
+	// Kappa in (0,1] controls how much of the pair's imbalance one exchange
+	// corrects; small values damp oscillation like thresholding does.
+	Kappa float64
+}
+
+// NewPairwiseTuner creates a tuner; seed drives the random pair matching.
+func NewPairwiseTuner(cfg Config, seed uint64) *PairwiseTuner {
+	return &PairwiseTuner{cfg: cfg.withDefaults(), r: rng.NewStream(seed), Kappa: 0.5}
+}
+
+// Exchange performs one pairwise exchange between servers a and b given
+// their observed latencies. Mass moves from the slower to the faster server
+// in proportion to the relative latency gap, clamped by Gamma. It returns
+// the mass moved.
+func (p *PairwiseTuner) Exchange(m *Mapper, a, b int, latA, latB float64) (uint64, error) {
+	shares := m.Shares()
+	sa, oka := shares[a]
+	sb, okb := shares[b]
+	if !oka || !okb {
+		return 0, fmt.Errorf("core: pairwise exchange with unknown server (%d,%d)", a, b)
+	}
+	if latA+latB == 0 {
+		return 0, nil
+	}
+	// Thresholding applies pairwise: ignore small relative gaps.
+	gap := (latA - latB) / (latA + latB) // in [-1, 1]
+	t := 0.0
+	if p.cfg.Tuning.Thresholding {
+		t = p.cfg.Threshold / 2 // comparable dead-band to the centralized t
+	}
+	if gap > -t && gap < t {
+		return 0, nil
+	}
+	// Positive gap: a is slower, sheds mass to b.
+	var donor, recipient int
+	var donorShare uint64
+	frac := gap
+	if gap > 0 {
+		donor, recipient, donorShare = a, b, sa
+	} else {
+		donor, recipient, donorShare = b, a, sb
+		frac = -gap
+	}
+	maxFrac := 1 - 1/p.cfg.Gamma // Gamma clamp expressed as a shed fraction
+	if frac > maxFrac {
+		frac = maxFrac
+	}
+	delta := uint64(float64(donorShare) * frac * p.Kappa)
+	if delta == 0 {
+		return 0, nil
+	}
+	target := shares
+	target[donor] -= delta
+	target[recipient] += delta
+	if err := m.Rescale(target); err != nil {
+		return 0, err
+	}
+	return delta, nil
+}
+
+// Round performs one decentralized tuning round: servers are paired by a
+// random matching and every pair exchanges once. Reports for missing
+// servers default to idle. It returns total mass moved.
+func (p *PairwiseTuner) Round(m *Mapper, reports []LatencyReport) (uint64, error) {
+	lat := make(map[int]float64, len(reports))
+	for _, r := range reports {
+		lat[r.ServerID] = r.MeanLatency
+	}
+	ids := m.Servers()
+	sort.Ints(ids)
+	perm := p.r.Perm(len(ids))
+	var moved uint64
+	for i := 0; i+1 < len(perm); i += 2 {
+		a, b := ids[perm[i]], ids[perm[i+1]]
+		d, err := p.Exchange(m, a, b, lat[a], lat[b])
+		if err != nil {
+			return moved, err
+		}
+		moved += d
+	}
+	return moved, nil
+}

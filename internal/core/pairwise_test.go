@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"anufs/internal/interval"
+)
+
+func TestExchangeMovesMassToFaster(t *testing.T) {
+	m := newMapper(t, 2)
+	p := NewPairwiseTuner(Defaults(), 1)
+	moved, err := p.Exchange(m, 0, 1, 100, 10) // server 0 slow
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("no mass moved despite 10x latency gap")
+	}
+	s0, _ := m.ShareFrac(0)
+	s1, _ := m.ShareFrac(1)
+	if s0 >= s1 {
+		t.Fatalf("slow server share %v not below fast server %v", s0, s1)
+	}
+	if math.Abs(s0+s1-0.5) > 1e-9 {
+		t.Fatalf("pair mass not conserved: %v", s0+s1)
+	}
+}
+
+func TestExchangeSymmetric(t *testing.T) {
+	m1 := newMapper(t, 2)
+	m2 := newMapper(t, 2)
+	p1 := NewPairwiseTuner(Defaults(), 1)
+	p2 := NewPairwiseTuner(Defaults(), 1)
+	if _, err := p1.Exchange(m1, 0, 1, 100, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Exchange(m2, 1, 0, 10, 100); err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range m1.Shares() {
+		if m2.Shares()[id] != s {
+			t.Fatalf("exchange not symmetric for server %d", id)
+		}
+	}
+}
+
+func TestExchangeDeadBand(t *testing.T) {
+	m := newMapper(t, 2)
+	p := NewPairwiseTuner(Defaults(), 1) // thresholding on by default
+	moved, err := p.Exchange(m, 0, 1, 100, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Fatalf("moved %d within the dead band", moved)
+	}
+}
+
+func TestExchangeIdlePair(t *testing.T) {
+	m := newMapper(t, 2)
+	p := NewPairwiseTuner(Defaults(), 1)
+	moved, err := p.Exchange(m, 0, 1, 0, 0)
+	if err != nil || moved != 0 {
+		t.Fatalf("idle pair moved %d, err %v", moved, err)
+	}
+}
+
+func TestExchangeUnknownServer(t *testing.T) {
+	m := newMapper(t, 2)
+	p := NewPairwiseTuner(Defaults(), 1)
+	if _, err := p.Exchange(m, 0, 42, 10, 20); err == nil {
+		t.Fatal("exchange with unknown server succeeded")
+	}
+}
+
+func TestExchangeGammaClamp(t *testing.T) {
+	cfg := Defaults()
+	cfg.Tuning.Thresholding = false
+	cfg.Gamma = 2
+	m := newMapper(t, 2)
+	before, _ := m.ShareFrac(0)
+	p := NewPairwiseTuner(cfg, 1)
+	p.Kappa = 1
+	if _, err := p.Exchange(m, 0, 1, 1e9, 1); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m.ShareFrac(0)
+	// Shed fraction must not exceed 1 - 1/Gamma = 0.5.
+	if after < before*0.5-1e-9 {
+		t.Fatalf("shed beyond Gamma clamp: %v -> %v", before, after)
+	}
+}
+
+func TestRoundConservesHalfOccupancy(t *testing.T) {
+	m := newMapper(t, 5)
+	p := NewPairwiseTuner(Defaults(), 7)
+	rep := reports([]float64{400, 200, 100, 50, 10}, []int{10, 10, 10, 10, 10})
+	for i := 0; i < 20; i++ {
+		if _, err := p.Round(m, rep); err != nil {
+			t.Fatal(err)
+		}
+		var sum uint64
+		for _, s := range m.Shares() {
+			sum += s
+		}
+		if sum != interval.Half {
+			t.Fatalf("round %d: mass %d != Half", i, sum)
+		}
+	}
+}
+
+func TestPairwiseConvergesOnFluidModel(t *testing.T) {
+	speeds := []float64{1, 3, 5, 7, 9}
+	m := newMapper(t, len(speeds))
+	cfg := Defaults()
+	cfg.Threshold = 0.05
+	p := NewPairwiseTuner(cfg, 3)
+	for round := 0; round < 300; round++ {
+		rep := make([]LatencyReport, len(speeds))
+		for i := range speeds {
+			f, _ := m.ShareFrac(i)
+			rep[i] = LatencyReport{ServerID: i, MeanLatency: f / speeds[i] * 1000, Requests: 10}
+		}
+		if _, err := p.Round(m, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var speedSum float64
+	for _, s := range speeds {
+		speedSum += s
+	}
+	for i, s := range speeds {
+		f, _ := m.ShareFrac(i)
+		want := 0.5 * s / speedSum
+		if math.Abs(f-want) > 0.4*want {
+			t.Fatalf("server %d share %v, want ~%v", i, f, want)
+		}
+	}
+}
+
+func TestRoundOddServerCount(t *testing.T) {
+	// With an odd count one server sits out each round; must not error.
+	m := newMapper(t, 3)
+	p := NewPairwiseTuner(Defaults(), 11)
+	if _, err := p.Round(m, reports([]float64{100, 50, 10}, []int{5, 5, 5})); err != nil {
+		t.Fatal(err)
+	}
+}

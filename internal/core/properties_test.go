@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"anufs/internal/interval"
+	"anufs/internal/rng"
+)
+
+// Property: whatever latencies the delegate sees, every update preserves
+// the structural invariants — half occupancy exactly, a valid interval,
+// and factors clamped to [1/Γ, Γ].
+func TestDelegateUpdateInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewStream(seed)
+		n := 2 + r.Intn(10)
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		cfg := Defaults()
+		// Randomize the knobs too.
+		cfg.Threshold = r.Float64()
+		cfg.Gamma = 1.1 + 3*r.Float64()
+		cfg.Tuning = Tuning{
+			Thresholding: r.Intn(2) == 0,
+			TopOff:       r.Intn(2) == 0,
+			Divergent:    r.Intn(2) == 0,
+		}
+		cfg.Aggregator = Aggregator(r.Intn(3))
+		m, err := NewMapper(cfg, ids)
+		if err != nil {
+			return false
+		}
+		d := NewDelegate(cfg)
+		for round := 0; round < 8; round++ {
+			reps := make([]LatencyReport, n)
+			for i := range reps {
+				reps[i] = LatencyReport{
+					ServerID:    i,
+					MeanLatency: r.Float64() * 10,
+					Requests:    r.Intn(100),
+				}
+			}
+			res, err := d.Update(m, reps)
+			if err != nil {
+				t.Logf("update: %v", err)
+				return false
+			}
+			var sum uint64
+			for _, s := range m.Shares() {
+				sum += s
+			}
+			if sum != interval.Half {
+				t.Logf("half occupancy broken: %d", sum)
+				return false
+			}
+			if err := m.Interval().Validate(); err != nil {
+				t.Logf("interval invalid: %v", err)
+				return false
+			}
+			for _, dec := range res.Decisions {
+				if dec.Factor < 1/cfg.Gamma-1e-9 || dec.Factor > cfg.Gamma+1e-9 {
+					t.Logf("factor %v outside clamp Γ=%v", dec.Factor, cfg.Gamma)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of file sets a server owns tracks its share of the
+// interval. After an arbitrary rescale, counts are proportional to shares
+// within sampling error.
+func TestPlacementTracksShares(t *testing.T) {
+	m := newMapper(t, 4)
+	q := interval.QuantizeShares([]float64{1, 2, 3, 4}, interval.Half)
+	target := map[int]uint64{}
+	for i, s := range q {
+		target[i] = s
+	}
+	if err := m.Rescale(target); err != nil {
+		t.Fatal(err)
+	}
+	const sets = 100000
+	counts := map[int]int{}
+	for i := 0; i < sets; i++ {
+		counts[m.Owner(fmt.Sprintf("pt-%d", i))]++
+	}
+	for id, share := range target {
+		wantFrac := float64(share) / float64(interval.Half)
+		gotFrac := float64(counts[id]) / sets
+		if math.Abs(gotFrac-wantFrac) > 0.01 {
+			t.Fatalf("server %d owns %.3f of file sets, share is %.3f", id, gotFrac, wantFrac)
+		}
+	}
+}
+
+// The paper's §4 balance claim for the initial (uniform) configuration:
+// with m file sets on n equal servers, each server's count stays within a
+// small factor of m/n with high probability. We check max/mean over many
+// seeds stays below the loose constant the paper's bound implies at this
+// m/n ratio (m/n = 500, where ±3σ of binomial sampling is ~13%).
+func TestInitialBalanceBound(t *testing.T) {
+	const n, m = 10, 5000
+	worst := 0.0
+	for seed := uint64(0); seed < 10; seed++ {
+		cfg := Defaults()
+		cfg.HashSeed = seed
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		mp, err := NewMapper(cfg, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[int]int{}
+		for i := 0; i < m; i++ {
+			counts[mp.Owner(fmt.Sprintf("bb-%d", i))]++
+		}
+		for _, c := range counts {
+			if r := float64(c) / (m / n); r > worst {
+				worst = r
+			}
+		}
+	}
+	if worst > 1.25 {
+		t.Fatalf("worst server holds %.2fx the mean file-set count — violates the small-constant balance bound", worst)
+	}
+}
+
+// Property: repeated delegate rounds with *identical balanced* reports
+// leave the mapping untouched (no tuning without cause), regardless of the
+// heuristic configuration.
+func TestBalancedReportsAreFixpoint(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewStream(seed)
+		cfg := Defaults()
+		cfg.Tuning = Tuning{
+			Thresholding: true, // some threshold needed for a dead band
+			TopOff:       r.Intn(2) == 0,
+			Divergent:    r.Intn(2) == 0,
+		}
+		cfg.Threshold = 0.2 + r.Float64()
+		m, err := NewMapper(cfg, []int{0, 1, 2})
+		if err != nil {
+			return false
+		}
+		d := NewDelegate(cfg)
+		lat := 0.01 + r.Float64()
+		before := m.Shares()
+		for i := 0; i < 5; i++ {
+			reps := []LatencyReport{
+				{ServerID: 0, MeanLatency: lat, Requests: 10},
+				{ServerID: 1, MeanLatency: lat, Requests: 10},
+				{ServerID: 2, MeanLatency: lat, Requests: 10},
+			}
+			if _, err := d.Update(m, reps); err != nil {
+				return false
+			}
+		}
+		for id, s := range m.Shares() {
+			if before[id] != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fallback routing stays consistent under churn — the same name
+// maps to the same server on two mappers that applied the same operations
+// in the same order (replicated-state equivalence, §5: the delegate
+// distributes the mapping and every node routes identically).
+func TestReplicatedMappersRouteIdentically(t *testing.T) {
+	build := func() *Mapper {
+		m, err := NewMapper(Defaults(), []int{0, 1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDelegate(Defaults())
+		if _, err := d.Update(m, reports([]float64{9, 1, 1, 1}, []int{5, 5, 5, 5})); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RemoveServer(2); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddServer(7, 0); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := build(), build()
+	for i := 0; i < 2000; i++ {
+		name := fmt.Sprintf("repl-%d", i)
+		if a.Owner(name) != b.Owner(name) {
+			t.Fatalf("replicas disagree on %q", name)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"anufs/internal/hashfam"
+	"anufs/internal/interval"
+)
+
+// Configuration replication (paper §4/§5): after each reconfiguration the
+// delegate distributes the server→unit-interval mapping — "the only
+// replicated state needed by our algorithm" — and any node holding it can
+// locate any file set with pure hashing. Because the mapping scales with
+// the number of servers rather than file sets, clients can cache it and
+// route requests directly.
+
+// wireConfig is the serialized mapper configuration.
+type wireConfig struct {
+	HashSeed  uint64          `json:"hash_seed"`
+	MaxRounds int             `json:"max_rounds"`
+	Interval  json.RawMessage `json:"interval"`
+}
+
+// MarshalConfig encodes everything a remote node needs to route: the hash
+// family parameters and the interval mapping.
+func (m *Mapper) MarshalConfig() ([]byte, error) {
+	ivData, err := m.iv.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(wireConfig{
+		HashSeed:  m.fam.Seed(),
+		MaxRounds: m.fam.MaxRounds(),
+		Interval:  ivData,
+	})
+}
+
+// RouterFromConfig reconstructs a read-only Mapper from a replicated
+// configuration. The result routes identically to the source mapper; use
+// it for client-side routing or server-side validation of a received
+// configuration. Mutating methods work but act on the local copy only —
+// the delegate owns the authoritative mapper.
+func RouterFromConfig(data []byte) (*Mapper, error) {
+	var w wireConfig
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("core: decode config: %w", err)
+	}
+	var iv interval.Interval
+	if err := iv.UnmarshalBinary(w.Interval); err != nil {
+		return nil, err
+	}
+	m := &Mapper{
+		cfg: Config{HashSeed: w.HashSeed, MaxRounds: w.MaxRounds}.withDefaults(),
+		fam: hashfam.New(w.HashSeed, w.MaxRounds),
+		iv:  &iv,
+	}
+	m.refreshAlive()
+	if len(m.alive) == 0 {
+		return nil, fmt.Errorf("core: replicated configuration has no servers")
+	}
+	return m, nil
+}

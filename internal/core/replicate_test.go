@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestConfigReplicationRoutesIdentically(t *testing.T) {
+	m := newMapper(t, 5)
+	d := NewDelegate(Defaults())
+	// Skew the mapping so the test isn't trivially uniform.
+	if _, err := d.Update(m, reports([]float64{9, 0.5, 0.5, 0.5, 0.5}, []int{9, 9, 9, 9, 9})); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := RouterFromConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		name := fmt.Sprintf("route-%d", i)
+		if m.Owner(name) != router.Owner(name) {
+			t.Fatalf("replica disagrees on %q", name)
+		}
+	}
+	if router.NumServers() != m.NumServers() {
+		t.Fatalf("replica has %d servers, want %d", router.NumServers(), m.NumServers())
+	}
+}
+
+func TestConfigReplicationAfterMembershipChange(t *testing.T) {
+	m := newMapper(t, 4)
+	if err := m.RemoveServer(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddServer(9, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := RouterFromConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("chg-%d", i)
+		if m.Owner(name) != router.Owner(name) {
+			t.Fatalf("replica disagrees on %q after churn", name)
+		}
+	}
+}
+
+func TestRouterFromConfigRejectsGarbage(t *testing.T) {
+	for name, in := range map[string]string{
+		"not json":     "hello",
+		"bad interval": `{"hash_seed":1,"max_rounds":20,"interval":"bogus"}`,
+		"empty":        `{}`,
+	} {
+		if _, err := RouterFromConfig([]byte(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestConfigSizeIndependentOfFileSets(t *testing.T) {
+	// Route a million file sets through a mapper; the replicated
+	// configuration must not grow (it never mentions file sets).
+	m := newMapper(t, 5)
+	before, err := m.MarshalConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		m.Owner(fmt.Sprintf("many-%d", i))
+	}
+	after, err := m.MarshalConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("config size changed with lookups: %d -> %d", len(before), len(after))
+	}
+}

@@ -1,0 +1,255 @@
+// Package desim is a from-scratch discrete-event simulation kernel, the
+// substitute for the YACSIM toolkit the paper uses (§7). It provides a
+// virtual clock, an event heap with deterministic FIFO tie-breaking, and a
+// single-server FIFO station model matching the paper's "servers use a
+// first-in-first-out queuing discipline".
+//
+// The kernel is single-threaded by design: determinism is a requirement for
+// reproducing the paper's figures, so all concurrency in the simulated
+// system is expressed as interleaved events, never goroutines.
+package desim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in seconds.
+type Time float64
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier at the same timestamp run first (FIFO), which makes runs
+// reproducible regardless of heap internals.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Handle cancels a scheduled event.
+type Handle struct{ e *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (h Handle) Cancel() {
+	if h.e != nil {
+		h.e.canceled = true
+	}
+}
+
+// Sim is the simulation kernel. The zero value is not usable; create with
+// New. Sim is not safe for concurrent use.
+type Sim struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+}
+
+// New creates an empty simulation at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Pending reports the number of scheduled (possibly canceled) events.
+func (s *Sim) Pending() int { return len(s.heap) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: that
+// is always a modeling bug, and silently clamping it would skew latencies.
+func (s *Sim) At(t Time, fn func()) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("desim: scheduling at %v before now %v", t, s.now))
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, e)
+	return Handle{e: e}
+}
+
+// After schedules fn d seconds from now.
+func (s *Sim) After(d Time, fn func()) Handle { return s.At(s.now+d, fn) }
+
+// Step runs the next event, if any, and reports whether one ran.
+func (s *Sim) Step() bool {
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled at t by other events at t still run.
+func (s *Sim) RunUntil(t Time) {
+	for len(s.heap) > 0 {
+		// Peek cheapest.
+		e := s.heap[0]
+		if e.at > t {
+			break
+		}
+		if !s.Step() {
+			break
+		}
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Station is a single-server FIFO queue with a speed factor: a job carrying
+// `work` seconds of service (calibrated at speed 1) occupies the station
+// for work/speed seconds. This models the paper's heterogeneous servers,
+// where "if the least powerful server consumes time t to complete a
+// metadata request, then the most powerful consumes t/9" (§7).
+//
+// Service is event-driven: a job's service time is computed when it starts,
+// not when it is submitted, so SetSpeed (online hardware changes, §1)
+// affects every job that has not yet begun service. The discipline is
+// strict FIFO: a job whose readyAt lies in the future holds the head of
+// the queue (the server waits for it), matching the move protocol where a
+// mid-move file set's requests queue at the new owner.
+type Station struct {
+	sim   *Sim
+	speed float64
+	queue []stationJob
+	// serving marks the in-service (or head-of-line waiting) job.
+	serving bool
+	queued  int
+	// busyTime accumulates performed service for utilization metrics.
+	busyTime Time
+}
+
+type stationJob struct {
+	readyAt Time
+	work    Time
+	// wallClock jobs (Block) take `work` seconds regardless of speed.
+	wallClock bool
+	done      func(start, finish Time)
+}
+
+// NewStation creates a station served at the given speed (> 0).
+func NewStation(sim *Sim, speed float64) *Station {
+	if speed <= 0 {
+		panic("desim: station speed must be positive")
+	}
+	return &Station{sim: sim, speed: speed}
+}
+
+// Speed returns the station's speed factor.
+func (st *Station) Speed() float64 { return st.speed }
+
+// SetSpeed changes the speed for jobs that begin service from now on; the
+// job currently in service keeps its computed finish time.
+func (st *Station) SetSpeed(speed float64) {
+	if speed <= 0 {
+		panic("desim: station speed must be positive")
+	}
+	st.speed = speed
+}
+
+// QueueLen reports the number of jobs submitted but not finished.
+func (st *Station) QueueLen() int { return st.queued }
+
+// BusyTime reports the cumulative service time the station has performed.
+func (st *Station) BusyTime() Time { return st.busyTime }
+
+// Submit enqueues a job with the given work (seconds at speed 1) that
+// becomes eligible to start no earlier than readyAt (use sim.Now() for
+// immediately eligible). done, if non-nil, fires at completion with the
+// job's start and finish times.
+func (st *Station) Submit(readyAt Time, work Time, done func(start, finish Time)) {
+	if work < 0 {
+		panic("desim: negative work")
+	}
+	st.queue = append(st.queue, stationJob{readyAt: readyAt, work: work, done: done})
+	st.queued++
+	st.kick()
+}
+
+// Block occupies the station for the given wall-clock duration (unscaled by
+// speed) behind the current backlog — e.g. a cache flush before shedding a
+// file set.
+func (st *Station) Block(d Time) {
+	if d < 0 {
+		panic("desim: negative block")
+	}
+	st.queue = append(st.queue, stationJob{readyAt: 0, work: d, wallClock: true})
+	st.queued++
+	st.kick()
+}
+
+// kick starts the head job if the station is free.
+func (st *Station) kick() {
+	if st.serving || len(st.queue) == 0 {
+		return
+	}
+	j := st.queue[0]
+	now := st.sim.Now()
+	if j.readyAt > now {
+		// FIFO head-of-line wait: the server idles until the job is ready.
+		st.serving = true
+		st.sim.At(j.readyAt, func() {
+			st.serving = false
+			st.kick()
+		})
+		return
+	}
+	st.queue = st.queue[1:]
+	st.serving = true
+	service := j.work
+	if !j.wallClock {
+		service = j.work / Time(st.speed)
+	}
+	st.busyTime += service
+	start := now
+	finish := start + service
+	st.sim.At(finish, func() {
+		st.serving = false
+		st.queued--
+		if j.done != nil {
+			j.done(start, finish)
+		}
+		st.kick()
+	})
+}

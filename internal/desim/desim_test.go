@@ -1,0 +1,313 @@
+package desim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", s.Now())
+	}
+}
+
+func TestTiesAreFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order %v, want ascending schedule order", order)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New()
+	var at Time
+	s.At(10, func() {
+		s.After(5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 15 {
+		t.Fatalf("After fired at %v, want 15", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.At(1, func() { fired = true })
+	h.Cancel()
+	h.Cancel() // double-cancel is a no-op
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want events at 1..3", fired)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.RunUntil(10)
+	if s.Now() != 10 || s.Pending() != 0 {
+		t.Fatalf("after RunUntil(10): now %v pending %d", s.Now(), s.Pending())
+	}
+}
+
+func TestRunUntilRunsEventsSpawnedAtBoundary(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(2, func() {
+		count++
+		s.At(2, func() { count++ })
+	})
+	s.RunUntil(2)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (event spawned at boundary must run)", count)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Fatal("Step on empty sim returned true")
+	}
+}
+
+func TestStationFIFOService(t *testing.T) {
+	s := New()
+	st := NewStation(s, 1)
+	var finishes []Time
+	// Three jobs of 2s each, all ready at t=0: finish at 2, 4, 6.
+	for i := 0; i < 3; i++ {
+		st.Submit(0, 2, func(start, finish Time) { finishes = append(finishes, finish) })
+	}
+	s.Run()
+	want := []Time{2, 4, 6}
+	for i, f := range finishes {
+		if f != want[i] {
+			t.Fatalf("finishes %v, want %v", finishes, want)
+		}
+	}
+	if st.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", st.QueueLen())
+	}
+}
+
+func TestStationSpeedScalesService(t *testing.T) {
+	s := New()
+	fast := NewStation(s, 9)
+	slow := NewStation(s, 1)
+	var fastFinish, slowFinish Time
+	fast.Submit(0, 9, func(_, f Time) { fastFinish = f })
+	slow.Submit(0, 9, func(_, f Time) { slowFinish = f })
+	s.Run()
+	if fastFinish != 1 || slowFinish != 9 {
+		t.Fatalf("fast=%v slow=%v, want 1 and 9 (speed ratio 9, paper §7)", fastFinish, slowFinish)
+	}
+}
+
+func TestStationReadyAtDelaysStart(t *testing.T) {
+	s := New()
+	st := NewStation(s, 1)
+	var start Time
+	st.Submit(5, 1, func(st, _ Time) { start = st })
+	s.Run()
+	if start != 5 {
+		t.Fatalf("start %v, want 5 (job not ready before readyAt)", start)
+	}
+}
+
+func TestStationQueuesBehindBacklog(t *testing.T) {
+	s := New()
+	st := NewStation(s, 1)
+	st.Submit(0, 10, nil)
+	var start Time
+	st.Submit(0, 1, func(b, _ Time) { start = b })
+	s.Run()
+	if start != 10 {
+		t.Fatalf("second job started at %v, want 10 (FIFO behind backlog)", start)
+	}
+}
+
+func TestStationBlock(t *testing.T) {
+	s := New()
+	st := NewStation(s, 1)
+	st.Submit(0, 3, nil)
+	st.Block(5) // flush occupies 3..8
+	var start Time
+	st.Submit(0, 1, func(b, _ Time) { start = b })
+	s.Run()
+	if start != 8 {
+		t.Fatalf("job after block started %v, want 8", start)
+	}
+}
+
+func TestStationBusyTime(t *testing.T) {
+	s := New()
+	st := NewStation(s, 2)
+	st.Submit(0, 4, nil) // 2s of service
+	st.Block(3)          // wall-clock, unscaled
+	s.Run()
+	if st.BusyTime() != 5 {
+		t.Fatalf("BusyTime %v, want 5", st.BusyTime())
+	}
+}
+
+func TestStationLateSubmitAfterIdle(t *testing.T) {
+	s := New()
+	st := NewStation(s, 1)
+	st.Submit(0, 1, nil)
+	var start Time
+	s.At(100, func() {
+		st.Submit(s.Now(), 1, func(b, _ Time) { start = b })
+	})
+	s.Run()
+	if start != 100 {
+		t.Fatalf("start %v, want 100 (station idle, no phantom backlog)", start)
+	}
+}
+
+func TestStationPanics(t *testing.T) {
+	s := New()
+	for name, fn := range map[string]func(){
+		"zero speed":    func() { NewStation(s, 0) },
+		"neg setspeed":  func() { NewStation(s, 1).SetSpeed(-1) },
+		"negative work": func() { NewStation(s, 1).Submit(0, -1, nil) },
+		"neg block":     func() { NewStation(s, 1).Block(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSetSpeedAffectsNotYetStartedJobs(t *testing.T) {
+	// An upgrade mid-run speeds up every job that has not begun service —
+	// including already-queued backlog (the §1 online-upgrade semantics).
+	s := New()
+	st := NewStation(s, 1)
+	var f1, f2, f3 Time
+	st.Submit(0, 4, func(_, f Time) { f1 = f }) // starts at 0, speed 1 → 4
+	st.Submit(0, 4, func(_, f Time) { f2 = f }) // queued
+	st.Submit(0, 4, func(_, f Time) { f3 = f }) // queued
+	s.At(1, func() { st.SetSpeed(4) })          // upgrade while job 1 in service
+	s.Run()
+	// Job 1 keeps its finish (in service); jobs 2 and 3 run at speed 4.
+	if f1 != 4 || f2 != 5 || f3 != 6 {
+		t.Fatalf("finishes %v, %v, %v; want 4, 5, 6", f1, f2, f3)
+	}
+}
+
+// Deterministic queueing sanity: D/D/1 with arrival rate < service rate has
+// zero queueing delay after the first job.
+func TestDD1NoQueueing(t *testing.T) {
+	s := New()
+	st := NewStation(s, 1)
+	const service, gap = 1.0, 2.0
+	var worstWait Time
+	for i := 0; i < 50; i++ {
+		arrive := Time(float64(i) * gap)
+		s.At(arrive, func() {
+			st.Submit(arrive, service, func(begin, _ Time) {
+				if w := begin - arrive; w > worstWait {
+					worstWait = w
+				}
+			})
+		})
+	}
+	s.Run()
+	if worstWait > 1e-12 {
+		t.Fatalf("worst wait %v in underloaded D/D/1, want 0", worstWait)
+	}
+}
+
+// Saturated queue: arrivals at rate 1, service 2s → latency of job k grows
+// linearly; verify the closed form finish_k = 2(k+1).
+func TestDD1Saturated(t *testing.T) {
+	s := New()
+	st := NewStation(s, 1)
+	var finishes []Time
+	for i := 0; i < 20; i++ {
+		arrive := Time(i)
+		s.At(arrive, func() {
+			st.Submit(arrive, 2, func(_, f Time) { finishes = append(finishes, f) })
+		})
+	}
+	s.Run()
+	for k, f := range finishes {
+		want := Time(2 * (k + 1))
+		if math.Abs(float64(f-want)) > 1e-9 {
+			t.Fatalf("job %d finished %v, want %v", k, f, want)
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.At(Time(j%97), func() {})
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkStationSubmit(b *testing.B) {
+	s := New()
+	st := NewStation(s, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Submit(s.Now(), 0.001, nil)
+		if i%1024 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

@@ -1,0 +1,118 @@
+package desim
+
+import (
+	"math"
+	"testing"
+
+	"anufs/internal/rng"
+)
+
+// The station is the queueing heart of the simulator; validate it against
+// closed-form queueing theory so the figures rest on verified physics.
+
+// M/D/1: Poisson arrivals (rate λ), deterministic service s, utilization
+// ρ = λs. Pollaczek–Khinchine gives mean queueing delay Wq = ρs / (2(1-ρ)).
+func TestMD1AgainstPollaczekKhinchine(t *testing.T) {
+	for _, rho := range []float64{0.3, 0.6, 0.8} {
+		const service = 1.0
+		lambda := rho / service
+		sim := New()
+		st := NewStation(sim, 1)
+		r := rng.NewStream(uint64(1000 * rho))
+		const jobs = 200000
+		var totalWait float64
+		at := Time(0)
+		for i := 0; i < jobs; i++ {
+			at += Time(r.Exp(lambda))
+			arrive := at
+			sim.At(arrive, func() {
+				st.Submit(arrive, service, func(begin, _ Time) {
+					totalWait += float64(begin - arrive)
+				})
+			})
+		}
+		sim.Run()
+		got := totalWait / jobs
+		want := rho * service / (2 * (1 - rho))
+		if math.Abs(got-want) > 0.05*want+0.01 {
+			t.Fatalf("ρ=%v: mean wait %v, Pollaczek–Khinchine predicts %v", rho, got, want)
+		}
+	}
+}
+
+// M/M/1: exponential service with mean s. Mean sojourn T = s / (1-ρ).
+func TestMM1Sojourn(t *testing.T) {
+	const rho, service = 0.7, 1.0
+	lambda := rho / service
+	sim := New()
+	st := NewStation(sim, 1)
+	r := rng.NewStream(99)
+	const jobs = 200000
+	var totalSojourn float64
+	at := Time(0)
+	for i := 0; i < jobs; i++ {
+		at += Time(r.Exp(lambda))
+		arrive := at
+		work := Time(r.Exp(1 / service))
+		sim.At(arrive, func() {
+			st.Submit(arrive, work, func(_, finish Time) {
+				totalSojourn += float64(finish - arrive)
+			})
+		})
+	}
+	sim.Run()
+	got := totalSojourn / jobs
+	want := service / (1 - rho)
+	if math.Abs(got-want) > 0.08*want {
+		t.Fatalf("M/M/1 sojourn %v, theory %v", got, want)
+	}
+}
+
+// Speed scaling: an M/D/1 at speed k with work w behaves exactly like an
+// M/D/1 at speed 1 with work w/k — the substitution the heterogeneous
+// cluster model relies on.
+func TestSpeedEquivalence(t *testing.T) {
+	run := func(speed float64, work Time) float64 {
+		sim := New()
+		st := NewStation(sim, speed)
+		r := rng.NewStream(7)
+		var total float64
+		const jobs = 50000
+		at := Time(0)
+		for i := 0; i < jobs; i++ {
+			at += Time(r.Exp(2.0))
+			arrive := at
+			sim.At(arrive, func() {
+				st.Submit(arrive, work, func(_, finish Time) {
+					total += float64(finish - arrive)
+				})
+			})
+		}
+		sim.Run()
+		return total / jobs
+	}
+	fast := run(4, 1.0)  // speed 4, work 1 → service 0.25
+	slow := run(1, 0.25) // speed 1, work 0.25 → service 0.25
+	if math.Abs(fast-slow) > 1e-9 {
+		t.Fatalf("speed scaling not exact: %v vs %v", fast, slow)
+	}
+}
+
+// Utilization accounting: BusyTime/elapsed must equal the offered load.
+func TestUtilizationAccounting(t *testing.T) {
+	sim := New()
+	st := NewStation(sim, 2)
+	r := rng.NewStream(13)
+	const jobs, lambda, work = 20000, 0.5, 1.0 // service = 0.5 at speed 2 → ρ = 0.25
+	at := Time(0)
+	for i := 0; i < jobs; i++ {
+		at += Time(r.Exp(lambda))
+		arrive := at
+		sim.At(arrive, func() { st.Submit(arrive, work, nil) })
+	}
+	sim.Run()
+	util := float64(st.BusyTime()) / float64(sim.Now())
+	if math.Abs(util-0.25) > 0.02 {
+		t.Fatalf("utilization %v, want ~0.25", util)
+	}
+}

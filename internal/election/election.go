@@ -1,0 +1,107 @@
+// Package election implements the delegate election the paper's protocol
+// assumes (§4): servers report latencies to "an elected delegate server",
+// and "if the delegate fails, the next elected delegate runs the same
+// protocol with the same information" — which works because the update
+// algorithm is stateless.
+//
+// The election is lease-based: members heartbeat to stay candidates, and
+// the live member with the lowest ID is the delegate. A member that stops
+// heartbeating (crash, partition) loses candidacy when its lease lapses,
+// and the next-lowest live member takes over. Deterministic lowest-ID
+// selection means every observer with the same membership view elects the
+// same delegate without additional rounds.
+package election
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Elector tracks candidate leases and answers "who is the delegate?".
+// Safe for concurrent use.
+type Elector struct {
+	lease time.Duration
+	now   func() time.Time
+
+	mu     sync.Mutex
+	expiry map[int]time.Time
+	// epoch increments whenever the elected delegate changes, so observers
+	// can detect failovers (and reset divergent-tuning state, §6).
+	epoch        uint64
+	lastDelegate int
+	hasDelegate  bool
+}
+
+// New creates an elector. lease is how long a candidacy survives without a
+// heartbeat; now is the clock (nil for time.Now).
+func New(lease time.Duration, now func() time.Time) *Elector {
+	if lease <= 0 {
+		panic("election: lease must be positive")
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Elector{lease: lease, now: now, expiry: map[int]time.Time{}}
+}
+
+// Heartbeat joins or renews a member's candidacy.
+func (e *Elector) Heartbeat(id int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.expiry[id] = e.now().Add(e.lease)
+}
+
+// Leave withdraws a member immediately (graceful decommission).
+func (e *Elector) Leave(id int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.expiry, id)
+}
+
+// reapLocked drops lapsed candidacies. Callers hold e.mu.
+func (e *Elector) reapLocked() {
+	now := e.now()
+	for id, exp := range e.expiry {
+		if now.After(exp) {
+			delete(e.expiry, id)
+		}
+	}
+}
+
+// Delegate returns the current delegate (lowest live ID) and an epoch that
+// increments on every delegate change. ok is false when no member is live.
+func (e *Elector) Delegate() (id int, epoch uint64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reapLocked()
+	best, found := 0, false
+	for m := range e.expiry {
+		if !found || m < best {
+			best, found = m, true
+		}
+	}
+	if !found {
+		e.hasDelegate = false
+		return 0, e.epoch, false
+	}
+	if !e.hasDelegate || e.lastDelegate != best {
+		e.epoch++
+		e.lastDelegate = best
+		e.hasDelegate = true
+	}
+	return best, e.epoch, true
+}
+
+// Members lists the live members, ascending.
+func (e *Elector) Members() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reapLocked()
+	out := make([]int, 0, len(e.expiry))
+	for id := range e.expiry {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,144 @@
+package election
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newElector() (*Elector, *clock) {
+	c := &clock{t: time.Unix(0, 0)}
+	return New(10*time.Second, c.now), c
+}
+
+func TestLowestLiveIDWins(t *testing.T) {
+	e, _ := newElector()
+	for _, id := range []int{4, 2, 7} {
+		e.Heartbeat(id)
+	}
+	id, _, ok := e.Delegate()
+	if !ok || id != 2 {
+		t.Fatalf("Delegate = %d, %v; want 2", id, ok)
+	}
+}
+
+func TestNoMembers(t *testing.T) {
+	e, _ := newElector()
+	if _, _, ok := e.Delegate(); ok {
+		t.Fatal("delegate elected with no members")
+	}
+}
+
+func TestFailoverOnLeaseLapse(t *testing.T) {
+	e, clk := newElector()
+	e.Heartbeat(0)
+	e.Heartbeat(1)
+	id, epoch0, _ := e.Delegate()
+	if id != 0 {
+		t.Fatalf("initial delegate %d", id)
+	}
+	// Server 1 keeps heartbeating; server 0 goes silent.
+	clk.advance(6 * time.Second)
+	e.Heartbeat(1)
+	clk.advance(6 * time.Second) // 0's lease (10s) lapsed
+	id, epoch1, ok := e.Delegate()
+	if !ok || id != 1 {
+		t.Fatalf("failover delegate = %d, %v; want 1", id, ok)
+	}
+	if epoch1 <= epoch0 {
+		t.Fatalf("epoch did not advance on failover: %d -> %d", epoch0, epoch1)
+	}
+}
+
+func TestLeaveTriggersImmediateFailover(t *testing.T) {
+	e, _ := newElector()
+	e.Heartbeat(0)
+	e.Heartbeat(5)
+	_, epoch0, _ := e.Delegate()
+	e.Leave(0)
+	id, epoch1, ok := e.Delegate()
+	if !ok || id != 5 || epoch1 <= epoch0 {
+		t.Fatalf("after Leave: delegate %d epoch %d->%d ok=%v", id, epoch0, epoch1, ok)
+	}
+}
+
+func TestEpochStableWithoutChange(t *testing.T) {
+	e, _ := newElector()
+	e.Heartbeat(3)
+	_, e1, _ := e.Delegate()
+	_, e2, _ := e.Delegate()
+	if e1 != e2 {
+		t.Fatalf("epoch changed without a delegate change: %d -> %d", e1, e2)
+	}
+}
+
+func TestRejoinLowerIDTakesOver(t *testing.T) {
+	e, _ := newElector()
+	e.Heartbeat(5)
+	if id, _, _ := e.Delegate(); id != 5 {
+		t.Fatal("setup")
+	}
+	e.Heartbeat(1)
+	id, _, _ := e.Delegate()
+	if id != 1 {
+		t.Fatalf("lower ID rejoined but delegate is %d", id)
+	}
+}
+
+func TestMembersSortedAndReaped(t *testing.T) {
+	e, clk := newElector()
+	e.Heartbeat(9)
+	e.Heartbeat(3)
+	clk.advance(11 * time.Second)
+	e.Heartbeat(6)
+	got := e.Members()
+	if len(got) != 1 || got[0] != 6 {
+		t.Fatalf("Members = %v, want [6] (others lapsed)", got)
+	}
+}
+
+func TestNewPanicsOnBadLease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero lease accepted")
+		}
+	}()
+	New(0, nil)
+}
+
+func TestConcurrentHeartbeats(t *testing.T) {
+	e := New(time.Minute, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.Heartbeat(g)
+				e.Delegate()
+			}
+		}()
+	}
+	wg.Wait()
+	if id, _, ok := e.Delegate(); !ok || id != 0 {
+		t.Fatalf("delegate %d, %v; want 0", id, ok)
+	}
+}

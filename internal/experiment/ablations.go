@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"fmt"
+
+	"anufs/internal/cluster"
+	"anufs/internal/placement"
+)
+
+func init() {
+	register("hysteresis", "Ablation: prescient repack hysteresis (DESIGN §6 choice, X13)", hysteresis)
+	register("gamma", "Ablation: ANU per-round scale clamp Γ (DESIGN §6 choice, X14)", gamma)
+}
+
+// hysteresis ablates the stability threshold we added to the prescient
+// baseline (DESIGN.md §6): without it, LPT re-packed from scratch every
+// window thrashes on Poisson noise, contradicting the paper's observation
+// that prescient "retains the same configuration for the duration" on the
+// stable synthetic workload.
+func hysteresis(scale Scale) (*Output, error) {
+	tr := synthTrace(scale)
+	cfg := clusterConfig()
+	out := &Output{
+		ID:    "hysteresis",
+		Title: "Prescient repack hysteresis ablation",
+		Description: "Prescient with hysteresis 0 (never repack after init), 0.8 (default: repack on 20% " +
+			"improvement), and 0.999 (repack on any improvement — near scratch-LPT-every-window).",
+	}
+	for _, h := range []float64{0, 0.8, 0.999} {
+		pol := placement.NewPrescient(cfg.Speeds, tr, cfg.Window)
+		pol.Hysteresis = h
+		res, err := cluster.Run(cfg, tr, pol)
+		if err != nil {
+			return nil, fmt.Errorf("hysteresis/%v: %w", h, err)
+		}
+		out.Runs = append(out.Runs, Run{Label: fmt.Sprintf("prescient-h%.3g", h), Result: res})
+	}
+	return out, nil
+}
+
+// gamma ablates the per-round scale clamp Γ (factors are clamped to
+// [1/Γ, Γ]; DESIGN.md §6 picks 2). Small Γ adapts slowly; large Γ
+// over-corrects from one noisy window's latencies.
+func gamma(scale Scale) (*Output, error) {
+	tr := synthTrace(scale)
+	cfg := clusterConfig()
+	out := &Output{
+		ID:          "gamma",
+		Title:       "ANU scale-clamp Γ ablation",
+		Description: "ANU (all heuristics) with Γ ∈ {1.25, 2, 4}: adaptation speed vs overshoot.",
+	}
+	for _, g := range []float64{1.25, 2, 4} {
+		coreCfg := anuConfig()
+		coreCfg.Gamma = g
+		res, err := cluster.Run(cfg, tr, placement.NewANU(coreCfg))
+		if err != nil {
+			return nil, fmt.Errorf("gamma/%v: %w", g, err)
+		}
+		out.Runs = append(out.Runs, Run{Label: fmt.Sprintf("anu-g%.3g", g), Result: res})
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+// Package experiment defines one runnable reproduction per figure of the
+// paper's evaluation (§7, Figures 6–11) plus the extension experiments
+// DESIGN.md indexes (failure/recovery movement, aggregator robustness,
+// move-cost sensitivity, pairwise decentralized tuning, scale-out).
+//
+// Every experiment is deterministic for a given Scale, so the CSVs written
+// by cmd/expall are reproducible byte-for-byte.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"anufs/internal/cluster"
+	"anufs/internal/core"
+	"anufs/internal/metrics"
+	"anufs/internal/trace"
+	"anufs/internal/workload"
+)
+
+// Scale selects the experiment size.
+type Scale int
+
+const (
+	// Full is the paper's scale (112,590-request trace; 100,000-request
+	// synthetic workload). Runs take a few seconds each.
+	Full Scale = iota
+	// Quick is a reduced scale for tests and benchmarks that preserves the
+	// qualitative shape (heterogeneity, convergence, over-tuning).
+	Quick
+)
+
+func (s Scale) String() string {
+	if s == Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// Run is one policy's (or variant's) simulation outcome within an
+// experiment.
+type Run struct {
+	Label  string
+	Result *cluster.Result
+}
+
+// Output is a completed experiment.
+type Output struct {
+	ID          string
+	Title       string
+	Description string
+	Runs        []Run
+	// Notes carries experiment-specific scalar findings (movement counts,
+	// probe statistics, …) destined for EXPERIMENTS.md.
+	Notes []string
+}
+
+// SummaryRows condenses the runs for tabulation.
+func (o *Output) SummaryRows() []SummaryRow {
+	rows := make([]SummaryRow, 0, len(o.Runs))
+	for _, r := range o.Runs {
+		rows = append(rows, SummaryRow{
+			Label:   r.Label,
+			Summary: r.Result.Series.Summarize(),
+			Moves:   r.Result.Moves,
+		})
+	}
+	return rows
+}
+
+// SummaryRow mirrors plot.SummaryRow without importing plot (kept decoupled
+// so plot can evolve its rendering independently).
+type SummaryRow struct {
+	Label   string
+	Summary metrics.Summary
+	Moves   int
+}
+
+// Runner executes one experiment at the given scale.
+type Runner func(Scale) (*Output, error)
+
+// registry maps experiment IDs to runners, populated by init() in the
+// figure and extension files.
+var registry = map[string]Runner{}
+
+var descriptions = map[string]string{}
+
+func register(id, description string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiment: duplicate id " + id)
+	}
+	registry[id] = r
+	descriptions[id] = description
+}
+
+// IDs lists the registered experiment IDs, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the one-line description for an experiment ID.
+func Describe(id string) string { return descriptions[id] }
+
+// RunByID executes a registered experiment.
+func RunByID(id string, scale Scale) (*Output, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (known: %v)", id, IDs())
+	}
+	return r(scale)
+}
+
+// ---------------------------------------------------------------------------
+// Shared workload and cluster construction.
+
+// dfsTrace returns the DFSTrace-like trace for the scale.
+func dfsTrace(scale Scale) *trace.Trace {
+	cfg := trace.DefaultDFSLike(2003)
+	if scale == Quick {
+		fullRate := float64(cfg.Requests) / cfg.Duration
+		// 20 windows: enough for ANU to converge (≈5 windows) and then show
+		// a steady second half.
+		cfg.Requests = 15000
+		cfg.Duration = 2400
+		// Scale MeanWork to keep per-server utilization identical to the
+		// full-scale run.
+		cfg.MeanWork *= fullRate / (float64(cfg.Requests) / cfg.Duration)
+	}
+	return trace.GenerateDFSLike(cfg)
+}
+
+// synthTrace returns the paper's synthetic workload for the scale.
+func synthTrace(scale Scale) *trace.Trace {
+	cfg := workload.DefaultSynthetic(2003)
+	if scale == Quick {
+		fullRate := float64(cfg.Requests) / cfg.Duration
+		cfg.FileSets = 60
+		cfg.Requests = 9000
+		cfg.Duration = 1200
+		cfg.Alpha *= fullRate / (float64(cfg.Requests) / cfg.Duration)
+	}
+	return workload.Generate(cfg)
+}
+
+// clusterConfig returns the standard heterogeneous 5-server cluster
+// (speeds 1, 3, 5, 7, 9 — paper §7).
+func clusterConfig() cluster.Config {
+	return cluster.Defaults()
+}
+
+// anuConfig returns the paper's final ANU configuration.
+func anuConfig() core.Config { return core.Defaults() }

@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"fmt"
+
+	"anufs/internal/cluster"
+	"anufs/internal/core"
+	"anufs/internal/placement"
+	"anufs/internal/trace"
+)
+
+func init() {
+	register("fig6", "Server latency for DFSTrace workloads: simple randomization, round-robin, dynamic prescient, ANU", fig6)
+	register("fig7", "Dynamic Prescient vs ANU closeup, DFSTrace workloads", fig7)
+	register("fig8", "Server latency for synthetic workload: four policies", fig8)
+	register("fig9", "Prescient vs ANU closeup, synthetic workload", fig9)
+	register("fig10a", "Over-tuning: ANU with no heuristics (oscillates)", fig10a)
+	register("fig10b", "Over-tuning solved: ANU with thresholding + top-off + divergent", fig10b)
+	register("fig11a", "Thresholding heuristic alone", fig11a)
+	register("fig11b", "Top-off heuristic alone", fig11b)
+	register("fig11c", "Divergent heuristic alone", fig11c)
+}
+
+// fourPolicies runs the paper's comparison set over one trace.
+func fourPolicies(id, title, desc string, tr *trace.Trace) (*Output, error) {
+	cfg := clusterConfig()
+	policies := []placement.Policy{
+		placement.NewSimpleRandom(7),
+		placement.NewRoundRobin(),
+		placement.NewPrescient(cfg.Speeds, tr, cfg.Window),
+		placement.NewANU(anuConfig()),
+	}
+	out := &Output{ID: id, Title: title, Description: desc}
+	for _, pol := range policies {
+		res, err := cluster.Run(cfg, tr, pol)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", id, pol.Name(), err)
+		}
+		out.Runs = append(out.Runs, Run{Label: pol.Name(), Result: res})
+	}
+	return out, nil
+}
+
+// twoPolicies runs the prescient-vs-ANU closeup.
+func twoPolicies(id, title, desc string, tr *trace.Trace) (*Output, error) {
+	cfg := clusterConfig()
+	policies := []placement.Policy{
+		placement.NewPrescient(cfg.Speeds, tr, cfg.Window),
+		placement.NewANU(anuConfig()),
+	}
+	out := &Output{ID: id, Title: title, Description: desc}
+	for _, pol := range policies {
+		res, err := cluster.Run(cfg, tr, pol)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", id, pol.Name(), err)
+		}
+		out.Runs = append(out.Runs, Run{Label: pol.Name(), Result: res})
+	}
+	return out, nil
+}
+
+func fig6(scale Scale) (*Output, error) {
+	return fourPolicies("fig6", "Figure 6: Server latency for DFSTrace workloads",
+		"Static policies skew on heterogeneous servers; prescient and ANU balance.", dfsTrace(scale))
+}
+
+func fig7(scale Scale) (*Output, error) {
+	out, err := twoPolicies("fig7", "Figure 7: Dynamic Prescient vs. ANU (DFSTrace)",
+		"Prescient starts balanced; ANU converges within ~3 sample periods.", dfsTrace(scale))
+	if err != nil {
+		return nil, err
+	}
+	// Record the convergence behaviour the paper narrates ("over the first 3
+	// sample periods … ANU reaches a good load balance"): compare each
+	// policy's first-quarter mean latency with its steady (second-half)
+	// mean. Prescient starts balanced, so the two are close; ANU's early
+	// mean reflects the transient it tunes away.
+	for _, r := range out.Runs {
+		s := r.Result.Series
+		var earlySum float64
+		var earlyN int
+		for _, id := range s.Servers() {
+			for w := 0; w < s.Windows()/4; w++ {
+				c := s.Count(id, w)
+				earlySum += s.Mean(id, w) * float64(c)
+				earlyN += c
+			}
+		}
+		early := 0.0
+		if earlyN > 0 {
+			early = earlySum / float64(earlyN)
+		}
+		out.Notes = append(out.Notes, fmt.Sprintf(
+			"%s: first-quarter mean %.1f ms vs steady mean %.1f ms",
+			r.Label, early*1000, s.SteadyOverallMean()*1000))
+	}
+	return out, nil
+}
+
+func fig8(scale Scale) (*Output, error) {
+	return fourPolicies("fig8", "Figure 8: Server latency for synthetic workload",
+		"500 file sets with w=10^(3x) weights; four policies.", synthTrace(scale))
+}
+
+func fig9(scale Scale) (*Output, error) {
+	return twoPolicies("fig9", "Figure 9: Prescient vs. ANU (synthetic)",
+		"Stable workload: prescient keeps one configuration; ANU converges to comparable balance.", synthTrace(scale))
+}
+
+// anuVariant runs ANU with a specific tuning configuration on the synthetic
+// workload (the workload the paper uses for the over-tuning study).
+func anuVariant(id, title, desc string, scale Scale, tune core.Tuning) (*Output, error) {
+	tr := synthTrace(scale)
+	cfg := clusterConfig()
+	coreCfg := anuConfig()
+	coreCfg.Tuning = tune
+	pol := placement.NewANU(coreCfg)
+	res, err := cluster.Run(cfg, tr, pol)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	out := &Output{ID: id, Title: title, Description: desc,
+		Runs: []Run{{Label: variantLabel(tune), Result: res}}}
+	// The over-tuning signature is oscillation on the weakest server
+	// (server 0): count large latency reversals.
+	osc := res.Series.OscillationScore(0, 0.005)
+	out.Notes = append(out.Notes, fmt.Sprintf("server-0 oscillation score: %d; moves: %d", osc, res.Moves))
+	return out, nil
+}
+
+func variantLabel(t core.Tuning) string {
+	switch t {
+	case (core.Tuning{}):
+		return "anu-raw"
+	case (core.Tuning{Thresholding: true}):
+		return "anu-thresholding"
+	case (core.Tuning{TopOff: true}):
+		return "anu-topoff"
+	case (core.Tuning{Divergent: true}):
+		return "anu-divergent"
+	case core.AllTuning():
+		return "anu-all"
+	default:
+		return "anu-custom"
+	}
+}
+
+func fig10a(scale Scale) (*Output, error) {
+	return anuVariant("fig10a", "Figure 10(a): initial results exhibit over-tuning",
+		"ANU with no heuristics: the weakest server cyclically acquires and sheds load.",
+		scale, core.Tuning{})
+}
+
+func fig10b(scale Scale) (*Output, error) {
+	return anuVariant("fig10b", "Figure 10(b): three heuristics solve the over-tuning problem",
+		"ANU with thresholding, top-off and divergent tuning: stable.",
+		scale, core.AllTuning())
+}
+
+func fig11a(scale Scale) (*Output, error) {
+	return anuVariant("fig11a", "Figure 11(a): thresholding only",
+		"Stabilizes moderate servers; the weakest still flaps across the band.",
+		scale, core.Tuning{Thresholding: true})
+}
+
+func fig11b(scale Scale) (*Output, error) {
+	return anuVariant("fig11b", "Figure 11(b): top-off only",
+		"The single most effective heuristic: the weakest server settles at idle.",
+		scale, core.Tuning{TopOff: true})
+}
+
+func fig11c(scale Scale) (*Output, error) {
+	return anuVariant("fig11c", "Figure 11(c): divergent only",
+		"Reaches balance, more slowly than all three combined.",
+		scale, core.Tuning{Divergent: true})
+}

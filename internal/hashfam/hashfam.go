@@ -1,0 +1,108 @@
+// Package hashfam implements the "agreed upon family of hash functions" the
+// ANU algorithm uses to place file sets into the unit interval (paper §4).
+//
+// A Family maps (name, round) pairs to points in [0, 1). Round 0 is the
+// first placement probe; when a point lands in an unmapped region of the
+// interval the caller re-hashes with round 1, 2, … until the point lands in
+// a mapped region. After MaxRounds unsuccessful probes the caller falls back
+// to Fallback, which hashes the name directly onto one of n servers; at half
+// occupancy this path triggers with probability 2^-MaxRounds and so
+// introduces no measurable skew (paper §4).
+//
+// All members of the family are deterministic: every node that shares the
+// family seed computes identical placements, which is what lets ANU locate a
+// file set with no I/O and no shared fileset→server table (paper §5).
+package hashfam
+
+// Family is an indexed family of hash functions onto the unit interval.
+// The zero value is not useful; construct with New. Family is immutable
+// after construction and safe for concurrent use.
+type Family struct {
+	seed uint64
+	// maxRounds bounds the number of re-hash probes before Fallback.
+	maxRounds int
+}
+
+// DefaultMaxRounds bounds re-hash probes; the fallback path then occurs with
+// probability 2^-20 per file set at half occupancy.
+const DefaultMaxRounds = 20
+
+// New constructs a hash family from a shared seed. maxRounds <= 0 selects
+// DefaultMaxRounds.
+func New(seed uint64, maxRounds int) *Family {
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	return &Family{seed: seed, maxRounds: maxRounds}
+}
+
+// MaxRounds reports the number of probe rounds before the fallback applies.
+func (f *Family) MaxRounds() int { return f.maxRounds }
+
+// Seed reports the family seed (all cluster nodes must agree on it).
+func (f *Family) Seed() uint64 { return f.seed }
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a constants.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// raw computes the 64-bit hash of name under round r of the family.
+// FNV-1a over the bytes gives good avalanche on short names; the splitmix
+// finalizer mixes in the seed and round so family members are independent.
+func (f *Family) raw(name string, round int) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime64
+	}
+	// Finalize: fold in seed and round through two splitmix64 steps.
+	x := h ^ f.seed
+	x += 0x9e3779b97f4a7c15 * (uint64(round) + 1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Point maps (name, round) to the unit interval [0, 1).
+func (f *Family) Point(name string, round int) float64 {
+	return float64(f.raw(name, round)>>11) / (1 << 53)
+}
+
+// Point64 maps (name, round) to a 64-bit fixed-point offset in the unit
+// interval: the interval [0,1) scaled to [0, 2^64). The interval package
+// works in these units so that region arithmetic is exact.
+func (f *Family) Point64(name string, round int) uint64 {
+	return f.raw(name, round)
+}
+
+// Fallback deterministically maps a name onto one of n server slots
+// (0-based) when MaxRounds probes all landed in unmapped space.
+func (f *Family) Fallback(name string, n int) int {
+	if n <= 0 {
+		panic("hashfam: Fallback with non-positive n")
+	}
+	// A round index past maxRounds keeps the fallback independent of the
+	// probe sequence.
+	h := f.raw(name, f.maxRounds+1)
+	// Multiply-shift to [0, n) without modulo bias.
+	hi, _ := mul128(h, uint64(n))
+	return int(hi)
+}
+
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	w1 := t & mask
+	w2 := t >> 32
+	t = aLo*bHi + w1
+	hi = aHi*bHi + w2 + (t >> 32)
+	lo |= (t & mask) << 32
+	return hi, lo
+}

@@ -1,0 +1,218 @@
+package hashfam
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := New(99, 0)
+	b := New(99, 0)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 100; i++ {
+			name := fmt.Sprintf("fileset-%d", i)
+			if a.Point64(name, round) != b.Point64(name, round) {
+				t.Fatalf("same seed disagrees for %q round %d", name, round)
+			}
+		}
+	}
+}
+
+func TestSeedsIndependent(t *testing.T) {
+	a := New(1, 0)
+	b := New(2, 0)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("fs%d", i)
+		if a.Point64(name, 0) == b.Point64(name, 0) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestRoundsIndependent(t *testing.T) {
+	f := New(7, 0)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("fs%d", i)
+		if f.Point64(name, 0) == f.Point64(name, 1) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between rounds 0 and 1", same)
+	}
+}
+
+func TestPointRange(t *testing.T) {
+	f := New(3, 0)
+	for i := 0; i < 10000; i++ {
+		p := f.Point(fmt.Sprintf("n%d", i), i%4)
+		if p < 0 || p >= 1 {
+			t.Fatalf("Point out of [0,1): %v", p)
+		}
+	}
+}
+
+func TestPointUniformity(t *testing.T) {
+	f := New(5, 0)
+	const buckets, draws = 16, 160000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		p := f.Point(fmt.Sprintf("fileset/%d", i), 0)
+		counts[int(p*buckets)]++
+	}
+	want := float64(draws) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.06*want {
+			t.Fatalf("bucket %d: %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestPoint64MatchesPoint(t *testing.T) {
+	f := New(11, 0)
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("x%d", i)
+		p := f.Point(name, 2)
+		p64 := float64(f.Point64(name, 2)>>11) / (1 << 53)
+		if p != p64 {
+			t.Fatalf("Point and Point64 disagree for %q: %v vs %v", name, p, p64)
+		}
+	}
+}
+
+func TestFallbackRange(t *testing.T) {
+	f := New(13, 0)
+	for _, n := range []int{1, 2, 5, 97} {
+		for i := 0; i < 2000; i++ {
+			v := f.Fallback(fmt.Sprintf("f%d", i), n)
+			if v < 0 || v >= n {
+				t.Fatalf("Fallback(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestFallbackBalanced(t *testing.T) {
+	f := New(17, 0)
+	const n, draws = 5, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[f.Fallback(fmt.Sprintf("fs-%d", i), n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("fallback slot %d: %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFallbackPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fallback(n=0) did not panic")
+		}
+	}()
+	New(1, 0).Fallback("x", 0)
+}
+
+func TestDefaultMaxRounds(t *testing.T) {
+	if got := New(1, 0).MaxRounds(); got != DefaultMaxRounds {
+		t.Fatalf("MaxRounds = %d, want %d", got, DefaultMaxRounds)
+	}
+	if got := New(1, 7).MaxRounds(); got != 7 {
+		t.Fatalf("MaxRounds = %d, want 7", got)
+	}
+	if got := New(1, -3).MaxRounds(); got != DefaultMaxRounds {
+		t.Fatalf("MaxRounds(-3) = %d, want default", got)
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if got := New(12345, 0).Seed(); got != 12345 {
+		t.Fatalf("Seed = %d, want 12345", got)
+	}
+}
+
+// Property: at half occupancy (mapped region = any half of the interval),
+// the expected number of probes to land inside is ~2 and the chance that all
+// MaxRounds probes miss is ~2^-MaxRounds. We verify the probe-count mean on
+// a fixed half-interval.
+func TestProbeCountAtHalfOccupancy(t *testing.T) {
+	f := New(23, 0)
+	const names = 50000
+	totalProbes := 0
+	fellBack := 0
+	for i := 0; i < names; i++ {
+		name := fmt.Sprintf("probe-test-%d", i)
+		placed := false
+		for r := 0; r < f.MaxRounds(); r++ {
+			totalProbes++
+			if f.Point(name, r) < 0.5 { // mapped half
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			fellBack++
+		}
+	}
+	mean := float64(totalProbes) / names
+	if mean < 1.9 || mean > 2.1 {
+		t.Fatalf("mean probes at half occupancy %v, want ~2", mean)
+	}
+	// P(all 20 probes miss) = 2^-20; with 50k names expect ~0.05 fallbacks.
+	if fellBack > 3 {
+		t.Fatalf("%d names fell back, want ~0", fellBack)
+	}
+}
+
+func TestAvalancheOnSimilarNames(t *testing.T) {
+	// Property: names differing in one trailing character land far apart on
+	// average — no clustering of related file-set names.
+	f := New(29, 0)
+	check := func(i uint16) bool {
+		a := f.Point(fmt.Sprintf("fs-%d-a", i), 0)
+		b := f.Point(fmt.Sprintf("fs-%d-b", i), 0)
+		return a != b
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyName(t *testing.T) {
+	f := New(31, 0)
+	p := f.Point("", 0)
+	if p < 0 || p >= 1 {
+		t.Fatalf("empty-name point %v out of range", p)
+	}
+	if f.Point("", 0) == f.Point("", 1) {
+		t.Fatal("rounds collide for empty name")
+	}
+}
+
+func BenchmarkPoint(b *testing.B) {
+	f := New(1, 0)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += f.Point("filesets/projects/alpha", i&3)
+	}
+	_ = sink
+}
+
+func BenchmarkFallback(b *testing.B) {
+	f := New(1, 0)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += f.Fallback("filesets/projects/alpha", 16)
+	}
+	_ = sink
+}

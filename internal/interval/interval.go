@@ -1,0 +1,709 @@
+// Package interval manages the unit interval of the ANU algorithm
+// (paper §4, Figures 2 and 5).
+//
+// The unit interval is divided into P equal partitions, P = 2^⌈log₂(2n)⌉ for
+// n servers. Each partition is owned by at most one server; the owner's
+// segment is anchored at the partition's low end and covers a prefix of the
+// partition ("fill"). A server owns some fully-filled partitions plus at
+// most one partially-filled partition — its "mapped region" is the union of
+// those segments. The total mapped mass is held at exactly half of the
+// interval (the half-occupancy invariant), which guarantees a wholly free
+// partition is always available for a recovered or newly added server:
+//
+//	Let w be the partition width and shareᵢ each server's mapped mass, with
+//	Σ shareᵢ = P·w/2. The number of partitions a server touches is
+//	⌊shareᵢ/w⌋ full partitions plus at most one partial. Summing,
+//	touched ≤ Σ⌊shareᵢ/w⌋ + n ≤ P/2 + n ≤ P (since P ≥ 2n), and the bound is
+//	strict whenever any server has a partial partition, because the partial
+//	mass subtracts at least one whole partition from the full-partition sum.
+//	When no server has a partial, touched = P/2 ≤ P-1 for P ≥ 2. Either way
+//	at least one partition is wholly free.
+//
+// All arithmetic is in fixed-point units: the whole interval is [0, Whole)
+// with Whole = 2^63, so sums and comparisons are exact and the
+// half-occupancy invariant can be asserted with ==, not an epsilon.
+//
+// Growing and shrinking mapped regions moves the minimum mass: a shrinking
+// server first trims its partial segment, then releases whole partitions; a
+// growing server first tops up its partial, then claims free partitions.
+// Mass that did not change hands keeps its owner, which is what preserves
+// server caches across reconfiguration (paper §4, §5).
+package interval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Unit-interval geometry. The interval is [0, Whole) in fixed-point units.
+const (
+	// UnitBits is the number of fixed-point bits in the unit interval.
+	UnitBits = 63
+	// Whole is the measure of the entire unit interval.
+	Whole uint64 = 1 << UnitBits
+	// Half is the mapped mass maintained by the half-occupancy invariant.
+	Half uint64 = Whole / 2
+)
+
+// Free is the owner value of unmapped space.
+const Free = -1
+
+// Segment is a half-open sub-range [Lo, Hi) of the unit interval owned by
+// one server (or free space when Owner == Free).
+type Segment struct {
+	Lo, Hi uint64
+	Owner  int
+}
+
+// Measure returns the segment's mass.
+func (s Segment) Measure() uint64 { return s.Hi - s.Lo }
+
+// partition is one of the P equal sub-regions. fill is the owned prefix
+// measure; fill == 0 means the partition is free and owner is Free.
+type partition struct {
+	owner int
+	fill  uint64
+}
+
+// region tracks the partitions one server occupies.
+type region struct {
+	full    []int // indices of fully occupied partitions, kept sorted
+	partial int   // index of the at-most-one partial partition, or -1
+	share   uint64
+}
+
+// Interval is the partitioned unit interval with per-server mapped regions.
+// It is not safe for concurrent mutation; the delegate serializes updates
+// (paper §4) and read-only lookups after a configuration is published are
+// done on immutable snapshots (Clone).
+type Interval struct {
+	logP    uint // P = 1 << logP
+	parts   []partition
+	regions map[int]*region
+}
+
+// PartitionsFor returns the partition count used for n servers:
+// the smallest power of two ≥ 2n (paper §4: re-partition when the server
+// count grows past half the partition count).
+func PartitionsFor(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	p := 2
+	for p < 2*n {
+		p *= 2
+	}
+	return p
+}
+
+// New builds an interval for the given servers and shares. Shares are in
+// fixed-point units and must sum exactly to Half; use QuantizeShares to turn
+// arbitrary weights into a valid share vector. Server IDs must be unique and
+// non-negative.
+func New(serverIDs []int, shares []uint64) (*Interval, error) {
+	if len(serverIDs) != len(shares) {
+		return nil, fmt.Errorf("interval: %d servers but %d shares", len(serverIDs), len(shares))
+	}
+	if len(serverIDs) == 0 {
+		return nil, fmt.Errorf("interval: no servers")
+	}
+	var sum uint64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum != Half {
+		return nil, fmt.Errorf("interval: shares sum to %d, want Half = %d", sum, Half)
+	}
+	p := PartitionsFor(len(serverIDs))
+	logP := uint(0)
+	for 1<<logP < p {
+		logP++
+	}
+	iv := &Interval{
+		logP:    logP,
+		parts:   make([]partition, p),
+		regions: make(map[int]*region, len(serverIDs)),
+	}
+	for i := range iv.parts {
+		iv.parts[i] = partition{owner: Free}
+	}
+	for i, id := range serverIDs {
+		if id < 0 {
+			return nil, fmt.Errorf("interval: negative server id %d", id)
+		}
+		if _, dup := iv.regions[id]; dup {
+			return nil, fmt.Errorf("interval: duplicate server id %d", id)
+		}
+		iv.regions[id] = &region{partial: -1}
+		if err := iv.grow(id, shares[i]); err != nil {
+			return nil, err
+		}
+	}
+	return iv, nil
+}
+
+// Partitions reports P, the current partition count.
+func (iv *Interval) Partitions() int { return 1 << iv.logP }
+
+// PartitionWidth reports the measure of one partition.
+func (iv *Interval) PartitionWidth() uint64 { return Whole >> iv.logP }
+
+// Servers returns the server IDs in ascending order.
+func (iv *Interval) Servers() []int {
+	ids := make([]int, 0, len(iv.regions))
+	for id := range iv.regions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// NumServers reports the number of servers with mapped regions.
+func (iv *Interval) NumServers() int { return len(iv.regions) }
+
+// Share reports a server's mapped mass; ok is false for unknown servers.
+func (iv *Interval) Share(id int) (share uint64, ok bool) {
+	r, ok := iv.regions[id]
+	if !ok {
+		return 0, false
+	}
+	return r.share, true
+}
+
+// Shares returns the full id → share map (a copy).
+func (iv *Interval) Shares() map[int]uint64 {
+	m := make(map[int]uint64, len(iv.regions))
+	for id, r := range iv.regions {
+		m[id] = r.share
+	}
+	return m
+}
+
+// OwnerAt returns the server owning the given point, or Free if the point
+// lies in unmapped space.
+func (iv *Interval) OwnerAt(point uint64) int {
+	point &= Whole - 1 // confine to [0, Whole)
+	w := iv.PartitionWidth()
+	idx := point >> (UnitBits - iv.logP)
+	if off := point & (w - 1); off < iv.parts[idx].fill {
+		return iv.parts[idx].owner
+	}
+	return Free
+}
+
+// Segments returns the owned segments in ascending order. Free space is not
+// included; gaps between segments are free.
+func (iv *Interval) Segments() []Segment {
+	w := iv.PartitionWidth()
+	segs := make([]Segment, 0, len(iv.parts))
+	for i, p := range iv.parts {
+		if p.fill > 0 {
+			lo := uint64(i) * w
+			segs = append(segs, Segment{Lo: lo, Hi: lo + p.fill, Owner: p.owner})
+		}
+	}
+	return segs
+}
+
+// RegionOf returns the segments mapped to one server, ascending.
+func (iv *Interval) RegionOf(id int) []Segment {
+	r, ok := iv.regions[id]
+	if !ok {
+		return nil
+	}
+	w := iv.PartitionWidth()
+	idxs := append([]int(nil), r.full...)
+	if r.partial >= 0 {
+		idxs = append(idxs, r.partial)
+	}
+	sort.Ints(idxs)
+	segs := make([]Segment, 0, len(idxs))
+	for _, i := range idxs {
+		lo := uint64(i) * w
+		segs = append(segs, Segment{Lo: lo, Hi: lo + iv.parts[i].fill, Owner: id})
+	}
+	return segs
+}
+
+// freePartition returns the lowest-index wholly free partition, or -1.
+func (iv *Interval) freePartition() int {
+	for i, p := range iv.parts {
+		if p.fill == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// FreePartitions reports how many partitions are wholly free.
+func (iv *Interval) FreePartitions() int {
+	n := 0
+	for _, p := range iv.parts {
+		if p.fill == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// grow increases a server's mapped mass by delta, claiming free space:
+// first topping up the server's partial partition, then whole free
+// partitions, then opening one new partial. It fails only if free space is
+// exhausted, which the half-occupancy invariant rules out for valid targets.
+func (iv *Interval) grow(id int, delta uint64) error {
+	r := iv.regions[id]
+	w := iv.PartitionWidth()
+	// Top up the existing partial partition first: this mass is adjacent to
+	// already-owned mass so claiming it moves only the delta.
+	if r.partial >= 0 && delta > 0 {
+		room := w - iv.parts[r.partial].fill
+		take := min64(room, delta)
+		iv.parts[r.partial].fill += take
+		r.share += take
+		delta -= take
+		if iv.parts[r.partial].fill == w {
+			r.full = insertSorted(r.full, r.partial)
+			r.partial = -1
+		}
+	}
+	// Claim whole free partitions while a full partition's worth remains.
+	for delta >= w {
+		idx := iv.freePartition()
+		if idx < 0 {
+			return fmt.Errorf("interval: no free partition while growing server %d", id)
+		}
+		iv.parts[idx] = partition{owner: id, fill: w}
+		r.full = insertSorted(r.full, idx)
+		r.share += w
+		delta -= w
+	}
+	// Open one new partial partition for the remainder.
+	if delta > 0 {
+		idx := iv.freePartition()
+		if idx < 0 {
+			return fmt.Errorf("interval: no free partition while growing server %d", id)
+		}
+		iv.parts[idx] = partition{owner: id, fill: delta}
+		r.partial = idx
+		r.share += delta
+	}
+	return nil
+}
+
+// shrink reduces a server's mapped mass by delta, releasing space: first
+// trimming the partial partition, then whole partitions (highest index
+// first), then converting one full partition into a partial.
+func (iv *Interval) shrink(id int, delta uint64) error {
+	r := iv.regions[id]
+	if delta > r.share {
+		return fmt.Errorf("interval: shrink server %d by %d exceeds share %d", id, delta, r.share)
+	}
+	w := iv.PartitionWidth()
+	if r.partial >= 0 && delta > 0 {
+		take := min64(iv.parts[r.partial].fill, delta)
+		iv.parts[r.partial].fill -= take
+		r.share -= take
+		delta -= take
+		if iv.parts[r.partial].fill == 0 {
+			iv.parts[r.partial].owner = Free
+			r.partial = -1
+		}
+	}
+	for delta >= w {
+		idx := r.full[len(r.full)-1]
+		r.full = r.full[:len(r.full)-1]
+		iv.parts[idx] = partition{owner: Free}
+		r.share -= w
+		delta -= w
+	}
+	if delta > 0 {
+		idx := r.full[len(r.full)-1]
+		r.full = r.full[:len(r.full)-1]
+		iv.parts[idx].fill = w - delta
+		r.partial = idx
+		r.share -= delta
+	}
+	return nil
+}
+
+// SetShares atomically retargets every server's mapped mass. The target map
+// must contain exactly the current servers and sum to Half. Shrinks are
+// applied before grows so free space is available; the relative order is
+// deterministic (ascending server ID).
+func (iv *Interval) SetShares(target map[int]uint64) error {
+	if len(target) != len(iv.regions) {
+		return fmt.Errorf("interval: target has %d servers, interval has %d", len(target), len(iv.regions))
+	}
+	var sum uint64
+	for id, s := range target {
+		if _, ok := iv.regions[id]; !ok {
+			return fmt.Errorf("interval: target names unknown server %d", id)
+		}
+		sum += s
+	}
+	if sum != Half {
+		return fmt.Errorf("interval: target shares sum to %d, want %d", sum, Half)
+	}
+	ids := iv.Servers()
+	for _, id := range ids {
+		if cur := iv.regions[id].share; target[id] < cur {
+			if err := iv.shrink(id, cur-target[id]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range ids {
+		if cur := iv.regions[id].share; target[id] > cur {
+			if err := iv.grow(id, target[id]-cur); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AddServer introduces a new server with the given share, first shrinking
+// the existing servers proportionally so the half-occupancy invariant holds,
+// and re-partitioning (splitting every partition in two, which moves no
+// mass) if the server count would exceed half the partition count
+// (paper §4, Figure 5).
+func (iv *Interval) AddServer(id int, share uint64) error {
+	if _, dup := iv.regions[id]; dup {
+		return fmt.Errorf("interval: server %d already present", id)
+	}
+	if id < 0 {
+		return fmt.Errorf("interval: negative server id %d", id)
+	}
+	if share > Half {
+		return fmt.Errorf("interval: share %d exceeds Half", share)
+	}
+	n := len(iv.regions) + 1
+	for iv.Partitions() < 2*n {
+		iv.split()
+	}
+	// Scale existing servers back to make room: target for the existing set
+	// is Half - share, distributed proportionally to current shares.
+	remaining := Half - share
+	target := scaleShares(iv.Shares(), remaining)
+	// Apply shrinks only (all existing deltas are ≤ 0 when share > 0).
+	ids := iv.Servers()
+	for _, sid := range ids {
+		if cur := iv.regions[sid].share; target[sid] < cur {
+			if err := iv.shrink(sid, cur-target[sid]); err != nil {
+				return err
+			}
+		}
+	}
+	iv.regions[id] = &region{partial: -1}
+	if err := iv.grow(id, share); err != nil {
+		return err
+	}
+	// Proportional quantization may have left a few units to grow on
+	// existing servers; settle them.
+	for _, sid := range ids {
+		if cur := iv.regions[sid].share; target[sid] > cur {
+			if err := iv.grow(sid, target[sid]-cur); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RemoveServer removes a server (failure or decommission), freeing its
+// region and growing the survivors proportionally to restore half
+// occupancy. Only mass belonging to the removed server (plus the survivors'
+// growth into it) changes hands — the paper's minimal-movement property.
+func (iv *Interval) RemoveServer(id int) error {
+	r, ok := iv.regions[id]
+	if !ok {
+		return fmt.Errorf("interval: unknown server %d", id)
+	}
+	if len(iv.regions) == 1 {
+		return fmt.Errorf("interval: cannot remove last server %d", id)
+	}
+	if err := iv.shrink(id, r.share); err != nil {
+		return err
+	}
+	delete(iv.regions, id)
+	target := scaleShares(iv.Shares(), Half)
+	return iv.SetShares(target)
+}
+
+// split doubles the partition count. Every owned segment stays at the same
+// absolute offsets, so no mass changes owner; a partition with fill f
+// becomes child 2k with min(f, w') and child 2k+1 with the remainder, where
+// w' is the new width. A server keeps at most one partial partition: a full
+// parent yields two full children, and a partial parent yields at most one
+// partial child.
+func (iv *Interval) split() {
+	oldParts := iv.parts
+	w2 := iv.PartitionWidth() / 2
+	iv.logP++
+	iv.parts = make([]partition, len(oldParts)*2)
+	for _, r := range iv.regions {
+		r.full = r.full[:0]
+		r.partial = -1
+	}
+	for k, p := range oldParts {
+		c0, c1 := 2*k, 2*k+1
+		iv.parts[c0] = partition{owner: Free}
+		iv.parts[c1] = partition{owner: Free}
+		if p.fill == 0 {
+			continue
+		}
+		r := iv.regions[p.owner]
+		f0 := min64(p.fill, w2)
+		f1 := p.fill - f0
+		iv.parts[c0] = partition{owner: p.owner, fill: f0}
+		if f0 == w2 {
+			r.full = insertSorted(r.full, c0)
+		} else {
+			r.partial = c0
+		}
+		if f1 > 0 {
+			iv.parts[c1] = partition{owner: p.owner, fill: f1}
+			if f1 == w2 {
+				r.full = insertSorted(r.full, c1)
+			} else {
+				r.partial = c1
+			}
+		}
+	}
+}
+
+// Clone returns an independent deep copy, used to publish immutable
+// configuration snapshots to servers.
+func (iv *Interval) Clone() *Interval {
+	cp := &Interval{
+		logP:    iv.logP,
+		parts:   append([]partition(nil), iv.parts...),
+		regions: make(map[int]*region, len(iv.regions)),
+	}
+	for id, r := range iv.regions {
+		cp.regions[id] = &region{
+			full:    append([]int(nil), r.full...),
+			partial: r.partial,
+			share:   r.share,
+		}
+	}
+	return cp
+}
+
+// Validate checks every structural invariant; it is the oracle for the
+// property-based tests and is cheap enough to call after each mutation in
+// debug builds.
+func (iv *Interval) Validate() error {
+	w := iv.PartitionWidth()
+	if iv.Partitions() < 2*len(iv.regions) {
+		return fmt.Errorf("interval: P=%d < 2n=%d", iv.Partitions(), 2*len(iv.regions))
+	}
+	var total uint64
+	ownedBy := make(map[int]map[int]uint64) // server -> partition -> fill
+	for i, p := range iv.parts {
+		if p.fill > w {
+			return fmt.Errorf("partition %d fill %d exceeds width %d", i, p.fill, w)
+		}
+		if (p.fill == 0) != (p.owner == Free) {
+			return fmt.Errorf("partition %d fill/owner mismatch: fill=%d owner=%d", i, p.fill, p.owner)
+		}
+		if p.fill > 0 {
+			if _, ok := iv.regions[p.owner]; !ok {
+				return fmt.Errorf("partition %d owned by unknown server %d", i, p.owner)
+			}
+			if ownedBy[p.owner] == nil {
+				ownedBy[p.owner] = map[int]uint64{}
+			}
+			ownedBy[p.owner][i] = p.fill
+			total += p.fill
+		}
+	}
+	if total != Half {
+		return fmt.Errorf("total mapped mass %d != Half %d", total, Half)
+	}
+	for id, r := range iv.regions {
+		var share uint64
+		partials := 0
+		for idx, fill := range ownedBy[id] {
+			share += fill
+			if fill < w {
+				partials++
+				if r.partial != idx {
+					return fmt.Errorf("server %d partial index %d not tracked (tracked %d)", id, idx, r.partial)
+				}
+			}
+		}
+		if partials > 1 {
+			return fmt.Errorf("server %d has %d partial partitions", id, partials)
+		}
+		if share != r.share {
+			return fmt.Errorf("server %d cached share %d != actual %d", id, r.share, share)
+		}
+		for _, idx := range r.full {
+			if iv.parts[idx].owner != id || iv.parts[idx].fill != w {
+				return fmt.Errorf("server %d full list names partition %d which is not its full partition", id, idx)
+			}
+		}
+		if len(r.full)+partials != len(ownedBy[id]) {
+			return fmt.Errorf("server %d tracks %d full + %d partial but owns %d partitions",
+				id, len(r.full), partials, len(ownedBy[id]))
+		}
+	}
+	if iv.FreePartitions() < 1 {
+		return fmt.Errorf("no wholly free partition (violates recovery guarantee)")
+	}
+	return nil
+}
+
+// ChangedMass returns the measure of points whose owner differs between two
+// interval configurations (free space counts as an owner). This is the
+// paper's "amount of data movement" in interval terms: the file sets whose
+// hash points fall in the changed mass are exactly those that must move.
+func ChangedMass(a, b *Interval) uint64 {
+	segA := withFreeGaps(a.Segments())
+	segB := withFreeGaps(b.Segments())
+	var changed uint64
+	i, j := 0, 0
+	var pos uint64
+	for pos < Whole && i < len(segA) && j < len(segB) {
+		hi := min64(segA[i].Hi, segB[j].Hi)
+		if segA[i].Owner != segB[j].Owner {
+			changed += hi - pos
+		}
+		pos = hi
+		if segA[i].Hi == pos {
+			i++
+		}
+		if segB[j].Hi == pos {
+			j++
+		}
+	}
+	return changed
+}
+
+// withFreeGaps converts an owned-segment list into a complete cover of
+// [0, Whole) by inserting Free segments in the gaps.
+func withFreeGaps(segs []Segment) []Segment {
+	out := make([]Segment, 0, 2*len(segs)+1)
+	var pos uint64
+	for _, s := range segs {
+		if s.Lo > pos {
+			out = append(out, Segment{Lo: pos, Hi: s.Lo, Owner: Free})
+		}
+		out = append(out, s)
+		pos = s.Hi
+	}
+	if pos < Whole {
+		out = append(out, Segment{Lo: pos, Hi: Whole, Owner: Free})
+	}
+	return out
+}
+
+// QuantizeShares converts arbitrary non-negative weights into fixed-point
+// shares summing exactly to the given total (largest-remainder rounding).
+// Weights that are all zero produce equal shares.
+func QuantizeShares(weights []float64, total uint64) []uint64 {
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	var wsum float64
+	for _, w := range weights {
+		if w > 0 {
+			wsum += w
+		}
+	}
+	shares := make([]uint64, n)
+	if wsum == 0 {
+		// Equal split with remainder spread over the first servers.
+		base := total / uint64(n)
+		rem := total - base*uint64(n)
+		for i := range shares {
+			shares[i] = base
+			if uint64(i) < rem {
+				shares[i]++
+			}
+		}
+		return shares
+	}
+	type frac struct {
+		idx int
+		r   float64
+	}
+	var assigned uint64
+	fracs := make([]frac, n)
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		exact := w / wsum * float64(total)
+		fl := uint64(exact)
+		if fl > total { // float overshoot guard
+			fl = total
+		}
+		shares[i] = fl
+		assigned += fl
+		fracs[i] = frac{idx: i, r: exact - float64(fl)}
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].r != fracs[b].r {
+			return fracs[a].r > fracs[b].r
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	// At this scale float64 cannot represent the exact proportional values,
+	// so `assigned` may land on either side of total by a small multiple of
+	// the relative rounding error. Settle the difference one unit at a time:
+	// top up the largest remainders first, trim the smallest first.
+	for k := 0; assigned < total; k = (k + 1) % n {
+		shares[fracs[k].idx]++
+		assigned++
+	}
+	for k := 0; assigned > total; k = (k + 1) % n {
+		if idx := fracs[n-1-k].idx; shares[idx] > 0 {
+			shares[idx]--
+			assigned--
+		}
+	}
+	return shares
+}
+
+// EqualShares returns n equal shares summing exactly to total.
+func EqualShares(n int, total uint64) []uint64 {
+	return QuantizeShares(make([]float64, n), total)
+}
+
+// scaleShares proportionally rescales a share map to a new exact total.
+func scaleShares(cur map[int]uint64, total uint64) map[int]uint64 {
+	ids := make([]int, 0, len(cur))
+	for id := range cur {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	weights := make([]float64, len(ids))
+	for i, id := range ids {
+		weights[i] = float64(cur[id])
+	}
+	q := QuantizeShares(weights, total)
+	out := make(map[int]uint64, len(ids))
+	for i, id := range ids {
+		out[id] = q[i]
+	}
+	return out
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// insertSorted inserts v into the sorted slice s.
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

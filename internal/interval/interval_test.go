@@ -1,0 +1,604 @@
+package interval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"anufs/internal/rng"
+)
+
+func mustNew(t *testing.T, ids []int, shares []uint64) *Interval {
+	t.Helper()
+	iv, err := New(ids, shares)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := iv.Validate(); err != nil {
+		t.Fatalf("Validate after New: %v", err)
+	}
+	return iv
+}
+
+func equalIv(t *testing.T, n int) *Interval {
+	t.Helper()
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return mustNew(t, ids, EqualShares(n, Half))
+}
+
+func TestPartitionsFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 2}, {1, 2}, {2, 4}, {3, 8}, {4, 8}, {5, 16}, {8, 16}, {9, 32}, {16, 32}, {17, 64},
+	}
+	for _, c := range cases {
+		if got := PartitionsFor(c.n); got != c.want {
+			t.Errorf("PartitionsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("New with no servers succeeded")
+	}
+	if _, err := New([]int{0, 1}, []uint64{Half}); err == nil {
+		t.Error("New with mismatched lengths succeeded")
+	}
+	if _, err := New([]int{0, 1}, []uint64{Half, Half}); err == nil {
+		t.Error("New with shares summing to Whole succeeded")
+	}
+	if _, err := New([]int{0, 0}, EqualShares(2, Half)); err == nil {
+		t.Error("New with duplicate ids succeeded")
+	}
+	if _, err := New([]int{-1, 1}, EqualShares(2, Half)); err == nil {
+		t.Error("New with negative id succeeded")
+	}
+}
+
+func TestEqualSharesSumExactly(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		shares := EqualShares(n, Half)
+		var sum uint64
+		for _, s := range shares {
+			sum += s
+		}
+		if sum != Half {
+			t.Fatalf("EqualShares(%d) sums to %d, want %d", n, sum, Half)
+		}
+	}
+}
+
+func TestQuantizeSharesExactAndProportional(t *testing.T) {
+	w := []float64{1, 3, 5, 7, 9}
+	shares := QuantizeShares(w, Half)
+	var sum uint64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum != Half {
+		t.Fatalf("sum %d != Half", sum)
+	}
+	// Proportional within float64 relative precision at 2^62 scale.
+	for i, wi := range w {
+		want := wi / 25 * float64(Half)
+		if math.Abs(float64(shares[i])-want) > 1e-10*want {
+			t.Fatalf("share[%d] = %d, want ~%.0f", i, shares[i], want)
+		}
+	}
+}
+
+func TestQuantizeSharesZeroWeights(t *testing.T) {
+	shares := QuantizeShares([]float64{0, 0, 0}, 10)
+	var sum uint64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum != 10 {
+		t.Fatalf("sum %d != 10", sum)
+	}
+	if shares[0] != 4 || shares[1] != 3 || shares[2] != 3 {
+		t.Fatalf("zero-weight split = %v, want [4 3 3]", shares)
+	}
+}
+
+func TestQuantizeSharesNegativeTreatedAsZero(t *testing.T) {
+	shares := QuantizeShares([]float64{-5, 1}, 100)
+	if shares[0] != 0 || shares[1] != 100 {
+		t.Fatalf("got %v, want [0 100]", shares)
+	}
+}
+
+func TestQuantizeSharesEmpty(t *testing.T) {
+	if got := QuantizeShares(nil, Half); got != nil {
+		t.Fatalf("QuantizeShares(nil) = %v, want nil", got)
+	}
+}
+
+func TestLookupCoversHalf(t *testing.T) {
+	iv := equalIv(t, 5)
+	r := rng.NewStream(1)
+	mapped := 0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		if iv.OwnerAt(r.Uint64()) != Free {
+			mapped++
+		}
+	}
+	frac := float64(mapped) / draws
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("mapped fraction %v, want ~0.5 (half occupancy)", frac)
+	}
+}
+
+func TestOwnerAtMatchesSegments(t *testing.T) {
+	iv := equalIv(t, 3)
+	for _, seg := range iv.Segments() {
+		if got := iv.OwnerAt(seg.Lo); got != seg.Owner {
+			t.Fatalf("OwnerAt(lo=%d) = %d, want %d", seg.Lo, got, seg.Owner)
+		}
+		if got := iv.OwnerAt(seg.Hi - 1); got != seg.Owner {
+			t.Fatalf("OwnerAt(hi-1=%d) = %d, want %d", seg.Hi-1, got, seg.Owner)
+		}
+		if seg.Hi < Whole {
+			if got := iv.OwnerAt(seg.Hi); got == seg.Owner {
+				// Only a failure if the next segment isn't the same owner's.
+				w := iv.PartitionWidth()
+				if seg.Hi%w != 0 {
+					t.Fatalf("OwnerAt(hi=%d) = %d, segment should have ended", seg.Hi, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSharesAccounting(t *testing.T) {
+	iv := equalIv(t, 4)
+	var sum uint64
+	for id, s := range iv.Shares() {
+		got, ok := iv.Share(id)
+		if !ok || got != s {
+			t.Fatalf("Share(%d) = %d,%v; Shares says %d", id, got, ok, s)
+		}
+		sum += s
+	}
+	if sum != Half {
+		t.Fatalf("shares sum %d != Half", sum)
+	}
+	if _, ok := iv.Share(999); ok {
+		t.Fatal("Share(999) reported ok for unknown server")
+	}
+}
+
+func TestSetSharesRebalance(t *testing.T) {
+	iv := equalIv(t, 5)
+	target := map[int]uint64{}
+	q := QuantizeShares([]float64{1, 3, 5, 7, 9}, Half)
+	for i, s := range q {
+		target[i] = s
+	}
+	if err := iv.SetShares(target); err != nil {
+		t.Fatalf("SetShares: %v", err)
+	}
+	if err := iv.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for id, want := range target {
+		if got, _ := iv.Share(id); got != want {
+			t.Fatalf("server %d share %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestSetSharesRejectsBadTargets(t *testing.T) {
+	iv := equalIv(t, 3)
+	if err := iv.SetShares(map[int]uint64{0: Half}); err == nil {
+		t.Error("SetShares with missing servers succeeded")
+	}
+	if err := iv.SetShares(map[int]uint64{0: Half, 1: 0, 5: 0}); err == nil {
+		t.Error("SetShares with unknown server succeeded")
+	}
+	if err := iv.SetShares(map[int]uint64{0: Half, 1: Half, 2: 0}); err == nil {
+		t.Error("SetShares with wrong sum succeeded")
+	}
+	if err := iv.Validate(); err != nil {
+		t.Fatalf("interval corrupted by rejected SetShares: %v", err)
+	}
+}
+
+func TestSetSharesMovedMassBounded(t *testing.T) {
+	iv := equalIv(t, 5)
+	before := iv.Clone()
+	q := QuantizeShares([]float64{1, 3, 5, 7, 9}, Half)
+	target := map[int]uint64{}
+	var totalDelta uint64
+	for i, s := range q {
+		target[i] = s
+		cur, _ := iv.Share(i)
+		if s > cur {
+			totalDelta += s - cur
+		} else {
+			totalDelta += cur - s
+		}
+	}
+	if err := iv.SetShares(target); err != nil {
+		t.Fatal(err)
+	}
+	changed := ChangedMass(before, iv)
+	// Shrunk mass goes free and grown mass comes from free space, so the
+	// changed measure is at most the sum of absolute deltas (each unit of
+	// delta flips at most one unit of ownership on each side).
+	if changed > totalDelta {
+		t.Fatalf("changed mass %d exceeds total |delta| %d", changed, totalDelta)
+	}
+	// And vastly less than a full reshuffle.
+	if changed > Half {
+		t.Fatalf("changed mass %d exceeds Half — worse than rehash-all", changed)
+	}
+}
+
+func TestZeroShareServer(t *testing.T) {
+	iv := equalIv(t, 2)
+	if err := iv.SetShares(map[int]uint64{0: Half, 1: 0}); err != nil {
+		t.Fatalf("SetShares to zero: %v", err)
+	}
+	if err := iv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := iv.Share(1); s != 0 {
+		t.Fatalf("server 1 share %d, want 0", s)
+	}
+	if len(iv.RegionOf(1)) != 0 {
+		t.Fatal("zero-share server still has segments")
+	}
+	// Grow it back.
+	if err := iv.SetShares(map[int]uint64{0: Half / 2, 1: Half / 2}); err != nil {
+		t.Fatalf("SetShares back: %v", err)
+	}
+	if err := iv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddServerRepartitions(t *testing.T) {
+	iv := equalIv(t, 2)
+	if p := iv.Partitions(); p != 4 {
+		t.Fatalf("P = %d, want 4", p)
+	}
+	if err := iv.AddServer(2, Half/8); err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	if p := iv.Partitions(); p != 8 {
+		t.Fatalf("P after add = %d, want 8 (2n=6 → next pow2)", p)
+	}
+	if err := iv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if iv.NumServers() != 3 {
+		t.Fatalf("NumServers = %d, want 3", iv.NumServers())
+	}
+}
+
+func TestAddServerRejectsDuplicates(t *testing.T) {
+	iv := equalIv(t, 2)
+	if err := iv.AddServer(1, 10); err == nil {
+		t.Error("duplicate AddServer succeeded")
+	}
+	if err := iv.AddServer(-2, 10); err == nil {
+		t.Error("negative-id AddServer succeeded")
+	}
+	if err := iv.AddServer(9, Half+1); err == nil {
+		t.Error("oversized-share AddServer succeeded")
+	}
+}
+
+func TestAddServerMinimalMovement(t *testing.T) {
+	iv := equalIv(t, 4)
+	before := iv.Clone()
+	newShare := Half / 5
+	if err := iv.AddServer(4, newShare); err != nil {
+		t.Fatal(err)
+	}
+	if err := iv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	changed := ChangedMass(before, iv)
+	// Existing servers shrink by a total of newShare; the new server claims
+	// newShare of (mostly freed) space. Movement should be ~2*newShare, far
+	// below a full reshuffle (Half).
+	if changed > 2*newShare+uint64(iv.NumServers()) {
+		t.Fatalf("add moved %d mass, want <= ~%d", changed, 2*newShare)
+	}
+}
+
+func TestRemoveServerMinimalMovement(t *testing.T) {
+	iv := equalIv(t, 5)
+	removedShare, _ := iv.Share(2)
+	before := iv.Clone()
+	if err := iv.RemoveServer(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := iv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := iv.Share(2); ok {
+		t.Fatal("removed server still present")
+	}
+	changed := ChangedMass(before, iv)
+	if changed > 2*removedShare+uint64(iv.NumServers()) {
+		t.Fatalf("remove moved %d mass, want <= ~%d", changed, 2*removedShare)
+	}
+}
+
+func TestRemoveLastServerFails(t *testing.T) {
+	iv := equalIv(t, 1)
+	if err := iv.RemoveServer(0); err == nil {
+		t.Fatal("removing last server succeeded")
+	}
+	if err := iv.RemoveServer(7); err == nil {
+		t.Fatal("removing unknown server succeeded")
+	}
+}
+
+func TestSplitMovesNoMass(t *testing.T) {
+	iv := equalIv(t, 3)
+	before := iv.Clone()
+	iv.split()
+	if err := iv.Validate(); err != nil {
+		t.Fatalf("Validate after split: %v", err)
+	}
+	if changed := ChangedMass(before, iv); changed != 0 {
+		t.Fatalf("split moved %d mass, want 0", changed)
+	}
+	if iv.Partitions() != 2*before.Partitions() {
+		t.Fatalf("P = %d, want %d", iv.Partitions(), 2*before.Partitions())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	iv := equalIv(t, 3)
+	cp := iv.Clone()
+	if err := iv.SetShares(map[int]uint64{0: Half, 1: 0, 2: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := cp.Share(0); s == Half {
+		t.Fatal("mutating original affected clone")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreePartitionAlwaysAvailable(t *testing.T) {
+	// Adversarial shares: one huge, rest tiny — the regime the proof's
+	// worst case describes.
+	for n := 2; n <= 9; n++ {
+		ids := make([]int, n)
+		w := make([]float64, n)
+		for i := range ids {
+			ids[i] = i
+			w[i] = 1e-6
+		}
+		w[0] = 1
+		iv := mustNew(t, ids, QuantizeShares(w, Half))
+		if iv.FreePartitions() < 1 {
+			t.Fatalf("n=%d: no free partition with skewed shares", n)
+		}
+	}
+}
+
+func TestSegmentsSortedAndDisjoint(t *testing.T) {
+	iv := equalIv(t, 7)
+	segs := iv.Segments()
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Lo < segs[i-1].Hi {
+			t.Fatalf("segments overlap: %+v then %+v", segs[i-1], segs[i])
+		}
+	}
+	var total uint64
+	for _, s := range segs {
+		if s.Hi <= s.Lo {
+			t.Fatalf("empty or inverted segment %+v", s)
+		}
+		total += s.Measure()
+	}
+	if total != Half {
+		t.Fatalf("segment mass %d != Half", total)
+	}
+}
+
+func TestRegionOfConsistent(t *testing.T) {
+	iv := equalIv(t, 4)
+	for _, id := range iv.Servers() {
+		var mass uint64
+		for _, seg := range iv.RegionOf(id) {
+			if seg.Owner != id {
+				t.Fatalf("RegionOf(%d) returned segment owned by %d", id, seg.Owner)
+			}
+			mass += seg.Measure()
+		}
+		if want, _ := iv.Share(id); mass != want {
+			t.Fatalf("RegionOf(%d) mass %d != share %d", id, mass, want)
+		}
+	}
+	if iv.RegionOf(99) != nil {
+		t.Fatal("RegionOf(unknown) non-nil")
+	}
+}
+
+func TestChangedMassIdentity(t *testing.T) {
+	iv := equalIv(t, 5)
+	if c := ChangedMass(iv, iv.Clone()); c != 0 {
+		t.Fatalf("ChangedMass of identical configs = %d, want 0", c)
+	}
+}
+
+// Property test: random sequences of rebalances, adds, and removes preserve
+// every invariant and keep lookups total over the mapped half.
+func TestRandomOperationSequences(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewStream(seed)
+		n := 2 + r.Intn(6)
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		iv, err := New(ids, EqualShares(n, Half))
+		if err != nil {
+			t.Logf("New: %v", err)
+			return false
+		}
+		nextID := n
+		for step := 0; step < 30; step++ {
+			switch op := r.Intn(4); {
+			case op == 0 && iv.NumServers() > 1: // remove random server
+				srv := iv.Servers()
+				if err := iv.RemoveServer(srv[r.Intn(len(srv))]); err != nil {
+					t.Logf("remove: %v", err)
+					return false
+				}
+			case op == 1 && iv.NumServers() < 40: // add server
+				share := uint64(r.Intn(int(Half / uint64(iv.NumServers()+1))))
+				if err := iv.AddServer(nextID, share); err != nil {
+					t.Logf("add: %v", err)
+					return false
+				}
+				nextID++
+			default: // random rebalance
+				srv := iv.Servers()
+				w := make([]float64, len(srv))
+				for i := range w {
+					w[i] = r.Float64()
+				}
+				q := QuantizeShares(w, Half)
+				target := map[int]uint64{}
+				for i, id := range srv {
+					target[id] = q[i]
+				}
+				if err := iv.SetShares(target); err != nil {
+					t.Logf("set: %v", err)
+					return false
+				}
+			}
+			if err := iv.Validate(); err != nil {
+				t.Logf("step %d: %v", step, err)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOwnerAt(b *testing.B) {
+	ids := make([]int, 16)
+	for i := range ids {
+		ids[i] = i
+	}
+	iv, err := New(ids, EqualShares(16, Half))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.NewStream(1)
+	pts := make([]uint64, 1024)
+	for i := range pts {
+		pts[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += iv.OwnerAt(pts[i&1023])
+	}
+	_ = sink
+}
+
+func BenchmarkSetShares(b *testing.B) {
+	const n = 16
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	iv, err := New(ids, EqualShares(n, Half))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.NewStream(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := make([]float64, n)
+		for j := range w {
+			w[j] = r.Float64()
+		}
+		q := QuantizeShares(w, Half)
+		target := map[int]uint64{}
+		for j, id := range ids {
+			target[id] = q[j]
+		}
+		if err := iv.SetShares(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRenderShowsOwnersAndFreeSpace(t *testing.T) {
+	iv := equalIv(t, 3)
+	out := iv.Render(64)
+	for _, want := range []string{"0", "1", "2", ".", "partitions", "server0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+	// Half occupancy: roughly half the bar is free dots.
+	bar := strings.SplitN(out, "\n", 2)[0]
+	dots := strings.Count(bar, ".")
+	if dots < 20 || dots > 44 {
+		t.Fatalf("free-space dots = %d of 64, want ~32:\n%s", dots, out)
+	}
+}
+
+func TestRenderTinyWidth(t *testing.T) {
+	iv := equalIv(t, 2)
+	if out := iv.Render(1); len(out) == 0 {
+		t.Fatal("no render output")
+	}
+}
+
+// Property: QuantizeShares always sums exactly to the requested total and
+// preserves weight ordering.
+func TestQuantizeSharesProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewStream(seed)
+		n := 1 + r.Intn(12)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.Float64() * 100
+		}
+		total := uint64(1) << (20 + r.Intn(43))
+		q := QuantizeShares(w, total)
+		var sum uint64
+		for _, s := range q {
+			sum += s
+		}
+		if sum != total {
+			return false
+		}
+		// Strictly larger weight never yields a noticeably smaller share.
+		for i := range w {
+			for j := range w {
+				if w[i] > w[j]*1.01 && q[i]+1 < q[j] && float64(q[j]-q[i]) > 0.02*float64(total) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

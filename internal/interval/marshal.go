@@ -1,0 +1,103 @@
+package interval
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The wire form of an Interval. This is the configuration the delegate
+// replicates to every server after each reconfiguration (paper §4: "the
+// delegate distributes a new mapping of servers to the unit interval to all
+// servers. This is the only replicated state needed by our algorithm.") —
+// and because it scales with servers, not file sets (§5), it is small
+// enough for clients to cache and route with locally.
+
+// wireInterval is the serialized representation: the partition count and
+// each owned partition's (index, owner, fill).
+type wireInterval struct {
+	Version    int             `json:"v"`
+	Partitions int             `json:"partitions"`
+	Owned      []wirePartition `json:"owned"`
+}
+
+type wirePartition struct {
+	Index int    `json:"i"`
+	Owner int    `json:"o"`
+	Fill  uint64 `json:"f"`
+}
+
+// MarshalBinary encodes the interval as compact JSON (the wire protocol is
+// JSON end to end). The encoding is canonical for a given configuration:
+// partitions are emitted in ascending index order.
+func (iv *Interval) MarshalBinary() ([]byte, error) {
+	w := wireInterval{Version: 1, Partitions: iv.Partitions()}
+	for i, p := range iv.parts {
+		if p.fill > 0 {
+			w.Owned = append(w.Owned, wirePartition{Index: i, Owner: p.owner, Fill: p.fill})
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalBinary decodes an interval previously encoded with
+// MarshalBinary, validating every structural invariant before accepting it.
+func (iv *Interval) UnmarshalBinary(data []byte) error {
+	var w wireInterval
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("interval: decode: %w", err)
+	}
+	if w.Version != 1 {
+		return fmt.Errorf("interval: unsupported wire version %d", w.Version)
+	}
+	p := w.Partitions
+	if p < 2 || p&(p-1) != 0 {
+		return fmt.Errorf("interval: partition count %d not a power of two >= 2", p)
+	}
+	logP := uint(0)
+	for 1<<logP < p {
+		logP++
+	}
+	next := &Interval{
+		logP:    logP,
+		parts:   make([]partition, p),
+		regions: map[int]*region{},
+	}
+	for i := range next.parts {
+		next.parts[i] = partition{owner: Free}
+	}
+	width := next.PartitionWidth()
+	for _, wp := range w.Owned {
+		if wp.Index < 0 || wp.Index >= p {
+			return fmt.Errorf("interval: partition index %d out of range", wp.Index)
+		}
+		if wp.Owner < 0 {
+			return fmt.Errorf("interval: negative owner %d", wp.Owner)
+		}
+		if wp.Fill == 0 || wp.Fill > width {
+			return fmt.Errorf("interval: partition %d fill %d invalid for width %d", wp.Index, wp.Fill, width)
+		}
+		if next.parts[wp.Index].fill != 0 {
+			return fmt.Errorf("interval: duplicate partition %d", wp.Index)
+		}
+		next.parts[wp.Index] = partition{owner: wp.Owner, fill: wp.Fill}
+		r := next.regions[wp.Owner]
+		if r == nil {
+			r = &region{partial: -1}
+			next.regions[wp.Owner] = r
+		}
+		if wp.Fill == width {
+			r.full = insertSorted(r.full, wp.Index)
+		} else {
+			if r.partial != -1 {
+				return fmt.Errorf("interval: server %d has two partial partitions", wp.Owner)
+			}
+			r.partial = wp.Index
+		}
+		r.share += wp.Fill
+	}
+	if err := next.Validate(); err != nil {
+		return fmt.Errorf("interval: decoded configuration invalid: %w", err)
+	}
+	*iv = *next
+	return nil
+}

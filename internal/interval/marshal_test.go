@@ -1,0 +1,147 @@
+package interval
+
+import (
+	"testing"
+
+	"anufs/internal/rng"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	iv := equalIv(t, 5)
+	q := QuantizeShares([]float64{1, 3, 5, 7, 9}, Half)
+	target := map[int]uint64{}
+	for i, s := range q {
+		target[i] = s
+	}
+	if err := iv.SetShares(target); err != nil {
+		t.Fatal(err)
+	}
+	data, err := iv.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Interval
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ChangedMass(iv, &back) != 0 {
+		t.Fatal("round trip changed ownership")
+	}
+	for id, s := range iv.Shares() {
+		if got, _ := back.Share(id); got != s {
+			t.Fatalf("share of %d: %d != %d", id, got, s)
+		}
+	}
+	if back.Partitions() != iv.Partitions() {
+		t.Fatalf("partitions %d != %d", back.Partitions(), iv.Partitions())
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	iv := equalIv(t, 3)
+	a, err := iv.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := iv.Clone().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("marshal not canonical")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	iv := equalIv(t, 3)
+	good, err := iv.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"garbage":        `nonsense`,
+		"bad version":    `{"v":2,"partitions":8,"owned":[]}`,
+		"bad partitions": `{"v":1,"partitions":6,"owned":[]}`,
+		"oob index":      `{"v":1,"partitions":4,"owned":[{"i":9,"o":0,"f":1}]}`,
+		"neg owner":      `{"v":1,"partitions":4,"owned":[{"i":0,"o":-1,"f":1}]}`,
+		"zero fill":      `{"v":1,"partitions":4,"owned":[{"i":0,"o":0,"f":0}]}`,
+		"huge fill":      `{"v":1,"partitions":4,"owned":[{"i":0,"o":0,"f":18446744073709551615}]}`,
+		"dup partition":  `{"v":1,"partitions":4,"owned":[{"i":0,"o":0,"f":1},{"i":0,"o":1,"f":1}]}`,
+		// Valid JSON but violates half occupancy.
+		"wrong mass": `{"v":1,"partitions":4,"owned":[{"i":0,"o":0,"f":1}]}`,
+	}
+	for name, in := range cases {
+		var back Interval
+		if err := back.UnmarshalBinary([]byte(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Sanity: the good encoding still decodes.
+	var back Interval
+	if err := back.UnmarshalBinary(good); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalSizeScalesWithServers(t *testing.T) {
+	// The replicated state must scale with servers, not file sets (§5):
+	// the encoding has no per-file-set component at all, and stays small.
+	small := equalIv(t, 5)
+	big := equalIv(t, 40)
+	ds, _ := small.MarshalBinary()
+	db, _ := big.MarshalBinary()
+	if len(db) > 40*len(ds) {
+		t.Fatalf("encoding grew superlinearly: %d -> %d bytes", len(ds), len(db))
+	}
+	if len(db) > 16*1024 {
+		t.Fatalf("40-server mapping is %d bytes — too big to replicate cheaply", len(db))
+	}
+}
+
+func TestMarshalAfterRandomChurn(t *testing.T) {
+	r := rng.NewStream(5)
+	iv := equalIv(t, 4)
+	next := 4
+	for step := 0; step < 20; step++ {
+		switch {
+		case step%3 == 0 && iv.NumServers() < 12:
+			if err := iv.AddServer(next, Half/uint64(8*(iv.NumServers()+1))); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		case step%3 == 1 && iv.NumServers() > 2:
+			srv := iv.Servers()
+			if err := iv.RemoveServer(srv[r.Intn(len(srv))]); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			srv := iv.Servers()
+			w := make([]float64, len(srv))
+			for i := range w {
+				w[i] = r.Float64() + 0.01
+			}
+			q := QuantizeShares(w, Half)
+			tgt := map[int]uint64{}
+			for i, id := range srv {
+				tgt[id] = q[i]
+			}
+			if err := iv.SetShares(tgt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := iv.MarshalBinary()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		var back Interval
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if ChangedMass(iv, &back) != 0 {
+			t.Fatalf("step %d: round trip changed ownership", step)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package interval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render draws the unit interval as a fixed-width ASCII bar: each column
+// shows the owner occupying that slice of the interval (digits cycle per
+// server, '.' is free space), with partition boundaries marked below. It is
+// the textual analogue of the paper's Figures 2–5 and is used by the
+// quickstart example and cmd/anusim for debugging placements.
+func (iv *Interval) Render(width int) string {
+	if width < 8 {
+		width = 8
+	}
+	ids := iv.Servers()
+	marker := make(map[int]rune, len(ids))
+	for i, id := range ids {
+		marker[id] = rune('0' + i%10)
+	}
+	bar := make([]rune, width)
+	for col := 0; col < width; col++ {
+		// Sample the midpoint of the column's slice.
+		point := uint64((float64(col) + 0.5) / float64(width) * float64(Whole))
+		if owner := iv.OwnerAt(point); owner != Free {
+			bar[col] = marker[owner]
+		} else {
+			bar[col] = '.'
+		}
+	}
+	// Partition tick marks.
+	ticks := make([]rune, width)
+	for i := range ticks {
+		ticks[i] = ' '
+	}
+	p := iv.Partitions()
+	for k := 0; k <= p; k++ {
+		col := k * width / p
+		if col >= width {
+			col = width - 1
+		}
+		ticks[col] = '^'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s]\n", string(bar))
+	fmt.Fprintf(&b, " %s  (%d partitions)\n", string(ticks), p)
+	legend := make([]string, 0, len(ids))
+	for _, id := range ids {
+		share, _ := iv.Share(id)
+		legend = append(legend, fmt.Sprintf("%c=server%d(%.1f%%)", marker[id], id,
+			100*float64(share)/float64(Whole)))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(&b, " %s\n", strings.Join(legend, " "))
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"anufs/internal/sharedisk"
+)
+
+func benchLiveCluster(b *testing.B) (*Cluster, func()) {
+	b.Helper()
+	disk := sharedisk.NewStore(0)
+	for i := 0; i < 8; i++ {
+		if err := disk.CreateFileSet(fmt.Sprintf("fs%02d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Window = time.Hour
+	cfg.OpCost = 0
+	c, err := NewCluster(cfg, disk, map[int]float64{0: 1, 1: 3, 2: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, c.Stop
+}
+
+// BenchmarkLiveStat measures one routed metadata read through the live
+// cluster (hash lookup, queue hop, metaserver op).
+func BenchmarkLiveStat(b *testing.B) {
+	c, cleanup := benchLiveCluster(b)
+	defer cleanup()
+	if err := c.Create("fs00", "/b", sharedisk.Record{Size: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Stat("fs00", "/b"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveStatParallel measures the same under client concurrency.
+func BenchmarkLiveStatParallel(b *testing.B) {
+	c, cleanup := benchLiveCluster(b)
+	defer cleanup()
+	for i := 0; i < 8; i++ {
+		if err := c.Create(fmt.Sprintf("fs%02d", i), "/b", sharedisk.Record{Size: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := c.Stat(fmt.Sprintf("fs%02d", i%8), "/b"); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkLiveTuneOnce measures one full delegate round on a live cluster.
+func BenchmarkLiveTuneOnce(b *testing.B) {
+	c, cleanup := benchLiveCluster(b)
+	defer cleanup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.TuneOnce()
+	}
+}

@@ -1,0 +1,84 @@
+package live
+
+import (
+	"sync/atomic"
+
+	"anufs/internal/lockmgr"
+	"anufs/internal/metaserver"
+)
+
+// Client lock API. The cluster allocates cluster-wide client IDs; each
+// server's lock manager lazily materializes the client's session on first
+// contact (paper §2: clients hold sessions with the file servers; a client
+// that stops renewing is declared failed and its locks are reaped).
+//
+// Locks do not follow a file set when it moves — the shedding server drops
+// them with its cache, and clients re-acquire against the new owner. The
+// cluster routes Lock/Unlock by the same hash lookup as metadata requests.
+
+// nextClient allocates cluster-wide client session IDs.
+var nextClient uint64
+
+// RegisterClient returns a new cluster-wide client ID for the lock service.
+func (c *Cluster) RegisterClient() lockmgr.SessionID {
+	return lockmgr.SessionID(atomic.AddUint64(&nextClient, 1))
+}
+
+// Lock acquires (non-blocking) a lock on (fileSet, path) at the file set's
+// current owner.
+func (c *Cluster) Lock(client lockmgr.SessionID, fileSet, path string, mode lockmgr.Mode) error {
+	return c.do(fileSet, func(s *server) error {
+		if !s.ms.Owns(fileSet) {
+			// Route-time owner and serve-time owner can disagree mid-move;
+			// surface the retryable error the router understands.
+			return errNotOwnerForLocks
+		}
+		s.locks.EnsureSession(client)
+		return s.locks.Lock(client, fileSet, path, mode)
+	})
+}
+
+// Unlock releases a lock at the file set's current owner.
+func (c *Cluster) Unlock(client lockmgr.SessionID, fileSet, path string) error {
+	return c.do(fileSet, func(s *server) error {
+		if !s.ms.Owns(fileSet) {
+			return errNotOwnerForLocks
+		}
+		s.locks.EnsureSession(client)
+		return s.locks.Unlock(client, fileSet, path)
+	})
+}
+
+// RenewClient renews the client's lease at every live server (the client
+// heartbeat). Servers the client never contacted are skipped.
+func (c *Cluster) RenewClient(client lockmgr.SessionID) {
+	c.mu.Lock()
+	servers := make([]*server, 0, len(c.servers))
+	for _, s := range c.servers {
+		servers = append(servers, s)
+	}
+	c.mu.Unlock()
+	for _, s := range servers {
+		_ = s.locks.Renew(client) // unknown-session here just means "never contacted"
+	}
+}
+
+// ExpireClients runs the failed-client sweep on every live server and
+// returns the total sessions reaped.
+func (c *Cluster) ExpireClients() int {
+	c.mu.Lock()
+	servers := make([]*server, 0, len(c.servers))
+	for _, s := range c.servers {
+		servers = append(servers, s)
+	}
+	c.mu.Unlock()
+	total := 0
+	for _, s := range servers {
+		total += s.locks.ExpireSessions()
+	}
+	return total
+}
+
+// errNotOwnerForLocks aliases the metaserver sentinel so do()'s retry logic
+// treats lock requests to a stale owner exactly like metadata requests.
+var errNotOwnerForLocks = metaserver.ErrNotOwner

@@ -1,0 +1,293 @@
+// Package lockmgr implements the file/data lock service a Storage Tank
+// metadata server provides (paper §2: file servers "grant file/data locks,
+// and detect and recover failed clients").
+//
+// Clients hold leases: a session must be renewed within the lease duration
+// or the server declares the client failed and reaps every lock it held —
+// the paper's failed-client detection. Locks are granted per
+// (file set, path) in shared or exclusive mode and are deliberately
+// non-blocking: the server grants or denies immediately and clients retry,
+// which keeps the metadata request path short (the property the paper's
+// latency metric relies on, §2).
+//
+// When a file set moves to another server its locks are dropped — the
+// shedding server flushes and forgets, and clients re-acquire against the
+// new owner. This mirrors the cache semantics of the move protocol.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// Shared locks may be held by many sessions concurrently.
+	Shared Mode = iota
+	// Exclusive locks conflict with every other holder.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "exclusive"
+	}
+	return "shared"
+}
+
+// SessionID identifies a registered client session.
+type SessionID uint64
+
+// Errors returned by the manager.
+var (
+	ErrUnknownSession = errors.New("lockmgr: unknown or expired session")
+	ErrConflict       = errors.New("lockmgr: lock conflict")
+	ErrNotHeld        = errors.New("lockmgr: lock not held by session")
+)
+
+type resource struct {
+	fileSet string
+	path    string
+}
+
+type lockState struct {
+	mode    Mode
+	holders map[SessionID]bool
+}
+
+type session struct {
+	expiry time.Time
+	// held tracks this session's locks for O(held) reaping.
+	held map[resource]bool
+}
+
+// Manager is one server's lock table. Safe for concurrent use.
+type Manager struct {
+	now   func() time.Time
+	lease time.Duration
+
+	mu       sync.Mutex
+	nextID   SessionID
+	sessions map[SessionID]*session
+	locks    map[resource]*lockState
+}
+
+// New creates a manager with the given lease duration. now is the clock;
+// pass nil for time.Now (tests inject a fake clock).
+func New(lease time.Duration, now func() time.Time) *Manager {
+	if lease <= 0 {
+		panic("lockmgr: lease must be positive")
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Manager{
+		now:      now,
+		lease:    lease,
+		nextID:   1,
+		sessions: map[SessionID]*session{},
+		locks:    map[resource]*lockState{},
+	}
+}
+
+// Register creates a client session with a fresh lease.
+func (m *Manager) Register() SessionID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.sessions[id] = &session{expiry: m.now().Add(m.lease), held: map[resource]bool{}}
+	return id
+}
+
+// EnsureSession creates a session under an externally allocated ID (or
+// renews it if present). A cluster front end that allocates cluster-wide
+// client IDs uses this so one client identity is valid at every server it
+// talks to.
+func (m *Manager) EnsureSession(id SessionID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.liveSession(id); ok {
+		s.expiry = m.now().Add(m.lease)
+		return
+	}
+	if id >= m.nextID {
+		m.nextID = id + 1
+	}
+	m.sessions[id] = &session{expiry: m.now().Add(m.lease), held: map[resource]bool{}}
+}
+
+// Renew extends a session's lease; the client heartbeat.
+func (m *Manager) Renew(id SessionID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.liveSession(id)
+	if !ok {
+		return ErrUnknownSession
+	}
+	s.expiry = m.now().Add(m.lease)
+	return nil
+}
+
+// liveSession returns the session if it exists and has not expired,
+// reaping it if it has. Callers hold m.mu.
+func (m *Manager) liveSession(id SessionID) (*session, bool) {
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	if m.now().After(s.expiry) {
+		m.reapLocked(id, s)
+		return nil, false
+	}
+	return s, true
+}
+
+// reapLocked releases every lock the session holds and forgets it.
+func (m *Manager) reapLocked(id SessionID, s *session) {
+	for res := range s.held {
+		m.releaseLocked(id, res)
+	}
+	delete(m.sessions, id)
+}
+
+func (m *Manager) releaseLocked(id SessionID, res resource) {
+	st, ok := m.locks[res]
+	if !ok {
+		return
+	}
+	delete(st.holders, id)
+	if len(st.holders) == 0 {
+		delete(m.locks, res)
+	}
+}
+
+// Lock attempts to acquire the lock non-blocking. A session re-acquiring a
+// lock it already holds in the same mode succeeds idempotently; a shared
+// holder requesting exclusive is granted the upgrade only when it is the
+// sole holder.
+func (m *Manager) Lock(id SessionID, fileSet, path string, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.liveSession(id)
+	if !ok {
+		return ErrUnknownSession
+	}
+	res := resource{fileSet, path}
+	st, held := m.locks[res]
+	if !held {
+		m.locks[res] = &lockState{mode: mode, holders: map[SessionID]bool{id: true}}
+		s.held[res] = true
+		return nil
+	}
+	switch {
+	case st.holders[id] && st.mode == mode:
+		return nil // idempotent re-acquire
+	case st.holders[id] && mode == Exclusive:
+		if len(st.holders) == 1 {
+			st.mode = Exclusive // upgrade: sole holder
+			return nil
+		}
+		return fmt.Errorf("%w: upgrade denied, %d other shared holders", ErrConflict, len(st.holders)-1)
+	case st.holders[id] && mode == Shared:
+		st.mode = Shared // downgrade always succeeds
+		return nil
+	case st.mode == Shared && mode == Shared:
+		st.holders[id] = true
+		s.held[res] = true
+		return nil
+	default:
+		return fmt.Errorf("%w: %s held %s by %d session(s)", ErrConflict, path, st.mode, len(st.holders))
+	}
+}
+
+// Unlock releases a lock the session holds.
+func (m *Manager) Unlock(id SessionID, fileSet, path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.liveSession(id)
+	if !ok {
+		return ErrUnknownSession
+	}
+	res := resource{fileSet, path}
+	if !s.held[res] {
+		return ErrNotHeld
+	}
+	delete(s.held, res)
+	m.releaseLocked(id, res)
+	return nil
+}
+
+// ExpireSessions reaps every session whose lease has lapsed and returns the
+// number reaped — the failed-client recovery sweep a server runs
+// periodically.
+func (m *Manager) ExpireSessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	reaped := 0
+	for id, s := range m.sessions {
+		if now.After(s.expiry) {
+			m.reapLocked(id, s)
+			reaped++
+		}
+	}
+	return reaped
+}
+
+// DropFileSet discards all locks on a file set — called when the file set
+// moves to another server; clients re-acquire against the new owner.
+func (m *Manager) DropFileSet(fileSet string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dropped := 0
+	for res, st := range m.locks {
+		if res.fileSet != fileSet {
+			continue
+		}
+		for id := range st.holders {
+			if s, ok := m.sessions[id]; ok {
+				delete(s.held, res)
+			}
+		}
+		delete(m.locks, res)
+		dropped++
+	}
+	return dropped
+}
+
+// Holders reports the sessions holding a lock and its mode; ok is false
+// when the lock is free.
+func (m *Manager) Holders(fileSet, path string) (ids []SessionID, mode Mode, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, held := m.locks[resource{fileSet, path}]
+	if !held {
+		return nil, 0, false
+	}
+	for id := range st.holders {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, st.mode, true
+}
+
+// Sessions reports the number of live sessions (expired ones are counted
+// until a sweep or access reaps them).
+func (m *Manager) Sessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Locks reports the number of held locks.
+func (m *Manager) Locks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.locks)
+}

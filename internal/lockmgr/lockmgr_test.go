@@ -1,0 +1,295 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a controllable clock for lease tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+func newMgr() (*Manager, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return New(30*time.Second, clk.now), clk
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m, _ := newMgr()
+	a, b := m.Register(), m.Register()
+	if err := m.Lock(a, "fs", "/f", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(b, "fs", "/f", Shared); err != nil {
+		t.Fatal(err)
+	}
+	ids, mode, ok := m.Holders("fs", "/f")
+	if !ok || mode != Shared || len(ids) != 2 {
+		t.Fatalf("Holders = %v %v %v", ids, mode, ok)
+	}
+}
+
+func TestExclusiveConflicts(t *testing.T) {
+	m, _ := newMgr()
+	a, b := m.Register(), m.Register()
+	if err := m.Lock(a, "fs", "/f", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(b, "fs", "/f", Exclusive); !errors.Is(err, ErrConflict) {
+		t.Fatalf("excl/excl: %v", err)
+	}
+	if err := m.Lock(b, "fs", "/f", Shared); !errors.Is(err, ErrConflict) {
+		t.Fatalf("excl/shared: %v", err)
+	}
+	if err := m.Lock(a, "fs", "/g", Exclusive); err != nil {
+		t.Fatalf("different path conflicts: %v", err)
+	}
+	if err := m.Lock(b, "other", "/f", Exclusive); err != nil {
+		t.Fatalf("different file set conflicts: %v", err)
+	}
+}
+
+func TestSharedBlocksExclusive(t *testing.T) {
+	m, _ := newMgr()
+	a, b := m.Register(), m.Register()
+	if err := m.Lock(a, "fs", "/f", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(b, "fs", "/f", Exclusive); !errors.Is(err, ErrConflict) {
+		t.Fatalf("shared/excl: %v", err)
+	}
+}
+
+func TestIdempotentReacquire(t *testing.T) {
+	m, _ := newMgr()
+	a := m.Register()
+	for i := 0; i < 3; i++ {
+		if err := m.Lock(a, "fs", "/f", Exclusive); err != nil {
+			t.Fatalf("reacquire %d: %v", i, err)
+		}
+	}
+	if m.Locks() != 1 {
+		t.Fatalf("Locks = %d", m.Locks())
+	}
+}
+
+func TestUpgradeAndDowngrade(t *testing.T) {
+	m, _ := newMgr()
+	a, b := m.Register(), m.Register()
+	if err := m.Lock(a, "fs", "/f", Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Sole shared holder upgrades.
+	if err := m.Lock(a, "fs", "/f", Exclusive); err != nil {
+		t.Fatalf("sole-holder upgrade: %v", err)
+	}
+	// Downgrade back to shared, let b in, then upgrade must fail.
+	if err := m.Lock(a, "fs", "/f", Shared); err != nil {
+		t.Fatalf("downgrade: %v", err)
+	}
+	if err := m.Lock(b, "fs", "/f", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(a, "fs", "/f", Exclusive); !errors.Is(err, ErrConflict) {
+		t.Fatalf("upgrade with other holders: %v", err)
+	}
+}
+
+func TestUnlock(t *testing.T) {
+	m, _ := newMgr()
+	a, b := m.Register(), m.Register()
+	if err := m.Lock(a, "fs", "/f", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlock(a, "fs", "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlock(a, "fs", "/f"); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("double unlock: %v", err)
+	}
+	if err := m.Lock(b, "fs", "/f", Exclusive); err != nil {
+		t.Fatalf("lock after unlock: %v", err)
+	}
+}
+
+func TestLeaseExpiryReapsLocks(t *testing.T) {
+	m, clk := newMgr()
+	a, b := m.Register(), m.Register()
+	if err := m.Lock(a, "fs", "/f", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(31 * time.Second)
+	// a's lease lapsed: the failed-client sweep reaps it and frees its lock.
+	if n := m.ExpireSessions(); n != 2 {
+		t.Fatalf("ExpireSessions reaped %d, want 2 (both leases lapsed)", n)
+	}
+	if m.Locks() != 0 {
+		t.Fatalf("locks not reaped: %d", m.Locks())
+	}
+	if err := m.Lock(a, "fs", "/f", Shared); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("expired session locked: %v", err)
+	}
+	_ = b
+}
+
+func TestRenewKeepsSessionAlive(t *testing.T) {
+	m, clk := newMgr()
+	a := m.Register()
+	for i := 0; i < 5; i++ {
+		clk.advance(20 * time.Second)
+		if err := m.Renew(a); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	if err := m.Lock(a, "fs", "/f", Shared); err != nil {
+		t.Fatalf("lock after renewals: %v", err)
+	}
+	clk.advance(31 * time.Second)
+	if err := m.Renew(a); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("renew after lapse: %v", err)
+	}
+}
+
+func TestLazyExpiryOnAccess(t *testing.T) {
+	m, clk := newMgr()
+	a := m.Register()
+	if err := m.Lock(a, "fs", "/f", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(31 * time.Second)
+	b := m.Register()
+	// b's lock attempt must succeed: a is expired even without a sweep.
+	if err := m.Lock(a, "fs", "/g", Shared); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("expired session used: %v", err)
+	}
+	if err := m.Lock(b, "fs", "/f", Exclusive); err != nil {
+		t.Fatalf("lock against expired holder: %v", err)
+	}
+}
+
+func TestDropFileSet(t *testing.T) {
+	m, _ := newMgr()
+	a := m.Register()
+	if err := m.Lock(a, "fs1", "/f", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(a, "fs2", "/f", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.DropFileSet("fs1"); n != 1 {
+		t.Fatalf("DropFileSet = %d, want 1", n)
+	}
+	// fs1's lock is gone, fs2's survives; a can re-acquire fs1 elsewhere.
+	if _, _, ok := m.Holders("fs1", "/f"); ok {
+		t.Fatal("fs1 lock survived the move")
+	}
+	if _, _, ok := m.Holders("fs2", "/f"); !ok {
+		t.Fatal("fs2 lock dropped erroneously")
+	}
+	if err := m.Lock(a, "fs1", "/f", Exclusive); err != nil {
+		t.Fatalf("re-acquire after move: %v", err)
+	}
+}
+
+func TestUnknownSessionOps(t *testing.T) {
+	m, _ := newMgr()
+	if err := m.Lock(999, "fs", "/f", Shared); !errors.Is(err, ErrUnknownSession) {
+		t.Fatal("unknown session locked")
+	}
+	if err := m.Unlock(999, "fs", "/f"); !errors.Is(err, ErrUnknownSession) {
+		t.Fatal("unknown session unlocked")
+	}
+	if err := m.Renew(999); !errors.Is(err, ErrUnknownSession) {
+		t.Fatal("unknown session renewed")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "shared" || Exclusive.String() != "exclusive" {
+		t.Fatal("Mode.String mismatch")
+	}
+}
+
+func TestNewPanicsOnBadLease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero lease accepted")
+		}
+	}()
+	New(0, nil)
+}
+
+func TestConcurrentLocking(t *testing.T) {
+	m := New(time.Minute, nil)
+	var wg sync.WaitGroup
+	grants := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sid := m.Register()
+			for i := 0; i < 200; i++ {
+				if err := m.Lock(sid, "fs", "/hot", Exclusive); err == nil {
+					grants[g]++
+					if err := m.Unlock(sid, "fs", "/hot"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range grants {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no exclusive grants under contention")
+	}
+	if m.Locks() != 0 {
+		t.Fatalf("locks leaked: %d", m.Locks())
+	}
+}
+
+func TestEnsureSessionExternalIDs(t *testing.T) {
+	m, clk := newMgr()
+	m.EnsureSession(100)
+	if err := m.Lock(100, "fs", "/f", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Ensure is renew for live sessions.
+	clk.advance(20 * time.Second)
+	m.EnsureSession(100)
+	clk.advance(20 * time.Second)
+	if err := m.Lock(100, "fs", "/g", Shared); err != nil {
+		t.Fatalf("session lapsed despite EnsureSession renew: %v", err)
+	}
+	// Internal allocation must not collide with the external ID.
+	if id := m.Register(); id == 100 {
+		t.Fatal("Register collided with external session ID")
+	}
+	// Expired external sessions are recreated fresh (locks gone).
+	clk.advance(60 * time.Second)
+	m.EnsureSession(100)
+	if _, _, held := m.Holders("fs", "/f"); held {
+		t.Fatal("lock survived session expiry + recreation")
+	}
+}

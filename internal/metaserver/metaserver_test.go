@@ -1,0 +1,266 @@
+package metaserver
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"anufs/internal/sharedisk"
+)
+
+func newPair(t *testing.T) (*sharedisk.Store, *Server) {
+	t.Helper()
+	disk := sharedisk.NewStore(0)
+	if err := disk.CreateFileSet("proj"); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(1, disk)
+	if err := srv.Acquire("proj"); err != nil {
+		t.Fatal(err)
+	}
+	return disk, srv
+}
+
+func TestAcquireServeOps(t *testing.T) {
+	_, srv := newPair(t)
+	if !srv.Owns("proj") {
+		t.Fatal("Owns false after Acquire")
+	}
+	if err := srv.Create("proj", "/a.txt", sharedisk.Record{Size: 10, Owner: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := srv.Stat("proj", "/a.txt")
+	if err != nil || rec.Size != 10 {
+		t.Fatalf("Stat = %+v, %v", rec, err)
+	}
+	if rec.ModTime.IsZero() {
+		t.Fatal("Create did not stamp ModTime")
+	}
+	if err := srv.Update("proj", "/a.txt", sharedisk.Record{Size: 20}); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = srv.Stat("proj", "/a.txt")
+	if rec.Size != 20 {
+		t.Fatalf("Update lost: %+v", rec)
+	}
+	if err := srv.Remove("proj", "/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Stat("proj", "/a.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat after Remove: %v", err)
+	}
+}
+
+func TestOpErrors(t *testing.T) {
+	_, srv := newPair(t)
+	if err := srv.Create("proj", "", sharedisk.Record{}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if err := srv.Create("proj", "/a", sharedisk.Record{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Create("proj", "/a", sharedisk.Record{}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if err := srv.Update("proj", "/nope", sharedisk.Record{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing: %v", err)
+	}
+	if err := srv.Remove("proj", "/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("remove missing: %v", err)
+	}
+}
+
+func TestNotOwner(t *testing.T) {
+	disk, _ := newPair(t)
+	other := New(2, disk)
+	if err := other.Create("proj", "/b", sharedisk.Record{}); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("Create on un-owned: %v", err)
+	}
+	if _, err := other.Stat("proj", "/b"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("Stat on un-owned: %v", err)
+	}
+	if _, err := other.List("proj", "/"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("List on un-owned: %v", err)
+	}
+	if err := other.Release("proj"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("Release on un-owned: %v", err)
+	}
+	if err := other.Checkpoint("proj"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("Checkpoint on un-owned: %v", err)
+	}
+}
+
+func TestDoubleAcquireRejected(t *testing.T) {
+	_, srv := newPair(t)
+	if err := srv.Acquire("proj"); err == nil {
+		t.Fatal("double acquire succeeded")
+	}
+}
+
+func TestMoveHandOffPreservesState(t *testing.T) {
+	disk, a := newPair(t)
+	if err := a.Create("proj", "/x", sharedisk.Record{Size: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Shed from a, acquire on b — the paper's move protocol.
+	if err := a.Release("proj"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Owns("proj") {
+		t.Fatal("a still owns after Release")
+	}
+	if a.DirtyFlushes() != 1 {
+		t.Fatalf("DirtyFlushes = %d, want 1", a.DirtyFlushes())
+	}
+	b := New(2, disk)
+	if err := b.Acquire("proj"); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := b.Stat("proj", "/x")
+	if err != nil || rec.Size != 7 {
+		t.Fatalf("state lost across move: %+v, %v", rec, err)
+	}
+}
+
+func TestReleaseCleanSkipsFlush(t *testing.T) {
+	disk, srv := newPair(t)
+	v0, _ := disk.Version("proj")
+	if err := srv.Release("proj"); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := disk.Version("proj")
+	if v1 != v0 {
+		t.Fatalf("clean release flushed: version %d -> %d", v0, v1)
+	}
+	if srv.DirtyFlushes() != 0 {
+		t.Fatal("clean release counted as dirty flush")
+	}
+}
+
+func TestCrashLosesUnflushedState(t *testing.T) {
+	disk, srv := newPair(t)
+	if err := srv.Create("proj", "/lost", sharedisk.Record{Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Crash()
+	if srv.Owns("proj") {
+		t.Fatal("still owns after crash")
+	}
+	// Recovery on another server sees the last flushed image (empty).
+	b := New(2, disk)
+	if err := b.Acquire("proj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Stat("proj", "/lost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unflushed write survived a crash: %v", err)
+	}
+}
+
+func TestCheckpointBoundsLoss(t *testing.T) {
+	disk, srv := newPair(t)
+	if err := srv.Create("proj", "/kept", sharedisk.Record{Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Checkpoint("proj"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Create("proj", "/lost", sharedisk.Record{Size: 2}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Crash()
+	b := New(2, disk)
+	if err := b.Acquire("proj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Stat("proj", "/kept"); err != nil {
+		t.Fatalf("checkpointed write lost: %v", err)
+	}
+	if _, err := b.Stat("proj", "/lost"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("post-checkpoint write survived crash")
+	}
+}
+
+func TestCheckpointIdempotentWhenClean(t *testing.T) {
+	disk, srv := newPair(t)
+	if err := srv.Checkpoint("proj"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := disk.Version("proj")
+	if v != 1 {
+		t.Fatalf("clean checkpoint flushed: version %d", v)
+	}
+}
+
+func TestCheckpointThenReleaseNoStaleFlush(t *testing.T) {
+	// Regression guard: Checkpoint must update the cached version, or the
+	// release-time flush would be stale-rejected.
+	_, srv := newPair(t)
+	if err := srv.Create("proj", "/a", sharedisk.Record{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Checkpoint("proj"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Create("proj", "/b", sharedisk.Record{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Release("proj"); err != nil {
+		t.Fatalf("release after checkpoint: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	_, srv := newPair(t)
+	for _, p := range []string{"/dir/a", "/dir/b", "/other/c"} {
+		if err := srv.Create("proj", p, sharedisk.Record{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := srv.List("proj", "/dir/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "/dir/a" || got[1] != "/dir/b" {
+		t.Fatalf("List = %v", got)
+	}
+	all, _ := srv.List("proj", "/")
+	if len(all) != 3 {
+		t.Fatalf("List all = %v", all)
+	}
+}
+
+func TestOwnedSorted(t *testing.T) {
+	disk := sharedisk.NewStore(0)
+	srv := New(1, disk)
+	for _, fs := range []string{"zz", "aa", "mm"} {
+		if err := disk.CreateFileSet(fs); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Acquire(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := srv.Owned()
+	if len(got) != 3 || got[0] != "aa" || got[2] != "zz" {
+		t.Fatalf("Owned = %v", got)
+	}
+}
+
+func TestConcurrentOps(t *testing.T) {
+	_, srv := newPair(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				path := "/w" + string(rune('a'+g))
+				_ = srv.Create("proj", path, sharedisk.Record{Size: int64(i)})
+				_, _ = srv.Stat("proj", path)
+				_ = srv.Remove("proj", path)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,294 @@
+// Package metrics collects the per-server latency time series the paper's
+// figures plot, and derives the balance statistics (latency skew,
+// convergence time, movement counts) that EXPERIMENTS.md reports.
+//
+// The paper's instrumentation: "the latency of each server is collected
+// over a specified interval of time and written into a log file" (§7). A
+// Collector does exactly that — observations are bucketed into fixed
+// windows by completion time and summarized as per-window means.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Collector accumulates request observations into fixed windows.
+// Not safe for concurrent use (the simulator is single-threaded; the live
+// cluster wraps it in a mutex).
+type Collector struct {
+	window  float64
+	servers map[int]*serverAcc
+}
+
+type serverAcc struct {
+	counts []int
+	sums   []float64 // summed latency per window
+}
+
+// NewCollector creates a collector with the given window length in seconds
+// (the paper samples every 2 minutes).
+func NewCollector(window float64) *Collector {
+	if window <= 0 {
+		panic("metrics: window must be positive")
+	}
+	return &Collector{window: window, servers: map[int]*serverAcc{}}
+}
+
+// Observe records a request that completed at time `at` on the given server
+// with the given latency (seconds).
+func (c *Collector) Observe(server int, at, latency float64) {
+	if at < 0 || latency < 0 {
+		panic(fmt.Sprintf("metrics: negative observation at=%v latency=%v", at, latency))
+	}
+	acc := c.servers[server]
+	if acc == nil {
+		acc = &serverAcc{}
+		c.servers[server] = acc
+	}
+	w := int(at / c.window)
+	for len(acc.counts) <= w {
+		acc.counts = append(acc.counts, 0)
+		acc.sums = append(acc.sums, 0)
+	}
+	acc.counts[w]++
+	acc.sums[w] += latency
+}
+
+// Series freezes the collector into an immutable series covering exactly
+// `windows` windows — observations beyond the horizon are dropped, matching
+// the paper's fixed-duration plots. Pass 0 to size the series to the data.
+func (c *Collector) Series(windows int) *Series {
+	if windows <= 0 {
+		for _, acc := range c.servers {
+			if len(acc.counts) > windows {
+				windows = len(acc.counts)
+			}
+		}
+	}
+	s := &Series{window: c.window, windows: windows, mean: map[int][]float64{}, count: map[int][]int{}}
+	for id, acc := range c.servers {
+		means := make([]float64, windows)
+		counts := make([]int, windows)
+		for w := 0; w < windows && w < len(acc.counts); w++ {
+			counts[w] = acc.counts[w]
+			if acc.counts[w] > 0 {
+				means[w] = acc.sums[w] / float64(acc.counts[w])
+			}
+		}
+		s.mean[id] = means
+		s.count[id] = counts
+	}
+	return s
+}
+
+// Series is a frozen per-server, per-window latency series.
+type Series struct {
+	window  float64
+	windows int
+	mean    map[int][]float64
+	count   map[int][]int
+}
+
+// Window returns the window length in seconds.
+func (s *Series) Window() float64 { return s.window }
+
+// Windows returns the number of windows.
+func (s *Series) Windows() int { return s.windows }
+
+// Servers returns the observed server IDs, ascending.
+func (s *Series) Servers() []int {
+	ids := make([]int, 0, len(s.mean))
+	for id := range s.mean {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Mean returns the mean latency (seconds) of requests completed by the
+// server in window w; 0 when the server was idle.
+func (s *Series) Mean(server, w int) float64 {
+	m, ok := s.mean[server]
+	if !ok || w < 0 || w >= len(m) {
+		return 0
+	}
+	return m[w]
+}
+
+// Count returns the number of requests the server completed in window w.
+func (s *Series) Count(server, w int) int {
+	c, ok := s.count[server]
+	if !ok || w < 0 || w >= len(c) {
+		return 0
+	}
+	return c[w]
+}
+
+// OverallMean returns a server's request-weighted mean latency across all
+// windows.
+func (s *Series) OverallMean(server int) float64 {
+	var sum float64
+	var n int
+	for w := 0; w < s.windows; w++ {
+		c := s.Count(server, w)
+		sum += s.Mean(server, w) * float64(c)
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxMean returns the largest per-window mean latency any server recorded —
+// the worst point on the paper's latency plots.
+func (s *Series) MaxMean() float64 {
+	var max float64
+	for _, means := range s.mean {
+		for _, m := range means {
+			if m > max {
+				max = m
+			}
+		}
+	}
+	return max
+}
+
+// CoV returns the coefficient of variation of per-server mean latencies in
+// window w, considering only servers that completed requests. A perfectly
+// balanced window has CoV 0. Returns 0 when fewer than two servers were
+// active.
+func (s *Series) CoV(w int) float64 {
+	var ls []float64
+	for id := range s.mean {
+		if s.Count(id, w) > 0 {
+			ls = append(ls, s.Mean(id, w))
+		}
+	}
+	if len(ls) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, l := range ls {
+		mean += l
+	}
+	mean /= float64(len(ls))
+	if mean == 0 {
+		return 0
+	}
+	var sq float64
+	for _, l := range ls {
+		sq += (l - mean) * (l - mean)
+	}
+	return math.Sqrt(sq/float64(len(ls))) / mean
+}
+
+// SteadyStateCoV averages CoV over the second half of the run, after any
+// adaptive policy has had time to converge.
+func (s *Series) SteadyStateCoV() float64 {
+	if s.windows == 0 {
+		return 0
+	}
+	start := s.windows / 2
+	var sum float64
+	n := 0
+	for w := start; w < s.windows; w++ {
+		sum += s.CoV(w)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SteadyOverallMean returns the request-weighted mean latency across all
+// servers over the second half of the run — the post-convergence regime the
+// paper's "performs comparably" claims are about.
+func (s *Series) SteadyOverallMean() float64 {
+	var sum float64
+	var n int
+	for id := range s.mean {
+		for w := s.windows / 2; w < s.windows; w++ {
+			c := s.Count(id, w)
+			sum += s.Mean(id, w) * float64(c)
+			n += c
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ConvergenceWindow returns the first window after which CoV stays at or
+// below the threshold for the rest of the run, or -1 if it never does.
+func (s *Series) ConvergenceWindow(threshold float64) int {
+	conv := -1
+	for w := 0; w < s.windows; w++ {
+		if s.CoV(w) <= threshold {
+			if conv == -1 {
+				conv = w
+			}
+		} else {
+			conv = -1
+		}
+	}
+	return conv
+}
+
+// OscillationScore measures over-tuning for one server: the number of
+// window-to-window direction reversals of its latency whose amplitude
+// exceeds ampl (seconds). The paper's Figure 10(a) server 0 scores high;
+// with the three heuristics it drops to near zero.
+func (s *Series) OscillationScore(server int, ampl float64) int {
+	m, ok := s.mean[server]
+	if !ok || len(m) < 3 {
+		return 0
+	}
+	score := 0
+	prevDelta := 0.0
+	for w := 1; w < len(m); w++ {
+		d := m[w] - m[w-1]
+		if math.Abs(d) >= ampl && math.Abs(prevDelta) >= ampl && (d > 0) != (prevDelta > 0) {
+			score++
+		}
+		if math.Abs(d) >= ampl {
+			prevDelta = d
+		}
+	}
+	return score
+}
+
+// Summary condenses a series into the scalar row EXPERIMENTS.md tabulates.
+type Summary struct {
+	SteadyCoV      float64
+	MaxMean        float64
+	OverallMeanAll float64 // request-weighted mean latency across servers
+	SteadyMean     float64 // same, over the second half of the run
+}
+
+// Summarize computes the Summary.
+func (s *Series) Summarize() Summary {
+	var sum float64
+	var n int
+	for id := range s.mean {
+		for w := 0; w < s.windows; w++ {
+			c := s.Count(id, w)
+			sum += s.Mean(id, w) * float64(c)
+			n += c
+		}
+	}
+	overall := 0.0
+	if n > 0 {
+		overall = sum / float64(n)
+	}
+	return Summary{
+		SteadyCoV:      s.SteadyStateCoV(),
+		MaxMean:        s.MaxMean(),
+		OverallMeanAll: overall,
+		SteadyMean:     s.SteadyOverallMean(),
+	}
+}

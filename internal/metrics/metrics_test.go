@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestObserveBucketsByWindow(t *testing.T) {
+	c := NewCollector(60)
+	c.Observe(0, 10, 0.5)
+	c.Observe(0, 59.9, 1.5)
+	c.Observe(0, 60, 3.0)
+	s := c.Series(0)
+	if got := s.Mean(0, 0); got != 1.0 {
+		t.Fatalf("window 0 mean %v, want 1.0", got)
+	}
+	if got := s.Mean(0, 1); got != 3.0 {
+		t.Fatalf("window 1 mean %v, want 3.0", got)
+	}
+	if s.Count(0, 0) != 2 || s.Count(0, 1) != 1 {
+		t.Fatalf("counts %d/%d, want 2/1", s.Count(0, 0), s.Count(0, 1))
+	}
+}
+
+func TestSeriesPadsToRequestedWindows(t *testing.T) {
+	c := NewCollector(1)
+	c.Observe(0, 0.5, 1)
+	s := c.Series(10)
+	if s.Windows() != 10 {
+		t.Fatalf("Windows = %d, want 10", s.Windows())
+	}
+	if s.Mean(0, 7) != 0 || s.Count(0, 7) != 0 {
+		t.Fatal("padded windows must read as idle")
+	}
+}
+
+func TestIdleServerReadsZero(t *testing.T) {
+	c := NewCollector(1)
+	c.Observe(3, 0.1, 2)
+	s := c.Series(0)
+	if s.Mean(99, 0) != 0 || s.Count(99, 0) != 0 {
+		t.Fatal("unknown server must read zero")
+	}
+	if s.Mean(3, -1) != 0 || s.Mean(3, 100) != 0 {
+		t.Fatal("out-of-range window must read zero")
+	}
+}
+
+func TestServersSorted(t *testing.T) {
+	c := NewCollector(1)
+	for _, id := range []int{4, 0, 2} {
+		c.Observe(id, 0.1, 1)
+	}
+	s := c.Series(0)
+	got := s.Servers()
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("Servers = %v", got)
+	}
+}
+
+func TestNegativeObservationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative observation accepted")
+		}
+	}()
+	NewCollector(1).Observe(0, -1, 1)
+}
+
+func TestBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window accepted")
+		}
+	}()
+	NewCollector(0)
+}
+
+func TestOverallMean(t *testing.T) {
+	c := NewCollector(1)
+	c.Observe(0, 0.5, 1) // window 0: one request at 1s
+	c.Observe(0, 1.5, 2) // window 1: three requests at 2s
+	c.Observe(0, 1.6, 2)
+	c.Observe(0, 1.7, 2)
+	s := c.Series(0)
+	want := (1.0 + 6.0) / 4
+	if got := s.OverallMean(0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("OverallMean %v, want %v", got, want)
+	}
+	if s.OverallMean(42) != 0 {
+		t.Fatal("OverallMean of unknown server should be 0")
+	}
+}
+
+func TestCoVBalancedVsSkewed(t *testing.T) {
+	c := NewCollector(1)
+	for id := 0; id < 4; id++ {
+		c.Observe(id, 0.1, 10) // balanced window 0
+	}
+	c.Observe(0, 1.1, 100) // skewed window 1
+	c.Observe(1, 1.1, 1)
+	c.Observe(2, 1.1, 1)
+	c.Observe(3, 1.1, 1)
+	s := c.Series(0)
+	if got := s.CoV(0); got != 0 {
+		t.Fatalf("balanced CoV %v, want 0", got)
+	}
+	if got := s.CoV(1); got < 1 {
+		t.Fatalf("skewed CoV %v, want > 1", got)
+	}
+}
+
+func TestCoVFewActiveServers(t *testing.T) {
+	c := NewCollector(1)
+	c.Observe(0, 0.1, 5)
+	s := c.Series(0)
+	if got := s.CoV(0); got != 0 {
+		t.Fatalf("single-server CoV %v, want 0", got)
+	}
+}
+
+func TestSteadyStateCoV(t *testing.T) {
+	c := NewCollector(1)
+	// First half wildly skewed, second half balanced.
+	for w := 0; w < 10; w++ {
+		at := float64(w) + 0.5
+		if w < 5 {
+			c.Observe(0, at, 100)
+			c.Observe(1, at, 1)
+		} else {
+			c.Observe(0, at, 10)
+			c.Observe(1, at, 10)
+		}
+	}
+	s := c.Series(0)
+	if got := s.SteadyStateCoV(); got != 0 {
+		t.Fatalf("steady CoV %v, want 0 (second half balanced)", got)
+	}
+}
+
+func TestConvergenceWindow(t *testing.T) {
+	c := NewCollector(1)
+	for w := 0; w < 8; w++ {
+		at := float64(w) + 0.5
+		if w < 3 {
+			c.Observe(0, at, 100)
+			c.Observe(1, at, 1)
+		} else {
+			c.Observe(0, at, 10)
+			c.Observe(1, at, 10.1)
+		}
+	}
+	s := c.Series(0)
+	if got := s.ConvergenceWindow(0.1); got != 3 {
+		t.Fatalf("ConvergenceWindow %d, want 3", got)
+	}
+	// CoV of {10, 10.1} ≈ 0.005: a tighter threshold is never met.
+	if got := s.ConvergenceWindow(0.001); got != -1 {
+		t.Fatalf("tight ConvergenceWindow %d, want -1", got)
+	}
+}
+
+func TestConvergenceNever(t *testing.T) {
+	c := NewCollector(1)
+	for w := 0; w < 4; w++ {
+		at := float64(w) + 0.5
+		c.Observe(0, at, 100)
+		c.Observe(1, at, 1)
+	}
+	s := c.Series(0)
+	if got := s.ConvergenceWindow(0.1); got != -1 {
+		t.Fatalf("ConvergenceWindow %d, want -1", got)
+	}
+}
+
+func TestOscillationScore(t *testing.T) {
+	c := NewCollector(1)
+	// Server 0 flaps between 0 and 50 every window — the paper's
+	// over-tuning signature.
+	for w := 0; w < 10; w++ {
+		at := float64(w) + 0.5
+		if w%2 == 0 {
+			c.Observe(0, at, 50)
+		} else {
+			c.Observe(0, at, 0.001)
+		}
+		c.Observe(1, at, 10) // stable server
+	}
+	s := c.Series(0)
+	if got := s.OscillationScore(0, 10); got < 5 {
+		t.Fatalf("flapping server oscillation %d, want >= 5", got)
+	}
+	if got := s.OscillationScore(1, 10); got != 0 {
+		t.Fatalf("stable server oscillation %d, want 0", got)
+	}
+	if got := s.OscillationScore(99, 10); got != 0 {
+		t.Fatalf("unknown server oscillation %d, want 0", got)
+	}
+}
+
+func TestMaxMeanAndSummary(t *testing.T) {
+	c := NewCollector(1)
+	c.Observe(0, 0.5, 5)
+	c.Observe(1, 0.5, 1)
+	c.Observe(0, 1.5, 2)
+	c.Observe(1, 1.5, 2)
+	s := c.Series(0)
+	if got := s.MaxMean(); got != 5 {
+		t.Fatalf("MaxMean %v, want 5", got)
+	}
+	sum := s.Summarize()
+	if sum.MaxMean != 5 {
+		t.Fatalf("Summary.MaxMean %v", sum.MaxMean)
+	}
+	want := (5.0 + 1 + 2 + 2) / 4
+	if math.Abs(sum.OverallMeanAll-want) > 1e-12 {
+		t.Fatalf("Summary.OverallMeanAll %v, want %v", sum.OverallMeanAll, want)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewCollector(1).Series(0)
+	if s.Windows() != 0 || s.SteadyStateCoV() != 0 || s.MaxMean() != 0 {
+		t.Fatal("empty series misreports")
+	}
+	sum := s.Summarize()
+	if sum.OverallMeanAll != 0 {
+		t.Fatal("empty summary misreports")
+	}
+}

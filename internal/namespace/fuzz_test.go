@@ -1,0 +1,54 @@
+package namespace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzClean hardens path canonicalization: no panic, and accepted paths are
+// absolute, slash-normalized fixpoints of Clean.
+func FuzzClean(f *testing.F) {
+	f.Add("/")
+	f.Add("/a//b/")
+	f.Add("a/b")
+	f.Add("/a/../b")
+	f.Add("///")
+	f.Add("/ / /")
+	f.Fuzz(func(t *testing.T, in string) {
+		out, err := Clean(in)
+		if err != nil {
+			return
+		}
+		if !strings.HasPrefix(out, "/") {
+			t.Fatalf("Clean(%q) = %q not absolute", in, out)
+		}
+		if out != "/" && strings.HasSuffix(out, "/") {
+			t.Fatalf("Clean(%q) = %q has trailing slash", in, out)
+		}
+		if strings.Contains(out, "//") {
+			t.Fatalf("Clean(%q) = %q contains //", in, out)
+		}
+		again, err := Clean(out)
+		if err != nil || again != out {
+			t.Fatalf("Clean not a fixpoint: %q -> %q -> %q (%v)", in, out, again, err)
+		}
+	})
+}
+
+// FuzzResolve: resolution over an arbitrary mount table never panics and
+// always returns a mounted file set with a rooted relative path.
+func FuzzResolve(f *testing.F) {
+	f.Add("/projects/alpha/x", "/projects", "fsP")
+	f.Add("/x", "/", "fsRoot")
+	f.Fuzz(func(t *testing.T, path, prefix, fs string) {
+		tab := New()
+		_ = tab.Mount(prefix, fs)
+		got, rel, err := tab.Resolve(path)
+		if err != nil {
+			return
+		}
+		if got == "" || !strings.HasPrefix(rel, "/") {
+			t.Fatalf("Resolve(%q) = (%q, %q)", path, got, rel)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+// Package namespace maps the global file-system namespace onto file sets.
+// In the paper's architecture a file set "is a subtree of the global file
+// system namespace" (§2), so clients address files by global path and the
+// system resolves the path to (file set, relative path) before hashing the
+// file-set name for placement. The mount table is tiny, changes rarely
+// (an administrative operation), and is replicated like the server map.
+package namespace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mount binds a namespace subtree to a file set.
+type Mount struct {
+	Prefix  string // absolute, cleaned, e.g. "/projects/alpha"
+	FileSet string
+}
+
+// Table is the mount table. Safe for concurrent use. Resolution is
+// longest-prefix match over whole path components, so nested mounts work:
+// with "/" → fs-root and "/projects" → fs-proj, "/projects/x" resolves to
+// fs-proj and "/progress" to fs-root.
+type Table struct {
+	mu   sync.RWMutex
+	root *node
+	n    int
+}
+
+type node struct {
+	children map[string]*node
+	fileSet  string // non-empty if a mount ends here
+}
+
+// New creates an empty table.
+func New() *Table {
+	return &Table{root: &node{children: map[string]*node{}}}
+}
+
+// Clean canonicalizes a path: ensures a leading slash, collapses repeated
+// slashes, strips a trailing slash (except for the root).
+func Clean(path string) (string, error) {
+	if path == "" || path[0] != '/' {
+		return "", fmt.Errorf("namespace: path %q must be absolute", path)
+	}
+	parts := split(path)
+	for _, p := range parts {
+		if p == "." || p == ".." {
+			return "", fmt.Errorf("namespace: path %q must not contain . or ..", path)
+		}
+	}
+	return "/" + strings.Join(parts, "/"), nil
+}
+
+func split(path string) []string {
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+// Mount binds prefix to fileSet. Mounting over an existing mount point is
+// an error (unmount first); nesting under or above existing mounts is fine.
+func (t *Table) Mount(prefix, fileSet string) error {
+	if fileSet == "" {
+		return fmt.Errorf("namespace: empty file set")
+	}
+	cleaned, err := Clean(prefix)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.root
+	for _, part := range split(cleaned) {
+		next, ok := cur.children[part]
+		if !ok {
+			next = &node{children: map[string]*node{}}
+			cur.children[part] = next
+		}
+		cur = next
+	}
+	if cur.fileSet != "" {
+		return fmt.Errorf("namespace: %s already mounts %s", cleaned, cur.fileSet)
+	}
+	cur.fileSet = fileSet
+	t.n++
+	return nil
+}
+
+// Unmount removes the mount at prefix.
+func (t *Table) Unmount(prefix string) error {
+	cleaned, err := Clean(prefix)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.root
+	for _, part := range split(cleaned) {
+		next, ok := cur.children[part]
+		if !ok {
+			return fmt.Errorf("namespace: %s is not a mount point", cleaned)
+		}
+		cur = next
+	}
+	if cur.fileSet == "" {
+		return fmt.Errorf("namespace: %s is not a mount point", cleaned)
+	}
+	cur.fileSet = ""
+	t.n--
+	// Empty trie branches are left in place; the table is tiny and mounts
+	// churn rarely, so pruning is not worth the code.
+	return nil
+}
+
+// Resolve maps a global path to its file set and the path relative to the
+// mount point (always beginning with "/"; the mount point itself resolves
+// to "/").
+func (t *Table) Resolve(path string) (fileSet, rel string, err error) {
+	cleaned, err := Clean(path)
+	if err != nil {
+		return "", "", err
+	}
+	parts := split(cleaned)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cur := t.root
+	bestFS := cur.fileSet
+	bestDepth := 0
+	for i, part := range parts {
+		next, ok := cur.children[part]
+		if !ok {
+			break
+		}
+		cur = next
+		if cur.fileSet != "" {
+			bestFS = cur.fileSet
+			bestDepth = i + 1
+		}
+	}
+	if bestFS == "" {
+		return "", "", fmt.Errorf("namespace: no file set mounted above %s", cleaned)
+	}
+	return bestFS, "/" + strings.Join(parts[bestDepth:], "/"), nil
+}
+
+// Mounts lists the table's mounts sorted by prefix.
+func (t *Table) Mounts() []Mount {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Mount
+	var walk func(prefix string, n *node)
+	walk = func(prefix string, n *node) {
+		if n.fileSet != "" {
+			p := prefix
+			if p == "" {
+				p = "/"
+			}
+			out = append(out, Mount{Prefix: p, FileSet: n.fileSet})
+		}
+		for part, child := range n.children {
+			walk(prefix+"/"+part, child)
+		}
+	}
+	walk("", t.root)
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+// Len reports the number of mounts.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}

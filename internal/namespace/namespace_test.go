@@ -1,0 +1,163 @@
+package namespace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustMount(t *testing.T, tab *Table, prefix, fs string) {
+	t.Helper()
+	if err := tab.Mount(prefix, fs); err != nil {
+		t.Fatalf("Mount(%s, %s): %v", prefix, fs, err)
+	}
+}
+
+func TestResolveLongestPrefix(t *testing.T) {
+	tab := New()
+	mustMount(t, tab, "/", "fs-root")
+	mustMount(t, tab, "/projects", "fs-proj")
+	mustMount(t, tab, "/projects/alpha", "fs-alpha")
+
+	cases := []struct{ path, fs, rel string }{
+		{"/readme.txt", "fs-root", "/readme.txt"},
+		{"/progress/x", "fs-root", "/progress/x"}, // no component-boundary confusion
+		{"/projects", "fs-proj", "/"},
+		{"/projects/beta/doc", "fs-proj", "/beta/doc"},
+		{"/projects/alpha", "fs-alpha", "/"},
+		{"/projects/alpha/src/main.go", "fs-alpha", "/src/main.go"},
+		{"/", "fs-root", "/"},
+	}
+	for _, c := range cases {
+		fs, rel, err := tab.Resolve(c.path)
+		if err != nil {
+			t.Fatalf("Resolve(%s): %v", c.path, err)
+		}
+		if fs != c.fs || rel != c.rel {
+			t.Fatalf("Resolve(%s) = (%s, %s), want (%s, %s)", c.path, fs, rel, c.fs, c.rel)
+		}
+	}
+}
+
+func TestResolveNoMount(t *testing.T) {
+	tab := New()
+	mustMount(t, tab, "/data", "fs-data")
+	if _, _, err := tab.Resolve("/other/file"); err == nil {
+		t.Fatal("resolved a path with no covering mount")
+	}
+}
+
+func TestMountValidation(t *testing.T) {
+	tab := New()
+	if err := tab.Mount("relative/path", "fs"); err == nil {
+		t.Fatal("relative mount accepted")
+	}
+	if err := tab.Mount("/x", ""); err == nil {
+		t.Fatal("empty file set accepted")
+	}
+	if err := tab.Mount("/a/../b", "fs"); err == nil {
+		t.Fatal("dot-dot path accepted")
+	}
+	mustMount(t, tab, "/x", "fs1")
+	if err := tab.Mount("/x", "fs2"); err == nil {
+		t.Fatal("double mount accepted")
+	}
+	if err := tab.Mount("/x/", "fs2"); err == nil {
+		t.Fatal("double mount via trailing slash accepted")
+	}
+}
+
+func TestUnmount(t *testing.T) {
+	tab := New()
+	mustMount(t, tab, "/", "fs-root")
+	mustMount(t, tab, "/p", "fs-p")
+	if err := tab.Unmount("/p"); err != nil {
+		t.Fatal(err)
+	}
+	fs, rel, err := tab.Resolve("/p/file")
+	if err != nil || fs != "fs-root" || rel != "/p/file" {
+		t.Fatalf("after unmount: (%s, %s, %v)", fs, rel, err)
+	}
+	if err := tab.Unmount("/p"); err == nil {
+		t.Fatal("double unmount accepted")
+	}
+	if err := tab.Unmount("/nonexistent"); err == nil {
+		t.Fatal("unmount of non-mount accepted")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestCleanNormalization(t *testing.T) {
+	cases := map[string]string{
+		"/":      "/",
+		"/a//b/": "/a/b",
+		"///x":   "/x",
+		"/a/b/c": "/a/b/c",
+	}
+	for in, want := range cases {
+		got, err := Clean(in)
+		if err != nil || got != want {
+			t.Fatalf("Clean(%q) = (%q, %v), want %q", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "a/b", "/a/./b", "/../x"} {
+		if _, err := Clean(bad); err == nil {
+			t.Fatalf("Clean(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMountsSorted(t *testing.T) {
+	tab := New()
+	mustMount(t, tab, "/z", "fz")
+	mustMount(t, tab, "/a", "fa")
+	mustMount(t, tab, "/", "froot")
+	ms := tab.Mounts()
+	if len(ms) != 3 {
+		t.Fatalf("Mounts = %v", ms)
+	}
+	if ms[0].Prefix != "/" || ms[1].Prefix != "/a" || ms[2].Prefix != "/z" {
+		t.Fatalf("Mounts not sorted: %v", ms)
+	}
+	if ms[0].FileSet != "froot" {
+		t.Fatalf("root mount = %+v", ms[0])
+	}
+}
+
+func TestRootMountResolvesEverything(t *testing.T) {
+	tab := New()
+	mustMount(t, tab, "/", "everything")
+	for _, p := range []string{"/", "/a", "/a/b/c/d/e"} {
+		fs, _, err := tab.Resolve(p)
+		if err != nil || fs != "everything" {
+			t.Fatalf("Resolve(%s) = %s, %v", p, fs, err)
+		}
+	}
+}
+
+func TestConcurrentResolve(t *testing.T) {
+	tab := New()
+	mustMount(t, tab, "/", "root")
+	for i := 0; i < 20; i++ {
+		mustMount(t, tab, fmt.Sprintf("/m%d", i), fmt.Sprintf("fs%d", i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p := fmt.Sprintf("/m%d/file%d", (g+i)%20, i)
+				fs, _, err := tab.Resolve(p)
+				if err != nil || !strings.HasPrefix(fs, "fs") {
+					t.Errorf("Resolve(%s) = %s, %v", p, fs, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

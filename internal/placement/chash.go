@@ -1,0 +1,110 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"anufs/internal/hashfam"
+)
+
+// ConsistentHash is a Chord/Pastry-style baseline (paper §3): servers and
+// file sets hash onto a ring, each file set is served by the first server
+// clockwise from its point, and virtual nodes smooth the variance. Like
+// ANU it needs no per-file-set state and moves little on membership
+// change; unlike ANU the server positions are fixed by hashing, so it is
+// "not sensitive to object workload heterogeneity and cannot maintain load
+// balancing in the situation where objects have heterogeneous access costs
+// and frequencies" (§3) — the gap the sieve/dht experiments quantify.
+type ConsistentHash struct {
+	seed   uint64
+	vnodes int
+	fam    *hashfam.Family
+	ring   []ringEntry // sorted by point
+}
+
+type ringEntry struct {
+	point  uint64
+	server int
+}
+
+// NewConsistentHash creates the baseline with the given number of virtual
+// nodes per server (classic DHTs use O(log n); 32 is a generous default
+// that flatters the baseline).
+func NewConsistentHash(seed uint64, vnodes int) *ConsistentHash {
+	if vnodes < 1 {
+		vnodes = 32
+	}
+	return &ConsistentHash{seed: seed, vnodes: vnodes}
+}
+
+// Name implements Policy.
+func (p *ConsistentHash) Name() string { return "consistent-hash" }
+
+// Init implements Policy.
+func (p *ConsistentHash) Init(servers []int, _ []string) error {
+	if len(servers) == 0 {
+		return fmt.Errorf("placement: no servers")
+	}
+	p.fam = hashfam.New(p.seed, 0)
+	p.ring = p.ring[:0]
+	for _, id := range servers {
+		p.addServer(id)
+	}
+	sort.Slice(p.ring, func(a, b int) bool { return p.ring[a].point < p.ring[b].point })
+	return nil
+}
+
+func (p *ConsistentHash) addServer(id int) {
+	for v := 0; v < p.vnodes; v++ {
+		name := fmt.Sprintf("srv-%d-vn-%d", id, v)
+		p.ring = append(p.ring, ringEntry{point: p.fam.Point64(name, 0), server: id})
+	}
+}
+
+// Owner implements Policy: first ring entry clockwise from the point.
+func (p *ConsistentHash) Owner(fileSet string) int {
+	pt := p.fam.Point64(fileSet, 0)
+	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].point >= pt })
+	if i == len(p.ring) {
+		i = 0 // wrap
+	}
+	return p.ring[i].server
+}
+
+// Reconfigure implements Policy; consistent hashing never adapts.
+func (p *ConsistentHash) Reconfigure(float64, []Report) error { return nil }
+
+// ServerDown implements MembershipHandler: remove the server's virtual
+// nodes; its arcs fall to the clockwise successors (minimal movement, the
+// DHT property).
+func (p *ConsistentHash) ServerDown(id int) error {
+	kept := p.ring[:0]
+	removed := 0
+	for _, e := range p.ring {
+		if e.server == id {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if removed == 0 {
+		return fmt.Errorf("placement: consistent-hash: unknown server %d", id)
+	}
+	if len(kept) == 0 {
+		return fmt.Errorf("placement: consistent-hash: cannot remove last server")
+	}
+	p.ring = kept
+	return nil
+}
+
+// ServerUp implements MembershipHandler.
+func (p *ConsistentHash) ServerUp(id int) error {
+	for _, e := range p.ring {
+		if e.server == id {
+			return fmt.Errorf("placement: consistent-hash: server %d already present", id)
+		}
+	}
+	p.addServer(id)
+	sort.Slice(p.ring, func(a, b int) bool { return p.ring[a].point < p.ring[b].point })
+	return nil
+}

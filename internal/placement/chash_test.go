@@ -1,0 +1,133 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestConsistentHashCoversAndBalancesCounts(t *testing.T) {
+	p := NewConsistentHash(1, 64)
+	fss := fsNames(2000)
+	if err := p.Init(testServers, fss); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, fs := range fss {
+		counts[p.Owner(fs)]++
+	}
+	if len(counts) != len(testServers) {
+		t.Fatalf("only %d servers used", len(counts))
+	}
+	// With 64 vnodes the count balance should be within ~2x.
+	min, max := 1<<30, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max > 3*min {
+		t.Fatalf("vnode balance poor: counts %v", counts)
+	}
+}
+
+func TestConsistentHashDeterministic(t *testing.T) {
+	a, b := NewConsistentHash(9, 16), NewConsistentHash(9, 16)
+	fss := fsNames(100)
+	if err := a.Init(testServers, fss); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Init(testServers, fss); err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range fss {
+		if a.Owner(fs) != b.Owner(fs) {
+			t.Fatalf("same seed disagrees on %s", fs)
+		}
+	}
+	if err := a.Reconfigure(120, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsistentHashMinimalMovementOnFailure(t *testing.T) {
+	p := NewConsistentHash(3, 64)
+	fss := fsNames(3000)
+	if err := p.Init(testServers, fss); err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]int{}
+	victimOwned := 0
+	for _, fs := range fss {
+		before[fs] = p.Owner(fs)
+		if before[fs] == 2 {
+			victimOwned++
+		}
+	}
+	if err := p.ServerDown(2); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, fs := range fss {
+		now := p.Owner(fs)
+		if now == 2 {
+			t.Fatalf("%s still on removed server", fs)
+		}
+		if now != before[fs] {
+			moved++
+		}
+	}
+	// The DHT property: only the victim's file sets move.
+	if moved != victimOwned {
+		t.Fatalf("moved %d, victim owned %d — consistent hashing must move exactly the victim's sets", moved, victimOwned)
+	}
+	if err := p.ServerUp(2); err != nil {
+		t.Fatal(err)
+	}
+	// Rejoin restores the original assignment exactly.
+	for _, fs := range fss {
+		if p.Owner(fs) != before[fs] {
+			t.Fatalf("%s not restored after rejoin", fs)
+		}
+	}
+}
+
+func TestConsistentHashMembershipErrors(t *testing.T) {
+	p := NewConsistentHash(1, 8)
+	if err := p.Init([]int{0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ServerDown(9); err == nil {
+		t.Fatal("unknown ServerDown succeeded")
+	}
+	if err := p.ServerDown(0); err == nil {
+		t.Fatal("removing last server succeeded")
+	}
+	if err := p.ServerUp(0); err == nil {
+		t.Fatal("duplicate ServerUp succeeded")
+	}
+	if err := NewConsistentHash(1, 8).Init(nil, nil); err == nil {
+		t.Fatal("no servers accepted")
+	}
+}
+
+func TestConsistentHashVnodeDefault(t *testing.T) {
+	p := NewConsistentHash(1, 0)
+	if err := p.Init([]int{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[p.Owner(fmt.Sprintf("d%d", i))] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("defaulted vnodes use %d servers", len(seen))
+	}
+}
+
+var (
+	_ Policy            = (*ConsistentHash)(nil)
+	_ MembershipHandler = (*ConsistentHash)(nil)
+)

@@ -1,0 +1,176 @@
+// Package plot renders the experiment output: CSV files and gnuplot scripts
+// matching the paper's figure format (per-server latency vs. time), plus an
+// ASCII chart for quick terminal inspection.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"anufs/internal/metrics"
+)
+
+// WriteCSV emits a latency series as CSV: one row per window with the time
+// in minutes and one column of mean latency (milliseconds) per server —
+// exactly the data behind a panel of Figures 6–11.
+func WriteCSV(w io.Writer, s *metrics.Series) error {
+	servers := s.Servers()
+	cols := make([]string, 0, len(servers)+1)
+	cols = append(cols, "time_min")
+	for _, id := range servers {
+		cols = append(cols, fmt.Sprintf("server%d_ms", id))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for win := 0; win < s.Windows(); win++ {
+		row := make([]string, 0, len(servers)+1)
+		// Stamp each window at its end, like the paper's sampled log.
+		tMin := float64(win+1) * s.Window() / 60
+		row = append(row, fmt.Sprintf("%.2f", tMin))
+		for _, id := range servers {
+			row = append(row, fmt.Sprintf("%.3f", s.Mean(id, win)*1000))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGnuplot emits a gnuplot script that renders the CSV produced by
+// WriteCSV in the paper's style (latency in ms vs. time in minutes, one
+// line per server).
+func WriteGnuplot(w io.Writer, title, csvPath, outPath string, servers []int) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "set terminal pngcairo size 800,500\n")
+	fmt.Fprintf(&b, "set output %q\n", outPath)
+	fmt.Fprintf(&b, "set title %q\n", title)
+	fmt.Fprintf(&b, "set xlabel \"Time (m)\"\n")
+	fmt.Fprintf(&b, "set ylabel \"Latency (ms)\"\n")
+	fmt.Fprintf(&b, "set datafile separator \",\"\n")
+	fmt.Fprintf(&b, "set key top left\n")
+	fmt.Fprintf(&b, "plot ")
+	for i, id := range servers {
+		if i > 0 {
+			fmt.Fprintf(&b, ", \\\n     ")
+		}
+		fmt.Fprintf(&b, "%q using 1:%d with linespoints title \"server %d\"", csvPath, i+2, id)
+	}
+	fmt.Fprintln(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ASCII renders the series as a terminal line chart of the given size.
+// Each server gets a distinct digit marker; overlapping points show the
+// later server. The result mirrors the shape of the paper's figures well
+// enough to eyeball convergence and oscillation.
+func ASCII(s *metrics.Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	servers := s.Servers()
+	wins := s.Windows()
+	if wins == 0 || len(servers) == 0 {
+		return "(no data)\n"
+	}
+	maxMs := s.MaxMean() * 1000
+	if maxMs <= 0 {
+		maxMs = 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, id := range servers {
+		marker := rune('0' + si%10)
+		for win := 0; win < wins; win++ {
+			x := 0
+			if wins > 1 {
+				x = win * (width - 1) / (wins - 1)
+			}
+			v := s.Mean(id, win) * 1000
+			y := int(math.Round(v / maxMs * float64(height-1)))
+			if y > height-1 {
+				y = height - 1
+			}
+			row := height - 1 - y
+			grid[row][x] = marker
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.1f ms ┤%s\n", maxMs, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%11s ┤%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8.1f ms └%s\n", 0.0, strings.Repeat("─", width))
+	durMin := float64(wins) * s.Window() / 60
+	fmt.Fprintf(&b, "%12s 0%smin %.0f\n", "", strings.Repeat(" ", width-8), durMin)
+	legend := make([]string, 0, len(servers))
+	for si, id := range servers {
+		legend = append(legend, fmt.Sprintf("%d=server%d", si%10, id))
+	}
+	fmt.Fprintf(&b, "%12s %s\n", "", strings.Join(legend, " "))
+	return b.String()
+}
+
+// SummaryTable renders rows of per-policy summary statistics as an aligned
+// text table, the form EXPERIMENTS.md embeds.
+type SummaryRow struct {
+	Label     string
+	Summary   metrics.Summary
+	Moves     int
+	ExtraCols map[string]string
+}
+
+// WriteSummaryTable emits the rows as a Markdown table. Extra columns are
+// merged across rows and sorted by name.
+func WriteSummaryTable(w io.Writer, rows []SummaryRow) error {
+	extraNames := map[string]bool{}
+	for _, r := range rows {
+		for k := range r.ExtraCols {
+			extraNames[k] = true
+		}
+	}
+	extras := make([]string, 0, len(extraNames))
+	for k := range extraNames {
+		extras = append(extras, k)
+	}
+	sort.Strings(extras)
+	header := []string{"policy", "mean latency (ms)", "steady mean (ms)", "max window (ms)", "steady CoV", "moves"}
+	header = append(header, extras...)
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		cells := []string{
+			r.Label,
+			fmt.Sprintf("%.2f", r.Summary.OverallMeanAll*1000),
+			fmt.Sprintf("%.2f", r.Summary.SteadyMean*1000),
+			fmt.Sprintf("%.2f", r.Summary.MaxMean*1000),
+			fmt.Sprintf("%.3f", r.Summary.SteadyCoV),
+			fmt.Sprintf("%d", r.Moves),
+		}
+		for _, k := range extras {
+			cells = append(cells, r.ExtraCols[k])
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

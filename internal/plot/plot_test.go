@@ -1,0 +1,101 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"anufs/internal/metrics"
+)
+
+func sampleSeries() *metrics.Series {
+	c := metrics.NewCollector(60)
+	c.Observe(0, 30, 0.010)
+	c.Observe(1, 30, 0.020)
+	c.Observe(0, 90, 0.015)
+	c.Observe(1, 90, 0.005)
+	return c.Series(2)
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header+2", len(lines))
+	}
+	if lines[0] != "time_min,server0_ms,server1_ms" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1.00,10.000,20.000") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "2.00,15.000,5.000") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteGnuplot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGnuplot(&buf, "Fig 6: ANU", "fig6.csv", "fig6.png", []int{0, 1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`set output "fig6.png"`,
+		`set title "Fig 6: ANU"`,
+		`"fig6.csv" using 1:2`,
+		`using 1:4 with linespoints title "server 4"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gnuplot script missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestASCIIContainsMarkersAndAxis(t *testing.T) {
+	out := ASCII(sampleSeries(), 40, 10)
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ms") || !strings.Contains(out, "min") {
+		t.Fatalf("axes missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0=server0 1=server1") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestASCIIEmptySeries(t *testing.T) {
+	s := metrics.NewCollector(60).Series(0)
+	if got := ASCII(s, 40, 10); got != "(no data)\n" {
+		t.Fatalf("empty ASCII = %q", got)
+	}
+}
+
+func TestASCIIClampsTinyDimensions(t *testing.T) {
+	out := ASCII(sampleSeries(), 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output for tiny dimensions")
+	}
+}
+
+func TestWriteSummaryTable(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []SummaryRow{
+		{Label: "anu", Summary: metrics.Summary{SteadyCoV: 0.2, MaxMean: 0.08, OverallMeanAll: 0.02, SteadyMean: 0.018}, Moves: 12,
+			ExtraCols: map[string]string{"probes": "2.0"}},
+		{Label: "prescient", Summary: metrics.Summary{SteadyCoV: 0.1, MaxMean: 0.05, OverallMeanAll: 0.015, SteadyMean: 0.014}, Moves: 3},
+	}
+	if err := WriteSummaryTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"| policy |", "| anu | 20.00 | 18.00 | 80.00 | 0.200 | 12 | 2.0 |", "| prescient | 15.00 | 14.00 | 50.00 | 0.100 | 3 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package rng provides deterministic pseudo-random number streams and the
+// distributions the simulator and workload generators need.
+//
+// The simulator must be bit-for-bit reproducible across runs and platforms,
+// so we implement the generators from scratch rather than depending on the
+// process-global state in math/rand. Every stream is seeded explicitly and
+// two streams with different seeds are statistically independent for our
+// purposes (splitmix64 seeding of xoshiro256**).
+package rng
+
+import "math"
+
+// Stream is a deterministic pseudo-random number stream. It is NOT safe for
+// concurrent use; give each goroutine (or each simulated entity) its own
+// Stream, derived with Split or NewStream.
+type Stream struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the given state and returns the next output. It is
+// used both for seeding xoshiro and as the hash finalizer in hashfam.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewStream returns a stream seeded from the given 64-bit seed. Distinct
+// seeds yield distinct, well-mixed streams; a zero seed is valid.
+func NewStream(seed uint64) *Stream {
+	st := &Stream{}
+	x := seed
+	for i := range st.s {
+		st.s[i] = splitmix64(&x)
+	}
+	// xoshiro requires a not-all-zero state; splitmix64 of any seed cannot
+	// produce four zero outputs, but guard anyway.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 1
+	}
+	return st
+}
+
+// Split derives an independent child stream. The parent advances, so
+// successive Splits return different children.
+func (r *Stream) Split() *Stream {
+	return NewStream(r.Uint64() ^ 0x632be59bd9b4e019)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits (xoshiro256**).
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded values.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul128(v, un)
+	if lo < un {
+		thresh := (-un) % un
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul128(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	w1 := t & mask
+	w2 := t >> 32
+	t = aLo*bHi + w1
+	hi = aHi*bHi + w2 + (t >> 32)
+	lo |= (t & mask) << 32
+	return hi, lo
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	// 1-Float64() is in (0,1], so Log never sees zero.
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Poisson returns a Poisson-distributed count with the given mean. For large
+// means it uses the PTRS transformed-rejection method; for small means,
+// Knuth's product method.
+func (r *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		// Knuth: multiply uniforms until the product drops below e^-mean.
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// PTRS (Hörmann 1993).
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*math.Log(mean)-mean-logGamma(k+1) {
+			return int(k)
+		}
+	}
+}
+
+// logGamma computes ln Γ(x) via the Lanczos approximation (x > 0).
+func logGamma(x float64) float64 {
+	lg, _ := math.Lgamma(x)
+	return lg
+}
+
+// LogUniform10 returns 10^(span*x) with x ~ U[0,1). With span = 3 this is the
+// paper's synthetic file-set weight distribution w = 10^(3x), spanning three
+// decades of workload heterogeneity.
+func (r *Stream) LogUniform10(span float64) float64 {
+	return math.Pow(10, span*r.Float64())
+}
+
+// Zipf returns a value in [0, n) drawn from a Zipf distribution with exponent
+// s over ranks 1..n (rank 0 is most popular). It uses inverse-CDF over the
+// precomputed table in z; build the table once with NewZipf.
+type Zipf struct {
+	cdf []float64
+	rs  *Stream
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0, drawing
+// from stream r. The construction is O(n).
+func NewZipf(r *Stream, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rs: r}
+}
+
+// Next returns the next Zipf-distributed rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rs.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Shuffle permutes the first n indices, calling swap as math/rand does.
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation (Marsaglia polar method).
+func (r *Stream) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}

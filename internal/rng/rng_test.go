@@ -1,0 +1,315 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := NewStream(1)
+	b := NewStream(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with distinct seeds produced %d identical values", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := NewStream(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-seeded stream produced repeats in first 100 draws: %d unique", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewStream(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling child streams produced identical first value")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewStream(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewStream(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewStream(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewStream(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.08*want {
+			t.Fatalf("Intn bucket %d count %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewStream(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewStream(13)
+	const rate, n = 2.5, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(rate)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("Exp mean %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestExpPanicsOnNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	NewStream(1).Exp(0)
+}
+
+func TestPoissonSmallMean(t *testing.T) {
+	r := NewStream(17)
+	const mean, n = 4.0, 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Poisson(mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-mean) > 0.05 {
+		t.Fatalf("Poisson(%v) sample mean %v", mean, got)
+	}
+}
+
+func TestPoissonLargeMean(t *testing.T) {
+	r := NewStream(19)
+	const mean, n = 200.0, 50000
+	sum := 0.0
+	sumSq := 0.0
+	for i := 0; i < n; i++ {
+		v := float64(r.Poisson(mean))
+		sum += v
+		sumSq += v * v
+	}
+	gotMean := sum / n
+	gotVar := sumSq/n - gotMean*gotMean
+	if math.Abs(gotMean-mean) > 1.0 {
+		t.Fatalf("Poisson(%v) sample mean %v", mean, gotMean)
+	}
+	// Poisson variance equals the mean.
+	if math.Abs(gotVar-mean) > 8.0 {
+		t.Fatalf("Poisson(%v) sample variance %v, want ~%v", mean, gotVar, mean)
+	}
+}
+
+func TestPoissonZeroAndNegativeMean(t *testing.T) {
+	r := NewStream(1)
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-3); got != 0 {
+		t.Fatalf("Poisson(-3) = %d, want 0", got)
+	}
+}
+
+func TestLogUniform10Range(t *testing.T) {
+	r := NewStream(23)
+	min, max := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 100000; i++ {
+		v := r.LogUniform10(3)
+		if v < 1 || v >= 1000 {
+			t.Fatalf("LogUniform10(3) = %v out of [1,1000)", v)
+		}
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	// With 100k draws we should explore nearly the full span.
+	if min > 1.2 || max < 800 {
+		t.Fatalf("LogUniform10(3) span [%v,%v] too narrow", min, max)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewStream(29)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] || counts[0] <= counts[99] {
+		t.Fatalf("Zipf rank 0 (%d) not more popular than ranks 50 (%d) / 99 (%d)",
+			counts[0], counts[50], counts[99])
+	}
+	// Rank-0 frequency should approximate 1/H_100 ~ 0.193.
+	got := float64(counts[0]) / 100000
+	if math.Abs(got-0.193) > 0.02 {
+		t.Fatalf("Zipf rank-0 frequency %v, want ~0.193", got)
+	}
+}
+
+func TestZipfPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0 ranks) did not panic")
+		}
+	}()
+	NewZipf(NewStream(1), 0, 1)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewStream(seed)
+		n := 1 + int(seed%64)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewStream(31)
+	const mean, sd, n = 10.0, 2.0, 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(mean, sd)
+		sum += v
+		sumSq += v * v
+	}
+	gotMean := sum / n
+	gotSD := math.Sqrt(sumSq/n - gotMean*gotMean)
+	if math.Abs(gotMean-mean) > 0.05 || math.Abs(gotSD-sd) > 0.05 {
+		t.Fatalf("Normal moments mean=%v sd=%v, want %v/%v", gotMean, gotSD, mean, sd)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewStream(37)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(-5, 7)
+		if v < -5 || v >= 7 {
+			t.Fatalf("Uniform(-5,7) = %v out of range", v)
+		}
+	}
+}
+
+func TestMul128KnownValues(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul128(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul128(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := NewStream(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := NewStream(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Exp(1)
+	}
+	_ = sink
+}
+
+func BenchmarkPoissonLarge(b *testing.B) {
+	r := NewStream(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Poisson(500)
+	}
+	_ = sink
+}

@@ -1,0 +1,138 @@
+// Package sharedisk models the shared-disk substrate of the paper's
+// architecture (§2, Figure 1): network-attached storage that every server
+// in the cluster can read and write. Metadata for each file set lives in a
+// per-file-set image on the shared disk; a file server serves a file set
+// out of its in-memory cache and flushes the image back before the file set
+// moves to another server ("the releasing server needs to flush its cache,
+// writing all dirty data back to stable storage", §7).
+//
+// The store is deliberately simple — a versioned key-value image per file
+// set — because the paper's load-management layer only relies on two
+// properties of shared disk: any server can load any file set's image, and
+// a flushed image is a consistent cut another server can adopt.
+package sharedisk
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Image is a consistent snapshot of one file set's metadata: a flat map of
+// metadata records keyed by path. Images are value types: Store hands out
+// copies, never aliases.
+type Image struct {
+	// Version increments on every flush, so stale writers are detectable.
+	Version uint64
+	Records map[string]Record
+}
+
+// Record is one file's metadata (the paper's workload is small metadata
+// reads and writes — stat-like records, not file data, which goes straight
+// from clients to disk over the SAN).
+type Record struct {
+	Size    int64
+	Mode    uint32
+	ModTime time.Time
+	Owner   string
+}
+
+// clone deep-copies an image.
+func (im Image) clone() Image {
+	cp := Image{Version: im.Version, Records: make(map[string]Record, len(im.Records))}
+	for k, v := range im.Records {
+		cp.Records[k] = v
+	}
+	return cp
+}
+
+// Store is the shared disk: a set of file-set images reachable from every
+// server. It is safe for concurrent use — the SAN serializes block access;
+// here a mutex does.
+type Store struct {
+	mu     sync.RWMutex
+	images map[string]Image
+	// latency simulates the disk round trip for load/flush; zero for tests.
+	latency time.Duration
+}
+
+// NewStore creates an empty shared disk. latency, if positive, is applied
+// to every Load and Flush to model the I/O cost that makes file-set moves
+// expensive (part of the paper's 5–10 s move time).
+func NewStore(latency time.Duration) *Store {
+	return &Store{images: map[string]Image{}, latency: latency}
+}
+
+// CreateFileSet initializes an empty image for a new file set.
+func (s *Store) CreateFileSet(fileSet string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.images[fileSet]; dup {
+		return fmt.Errorf("sharedisk: file set %q already exists", fileSet)
+	}
+	s.images[fileSet] = Image{Version: 1, Records: map[string]Record{}}
+	return nil
+}
+
+// FileSets lists the stored file sets (unordered).
+func (s *Store) FileSets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.images))
+	for fs := range s.images {
+		out = append(out, fs)
+	}
+	return out
+}
+
+// Load reads a file set's image — what an acquiring server does when a file
+// set moves to it (with a cold cache: the image is all it has).
+func (s *Store) Load(fileSet string) (Image, error) {
+	s.sleep()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	im, ok := s.images[fileSet]
+	if !ok {
+		return Image{}, fmt.Errorf("sharedisk: unknown file set %q", fileSet)
+	}
+	return im.clone(), nil
+}
+
+// Flush writes a file set's image back. The caller passes the version it
+// loaded; a mismatch means another server flushed in between, which the
+// ownership protocol is supposed to prevent — it is reported as an error
+// rather than silently lost.
+func (s *Store) Flush(fileSet string, im Image) (newVersion uint64, err error) {
+	s.sleep()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.images[fileSet]
+	if !ok {
+		return 0, fmt.Errorf("sharedisk: unknown file set %q", fileSet)
+	}
+	if im.Version != cur.Version {
+		return 0, fmt.Errorf("sharedisk: stale flush of %q: have version %d, disk at %d",
+			fileSet, im.Version, cur.Version)
+	}
+	next := im.clone()
+	next.Version = cur.Version + 1
+	s.images[fileSet] = next
+	return next.Version, nil
+}
+
+// Version reports a file set's current image version.
+func (s *Store) Version(fileSet string) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	im, ok := s.images[fileSet]
+	if !ok {
+		return 0, fmt.Errorf("sharedisk: unknown file set %q", fileSet)
+	}
+	return im.Version, nil
+}
+
+func (s *Store) sleep() {
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+}

@@ -1,0 +1,160 @@
+package sharedisk
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCreateAndLoad(t *testing.T) {
+	s := NewStore(0)
+	if err := s.CreateFileSet("fs1"); err != nil {
+		t.Fatal(err)
+	}
+	im, err := s.Load("fs1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Version != 1 || len(im.Records) != 0 {
+		t.Fatalf("fresh image %+v", im)
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	s := NewStore(0)
+	if err := s.CreateFileSet("fs1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateFileSet("fs1"); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	s := NewStore(0)
+	if _, err := s.Load("nope"); err == nil {
+		t.Fatal("load of unknown file set succeeded")
+	}
+	if _, err := s.Version("nope"); err == nil {
+		t.Fatal("version of unknown file set succeeded")
+	}
+	if _, err := s.Flush("nope", Image{}); err == nil {
+		t.Fatal("flush of unknown file set succeeded")
+	}
+}
+
+func TestFlushRoundTrip(t *testing.T) {
+	s := NewStore(0)
+	if err := s.CreateFileSet("fs1"); err != nil {
+		t.Fatal(err)
+	}
+	im, _ := s.Load("fs1")
+	im.Records["/a"] = Record{Size: 42, Mode: 0644, ModTime: time.Unix(1000, 0), Owner: "alice"}
+	v2, err := s.Flush("fs1", im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 2 {
+		t.Fatalf("version after flush %d, want 2", v2)
+	}
+	back, _ := s.Load("fs1")
+	if back.Version != 2 || back.Records["/a"].Size != 42 {
+		t.Fatalf("reloaded image %+v", back)
+	}
+}
+
+func TestStaleFlushRejected(t *testing.T) {
+	s := NewStore(0)
+	if err := s.CreateFileSet("fs1"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Load("fs1")
+	b, _ := s.Load("fs1")
+	a.Records["/x"] = Record{Size: 1}
+	if _, err := s.Flush("fs1", a); err != nil {
+		t.Fatal(err)
+	}
+	b.Records["/y"] = Record{Size: 2}
+	if _, err := s.Flush("fs1", b); err == nil {
+		t.Fatal("stale flush succeeded — lost update")
+	}
+	// The first flush's contents survive.
+	im, _ := s.Load("fs1")
+	if _, ok := im.Records["/x"]; !ok {
+		t.Fatal("first flush lost")
+	}
+	if _, ok := im.Records["/y"]; ok {
+		t.Fatal("stale flush partially applied")
+	}
+}
+
+func TestImagesAreCopies(t *testing.T) {
+	s := NewStore(0)
+	if err := s.CreateFileSet("fs1"); err != nil {
+		t.Fatal(err)
+	}
+	im, _ := s.Load("fs1")
+	im.Records["/mutate"] = Record{Size: 9}
+	fresh, _ := s.Load("fs1")
+	if _, leaked := fresh.Records["/mutate"]; leaked {
+		t.Fatal("mutating a loaded image affected the store")
+	}
+}
+
+func TestFileSetsListing(t *testing.T) {
+	s := NewStore(0)
+	for _, fs := range []string{"a", "b", "c"} {
+		if err := s.CreateFileSet(fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.FileSets(); len(got) != 3 {
+		t.Fatalf("FileSets = %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore(0)
+	if err := s.CreateFileSet("fs"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				im, err := s.Load("fs")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				im.Records["/k"] = Record{Size: int64(j)}
+				// Flushes race; stale ones must fail cleanly, not corrupt.
+				_, _ = s.Flush("fs", im)
+			}
+		}()
+	}
+	wg.Wait()
+	v, err := s.Version("fs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 2 {
+		t.Fatalf("no flush ever succeeded (version %d)", v)
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	s := NewStore(20 * time.Millisecond)
+	if err := s.CreateFileSet("fs"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := s.Load("fs"); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("load returned in %v, want >= ~20ms disk latency", el)
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the trace parser: arbitrary input must either parse into
+// a valid trace or fail cleanly — never panic, never yield an invalid trace.
+func FuzzRead(f *testing.F) {
+	f.Add("# anufs-trace v1\n1 fs0 0.5\n2 fs1 0.25\n")
+	f.Add("")
+	f.Add("1 fs0\n")
+	f.Add("abc fs0 1\n")
+	f.Add("1 fs0 1\n0.5 fs1 1\n") // out of order
+	f.Add("1e308 fs0 1e308\n")
+	f.Add("# only a comment\n\n\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid trace: %v", err)
+		}
+		// A successfully parsed trace must round-trip.
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			// Write only rejects whitespace in names, which Fields cannot
+			// have produced.
+			t.Fatalf("Write of parsed trace failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read of written trace failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", tr.Len(), back.Len())
+		}
+	})
+}

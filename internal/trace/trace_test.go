@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDFSLikeMatchesPublishedStats(t *testing.T) {
+	cfg := DefaultDFSLike(1)
+	tr := GenerateDFSLike(cfg)
+	if tr.Len() != cfg.Requests {
+		t.Fatalf("Len = %d, want exactly %d (paper: 112,590 requests)", tr.Len(), cfg.Requests)
+	}
+	fs := tr.FileSets()
+	if len(fs) != cfg.FileSets {
+		t.Fatalf("%d file sets, want %d (paper: 21)", len(fs), cfg.FileSets)
+	}
+	if d := tr.Duration(); d > cfg.Duration || d < 0.9*cfg.Duration {
+		t.Fatalf("duration %v, want ~%v", d, cfg.Duration)
+	}
+	counts := tr.CountByFileSet()
+	min, max := math.MaxInt, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if ratio := float64(max) / float64(min); ratio < cfg.SkewRatio {
+		t.Fatalf("activity skew %v, want >= %v (paper: 'more than one hundred times')", ratio, cfg.SkewRatio)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateDFSLike(DefaultDFSLike(7))
+	b := GenerateDFSLike(DefaultDFSLike(7))
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ for same seed")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a.Requests[i], b.Requests[i])
+		}
+	}
+	c := GenerateDFSLike(DefaultDFSLike(8))
+	same := 0
+	for i := range a.Requests {
+		if a.Requests[i] == c.Requests[i] {
+			same++
+		}
+	}
+	if same == a.Len() {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	GenerateDFSLike(DFSLikeConfig{FileSets: 1, Requests: 10, Duration: 1})
+}
+
+func TestGenerateUtilizationCalibration(t *testing.T) {
+	cfg := DefaultDFSLike(1)
+	tr := GenerateDFSLike(cfg)
+	var work float64
+	for _, r := range tr.Requests {
+		work += r.Work
+	}
+	util := work / (cfg.Duration * 25) // speeds 1+3+5+7+9
+	if util < 0.15 || util > 0.4 {
+		t.Fatalf("aggregate utilization %v, want ~0.25 (below peak load, §7)", util)
+	}
+}
+
+func TestGenerateBurstiness(t *testing.T) {
+	// The busiest file set's per-minute request counts must vary strongly:
+	// bursts are what drive the paper's time-varying latency curves.
+	tr := GenerateDFSLike(DefaultDFSLike(3))
+	counts := tr.CountByFileSet()
+	busiest, best := "", 0
+	for n, c := range counts {
+		if c > best {
+			busiest, best = n, c
+		}
+	}
+	perMin := make([]float64, 60)
+	for _, r := range tr.Requests {
+		if r.FileSet == busiest {
+			m := int(r.At / 60)
+			if m >= 0 && m < 60 {
+				perMin[m]++
+			}
+		}
+	}
+	mean, sq := 0.0, 0.0
+	for _, c := range perMin {
+		mean += c
+	}
+	mean /= 60
+	for _, c := range perMin {
+		sq += (c - mean) * (c - mean)
+	}
+	cov := math.Sqrt(sq/60) / mean
+	if cov < 0.2 {
+		t.Fatalf("busiest file set per-minute CoV %v, want >= 0.2 (bursty)", cov)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cfg := DefaultDFSLike(5)
+	cfg.Requests = 500
+	orig := GenerateDFSLike(cfg)
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip lost requests: %d vs %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Requests {
+		a, b := orig.Requests[i], back.Requests[i]
+		if a.FileSet != b.FileSet || math.Abs(a.At-b.At) > 1e-6 || math.Abs(a.Work-b.Work) > 1e-9 {
+			t.Fatalf("request %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestWriteRejectsWhitespaceNames(t *testing.T) {
+	tr := &Trace{Requests: []Request{{At: 0, FileSet: "bad name", Work: 1}}}
+	if err := tr.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("whitespace name accepted")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad field count": "1.0 fs\n",
+		"bad time":        "abc fs 1\n",
+		"bad work":        "1.0 fs xyz\n",
+		"out of order":    "5 fs 1\n1 fs 1\n",
+		"negative":        "-1 fs 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1 fs0 0.5\n# mid comment\n2 fs1 0.25\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	if tr.Duration() != 0 || tr.Len() != 0 {
+		t.Fatal("empty trace misreports")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.FileSets(); len(got) != 0 {
+		t.Fatalf("FileSets on empty = %v", got)
+	}
+}
+
+func TestWorkByFileSetInWindow(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{At: 0, FileSet: "a", Work: 1},
+		{At: 5, FileSet: "a", Work: 2},
+		{At: 5, FileSet: "b", Work: 3},
+		{At: 10, FileSet: "a", Work: 4},
+	}}
+	m := tr.WorkByFileSetInWindow(5, 10)
+	if m["a"] != 2 || m["b"] != 3 || len(m) != 2 {
+		t.Fatalf("window work = %v", m)
+	}
+	if got := tr.WorkByFileSetInWindow(11, 20); len(got) != 0 {
+		t.Fatalf("empty window returned %v", got)
+	}
+}
+
+func TestValidateCatchesDisorder(t *testing.T) {
+	tr := &Trace{Requests: []Request{{At: 2, FileSet: "a", Work: 1}, {At: 1, FileSet: "a", Work: 1}}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("disorder accepted")
+	}
+	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApportionExact(t *testing.T) {
+	counts := apportion([]float64{1, 100, 10000}, 1000)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+		if c < 1 {
+			t.Fatalf("count below 1: %v", counts)
+		}
+	}
+	if sum != 1000 {
+		t.Fatalf("apportion sum %d, want 1000", sum)
+	}
+	if counts[2] <= counts[1] || counts[1] <= counts[0] {
+		t.Fatalf("apportion not monotone in weight: %v", counts)
+	}
+}
+
+func BenchmarkGenerateDFSLike(b *testing.B) {
+	cfg := DefaultDFSLike(1)
+	cfg.Requests = 10000
+	for i := 0; i < b.N; i++ {
+		GenerateDFSLike(cfg)
+	}
+}

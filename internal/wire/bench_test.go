@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"anufs/internal/live"
+	"anufs/internal/sharedisk"
+)
+
+func benchCluster(b *testing.B) (*Client, func()) {
+	b.Helper()
+	disk := sharedisk.NewStore(0)
+	for i := 0; i < 8; i++ {
+		if err := disk.CreateFileSet(fmt.Sprintf("fs%02d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfg := live.DefaultConfig()
+	cfg.Window = time.Hour
+	cfg.OpCost = 0
+	cl, err := live.NewCluster(cfg, disk, map[int]float64{0: 1, 1: 3, 2: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(cl)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return client, func() {
+		client.Close()
+		srv.Close()
+		cl.Stop()
+	}
+}
+
+// BenchmarkWireRoundTrip measures one metadata request over the full stack:
+// TCP framing, routing hash, server goroutine, reply.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	c, cleanup := benchCluster(b)
+	defer cleanup()
+	if err := c.Create("fs00", "/bench", sharedisk.Record{Size: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Stat("fs00", "/bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWirePipelined measures throughput with many requests in flight
+// on one connection.
+func BenchmarkWirePipelined(b *testing.B) {
+	c, cleanup := benchCluster(b)
+	defer cleanup()
+	if err := c.Create("fs00", "/bench", sharedisk.Record{Size: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Stat("fs00", "/bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMappingFetch measures fetching + reconstructing the replicated
+// routing configuration (what a client pays to refresh its router).
+func BenchmarkMappingFetch(b *testing.B) {
+	c, cleanup := benchCluster(b)
+	defer cleanup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Mapping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"anufs/internal/core"
+	"anufs/internal/sharedisk"
+)
+
+// Client is a connection to a wire server. It multiplexes concurrent
+// requests over one TCP connection, correlating responses by ID. Safe for
+// concurrent use.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	enc     *json.Encoder
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Response
+	err     error
+	done    chan struct{}
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		nextID:  1,
+		pending: map[uint64]chan Response{},
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			continue // skip garbage frames; the call times out with conn close
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+	// Connection gone: fail everything pending.
+	c.mu.Lock()
+	c.err = errors.New("wire: connection closed")
+	for id, ch := range c.pending {
+		ch <- Response{ID: id, Err: c.err.Error()}
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// call sends a request and waits for its response.
+func (c *Client) call(req Request) (Response, error) {
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return Response{}, c.err
+	}
+	req.ID = c.nextID
+	c.nextID++
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := c.enc.Encode(req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return Response{}, fmt.Errorf("wire: send: %w", err)
+	}
+	resp := <-ch
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// CreateFileSet initializes a new file set cluster-wide.
+func (c *Client) CreateFileSet(fileSet string) error {
+	_, err := c.call(Request{Op: OpCreateFileSet, FileSet: fileSet})
+	return err
+}
+
+// Create adds a metadata record.
+func (c *Client) Create(fileSet, path string, rec sharedisk.Record) error {
+	_, err := c.call(Request{Op: OpCreate, FileSet: fileSet, Path: path, Record: &rec})
+	return err
+}
+
+// Stat reads a metadata record.
+func (c *Client) Stat(fileSet, path string) (sharedisk.Record, error) {
+	resp, err := c.call(Request{Op: OpStat, FileSet: fileSet, Path: path})
+	if err != nil {
+		return sharedisk.Record{}, err
+	}
+	if resp.Record == nil {
+		return sharedisk.Record{}, errors.New("wire: stat returned no record")
+	}
+	return *resp.Record, nil
+}
+
+// Update overwrites a metadata record.
+func (c *Client) Update(fileSet, path string, rec sharedisk.Record) error {
+	_, err := c.call(Request{Op: OpUpdate, FileSet: fileSet, Path: path, Record: &rec})
+	return err
+}
+
+// Remove deletes a metadata record.
+func (c *Client) Remove(fileSet, path string) error {
+	_, err := c.call(Request{Op: OpRemove, FileSet: fileSet, Path: path})
+	return err
+}
+
+// List returns paths under a prefix.
+func (c *Client) List(fileSet, prefix string) ([]string, error) {
+	resp, err := c.call(Request{Op: OpList, FileSet: fileSet, Path: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Paths, nil
+}
+
+// Owner reports the server currently responsible for the file set.
+func (c *Client) Owner(fileSet string) (int, error) {
+	resp, err := c.call(Request{Op: OpOwner, FileSet: fileSet})
+	return resp.Owner, err
+}
+
+// Register obtains a lock-session ID.
+func (c *Client) Register() (uint64, error) {
+	resp, err := c.call(Request{Op: OpRegister})
+	return resp.Client, err
+}
+
+// Lock acquires a lock (non-blocking; exclusive when excl is true).
+func (c *Client) Lock(client uint64, fileSet, path string, excl bool) error {
+	_, err := c.call(Request{Op: OpLock, Client: client, FileSet: fileSet, Path: path, Exclusive: excl})
+	return err
+}
+
+// Unlock releases a lock.
+func (c *Client) Unlock(client uint64, fileSet, path string) error {
+	_, err := c.call(Request{Op: OpUnlock, Client: client, FileSet: fileSet, Path: path})
+	return err
+}
+
+// Renew heartbeats the lock session.
+func (c *Client) Renew(client uint64) error {
+	_, err := c.call(Request{Op: OpRenew, Client: client})
+	return err
+}
+
+// Stats fetches per-server placement statistics.
+func (c *Client) Stats() ([]ServerStat, error) {
+	resp, err := c.call(Request{Op: OpStats})
+	return resp.Stats, err
+}
+
+// Mount binds a global-namespace subtree to a file set.
+func (c *Client) Mount(prefix, fileSet string) error {
+	_, err := c.call(Request{Op: OpMount, Prefix: prefix, FileSet: fileSet})
+	return err
+}
+
+// Unmount removes a mount point.
+func (c *Client) Unmount(prefix string) error {
+	_, err := c.call(Request{Op: OpUnmount, Prefix: prefix})
+	return err
+}
+
+// Resolve maps a global path to (file set, relative path).
+func (c *Client) Resolve(path string) (fileSet, rel string, err error) {
+	resp, err := c.call(Request{Op: OpResolve, Path: path})
+	return resp.FileSet, resp.Rel, err
+}
+
+// PCreate creates a record addressed by global path.
+func (c *Client) PCreate(path string, rec sharedisk.Record) error {
+	_, err := c.call(Request{Op: OpPCreate, Path: path, Record: &rec})
+	return err
+}
+
+// PStat reads a record addressed by global path.
+func (c *Client) PStat(path string) (sharedisk.Record, error) {
+	resp, err := c.call(Request{Op: OpPStat, Path: path})
+	if err != nil {
+		return sharedisk.Record{}, err
+	}
+	if resp.Record == nil {
+		return sharedisk.Record{}, errors.New("wire: pstat returned no record")
+	}
+	return *resp.Record, nil
+}
+
+// PRemove deletes a record addressed by global path.
+func (c *Client) PRemove(path string) error {
+	_, err := c.call(Request{Op: OpPRemove, Path: path})
+	return err
+}
+
+// Mapping fetches the cluster's replicated routing configuration and
+// reconstructs a local router: Owner() on the result agrees with the
+// cluster until the next reconfiguration, letting clients route requests
+// to the right server without a directory lookup (paper §5).
+func (c *Client) Mapping() (*core.Mapper, error) {
+	resp, err := c.call(Request{Op: OpMapping})
+	if err != nil {
+		return nil, err
+	}
+	return core.RouterFromConfig(resp.Mapping)
+}

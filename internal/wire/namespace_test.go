@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"anufs/internal/sharedisk"
+)
+
+func TestNamespaceOpsOverWire(t *testing.T) {
+	c, _ := startServer(t, 3)
+	if err := c.Mount("/", "fs00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mount("/projects", "fs01"); err != nil {
+		t.Fatal(err)
+	}
+	fs, rel, err := c.Resolve("/projects/alpha/main.go")
+	if err != nil || fs != "fs01" || rel != "/alpha/main.go" {
+		t.Fatalf("Resolve = (%s, %s, %v)", fs, rel, err)
+	}
+	fs, rel, err = c.Resolve("/top.txt")
+	if err != nil || fs != "fs00" || rel != "/top.txt" {
+		t.Fatalf("Resolve root = (%s, %s, %v)", fs, rel, err)
+	}
+}
+
+func TestPathAddressedOps(t *testing.T) {
+	c, _ := startServer(t, 3)
+	if err := c.Mount("/vol", "fs02"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PCreate("/vol/data/file.bin", sharedisk.Record{Size: 99}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.PStat("/vol/data/file.bin")
+	if err != nil || rec.Size != 99 {
+		t.Fatalf("PStat = %+v, %v", rec, err)
+	}
+	// The record landed in the mounted file set under the relative path.
+	direct, err := c.Stat("fs02", "/data/file.bin")
+	if err != nil || direct.Size != 99 {
+		t.Fatalf("direct Stat = %+v, %v", direct, err)
+	}
+	if err := c.PRemove("/vol/data/file.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PStat("/vol/data/file.bin"); err == nil {
+		t.Fatal("PStat after PRemove succeeded")
+	}
+}
+
+func TestNamespaceErrorsOverWire(t *testing.T) {
+	c, _ := startServer(t, 1)
+	if _, _, err := c.Resolve("/unmounted/x"); err == nil {
+		t.Fatal("resolve with no mounts succeeded")
+	}
+	if err := c.Mount("relative", "fs00"); err == nil || !strings.Contains(err.Error(), "absolute") {
+		t.Fatalf("relative mount: %v", err)
+	}
+	if err := c.Mount("/m", "fs00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mount("/m", "fs00"); err == nil {
+		t.Fatal("double mount over wire succeeded")
+	}
+	if err := c.Unmount("/m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unmount("/m"); err == nil {
+		t.Fatal("double unmount over wire succeeded")
+	}
+	if err := c.PCreate("/m/x", sharedisk.Record{}); err == nil {
+		t.Fatal("pcreate after unmount succeeded")
+	}
+}
+
+func TestClientSideRoutingFromReplicatedMapping(t *testing.T) {
+	c, cl := startServer(t, 10)
+	router, err := c.Mapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		fs := fmt.Sprintf("fs%02d", i)
+		want, err := c.Owner(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := router.Owner(fs); got != want {
+			t.Fatalf("client-side route for %s = %d, server says %d", fs, got, want)
+		}
+	}
+	// After a reconfiguration the client refetches and re-agrees.
+	cl.TuneOnce()
+	router2, err := c.Mapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		fs := fmt.Sprintf("fs%02d", i)
+		want, _ := c.Owner(fs)
+		if got := router2.Owner(fs); got != want {
+			t.Fatalf("post-tune client-side route for %s = %d, server says %d", fs, got, want)
+		}
+	}
+}

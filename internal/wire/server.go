@@ -1,0 +1,254 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"anufs/internal/live"
+	"anufs/internal/lockmgr"
+	"anufs/internal/namespace"
+	"anufs/internal/sharedisk"
+)
+
+// Server exposes a live.Cluster over TCP. One goroutine per connection
+// reads frames; each request is served on its own goroutine so a slow
+// metadata operation does not head-of-line-block the connection's other
+// requests (responses are correlated by ID, not order).
+type Server struct {
+	cluster *live.Cluster
+	ns      *namespace.Table
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	handlers sync.WaitGroup
+}
+
+// NewServer wraps a cluster. The caller retains ownership of the cluster
+// (Close does not stop it).
+func NewServer(c *live.Cluster) *Server {
+	return &Server{cluster: c, ns: namespace.New(), conns: map[net.Conn]struct{}{}}
+}
+
+// Listen starts accepting on addr ("host:port"; ":0" picks a free port)
+// and returns the bound address. Serving happens on background goroutines.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("wire: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.handlers.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.handlers.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.handlers.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.handlers.Wait()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.handlers.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	enc := json.NewEncoder(conn)
+	send := func(resp Response) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		_ = enc.Encode(resp) // write errors surface as reader EOF
+	}
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			send(Response{Err: "bad frame: " + err.Error()})
+			continue
+		}
+		reqWG.Add(1)
+		go func() {
+			defer reqWG.Done()
+			send(s.handle(req))
+		}()
+	}
+}
+
+func (s *Server) handle(req Request) Response {
+	resp := Response{ID: req.ID}
+	fail := func(err error) Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case OpCreateFileSet:
+		if err := s.cluster.CreateFileSet(req.FileSet); err != nil {
+			return fail(err)
+		}
+	case OpCreate:
+		rec := sharedisk.Record{}
+		if req.Record != nil {
+			rec = *req.Record
+		}
+		if err := s.cluster.Create(req.FileSet, req.Path, rec); err != nil {
+			return fail(err)
+		}
+	case OpStat:
+		rec, err := s.cluster.Stat(req.FileSet, req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Record = &rec
+	case OpUpdate:
+		if req.Record == nil {
+			return fail(errors.New("wire: update needs a record"))
+		}
+		if err := s.cluster.Update(req.FileSet, req.Path, *req.Record); err != nil {
+			return fail(err)
+		}
+	case OpRemove:
+		if err := s.cluster.Remove(req.FileSet, req.Path); err != nil {
+			return fail(err)
+		}
+	case OpList:
+		paths, err := s.cluster.List(req.FileSet, req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Paths = paths
+	case OpOwner:
+		resp.Owner = s.cluster.Owner(req.FileSet)
+	case OpRegister:
+		resp.Client = uint64(s.cluster.RegisterClient())
+	case OpLock:
+		mode := lockmgr.Shared
+		if req.Exclusive {
+			mode = lockmgr.Exclusive
+		}
+		if err := s.cluster.Lock(lockmgr.SessionID(req.Client), req.FileSet, req.Path, mode); err != nil {
+			return fail(err)
+		}
+	case OpUnlock:
+		if err := s.cluster.Unlock(lockmgr.SessionID(req.Client), req.FileSet, req.Path); err != nil {
+			return fail(err)
+		}
+	case OpRenew:
+		s.cluster.RenewClient(lockmgr.SessionID(req.Client))
+	case OpStats:
+		for _, st := range s.cluster.Stats() {
+			resp.Stats = append(resp.Stats, ServerStat{
+				ID:        st.ID,
+				Speed:     st.Speed,
+				ShareFrac: st.ShareFrac,
+				Served:    st.Served,
+				Owned:     len(st.Owned),
+			})
+		}
+	case OpMount:
+		if err := s.ns.Mount(req.Prefix, req.FileSet); err != nil {
+			return fail(err)
+		}
+	case OpUnmount:
+		if err := s.ns.Unmount(req.Prefix); err != nil {
+			return fail(err)
+		}
+	case OpResolve:
+		fs, rel, err := s.ns.Resolve(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.FileSet, resp.Rel = fs, rel
+	case OpPCreate:
+		fs, rel, err := s.ns.Resolve(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		rec := sharedisk.Record{}
+		if req.Record != nil {
+			rec = *req.Record
+		}
+		if err := s.cluster.Create(fs, rel, rec); err != nil {
+			return fail(err)
+		}
+	case OpPStat:
+		fs, rel, err := s.ns.Resolve(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		rec, err := s.cluster.Stat(fs, rel)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Record = &rec
+	case OpPRemove:
+		fs, rel, err := s.ns.Resolve(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.cluster.Remove(fs, rel); err != nil {
+			return fail(err)
+		}
+	case OpMapping:
+		data, err := s.cluster.MappingConfig()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Mapping = data
+	default:
+		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
+	}
+	return resp
+}

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"anufs/internal/live"
+	"anufs/internal/sharedisk"
+)
+
+// Full-system test: real TCP clients drive a skewed workload against a
+// heterogeneous live cluster with the delegate ticking in the background;
+// a server is crashed mid-load. This is the whole stack — hashing,
+// interval, delegate, moves, flush/acquire, locks, wire protocol — under
+// concurrency, run with the race detector in CI.
+func TestSystemEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system test")
+	}
+	disk := sharedisk.NewStore(0)
+	const nFS = 16
+	for i := 0; i < nFS; i++ {
+		if err := disk.CreateFileSet(fmt.Sprintf("fs%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := live.DefaultConfig()
+	cfg.Window = 100 * time.Millisecond
+	cfg.OpCost = 1 * time.Millisecond
+	cl, err := live.NewCluster(cfg, disk, map[int]float64{0: 1, 1: 4, 2: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	srv := NewServer(cl)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	// Records created on the crash victim after its last flush are lost —
+	// that is the correct crash semantics (metaserver.Crash drops dirty
+	// state). Count those instead of failing; they must stay a small
+	// fraction bounded by the crash window.
+	var lostToCrash, totalOps int64
+	var lostMu sync.Mutex
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Skew: fs00 takes half of all traffic.
+				fs := "fs00"
+				if i%2 == 0 {
+					fs = fmt.Sprintf("fs%02d", 1+(g*5+i)%(nFS-1))
+				}
+				path := fmt.Sprintf("/g%d/o%d", g, i)
+				if err := c.Create(fs, path, sharedisk.Record{Size: int64(i)}); err != nil {
+					errCh <- fmt.Errorf("create %s%s: %w", fs, path, err)
+					return
+				}
+				if _, err := c.Stat(fs, path); err != nil {
+					if strings.Contains(err.Error(), "no such path") {
+						lostMu.Lock()
+						lostToCrash++
+						lostMu.Unlock()
+					} else {
+						errCh <- fmt.Errorf("stat %s%s: %w", fs, path, err)
+						return
+					}
+				}
+				lostMu.Lock()
+				totalOps++
+				lostMu.Unlock()
+				i++
+			}
+		}(g)
+	}
+
+	// Let the system adapt under load, then crash a server mid-flight.
+	time.Sleep(1200 * time.Millisecond)
+	if err := cl.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(800 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// Verify over the wire: two servers remain, half occupancy holds, and
+	// the cluster moved file sets while serving.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats shows %d servers after kill, want 2", len(stats))
+	}
+	var share float64
+	var served int64
+	for _, st := range stats {
+		share += st.ShareFrac
+		served += st.Served
+	}
+	if share < 0.49 || share > 0.51 {
+		t.Fatalf("half occupancy broken over the full stack: %v", share)
+	}
+	if served < 100 {
+		t.Fatalf("cluster served only %d ops under load", served)
+	}
+	if cl.Moves() == 0 {
+		t.Fatal("no file sets moved despite 16x speed skew and a failure")
+	}
+	lostMu.Lock()
+	lost, total := lostToCrash, totalOps
+	lostMu.Unlock()
+	if total == 0 {
+		t.Fatal("clients performed no operations")
+	}
+	if float64(lost) > 0.2*float64(total) {
+		t.Fatalf("%d of %d writes lost — far more than one crash window's worth", lost, total)
+	}
+	// All file sets remain reachable after the crash.
+	for i := 0; i < nFS; i++ {
+		if _, err := c.List(fmt.Sprintf("fs%02d", i), "/"); err != nil {
+			t.Fatalf("fs%02d unreachable after failure: %v", i, err)
+		}
+	}
+}

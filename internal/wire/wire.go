@@ -1,0 +1,89 @@
+// Package wire puts the live ANU cluster on the network: a small
+// newline-delimited JSON protocol over TCP, a server that fronts a
+// live.Cluster, and a client with typed methods for every metadata and
+// lock operation.
+//
+// In the paper's architecture (§2) clients obtain metadata and locks from
+// the file servers over the LAN and then go straight to shared disks for
+// data; this package is that metadata/lock path. The protocol is
+// deliberately plain — one JSON request per line, one JSON response per
+// line, correlated by ID — so it can be driven with netcat when debugging.
+package wire
+
+import (
+	"anufs/internal/sharedisk"
+)
+
+// Op enumerates protocol operations.
+type Op string
+
+// Protocol operations.
+const (
+	OpCreateFileSet Op = "create-fileset"
+	OpCreate        Op = "create"
+	OpStat          Op = "stat"
+	OpUpdate        Op = "update"
+	OpRemove        Op = "remove"
+	OpList          Op = "list"
+	OpOwner         Op = "owner"
+	OpRegister      Op = "register"
+	OpLock          Op = "lock"
+	OpUnlock        Op = "unlock"
+	OpRenew         Op = "renew"
+	OpStats         Op = "stats"
+	// Namespace operations: the global-path view of the cluster. Mount
+	// binds a namespace subtree to a file set; the P-prefixed ops address
+	// records by global path and resolve through the mount table
+	// server-side (paper §2: a file set is a subtree of the global
+	// namespace).
+	OpMount   Op = "mount"
+	OpUnmount Op = "unmount"
+	OpResolve Op = "resolve"
+	OpPCreate Op = "pcreate"
+	OpPStat   Op = "pstat"
+	OpPRemove Op = "premove"
+	// OpMapping fetches the replicated routing configuration (paper §5):
+	// clients cache it and resolve file-set owners locally.
+	OpMapping Op = "mapping"
+)
+
+// Request is one client frame.
+type Request struct {
+	ID      uint64            `json:"id"`
+	Op      Op                `json:"op"`
+	FileSet string            `json:"fileset,omitempty"`
+	Path    string            `json:"path,omitempty"`
+	Record  *sharedisk.Record `json:"record,omitempty"`
+	// Client is the lock-session ID for lock/unlock/renew.
+	Client uint64 `json:"client,omitempty"`
+	// Exclusive selects the lock mode for OpLock.
+	Exclusive bool `json:"exclusive,omitempty"`
+	// Prefix is the mount prefix for namespace operations; Path carries the
+	// global path for the P-prefixed ops.
+	Prefix string `json:"prefix,omitempty"`
+}
+
+// ServerStat mirrors live.ServerStats for the stats reply.
+type ServerStat struct {
+	ID        int     `json:"id"`
+	Speed     float64 `json:"speed"`
+	ShareFrac float64 `json:"share_frac"`
+	Served    int64   `json:"served"`
+	Owned     int     `json:"owned"`
+}
+
+// Response is one server frame.
+type Response struct {
+	ID     uint64            `json:"id"`
+	Err    string            `json:"err,omitempty"`
+	Record *sharedisk.Record `json:"record,omitempty"`
+	Paths  []string          `json:"paths,omitempty"`
+	Owner  int               `json:"owner,omitempty"`
+	Client uint64            `json:"client,omitempty"`
+	Stats  []ServerStat      `json:"stats,omitempty"`
+	// FileSet and Rel answer OpResolve.
+	FileSet string `json:"fileset,omitempty"`
+	Rel     string `json:"rel,omitempty"`
+	// Mapping answers OpMapping (JSON is base64-encoded for []byte).
+	Mapping []byte `json:"mapping,omitempty"`
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func phasedCfg() SyntheticConfig {
+	return SyntheticConfig{
+		Seed:       7,
+		FileSets:   50,
+		Requests:   40000,
+		Duration:   4000,
+		WeightSpan: 3,
+		Alpha:      0.625,
+	}
+}
+
+func TestGeneratePhasedShiftsHotSets(t *testing.T) {
+	cfg := phasedCfg()
+	tr := GeneratePhased(cfg, 2)
+	half := cfg.Duration / 2
+	// Count requests per file set per phase.
+	first := map[string]int{}
+	second := map[string]int{}
+	for _, r := range tr.Requests {
+		if r.At < half {
+			first[r.FileSet]++
+		} else {
+			second[r.FileSet]++
+		}
+	}
+	hottest := func(m map[string]int) (string, int) {
+		bestN, best := 0, ""
+		for fs, n := range m {
+			if n > bestN {
+				best, bestN = fs, n
+			}
+		}
+		return best, bestN
+	}
+	h1, n1 := hottest(first)
+	h2, n2 := hottest(second)
+	if n1 == 0 || n2 == 0 {
+		t.Fatal("a phase has no requests")
+	}
+	// The phase-1 hot set must cool off substantially in phase 2 (its
+	// weight is redrawn). With 3 decades of span, a repeat draw anywhere
+	// near the top is vanishingly unlikely.
+	ratio := float64(first[h1]) / math.Max(1, float64(second[h1]))
+	if h1 == h2 && ratio < 2 {
+		t.Fatalf("hot set %s stayed hot across the shift (%d -> %d)", h1, first[h1], second[h1])
+	}
+}
+
+func TestGeneratePhasedDeterministic(t *testing.T) {
+	a := GeneratePhased(phasedCfg(), 3)
+	b := GeneratePhased(phasedCfg(), 3)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestGeneratePhasedValid(t *testing.T) {
+	tr := GeneratePhased(phasedCfg(), 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(tr.Len())-40000) > 3000 {
+		t.Fatalf("request count %d, want ~40000", tr.Len())
+	}
+	if tr.Duration() > phasedCfg().Duration {
+		t.Fatalf("duration %v exceeds configured", tr.Duration())
+	}
+}
+
+func TestGeneratePhasedOnePhaseMatchesShape(t *testing.T) {
+	// One phase is just a synthetic workload (different seed path, same
+	// statistical shape): ~N requests, heavy skew.
+	cfg := phasedCfg()
+	tr := GeneratePhased(cfg, 1)
+	counts := tr.CountByFileSet()
+	min, max := math.MaxInt, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max < 10*min {
+		t.Fatalf("phase lacks heavy tail: max %d min %d", max, min)
+	}
+}
+
+func TestGeneratePhasedPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero phases": func() { GeneratePhased(phasedCfg(), 0) },
+		"bad config":  func() { GeneratePhased(SyntheticConfig{}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateMatchesPaperScale(t *testing.T) {
+	cfg := DefaultSynthetic(1)
+	tr := Generate(cfg)
+	// Poisson total: expect N ± a few percent.
+	if n := tr.Len(); math.Abs(float64(n)-100000) > 3000 {
+		t.Fatalf("request count %d, want ~100,000", n)
+	}
+	if fs := tr.FileSets(); len(fs) < 450 {
+		// A handful of minimal-weight file sets may see no arrivals.
+		t.Fatalf("%d file sets appeared, want ~500", len(fs))
+	}
+	if d := tr.Duration(); d > cfg.Duration {
+		t.Fatalf("duration %v exceeds configured %v", d, cfg.Duration)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultSynthetic(9))
+	b := Generate(DefaultSynthetic(9))
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestWeightsSpanThreeDecades(t *testing.T) {
+	cfg := DefaultSynthetic(1)
+	w := Weights(cfg)
+	if len(w) != cfg.FileSets {
+		t.Fatalf("got %d weights", len(w))
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range w {
+		if v < 1 || v >= 1000 {
+			t.Fatalf("weight %v outside [1, 1000) = 10^(3x)", v)
+		}
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if max/min < 100 {
+		t.Fatalf("weight spread %v, want >= 100 with 500 draws over 3 decades", max/min)
+	}
+}
+
+func TestWeightsStableAcrossCalls(t *testing.T) {
+	cfg := DefaultSynthetic(4)
+	a := Weights(cfg)
+	b := Weights(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Weights not deterministic")
+		}
+	}
+}
+
+func TestRequestCountsTrackWeights(t *testing.T) {
+	cfg := DefaultSynthetic(2)
+	cfg.FileSets = 50
+	cfg.Requests = 50000
+	tr := Generate(cfg)
+	w := Weights(cfg)
+	counts := tr.CountByFileSet()
+	// The heaviest file set must see far more requests than the lightest.
+	heavy, light := 0, 0
+	heavyW, lightW := math.Inf(-1), math.Inf(1)
+	for i, v := range w {
+		if v > heavyW {
+			heavyW, heavy = v, i
+		}
+		if v < lightW {
+			lightW, light = v, i
+		}
+	}
+	ch, cl := counts[FileSetName(heavy)], counts[FileSetName(light)]
+	if ch <= cl*10 {
+		t.Fatalf("heaviest fs got %d requests vs lightest %d; want strong skew", ch, cl)
+	}
+	// The heavy/light count ratio should roughly match the weight ratio.
+	if cl > 0 {
+		gotRatio := float64(ch) / float64(cl)
+		wantRatio := heavyW / lightW
+		if gotRatio < wantRatio/3 || gotRatio > wantRatio*3 {
+			t.Fatalf("count ratio %v vs weight ratio %v", gotRatio, wantRatio)
+		}
+	}
+}
+
+func TestBelowPeakLoad(t *testing.T) {
+	cfg := DefaultSynthetic(1)
+	tr := Generate(cfg)
+	var work float64
+	for _, r := range tr.Requests {
+		work += r.Work
+	}
+	util := work / (cfg.Duration * 25)
+	if util >= 0.5 {
+		t.Fatalf("utilization %v — not comfortably below peak load", util)
+	}
+	if util < 0.15 {
+		t.Fatalf("utilization %v — too idle to reproduce the paper's latency regime", util)
+	}
+}
+
+func TestPoissonInterArrivals(t *testing.T) {
+	// For a single file set the gaps must be exponential: mean ≈ 1/λ and
+	// CoV ≈ 1.
+	cfg := DefaultSynthetic(3)
+	cfg.FileSets = 1
+	cfg.Requests = 20000
+	tr := Generate(cfg)
+	var gaps []float64
+	for i := 1; i < tr.Len(); i++ {
+		gaps = append(gaps, tr.Requests[i].At-tr.Requests[i-1].At)
+	}
+	mean, sq := 0.0, 0.0
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	for _, g := range gaps {
+		sq += (g - mean) * (g - mean)
+	}
+	cov := math.Sqrt(sq/float64(len(gaps))) / mean
+	wantMean := cfg.Duration / float64(cfg.Requests)
+	if math.Abs(mean-wantMean) > 0.1*wantMean {
+		t.Fatalf("mean gap %v, want ~%v", mean, wantMean)
+	}
+	if cov < 0.9 || cov > 1.1 {
+		t.Fatalf("gap CoV %v, want ~1 (exponential)", cov)
+	}
+}
+
+func TestGenerateInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	Generate(SyntheticConfig{})
+}
+
+func TestFileSetName(t *testing.T) {
+	if FileSetName(7) != "sfs007" || FileSetName(499) != "sfs499" {
+		t.Fatalf("FileSetName format wrong: %q %q", FileSetName(7), FileSetName(499))
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := DefaultSynthetic(1)
+	cfg.Requests = 10000
+	cfg.FileSets = 100
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}

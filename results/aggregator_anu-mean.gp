@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "aggregator_anu-mean.png"
+set title "Aggregator robustness (anu-mean)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "aggregator_anu-mean.csv" using 1:2 with linespoints title "server 0", \
+     "aggregator_anu-mean.csv" using 1:3 with linespoints title "server 1", \
+     "aggregator_anu-mean.csv" using 1:4 with linespoints title "server 2", \
+     "aggregator_anu-mean.csv" using 1:5 with linespoints title "server 3", \
+     "aggregator_anu-mean.csv" using 1:6 with linespoints title "server 4"

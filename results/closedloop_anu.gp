@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "closedloop_anu.png"
+set title "Closed-loop clients (blocking metadata requests) (anu)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "closedloop_anu.csv" using 1:2 with linespoints title "server 0", \
+     "closedloop_anu.csv" using 1:3 with linespoints title "server 1", \
+     "closedloop_anu.csv" using 1:4 with linespoints title "server 2", \
+     "closedloop_anu.csv" using 1:5 with linespoints title "server 3", \
+     "closedloop_anu.csv" using 1:6 with linespoints title "server 4"

@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "closedloop_static-nonuniform.png"
+set title "Closed-loop clients (blocking metadata requests) (static-nonuniform)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "closedloop_static-nonuniform.csv" using 1:2 with linespoints title "server 0", \
+     "closedloop_static-nonuniform.csv" using 1:3 with linespoints title "server 1", \
+     "closedloop_static-nonuniform.csv" using 1:4 with linespoints title "server 2", \
+     "closedloop_static-nonuniform.csv" using 1:5 with linespoints title "server 3", \
+     "closedloop_static-nonuniform.csv" using 1:6 with linespoints title "server 4"

@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "dht_anu.png"
+set title "Consistent hashing vs ANU (anu)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "dht_anu.csv" using 1:2 with linespoints title "server 0", \
+     "dht_anu.csv" using 1:3 with linespoints title "server 1", \
+     "dht_anu.csv" using 1:4 with linespoints title "server 2", \
+     "dht_anu.csv" using 1:5 with linespoints title "server 3", \
+     "dht_anu.csv" using 1:6 with linespoints title "server 4"

@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "failure_anu.png"
+set title "Failure and recovery under ANU (anu)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "failure_anu.csv" using 1:2 with linespoints title "server 0", \
+     "failure_anu.csv" using 1:3 with linespoints title "server 1", \
+     "failure_anu.csv" using 1:4 with linespoints title "server 2", \
+     "failure_anu.csv" using 1:5 with linespoints title "server 3", \
+     "failure_anu.csv" using 1:6 with linespoints title "server 4"

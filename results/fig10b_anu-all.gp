@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "fig10b_anu-all.png"
+set title "Figure 10(b): three heuristics solve the over-tuning problem (anu-all)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "fig10b_anu-all.csv" using 1:2 with linespoints title "server 0", \
+     "fig10b_anu-all.csv" using 1:3 with linespoints title "server 1", \
+     "fig10b_anu-all.csv" using 1:4 with linespoints title "server 2", \
+     "fig10b_anu-all.csv" using 1:5 with linespoints title "server 3", \
+     "fig10b_anu-all.csv" using 1:6 with linespoints title "server 4"

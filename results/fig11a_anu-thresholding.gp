@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "fig11a_anu-thresholding.png"
+set title "Figure 11(a): thresholding only (anu-thresholding)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "fig11a_anu-thresholding.csv" using 1:2 with linespoints title "server 0", \
+     "fig11a_anu-thresholding.csv" using 1:3 with linespoints title "server 1", \
+     "fig11a_anu-thresholding.csv" using 1:4 with linespoints title "server 2", \
+     "fig11a_anu-thresholding.csv" using 1:5 with linespoints title "server 3", \
+     "fig11a_anu-thresholding.csv" using 1:6 with linespoints title "server 4"

@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "fig11c_anu-divergent.png"
+set title "Figure 11(c): divergent only (anu-divergent)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "fig11c_anu-divergent.csv" using 1:2 with linespoints title "server 0", \
+     "fig11c_anu-divergent.csv" using 1:3 with linespoints title "server 1", \
+     "fig11c_anu-divergent.csv" using 1:4 with linespoints title "server 2", \
+     "fig11c_anu-divergent.csv" using 1:5 with linespoints title "server 3", \
+     "fig11c_anu-divergent.csv" using 1:6 with linespoints title "server 4"

@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "fig6_prescient.png"
+set title "Figure 6: Server latency for DFSTrace workloads (prescient)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "fig6_prescient.csv" using 1:2 with linespoints title "server 0", \
+     "fig6_prescient.csv" using 1:3 with linespoints title "server 1", \
+     "fig6_prescient.csv" using 1:4 with linespoints title "server 2", \
+     "fig6_prescient.csv" using 1:5 with linespoints title "server 3", \
+     "fig6_prescient.csv" using 1:6 with linespoints title "server 4"

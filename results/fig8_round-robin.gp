@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "fig8_round-robin.png"
+set title "Figure 8: Server latency for synthetic workload (round-robin)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "fig8_round-robin.csv" using 1:2 with linespoints title "server 0", \
+     "fig8_round-robin.csv" using 1:3 with linespoints title "server 1", \
+     "fig8_round-robin.csv" using 1:4 with linespoints title "server 2", \
+     "fig8_round-robin.csv" using 1:5 with linespoints title "server 3", \
+     "fig8_round-robin.csv" using 1:6 with linespoints title "server 4"

@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "gamma_anu-g1.25.png"
+set title "ANU scale-clamp Γ ablation (anu-g1.25)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "gamma_anu-g1.25.csv" using 1:2 with linespoints title "server 0", \
+     "gamma_anu-g1.25.csv" using 1:3 with linespoints title "server 1", \
+     "gamma_anu-g1.25.csv" using 1:4 with linespoints title "server 2", \
+     "gamma_anu-g1.25.csv" using 1:5 with linespoints title "server 3", \
+     "gamma_anu-g1.25.csv" using 1:6 with linespoints title "server 4"

@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "hysteresis_prescient-h0.999.png"
+set title "Prescient repack hysteresis ablation (prescient-h0.999)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "hysteresis_prescient-h0.999.csv" using 1:2 with linespoints title "server 0", \
+     "hysteresis_prescient-h0.999.csv" using 1:3 with linespoints title "server 1", \
+     "hysteresis_prescient-h0.999.csv" using 1:4 with linespoints title "server 2", \
+     "hysteresis_prescient-h0.999.csv" using 1:5 with linespoints title "server 3", \
+     "hysteresis_prescient-h0.999.csv" using 1:6 with linespoints title "server 4"

@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "movecost_anu-move30.0s.png"
+set title "Move-cost sensitivity (anu-move30.0s)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "movecost_anu-move30.0s.csv" using 1:2 with linespoints title "server 0", \
+     "movecost_anu-move30.0s.csv" using 1:3 with linespoints title "server 1", \
+     "movecost_anu-move30.0s.csv" using 1:4 with linespoints title "server 2", \
+     "movecost_anu-move30.0s.csv" using 1:5 with linespoints title "server 3", \
+     "movecost_anu-move30.0s.csv" using 1:6 with linespoints title "server 4"

@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "pairwise_anu-pairwise.png"
+set title "Centralized vs pairwise decentralized tuning (anu-pairwise)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "pairwise_anu-pairwise.csv" using 1:2 with linespoints title "server 0", \
+     "pairwise_anu-pairwise.csv" using 1:3 with linespoints title "server 1", \
+     "pairwise_anu-pairwise.csv" using 1:4 with linespoints title "server 2", \
+     "pairwise_anu-pairwise.csv" using 1:5 with linespoints title "server 3", \
+     "pairwise_anu-pairwise.csv" using 1:6 with linespoints title "server 4"

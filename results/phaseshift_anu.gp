@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "phaseshift_anu.png"
+set title "Temporal heterogeneity: weights redrawn at T/2 (anu)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "phaseshift_anu.csv" using 1:2 with linespoints title "server 0", \
+     "phaseshift_anu.csv" using 1:3 with linespoints title "server 1", \
+     "phaseshift_anu.csv" using 1:4 with linespoints title "server 2", \
+     "phaseshift_anu.csv" using 1:5 with linespoints title "server 3", \
+     "phaseshift_anu.csv" using 1:6 with linespoints title "server 4"

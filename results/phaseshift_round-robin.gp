@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "phaseshift_round-robin.png"
+set title "Temporal heterogeneity: weights redrawn at T/2 (round-robin)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "phaseshift_round-robin.csv" using 1:2 with linespoints title "server 0", \
+     "phaseshift_round-robin.csv" using 1:3 with linespoints title "server 1", \
+     "phaseshift_round-robin.csv" using 1:4 with linespoints title "server 2", \
+     "phaseshift_round-robin.csv" using 1:5 with linespoints title "server 3", \
+     "phaseshift_round-robin.csv" using 1:6 with linespoints title "server 4"

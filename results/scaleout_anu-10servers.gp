@@ -1,0 +1,17 @@
+set terminal pngcairo size 800,500
+set output "scaleout_anu-10servers.png"
+set title "Scale-out behaviour (anu-10servers)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "scaleout_anu-10servers.csv" using 1:2 with linespoints title "server 0", \
+     "scaleout_anu-10servers.csv" using 1:3 with linespoints title "server 1", \
+     "scaleout_anu-10servers.csv" using 1:4 with linespoints title "server 2", \
+     "scaleout_anu-10servers.csv" using 1:5 with linespoints title "server 3", \
+     "scaleout_anu-10servers.csv" using 1:6 with linespoints title "server 4", \
+     "scaleout_anu-10servers.csv" using 1:7 with linespoints title "server 5", \
+     "scaleout_anu-10servers.csv" using 1:8 with linespoints title "server 6", \
+     "scaleout_anu-10servers.csv" using 1:9 with linespoints title "server 7", \
+     "scaleout_anu-10servers.csv" using 1:10 with linespoints title "server 8", \
+     "scaleout_anu-10servers.csv" using 1:11 with linespoints title "server 9"

@@ -1,0 +1,27 @@
+set terminal pngcairo size 800,500
+set output "scaleout_anu-20servers.png"
+set title "Scale-out behaviour (anu-20servers)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "scaleout_anu-20servers.csv" using 1:2 with linespoints title "server 0", \
+     "scaleout_anu-20servers.csv" using 1:3 with linespoints title "server 1", \
+     "scaleout_anu-20servers.csv" using 1:4 with linespoints title "server 2", \
+     "scaleout_anu-20servers.csv" using 1:5 with linespoints title "server 3", \
+     "scaleout_anu-20servers.csv" using 1:6 with linespoints title "server 4", \
+     "scaleout_anu-20servers.csv" using 1:7 with linespoints title "server 5", \
+     "scaleout_anu-20servers.csv" using 1:8 with linespoints title "server 6", \
+     "scaleout_anu-20servers.csv" using 1:9 with linespoints title "server 7", \
+     "scaleout_anu-20servers.csv" using 1:10 with linespoints title "server 8", \
+     "scaleout_anu-20servers.csv" using 1:11 with linespoints title "server 9", \
+     "scaleout_anu-20servers.csv" using 1:12 with linespoints title "server 10", \
+     "scaleout_anu-20servers.csv" using 1:13 with linespoints title "server 11", \
+     "scaleout_anu-20servers.csv" using 1:14 with linespoints title "server 12", \
+     "scaleout_anu-20servers.csv" using 1:15 with linespoints title "server 13", \
+     "scaleout_anu-20servers.csv" using 1:16 with linespoints title "server 14", \
+     "scaleout_anu-20servers.csv" using 1:17 with linespoints title "server 15", \
+     "scaleout_anu-20servers.csv" using 1:18 with linespoints title "server 16", \
+     "scaleout_anu-20servers.csv" using 1:19 with linespoints title "server 17", \
+     "scaleout_anu-20servers.csv" using 1:20 with linespoints title "server 18", \
+     "scaleout_anu-20servers.csv" using 1:21 with linespoints title "server 19"

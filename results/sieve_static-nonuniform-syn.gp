@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "sieve_static-nonuniform-syn.png"
+set title "Capacity-aware static hashing vs adaptive ANU (static-nonuniform-syn)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "sieve_static-nonuniform-syn.csv" using 1:2 with linespoints title "server 0", \
+     "sieve_static-nonuniform-syn.csv" using 1:3 with linespoints title "server 1", \
+     "sieve_static-nonuniform-syn.csv" using 1:4 with linespoints title "server 2", \
+     "sieve_static-nonuniform-syn.csv" using 1:5 with linespoints title "server 3", \
+     "sieve_static-nonuniform-syn.csv" using 1:6 with linespoints title "server 4"

@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "threshold_anu-t0.10.png"
+set title "Thresholding parameter sweep (anu-t0.10)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "threshold_anu-t0.10.csv" using 1:2 with linespoints title "server 0", \
+     "threshold_anu-t0.10.csv" using 1:3 with linespoints title "server 1", \
+     "threshold_anu-t0.10.csv" using 1:4 with linespoints title "server 2", \
+     "threshold_anu-t0.10.csv" using 1:5 with linespoints title "server 3", \
+     "threshold_anu-t0.10.csv" using 1:6 with linespoints title "server 4"

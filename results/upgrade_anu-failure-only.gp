@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "upgrade_anu-failure-only.png"
+set title "Online capacity replacement (server 4 fails; server 0 upgraded 1 → 9) (anu-failure-only)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "upgrade_anu-failure-only.csv" using 1:2 with linespoints title "server 0", \
+     "upgrade_anu-failure-only.csv" using 1:3 with linespoints title "server 1", \
+     "upgrade_anu-failure-only.csv" using 1:4 with linespoints title "server 2", \
+     "upgrade_anu-failure-only.csv" using 1:5 with linespoints title "server 3", \
+     "upgrade_anu-failure-only.csv" using 1:6 with linespoints title "server 4"

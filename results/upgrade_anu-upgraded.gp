@@ -1,0 +1,12 @@
+set terminal pngcairo size 800,500
+set output "upgrade_anu-upgraded.png"
+set title "Online hardware upgrade (server 0: speed 1 → 9) (anu-upgraded)"
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set datafile separator ","
+set key top left
+plot "upgrade_anu-upgraded.csv" using 1:2 with linespoints title "server 0", \
+     "upgrade_anu-upgraded.csv" using 1:3 with linespoints title "server 1", \
+     "upgrade_anu-upgraded.csv" using 1:4 with linespoints title "server 2", \
+     "upgrade_anu-upgraded.csv" using 1:5 with linespoints title "server 3", \
+     "upgrade_anu-upgraded.csv" using 1:6 with linespoints title "server 4"
