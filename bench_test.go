@@ -9,10 +9,14 @@ package anufs
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"anufs/internal/core"
 	"anufs/internal/experiment"
+	"anufs/internal/journal"
+	"anufs/internal/sharedisk"
 )
 
 // benchExperiment runs one registered experiment per iteration and reports
@@ -167,6 +171,96 @@ func BenchmarkFailureReconfig(b *testing.B) {
 		if err := m.AddServer(3, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchJournalAppend measures journal append throughput at `writers`
+// concurrent flushers. Group commit coalesces concurrent appends into one
+// fsync; the per-record-fsync baseline pays one fsync per append — the
+// batching win the durability layer exists to capture (the acceptance bar
+// is >=2x at 64 writers; in practice it is far higher).
+func benchJournalAppend(b *testing.B, writers int, noGroupCommit bool) {
+	b.Helper()
+	dir := b.TempDir()
+	jnl, _, _, err := journal.Open(dir, journal.Options{NoGroupCommit: noGroupCommit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer jnl.Close()
+	im := sharedisk.Image{Version: 2, Records: map[string]sharedisk.Record{
+		"/bench": {Size: 4096, Mode: 0o644, ModTime: time.Unix(1700000000, 0), Owner: "bench"},
+	}}
+	var next int64
+	var mu sync.Mutex
+	take := func(n int) (int64, int64) { // [lo, hi) slice of b.N
+		mu.Lock()
+		defer mu.Unlock()
+		lo := next
+		next += int64(n)
+		return lo, next
+	}
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := (b.N + writers - 1) / writers
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := take(per)
+			fs := fmt.Sprintf("vol%02d", w)
+			for i := lo; i < hi && i < int64(b.N); i++ {
+				if err := jnl.LogFlush(fs, im); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "appends/sec")
+	}
+	if recs := jnl.Counters().Get(journal.CtrRecords); recs > 0 {
+		b.ReportMetric(float64(jnl.Counters().Get(journal.CtrFsyncs))/float64(recs), "fsyncs/op")
+	}
+}
+
+// BenchmarkJournalAppendGroupCommit: 64 concurrent writers sharing fsyncs.
+func BenchmarkJournalAppendGroupCommit(b *testing.B) { benchJournalAppend(b, 64, false) }
+
+// BenchmarkJournalAppendPerRecordFsync: the same load, one fsync per record.
+func BenchmarkJournalAppendPerRecordFsync(b *testing.B) { benchJournalAppend(b, 64, true) }
+
+// BenchmarkJournalRecover measures replaying a log of n flush entries —
+// the restart cost the snapshot/compaction machinery bounds.
+func BenchmarkJournalRecover(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			jnl, _, _, err := journal.Open(dir, journal.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			im := sharedisk.Image{Version: 2, Records: map[string]sharedisk.Record{
+				"/r": {Size: 1, Owner: "bench"},
+			}}
+			for i := 0; i < n; i++ {
+				if err := jnl.LogFlush(fmt.Sprintf("vol%03d", i%32), im); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := jnl.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := journal.Recover(dir); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

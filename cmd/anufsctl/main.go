@@ -10,12 +10,14 @@
 //	anufsctl owner  <fileset>
 //	anufsctl lock   <fileset> <path> [shared|exclusive]
 //	anufsctl stats
+//	anufsctl sync
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 
 	"anufs/internal/sharedisk"
@@ -113,6 +115,21 @@ func main() {
 			fmt.Printf("server %d: speed %g share %5.1f%% owned %d served %d\n",
 				st.ID, st.Speed, st.ShareFrac*100, st.Owned, st.Served)
 		}
+		js, err := c.JournalStats()
+		check(err)
+		if len(js) > 0 {
+			names := make([]string, 0, len(js))
+			for name := range js {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Printf("%s %d\n", name, js[name])
+			}
+		}
+	case "sync":
+		check(c.Sync())
+		fmt.Println("ok")
 	default:
 		usage()
 	}
@@ -150,6 +167,7 @@ commands:
   resolve <global-path>
   pcreate <global-path>
   pstat <global-path>
-  stats`)
+  stats
+  sync`)
 	os.Exit(2)
 }

@@ -2,9 +2,18 @@
 // a live cluster (goroutine metadata servers over an in-memory shared
 // disk) behind the wire TCP protocol. Drive it with cmd/anufsctl.
 //
+// With -journal-dir the shared disk becomes durable: every file-set
+// creation and image flush is write-ahead-logged (group-committed fsyncs),
+// state is snapshotted and the log compacted every -snapshot-every entries,
+// and on startup the journal is replayed so the daemon resumes from the
+// last durable cut — a SIGKILL loses only unflushed (un-synced) cache
+// state, never flushed images.
+//
 // Usage:
 //
-//	anufsd -listen :7460 -speeds 1,3,5,7,9 -filesets 16 -window 250ms
+//	anufsd -listen :7460 -speeds 1,3,5,7,9 -filesets 16 -window 250ms \
+//	       -journal-dir /var/lib/anufs/journal -fsync-interval 2ms \
+//	       -snapshot-every 4096 -checkpoint-interval 2s
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"anufs/internal/journal"
 	"anufs/internal/live"
 	"anufs/internal/sharedisk"
 	"anufs/internal/wire"
@@ -30,6 +40,11 @@ func main() {
 		fileSets = flag.Int("filesets", 16, "file sets to pre-create (vol00..)")
 		window   = flag.Duration("window", 250*time.Millisecond, "delegate tuning interval")
 		opCost   = flag.Duration("opcost", 2*time.Millisecond, "metadata op service time at speed 1")
+
+		journalDir = flag.String("journal-dir", "", "write-ahead-log directory; empty = volatile in-memory disk")
+		fsyncIval  = flag.Duration("fsync-interval", 2*time.Millisecond, "group-commit gather window before each journal fsync")
+		snapEvery  = flag.Int("snapshot-every", 4096, "journal entries between snapshots + log compaction")
+		ckptIval   = flag.Duration("checkpoint-interval", 2*time.Second, "background flush of dirty file sets when journaling; 0 disables")
 	)
 	flag.Parse()
 
@@ -37,12 +52,42 @@ func main() {
 	if err != nil {
 		log.Fatalf("anufsd: %v", err)
 	}
-	disk := sharedisk.NewStore(0)
+
+	var (
+		disk sharedisk.Disk
+		jnl  *journal.Journal
+	)
+	if *journalDir != "" {
+		j, st, info, err := journal.Open(*journalDir, journal.Options{FsyncInterval: *fsyncIval})
+		if err != nil {
+			log.Fatalf("anufsd: journal: %v", err)
+		}
+		jnl = j
+		if info.Truncated {
+			log.Printf("anufsd: journal had a torn tail (%s@%d); recovered the durable prefix",
+				info.TruncatedSegment, info.ValidBytes)
+		}
+		log.Printf("anufsd: recovered %d file sets (%d journal entries, snapshot seq %d) in %s",
+			info.FileSets, info.Entries, info.SnapshotSeq, info.Duration)
+		disk = sharedisk.NewDurable(st, j, *snapEvery)
+	} else {
+		disk = sharedisk.NewStore(0)
+	}
+
+	existing := map[string]bool{}
+	for _, fs := range disk.FileSets() {
+		existing[fs] = true
+	}
 	for i := 0; i < *fileSets; i++ {
-		if err := disk.CreateFileSet(fmt.Sprintf("vol%02d", i)); err != nil {
+		name := fmt.Sprintf("vol%02d", i)
+		if existing[name] {
+			continue
+		}
+		if err := disk.CreateFileSet(name); err != nil {
 			log.Fatalf("anufsd: %v", err)
 		}
 	}
+
 	cfg := live.DefaultConfig()
 	cfg.Window = *window
 	cfg.OpCost = *opCost
@@ -50,20 +95,68 @@ func main() {
 	if err != nil {
 		log.Fatalf("anufsd: %v", err)
 	}
-	defer cluster.Stop()
 
 	srv := wire.NewServer(cluster)
+	if jnl != nil {
+		srv.SetJournalStats(jnl.Counters().Snapshot)
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("anufsd: %v", err)
 	}
-	defer srv.Close()
-	log.Printf("anufsd: serving %d file sets on %d servers at %s", *fileSets, len(speedMap), addr)
+	log.Printf("anufsd: serving %d file sets on %d servers at %s (journal: %s)",
+		len(disk.FileSets()), len(speedMap), addr, journalDesc(*journalDir))
+
+	// Background checkpointer: bounds the window of metadata lost to a
+	// crash to one interval, without clients having to call sync.
+	stopCkpt := make(chan struct{})
+	ckptDone := make(chan struct{})
+	go func() {
+		defer close(ckptDone)
+		if jnl == nil || *ckptIval <= 0 {
+			return
+		}
+		t := time.NewTicker(*ckptIval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCkpt:
+				return
+			case <-t.C:
+				if err := cluster.CheckpointAll(); err != nil {
+					log.Printf("anufsd: checkpoint: %v", err)
+				}
+			}
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Println("anufsd: shutting down")
+	close(stopCkpt)
+	<-ckptDone
+	srv.Close()
+	if jnl != nil {
+		// Flush everything dirty so a clean shutdown loses nothing, then
+		// stop the cluster and seal the journal.
+		if err := cluster.CheckpointAll(); err != nil {
+			log.Printf("anufsd: final checkpoint: %v", err)
+		}
+	}
+	cluster.Stop()
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			log.Printf("anufsd: journal close: %v", err)
+		}
+	}
+}
+
+func journalDesc(dir string) string {
+	if dir == "" {
+		return "disabled"
+	}
+	return dir
 }
 
 func parseSpeeds(s string) (map[int]float64, error) {

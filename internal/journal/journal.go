@@ -1,0 +1,306 @@
+// Package journal is the durability layer under the shared disk: a
+// segmented, CRC32-checksummed write-ahead log of file-set flush deltas,
+// with group commit to amortize fsync cost under concurrent flushes,
+// periodic snapshot + segment compaction to bound replay time, and a
+// Recover path that rebuilds a sharedisk.Store from snapshot + log tail,
+// truncating at the first torn or corrupt record.
+//
+// The paper's shared-disk substrate assumes "a flushed image is a
+// consistent cut another server can adopt" (§7); this package is what makes
+// that cut survive a server process crash rather than living only in
+// memory. sharedisk.Durable journals every CreateFileSet/Flush through the
+// WAL interface; on restart, Open replays the log and hands back an
+// equivalent store.
+//
+// Layout of a journal directory:
+//
+//	wal-<firstseq:016x>.log   log segments; header then framed entries
+//	snap-<seq:016x>.snap      full-store snapshots; at most one survives
+//
+// Entries are numbered by a monotonically increasing sequence; a segment's
+// file name records the sequence of its first entry. A snapshot at sequence
+// S covers entries 1..S; compaction deletes every segment wholly at or
+// below S (Snapshot rotates first so that is every non-active segment).
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"anufs/internal/metrics"
+	"anufs/internal/sharedisk"
+)
+
+// Segment and snapshot file headers.
+const (
+	segMagic  uint32 = 0x414E554A // "ANUJ"
+	snapMagic uint32 = 0x414E5553 // "ANUS"
+	format    byte   = 1
+	// headerLen = magic(4) + format(1) + seq(8) + CRC32 of the former (4).
+	headerLen = 17
+)
+
+// putHeader fills a file header: magic, format, seq, header CRC.
+func putHeader(hdr *[headerLen]byte, magic uint32, seq uint64) {
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	hdr[4] = format
+	binary.LittleEndian.PutUint64(hdr[5:13], seq)
+	binary.LittleEndian.PutUint32(hdr[13:17], crc32.ChecksumIEEE(hdr[0:13]))
+}
+
+// parseHeader verifies a file header and extracts the sequence.
+func parseHeader(data []byte, magic uint32) (seq uint64, ok bool) {
+	if len(data) < headerLen ||
+		binary.LittleEndian.Uint32(data[0:4]) != magic || data[4] != format ||
+		binary.LittleEndian.Uint32(data[13:17]) != crc32.ChecksumIEEE(data[0:13]) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(data[5:13]), true
+}
+
+// ErrClosed is returned for appends to a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+// Counter names exported through metrics.CounterSet (and from there the
+// wire stats RPC).
+const (
+	CtrRecords          = "journal_records_appended"
+	CtrBytes            = "journal_bytes_appended"
+	CtrFsyncs           = "journal_fsyncs"
+	CtrBatches          = "journal_batches"
+	CtrMaxBatch         = "journal_max_batch_records"
+	CtrSegments         = "journal_segments_created"
+	CtrSnapshots        = "journal_snapshots"
+	CtrCompacted        = "journal_segments_compacted"
+	CtrRecoveryNanos    = "journal_recovery_ns"
+	CtrRecoveredEntries = "journal_recovered_entries"
+)
+
+// Options parameterizes a journal.
+type Options struct {
+	// SegmentBytes is the rotation threshold; default 4 MiB.
+	SegmentBytes int64
+	// FsyncInterval is the group-commit gather window: after the first
+	// record of a batch arrives, the committer keeps collecting concurrent
+	// appends for this long before issuing the single write+fsync. Zero
+	// commits as soon as the momentarily queued appends are drained (still
+	// group commit: appends arriving during an fsync ride the next batch).
+	FsyncInterval time.Duration
+	// NoGroupCommit forces one fsync per record — the baseline the group
+	// commit benchmark compares against. Not for production use.
+	NoGroupCommit bool
+	// Counters receives journal observability counters; one is created if
+	// nil. Retrieve it with Counters().
+	Counters *metrics.CounterSet
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.Counters == nil {
+		o.Counters = metrics.NewCounterSet()
+	}
+	return o
+}
+
+// Journal is an open write-ahead log. Safe for concurrent use; it
+// implements sharedisk.WAL.
+type Journal struct {
+	dir      string
+	opts     Options
+	counters *metrics.CounterSet
+
+	appendCh chan *appendReq
+	quit     chan struct{} // closed by Close; stops accepting appends
+	done     chan struct{} // closed when the committer goroutine exits
+
+	// snapMu serializes Snapshot calls end to end (rotation + snapshot file
+	// write + compaction).
+	snapMu sync.Mutex
+
+	// mu guards the active segment; the committer holds it per batch and
+	// Snapshot holds it while capturing a cut + rotating.
+	mu       sync.Mutex
+	f        *os.File
+	segFirst uint64 // sequence of the active segment's first entry
+	segSize  int64
+	nextSeq  uint64 // sequence the next appended entry will get
+	closeErr error
+	closed   bool
+}
+
+type appendReq struct {
+	frame []byte
+	done  chan error
+}
+
+// Open recovers the journal in dir (creating it if needed) and opens it for
+// appending: the recovered state is returned as a fresh sharedisk.Store,
+// any torn tail is physically truncated, and a new active segment is
+// started after the last durable entry.
+func Open(dir string, opts Options) (*Journal, *sharedisk.Store, RecoverInfo, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, RecoverInfo{}, err
+	}
+	images, info, err := replayDir(dir)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	// Make the on-disk log agree with what replay could use: cut the torn
+	// tail and drop segments stranded behind it. A segment whose very
+	// header is unreadable keeps no bytes — remove it outright so it cannot
+	// wedge the next recovery at offset zero.
+	if info.Truncated {
+		if info.ValidBytes < headerLen {
+			if err := os.Remove(info.TruncatedSegment); err != nil {
+				return nil, nil, info, fmt.Errorf("journal: drop headerless segment: %w", err)
+			}
+		} else if err := os.Truncate(info.TruncatedSegment, info.ValidBytes); err != nil {
+			return nil, nil, info, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+		for _, p := range info.strandedSegments {
+			if err := os.Remove(p); err != nil {
+				return nil, nil, info, err
+			}
+		}
+	}
+	j := &Journal{
+		dir:      dir,
+		opts:     opts,
+		counters: opts.Counters,
+		appendCh: make(chan *appendReq, 256),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		nextSeq:  info.LastSeq + 1,
+	}
+	j.counters.Set(CtrRecoveryNanos, info.Duration.Nanoseconds())
+	j.counters.Set(CtrRecoveredEntries, int64(info.Entries))
+	// A restart after an idle run (or a fully-torn tail) leaves a segment
+	// already named for nextSeq; it holds no durable entries, so replace it.
+	if err := os.Remove(j.segmentName(j.nextSeq)); err != nil && !os.IsNotExist(err) {
+		return nil, nil, info, err
+	}
+	if err := j.openSegmentLocked(); err != nil {
+		return nil, nil, info, err
+	}
+	go j.run()
+	return j, sharedisk.NewStoreFromImages(images, 0), info, nil
+}
+
+// Counters returns the journal's counter set.
+func (j *Journal) Counters() *metrics.CounterSet { return j.counters }
+
+// LogCreateFileSet journals a file-set creation; returns once durable.
+func (j *Journal) LogCreateFileSet(fileSet string) error {
+	return j.append(encodeEntry(Entry{Kind: KindCreateFileSet, FileSet: fileSet}))
+}
+
+// LogFlush journals a flushed image; returns once durable.
+func (j *Journal) LogFlush(fileSet string, im sharedisk.Image) error {
+	return j.append(encodeEntry(Entry{Kind: KindFlush, FileSet: fileSet, Image: im}))
+}
+
+// append frames the payload and hands it to the group committer, blocking
+// until the entry is fsynced (or the journal fails/closes).
+func (j *Journal) append(payload []byte) error {
+	r := &appendReq{frame: appendFrame(nil, payload), done: make(chan error, 1)}
+	select {
+	case j.appendCh <- r:
+	case <-j.quit:
+		return ErrClosed
+	}
+	select {
+	case err := <-r.done:
+		return err
+	case <-j.done:
+		// The committer exited; it drained the queue first, so a reply is
+		// either buffered or will never come.
+		select {
+		case err := <-r.done:
+			return err
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// Close commits everything queued, fsyncs, and closes the active segment.
+// Further appends return ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		<-j.done
+		return j.closeErr
+	}
+	j.closed = true
+	j.mu.Unlock()
+	close(j.quit)
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		if err := j.f.Close(); err != nil && j.closeErr == nil {
+			j.closeErr = err
+		}
+		j.f = nil
+	}
+	return j.closeErr
+}
+
+// segmentName returns the path of the segment whose first entry is seq.
+func (j *Journal) segmentName(seq uint64) string {
+	return filepath.Join(j.dir, fmt.Sprintf("wal-%016x.log", seq))
+}
+
+// openSegmentLocked starts a fresh active segment at nextSeq. Callers hold
+// mu (or have exclusive access during Open).
+func (j *Journal) openSegmentLocked() error {
+	if j.f != nil {
+		if err := j.f.Close(); err != nil {
+			return err
+		}
+		j.f = nil
+	}
+	f, err := os.OpenFile(j.segmentName(j.nextSeq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [headerLen]byte
+	putHeader(&hdr, segMagic, j.nextSeq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(j.dir); err != nil {
+		f.Close()
+		return err
+	}
+	j.f = f
+	j.segFirst = j.nextSeq
+	j.segSize = headerLen
+	j.counters.Add(CtrSegments, 1)
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,171 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"anufs/internal/sharedisk"
+)
+
+// RecoverInfo reports what recovery found and did.
+type RecoverInfo struct {
+	// SnapshotSeq is the sequence the adopted snapshot covers (0 = none).
+	SnapshotSeq uint64
+	// Entries is the number of log entries replayed on top of the snapshot.
+	Entries int
+	// LastSeq is the sequence of the last durable entry.
+	LastSeq uint64
+	// FileSets is the number of file sets in the recovered store.
+	FileSets int
+	// Truncated reports that a torn or corrupt record ended the replay
+	// early; TruncatedSegment/ValidBytes locate the cut.
+	Truncated        bool
+	TruncatedSegment string
+	ValidBytes       int64
+	// Duration is the wall time replay took.
+	Duration time.Duration
+
+	// strandedSegments are segments after the truncation point; Open
+	// deletes them so future appends cannot resurrect discarded suffixes.
+	strandedSegments []string
+}
+
+// Recover replays the journal directory read-only and returns the
+// prefix-consistent store it describes: the newest intact snapshot plus
+// every intact log entry after it, stopping at the first torn or corrupt
+// record. A missing or empty directory recovers to an empty store.
+func Recover(dir string) (*sharedisk.Store, RecoverInfo, error) {
+	images, info, err := replayDir(dir)
+	if err != nil {
+		return nil, info, err
+	}
+	return sharedisk.NewStoreFromImages(images, 0), info, nil
+}
+
+// replayDir does the work of Recover without materializing a store.
+func replayDir(dir string) (map[string]sharedisk.Image, RecoverInfo, error) {
+	start := time.Now()
+	info := RecoverInfo{}
+	images := map[string]sharedisk.Image{}
+
+	// Adopt the newest intact snapshot; a corrupt one (crash mid write
+	// would normally be caught by the atomic rename, but disks lie) falls
+	// back to the next newest.
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil {
+		return nil, info, err
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(snaps)))
+	for _, p := range snaps {
+		ims, seq, err := loadSnapshot(p)
+		if err != nil {
+			continue
+		}
+		images, info.SnapshotSeq = ims, seq
+		break
+	}
+	info.LastSeq = info.SnapshotSeq
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, info, err
+	}
+	sort.Strings(segs)
+	for i, p := range segs {
+		done, err := replaySegment(p, images, &info)
+		if err != nil {
+			return nil, info, err
+		}
+		if done {
+			info.strandedSegments = segs[i+1:]
+			break
+		}
+	}
+	info.FileSets = len(images)
+	info.Duration = time.Since(start)
+	return images, info, nil
+}
+
+// replaySegment applies one segment's intact entries. done=true means a
+// torn/corrupt record (or bad header) was hit and replay must stop for good
+// — a later segment cannot be trusted past a hole.
+func replaySegment(path string, images map[string]sharedisk.Image, info *RecoverInfo) (done bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	torn := func(valid int64) (bool, error) {
+		info.Truncated = true
+		info.TruncatedSegment = path
+		info.ValidBytes = valid
+		return true, nil
+	}
+	seq, ok := parseHeader(data, segMagic)
+	if !ok {
+		// An unreadable header strands the whole segment: nothing in it can
+		// be sequenced, so recovery keeps none of it.
+		return torn(0)
+	}
+	off := int64(headerLen)
+	for int(off) < len(data) {
+		payload, n, ok := nextFrame(data[off:])
+		if !ok {
+			return torn(off)
+		}
+		e, err := decodeEntry(payload)
+		if err != nil {
+			return torn(off)
+		}
+		off += int64(n)
+		if seq > info.LastSeq {
+			info.LastSeq = seq
+		}
+		if seq > info.SnapshotSeq {
+			applyEntry(images, e)
+			info.Entries++
+		}
+		seq++
+	}
+	return false, nil
+}
+
+// applyEntry folds one entry into the image map. Application is
+// "if newer": a flush installs its image only over a lower version, and a
+// create never clobbers an existing file set — so replay is idempotent and
+// tolerant of entries a snapshot already covers.
+func applyEntry(images map[string]sharedisk.Image, e Entry) {
+	switch e.Kind {
+	case KindCreateFileSet:
+		if _, ok := images[e.FileSet]; !ok {
+			images[e.FileSet] = sharedisk.Image{Version: 1, Records: map[string]sharedisk.Record{}}
+		}
+	case KindFlush:
+		if cur, ok := images[e.FileSet]; !ok || e.Image.Version > cur.Version {
+			images[e.FileSet] = e.Image
+		}
+	}
+}
+
+// loadSnapshot reads and verifies one snapshot file.
+func loadSnapshot(path string) (map[string]sharedisk.Image, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	seq, ok := parseHeader(data, snapMagic)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: bad snapshot header", ErrCorrupt)
+	}
+	payload, n, ok := nextFrame(data[headerLen:])
+	if !ok || headerLen+n != len(data) {
+		return nil, 0, fmt.Errorf("%w: torn snapshot", ErrCorrupt)
+	}
+	images, err := decodeImages(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return images, seq, nil
+}

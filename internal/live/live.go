@@ -130,7 +130,7 @@ func (s *server) takeWindow() (count int, mean float64) {
 // Cluster is the live ANU-managed metadata cluster.
 type Cluster struct {
 	cfg  Config
-	disk *sharedisk.Store
+	disk sharedisk.Disk
 
 	// snapshot holds an immutable *core.Mapper for lock-free routing.
 	snapshot atomic.Value
@@ -165,8 +165,9 @@ type Cluster struct {
 
 // NewCluster creates a cluster over the shared disk with the given server
 // speeds (id → relative power). Every file set already on the disk is
-// acquired by its hash-designated owner before NewCluster returns.
-func NewCluster(cfg Config, disk *sharedisk.Store, speeds map[int]float64) (*Cluster, error) {
+// acquired by its hash-designated owner before NewCluster returns. Pass a
+// sharedisk.Durable to make every flush survive a daemon crash.
+func NewCluster(cfg Config, disk sharedisk.Disk, speeds map[int]float64) (*Cluster, error) {
 	if cfg.Window <= 0 || cfg.QueueDepth <= 0 {
 		return nil, fmt.Errorf("live: invalid config %+v", cfg)
 	}
@@ -355,6 +356,27 @@ func (c *Cluster) List(fileSet, prefix string) ([]string, error) {
 		return e
 	})
 	return out, err
+}
+
+// Checkpoint flushes one file set's dirty state to shared disk without
+// releasing ownership, through the owner's queue (so it serializes with
+// that server's metadata operations and release-time flushes).
+func (c *Cluster) Checkpoint(fileSet string) error {
+	return c.do(fileSet, func(s *server) error { return s.ms.Checkpoint(fileSet) })
+}
+
+// CheckpointAll checkpoints every file set — the durability barrier behind
+// the wire "sync" op: when it returns nil, everything created or updated
+// before the call is on shared disk (and, with a Durable store, in the
+// journal). Clean file sets are no-ops.
+func (c *Cluster) CheckpointAll() error {
+	var firstErr error
+	for _, fs := range c.disk.FileSets() {
+		if err := c.Checkpoint(fs); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Owner reports which server currently serves the file set.

@@ -32,7 +32,7 @@ var ErrExists = errors.New("metaserver: path exists")
 // Server is one metadata server. Safe for concurrent use.
 type Server struct {
 	id   int
-	disk *sharedisk.Store
+	disk sharedisk.Disk
 
 	mu    sync.Mutex
 	owned map[string]*fileSetState
@@ -47,8 +47,9 @@ type fileSetState struct {
 	dirty bool
 }
 
-// New creates a metadata server bound to the shared disk.
-func New(id int, disk *sharedisk.Store) *Server {
+// New creates a metadata server bound to the shared disk (the in-memory
+// Store, or Durable when flushes must survive a process crash).
+func New(id int, disk sharedisk.Disk) *Server {
 	return &Server{id: id, disk: disk, owned: map[string]*fileSetState{}}
 }
 

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// CounterSet is a small named-counter registry for subsystem observability
+// (journal appends, fsyncs, recovery time, ...). Unlike Collector it has no
+// notion of time windows: counters are monotonic (Add) or last-value gauges
+// (Set), and Snapshot freezes them for export over the wire stats RPC.
+// Safe for concurrent use.
+type CounterSet struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounterSet creates an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{m: map[string]int64{}}
+}
+
+// Add increments the named counter by d (creating it at zero first).
+func (c *CounterSet) Add(name string, d int64) {
+	c.mu.Lock()
+	c.m[name] += d
+	c.mu.Unlock()
+}
+
+// Set overwrites the named counter — for gauges like "last recovery time".
+func (c *CounterSet) Set(name string, v int64) {
+	c.mu.Lock()
+	c.m[name] = v
+	c.mu.Unlock()
+}
+
+// Max raises the named counter to v if v is larger — for high-water marks
+// like "largest group-commit batch".
+func (c *CounterSet) Max(name string, v int64) {
+	c.mu.Lock()
+	if v > c.m[name] {
+		c.m[name] = v
+	}
+	c.mu.Unlock()
+}
+
+// Get returns the named counter's current value (zero if never touched).
+func (c *CounterSet) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot copies every counter into a fresh map.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the counter names, sorted — handy for stable CLI output.
+func (c *CounterSet) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,111 @@
+package sharedisk
+
+import (
+	"fmt"
+	"sync"
+)
+
+// WAL is what Durable needs from a write-ahead log. internal/journal
+// implements it; it lives here as an interface so sharedisk does not import
+// journal (journal already imports sharedisk for the image types and the
+// Recover constructor).
+//
+// Log* calls must not return until the entry is durable (fsynced) — Durable
+// acknowledges a flush to its caller only after the WAL has.
+type WAL interface {
+	// LogCreateFileSet records the birth of an empty file set.
+	LogCreateFileSet(fileSet string) error
+	// LogFlush records a flushed image, including the version the store
+	// assigned it.
+	LogFlush(fileSet string, im Image) error
+	// Snapshot persists a full consistent cut of the store and lets the log
+	// compact everything the cut covers. It takes a closure so the log can
+	// capture the cut at a sequence of its choosing (with commits paused).
+	Snapshot(images func() map[string]Image) error
+	// Close flushes and closes the log.
+	Close() error
+}
+
+// Durable is a Store variant that write-ahead-logs every mutation, so the
+// shared disk's images survive a daemon crash: CreateFileSet and Flush
+// return only once the journal has fsynced the entry, and journal.Recover
+// rebuilds an equivalent Store on restart. Reads are served from the
+// embedded in-memory Store as before.
+//
+// Ordering note: the in-memory store applies first (it assigns the image
+// version), then the entry is journaled. A crash between the two loses an
+// un-acknowledged flush, which is exactly the contract callers already
+// have — a flush is durable when (and only when) Flush returns nil.
+type Durable struct {
+	*Store
+	wal WAL
+
+	// snapshotEvery triggers a snapshot + log compaction after that many
+	// journaled entries; <= 0 disables automatic snapshots.
+	snapshotEvery int
+	mu            sync.Mutex
+	sinceSnapshot int
+}
+
+// NewDurable wraps a store with a write-ahead log. The store is typically
+// the one journal recovery just rebuilt, so log and memory start aligned.
+func NewDurable(st *Store, wal WAL, snapshotEvery int) *Durable {
+	return &Durable{Store: st, wal: wal, snapshotEvery: snapshotEvery}
+}
+
+// CreateFileSet initializes an empty image and journals the creation.
+func (d *Durable) CreateFileSet(fileSet string) error {
+	if err := d.Store.CreateFileSet(fileSet); err != nil {
+		return err
+	}
+	if err := d.wal.LogCreateFileSet(fileSet); err != nil {
+		return fmt.Errorf("sharedisk: journal create of %q: %w", fileSet, err)
+	}
+	return d.maybeSnapshot()
+}
+
+// Flush writes the image back and journals the flushed state. The journaled
+// entry carries the post-flush version, so replay installs exactly what the
+// store held.
+func (d *Durable) Flush(fileSet string, im Image) (uint64, error) {
+	v, err := d.Store.Flush(fileSet, im)
+	if err != nil {
+		return 0, err
+	}
+	flushed := im.clone()
+	flushed.Version = v
+	if err := d.wal.LogFlush(fileSet, flushed); err != nil {
+		return v, fmt.Errorf("sharedisk: journal flush of %q: %w", fileSet, err)
+	}
+	return v, d.maybeSnapshot()
+}
+
+// maybeSnapshot counts journaled entries and cuts a snapshot (compacting
+// the log) every snapshotEvery of them.
+func (d *Durable) maybeSnapshot() error {
+	if d.snapshotEvery <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	d.sinceSnapshot++
+	due := d.sinceSnapshot >= d.snapshotEvery
+	if due {
+		d.sinceSnapshot = 0
+	}
+	d.mu.Unlock()
+	if !due {
+		return nil
+	}
+	if err := d.wal.Snapshot(d.Store.Images); err != nil {
+		return fmt.Errorf("sharedisk: snapshot: %w", err)
+	}
+	return nil
+}
+
+// Snapshot forces a snapshot + compaction now (shutdown path).
+func (d *Durable) Snapshot() error {
+	return d.wal.Snapshot(d.Store.Images)
+}
+
+// Close closes the underlying journal.
+func (d *Durable) Close() error { return d.wal.Close() }

@@ -37,6 +37,17 @@ type Record struct {
 	Owner   string
 }
 
+// Disk is the shared-disk contract the rest of the stack (metaserver, live
+// cluster) programs against. *Store implements it in memory; *Durable adds
+// a write-ahead log underneath so images survive process crashes.
+type Disk interface {
+	CreateFileSet(fileSet string) error
+	FileSets() []string
+	Load(fileSet string) (Image, error)
+	Flush(fileSet string, im Image) (newVersion uint64, err error)
+	Version(fileSet string) (uint64, error)
+}
+
 // clone deep-copies an image.
 func (im Image) clone() Image {
 	cp := Image{Version: im.Version, Records: make(map[string]Record, len(im.Records))}
@@ -61,6 +72,29 @@ type Store struct {
 // expensive (part of the paper's 5–10 s move time).
 func NewStore(latency time.Duration) *Store {
 	return &Store{images: map[string]Image{}, latency: latency}
+}
+
+// NewStoreFromImages creates a store seeded with the given images — the
+// journal recovery path uses it to materialize the replayed state. The
+// images are deep-copied; the caller keeps ownership of its map.
+func NewStoreFromImages(images map[string]Image, latency time.Duration) *Store {
+	s := &Store{images: make(map[string]Image, len(images)), latency: latency}
+	for fs, im := range images {
+		s.images[fs] = im.clone()
+	}
+	return s
+}
+
+// Images deep-copies every file-set image — the consistent cut a journal
+// snapshot persists.
+func (s *Store) Images() map[string]Image {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]Image, len(s.images))
+	for fs, im := range s.images {
+		out[fs] = im.clone()
+	}
+	return out
 }
 
 // CreateFileSet initializes an empty image for a new file set.

@@ -88,6 +88,65 @@ func TestStaleFlushRejected(t *testing.T) {
 	}
 }
 
+// TestStaleWritersRaceNeverRegress: two writers holding the SAME stale
+// version race their flushes against a store that has already moved on.
+// Both must get a version error, in either interleaving, and the store must
+// never regress to an older image — the invariant the ownership protocol's
+// error reporting rests on.
+func TestStaleWritersRaceNeverRegress(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		s := NewStore(0)
+		if err := s.CreateFileSet("fs"); err != nil {
+			t.Fatal(err)
+		}
+		// Two writers each load version 1.
+		w1, _ := s.Load("fs")
+		w2, _ := s.Load("fs")
+		// A third party flushes first: disk moves to version 2.
+		cur, _ := s.Load("fs")
+		cur.Records["/current"] = Record{Size: 777}
+		if _, err := s.Flush("fs", cur); err != nil {
+			t.Fatal(err)
+		}
+		w1.Records["/stale1"] = Record{Size: 1}
+		w2.Records["/stale2"] = Record{Size: 2}
+		start := make(chan struct{})
+		errs := make(chan error, 2)
+		var wg sync.WaitGroup
+		for _, im := range []Image{w1, w2} {
+			wg.Add(1)
+			go func(im Image) {
+				defer wg.Done()
+				<-start
+				_, err := s.Flush("fs", im)
+				errs <- err
+			}(im)
+		}
+		close(start)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err == nil {
+				t.Fatal("a stale writer's flush succeeded — lost update")
+			}
+		}
+		v, err := s.Version("fs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 2 {
+			t.Fatalf("store regressed or advanced wrongly: version %d, want 2", v)
+		}
+		im, _ := s.Load("fs")
+		if im.Records["/current"].Size != 777 {
+			t.Fatal("winning image lost")
+		}
+		if len(im.Records) != 1 {
+			t.Fatalf("stale records leaked in: %+v", im.Records)
+		}
+	}
+}
+
 func TestImagesAreCopies(t *testing.T) {
 	s := NewStore(0)
 	if err := s.CreateFileSet("fs1"); err != nil {

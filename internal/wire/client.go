@@ -189,6 +189,22 @@ func (c *Client) Stats() ([]ServerStat, error) {
 	return resp.Stats, err
 }
 
+// JournalStats fetches the journal counters; nil when the daemon runs
+// without a journal.
+func (c *Client) JournalStats() (map[string]int64, error) {
+	resp, err := c.call(Request{Op: OpStats})
+	return resp.Journal, err
+}
+
+// Sync checkpoints every file set to shared disk — the client-side
+// durability barrier (fsync for metadata). When it returns nil, all writes
+// acknowledged before the call survive a daemon crash, provided the daemon
+// journals (-journal-dir).
+func (c *Client) Sync() error {
+	_, err := c.call(Request{Op: OpSync})
+	return err
+}
+
 // Mount binds a global-namespace subtree to a file set.
 func (c *Client) Mount(prefix, fileSet string) error {
 	_, err := c.call(Request{Op: OpMount, Prefix: prefix, FileSet: fileSet})

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"anufs/internal/live"
+	"anufs/internal/sharedisk"
+)
+
+// fuzzCluster builds one small cluster per fuzz process. The retry budget
+// is tiny: fuzzed requests routinely target unknown file sets, and the
+// point is frame handling, not move-retry patience.
+func fuzzCluster(f *testing.F) *Server {
+	f.Helper()
+	disk := sharedisk.NewStore(0)
+	if err := disk.CreateFileSet("fs00"); err != nil {
+		f.Fatal(err)
+	}
+	cfg := live.DefaultConfig()
+	cfg.Window = time.Hour
+	cfg.OpCost = 0
+	cfg.RetryBudget = time.Millisecond
+	cl, err := live.NewCluster(cfg, disk, map[int]float64{0: 1, 1: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(cl.Stop)
+	return NewServer(cl)
+}
+
+// FuzzRequestDecode drives the server-side frame path — JSON decode plus
+// dispatch — with arbitrary client bytes. A malformed or malicious frame
+// must produce an error response (or be rejected), never a panic: one bad
+// client must not take the daemon down.
+func FuzzRequestDecode(f *testing.F) {
+	seeds := []string{
+		`{"id":1,"op":"stat","fileset":"fs00","path":"/a"}`,
+		`{"id":2,"op":"create","fileset":"fs00","path":"/a","record":{"size":1}}`,
+		`{"id":3,"op":"create-fileset","fileset":"other"}`,
+		`{"id":4,"op":"list","fileset":"fs00","path":"/"}`,
+		`{"id":5,"op":"lock","fileset":"fs00","path":"/a","client":1,"exclusive":true}`,
+		`{"id":6,"op":"stats"}`,
+		`{"id":7,"op":"sync"}`,
+		`{"id":8,"op":"mount","prefix":"/mnt","fileset":"fs00"}`,
+		`{"id":9,"op":"resolve","path":"/mnt/x"}`,
+		`{"id":10,"op":"mapping"}`,
+		`{"id":11,"op":"update","fileset":"fs00","path":"/a","record":null}`,
+		`{"id":12,"op":"nope"}`,
+		`{"id":13`,
+		`not json at all`,
+		`{"op":""}`,
+		`{"id":18446744073709551615,"op":"stat","fileset":"` + strings.Repeat("x", 300) + `"}`,
+		`[1,2,3]`,
+		`{"id":1,"op":"pcreate","path":"` + strings.Repeat("/", 64) + `"}`,
+		"\x00\x01\x02",
+		`{"id":1,"op":"lock","client":-1}`,
+	}
+	srv := fuzzCluster(f)
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			return // bad frame: serveConn answers with an error response
+		}
+		resp := srv.handle(req)
+		if resp.ID != req.ID {
+			t.Fatalf("response ID %d for request ID %d", resp.ID, req.ID)
+		}
+		// Whatever came back must be encodable, or the write path would die.
+		if _, err := json.Marshal(resp); err != nil {
+			t.Fatalf("unencodable response %+v: %v", resp, err)
+		}
+	})
+}
+
+// TestGarbageFramesOverTCP feeds raw garbage through a real connection:
+// the connection may be dropped, but the server must keep serving others.
+func TestGarbageFramesOverTCP(t *testing.T) {
+	c, _ := startServer(t, 1)
+	addr := c.conn.RemoteAddr().String()
+
+	bad, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	payloads := []string{
+		"garbage\n",
+		"{\"id\":1,\"op\":\"stat\"\n",
+		strings.Repeat("A", 128<<10) + "\n", // over the scanner line cap
+		"\x00\xff\xfe\n",
+	}
+	for _, p := range payloads {
+		if _, err := bad.Write([]byte(p)); err != nil {
+			break // server may hang up mid-way; that is acceptable
+		}
+	}
+	// A healthy client still gets service afterwards.
+	for i := 0; i < 3; i++ {
+		if err := c.Create("fs00", fmt.Sprintf("/ok%d", i), sharedisk.Record{Size: 1}); err != nil {
+			t.Fatalf("server unhealthy after garbage frames: %v", err)
+		}
+	}
+}

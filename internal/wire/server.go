@@ -27,12 +27,23 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	handlers sync.WaitGroup
+	// journalStats, when set, supplies journal counters for OpStats.
+	journalStats func() map[string]int64
 }
 
 // NewServer wraps a cluster. The caller retains ownership of the cluster
 // (Close does not stop it).
 func NewServer(c *live.Cluster) *Server {
 	return &Server{cluster: c, ns: namespace.New(), conns: map[net.Conn]struct{}{}}
+}
+
+// SetJournalStats registers a source of journal counters to include in
+// stats replies (anufsd passes the journal's CounterSet snapshot). Call
+// before Listen.
+func (s *Server) SetJournalStats(fn func() map[string]int64) {
+	s.mu.Lock()
+	s.journalStats = fn
+	s.mu.Unlock()
 }
 
 // Listen starts accepting on addr ("host:port"; ":0" picks a free port)
@@ -196,6 +207,16 @@ func (s *Server) handle(req Request) Response {
 				Served:    st.Served,
 				Owned:     len(st.Owned),
 			})
+		}
+		s.mu.Lock()
+		js := s.journalStats
+		s.mu.Unlock()
+		if js != nil {
+			resp.Journal = js()
+		}
+	case OpSync:
+		if err := s.cluster.CheckpointAll(); err != nil {
+			return fail(err)
 		}
 	case OpMount:
 		if err := s.ns.Mount(req.Prefix, req.FileSet); err != nil {

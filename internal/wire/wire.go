@@ -45,6 +45,10 @@ const (
 	// OpMapping fetches the replicated routing configuration (paper §5):
 	// clients cache it and resolve file-set owners locally.
 	OpMapping Op = "mapping"
+	// OpSync checkpoints every file set to shared disk — the durability
+	// barrier: once it returns without error, all earlier metadata writes
+	// are flushed (and journaled, when the daemon runs with -journal-dir).
+	OpSync Op = "sync"
 )
 
 // Request is one client frame.
@@ -86,4 +90,8 @@ type Response struct {
 	Rel     string `json:"rel,omitempty"`
 	// Mapping answers OpMapping (JSON is base64-encoded for []byte).
 	Mapping []byte `json:"mapping,omitempty"`
+	// Journal carries the journal counters (records appended, bytes,
+	// fsyncs, batch sizes, recovery time, ...) in OpStats replies when the
+	// server runs over a durable store; nil otherwise.
+	Journal map[string]int64 `json:"journal,omitempty"`
 }
