@@ -9,23 +9,28 @@
 //	anufsctl ls     <fileset> [prefix]
 //	anufsctl owner  <fileset>
 //	anufsctl lock   <fileset> <path> [shared|exclusive]
-//	anufsctl stats
+//	anufsctl [-json] stats
 //	anufsctl sync
+//	anufsctl [-json] trace [id|last] [n]
+//	anufsctl [-json] tunerlog [n]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
+	"text/tabwriter"
 
+	"anufs/internal/metrics"
 	"anufs/internal/sharedisk"
 	"anufs/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7460", "anufsd address")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of tables (stats, trace, tunerlog)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -111,30 +116,126 @@ func main() {
 	case "stats":
 		stats, err := c.Stats()
 		check(err)
-		for _, st := range stats {
-			fmt.Printf("server %d: speed %g share %5.1f%% owned %d served %d\n",
-				st.ID, st.Speed, st.ShareFrac*100, st.Owned, st.Served)
-		}
 		js, err := c.JournalStats()
 		check(err)
-		if len(js) > 0 {
-			names := make([]string, 0, len(js))
-			for name := range js {
-				names = append(names, name)
-			}
-			sort.Strings(names)
+		ws, conns, err := c.WireStats()
+		check(err)
+		if *jsonOut {
+			emitJSON(struct {
+				Servers []wire.ServerStat `json:"servers"`
+				Journal map[string]int64  `json:"journal,omitempty"`
+				Wire    map[string]int64  `json:"wire,omitempty"`
+				Conns   []wire.ConnStat   `json:"conns,omitempty"`
+			}{stats, js, ws, conns})
+			return
+		}
+		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "SERVER\tSPEED\tSHARE\tOWNED\tSERVED")
+		for _, st := range stats {
+			fmt.Fprintf(tw, "%d\t%g\t%.1f%%\t%d\t%d\n",
+				st.ID, st.Speed, st.ShareFrac*100, st.Owned, st.Served)
+		}
+		check(tw.Flush())
+		// Merge the journal and wire counters into one CounterSet so the
+		// listing is stable-sorted regardless of which side reported them.
+		cs := metrics.NewCounterSet()
+		for name, v := range js {
+			cs.Set(name, v)
+		}
+		for name, v := range ws {
+			cs.Set(name, v)
+		}
+		if names := cs.Names(); len(names) > 0 {
+			fmt.Println()
+			tw = tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "COUNTER\tVALUE")
 			for _, name := range names {
-				fmt.Printf("%s %d\n", name, js[name])
+				fmt.Fprintf(tw, "%s\t%d\n", name, cs.Get(name))
 			}
+			check(tw.Flush())
+		}
+		if len(conns) > 0 {
+			fmt.Println()
+			tw = tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "CONN\tREQUESTS\tERRORS\tSLOW\tBADFRAMES")
+			for _, cn := range conns {
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n",
+					cn.Remote, cn.Requests, cn.Errors, cn.Slow, cn.BadFrames)
+			}
+			check(tw.Flush())
 		}
 	case "sync":
 		check(c.Sync())
 		fmt.Println("ok")
+	case "trace":
+		// "trace" dumps recent spans; "trace <id>" one trace's timeline;
+		// "trace last [n]" makes a request first so there is a fresh trace.
+		var trace uint64
+		n := 64
+		if len(rest) >= 1 {
+			if rest[0] == "last" {
+				// Run a traced sync so the dumped trace crosses the whole
+				// stack (wire, queue, apply, journal when enabled).
+				check(c.Sync())
+				trace = c.LastTrace()
+			} else {
+				trace, err = strconv.ParseUint(rest[0], 10, 64)
+				check(err)
+			}
+			if len(rest) >= 2 {
+				v, err := strconv.Atoi(rest[1])
+				check(err)
+				n = v
+			}
+		}
+		spans, err := c.Trace(trace, n)
+		check(err)
+		if *jsonOut {
+			emitJSON(spans)
+			return
+		}
+		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "TRACE\tSPAN\tOP\tFILESET\tSERVER\tSTART\tDUR\tERR")
+		for _, sp := range spans {
+			srv := strconv.Itoa(sp.Server)
+			if sp.Server < 0 {
+				srv = "-"
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				sp.Trace, sp.Name, sp.Op, sp.FileSet, srv,
+				sp.Start.Format("15:04:05.000000"), sp.Dur, sp.Err)
+		}
+		check(tw.Flush())
+	case "tunerlog":
+		n := 0
+		if len(rest) >= 1 {
+			n, err = strconv.Atoi(rest[0])
+			check(err)
+		}
+		events, err := c.TunerLog(n)
+		check(err)
+		if *jsonOut {
+			emitJSON(events)
+			return
+		}
+		for _, ev := range events {
+			fmt.Printf("#%d %s aggregate=%.6fs tuned=%v changed=%.1f%%\n",
+				ev.Seq, ev.At.Format("15:04:05.000"), ev.Aggregate, ev.Tuned, ev.ChangedFrac*100)
+			for _, d := range ev.Decisions {
+				fmt.Printf("  server %d: latency=%.6fs factor=%.3f %s share %.1f%% -> %.1f%%\n",
+					d.Server, d.Latency, d.Factor, d.Reason, d.OldShare*100, d.NewShare*100)
+			}
+		}
 	default:
 		usage()
 	}
 }
 
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(v))
+}
 func need(args []string, n int) {
 	if len(args) < n {
 		usage()
@@ -167,7 +268,9 @@ commands:
   resolve <global-path>
   pcreate <global-path>
   pstat <global-path>
-  stats
-  sync`)
+  stats            (add -json for machine-readable output)
+  sync
+  trace [id|last] [n]   dump request trace spans (one trace, or the n most recent)
+  tunerlog [n]          dump structured tuner decision events`)
 	os.Exit(2)
 }

@@ -9,17 +9,24 @@
 // last durable cut — a SIGKILL loses only unflushed (un-synced) cache
 // state, never flushed images.
 //
+// With -http the daemon also serves an observability endpoint: /metrics
+// (Prometheus text format: per-op and per-server latency histograms, journal
+// and wire counters, per-server gauges), /healthz, /tuner-log, /trace, and
+// net/http/pprof under /debug/pprof/.
+//
 // Usage:
 //
 //	anufsd -listen :7460 -speeds 1,3,5,7,9 -filesets 16 -window 250ms \
 //	       -journal-dir /var/lib/anufs/journal -fsync-interval 2ms \
-//	       -snapshot-every 4096 -checkpoint-interval 2s
+//	       -snapshot-every 4096 -checkpoint-interval 2s -http :6060
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -29,6 +36,7 @@ import (
 
 	"anufs/internal/journal"
 	"anufs/internal/live"
+	"anufs/internal/obs"
 	"anufs/internal/sharedisk"
 	"anufs/internal/wire"
 )
@@ -45,6 +53,7 @@ func main() {
 		fsyncIval  = flag.Duration("fsync-interval", 2*time.Millisecond, "group-commit gather window before each journal fsync")
 		snapEvery  = flag.Int("snapshot-every", 4096, "journal entries between snapshots + log compaction")
 		ckptIval   = flag.Duration("checkpoint-interval", 2*time.Second, "background flush of dirty file sets when journaling; 0 disables")
+		httpAddr   = flag.String("http", "", "observability HTTP address (/metrics, /healthz, /debug/pprof/); empty disables")
 	)
 	flag.Parse()
 
@@ -53,12 +62,17 @@ func main() {
 		log.Fatalf("anufsd: %v", err)
 	}
 
+	// One registry for the whole daemon: the journal, the cluster's owner
+	// queues, and the wire server all record into it, so a single /metrics
+	// scrape (or trace dump) covers the full request path.
+	reg := obs.New()
+
 	var (
 		disk sharedisk.Disk
 		jnl  *journal.Journal
 	)
 	if *journalDir != "" {
-		j, st, info, err := journal.Open(*journalDir, journal.Options{FsyncInterval: *fsyncIval})
+		j, st, info, err := journal.Open(*journalDir, journal.Options{FsyncInterval: *fsyncIval, Obs: reg})
 		if err != nil {
 			log.Fatalf("anufsd: journal: %v", err)
 		}
@@ -91,6 +105,7 @@ func main() {
 	cfg := live.DefaultConfig()
 	cfg.Window = *window
 	cfg.OpCost = *opCost
+	cfg.Obs = reg
 	cluster, err := live.NewCluster(cfg, disk, speedMap)
 	if err != nil {
 		log.Fatalf("anufsd: %v", err)
@@ -106,6 +121,18 @@ func main() {
 	}
 	log.Printf("anufsd: serving %d file sets on %d servers at %s (journal: %s)",
 		len(disk.FileSets()), len(speedMap), addr, journalDesc(*journalDir))
+
+	var hsrv *http.Server
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("anufsd: http: %v", err)
+		}
+		hsrv = &http.Server{Handler: reg.Handler()}
+		go func() { _ = hsrv.Serve(hln) }()
+		log.Printf("anufsd: observability HTTP at %s (/metrics, /healthz, /tuner-log, /trace, /debug/pprof/)",
+			hln.Addr())
+	}
 
 	// Background checkpointer: bounds the window of metadata lost to a
 	// crash to one interval, without clients having to call sync.
@@ -136,6 +163,9 @@ func main() {
 	log.Println("anufsd: shutting down")
 	close(stopCkpt)
 	<-ckptDone
+	if hsrv != nil {
+		_ = hsrv.Close()
+	}
 	srv.Close()
 	if jnl != nil {
 		// Flush everything dirty so a clean shutdown loses nothing, then

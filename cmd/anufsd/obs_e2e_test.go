@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"anufs/internal/obs"
+	"anufs/internal/sharedisk"
+)
+
+// startDaemonObs launches the daemon with the observability HTTP endpoint
+// enabled and a fast tuning window, so the test sees tuner decisions.
+func startDaemonObs(t *testing.T, addr, httpAddr, journalDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), fmt.Sprintf(
+		"ANUFSD_ARGS=-listen %s -http %s -journal-dir %s -filesets 4 -speeds 1,4 -window 100ms -opcost 200us -checkpoint-interval 0",
+		addr, httpAddr, journalDir))
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// httpGet fetches a URL once the endpoint is up, returning the body.
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			return resp.StatusCode, string(body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GET %s never succeeded: %v", url, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestObservabilityEndToEnd scrapes a real daemon over HTTP and the wire:
+// drive load through a TCP client, require /metrics to expose per-op
+// latency histograms and journal counters, /debug/pprof/ to answer, a full
+// request trace (wire → queue → apply → journal fsync) to be retrievable,
+// and the tuner decision log to contain structured events — then SIGKILL
+// the daemon, as a crash-test client would.
+func TestObservabilityEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	journalDir := t.TempDir()
+	addr := freeAddr(t)
+	httpAddr := freeAddr(t)
+
+	daemon := startDaemonObs(t, addr, httpAddr, journalDir)
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+	c := dialRetry(t, addr)
+	defer c.Close()
+
+	// Load: enough traffic across the file sets that every layer records
+	// latencies and the tuner sees a non-zero aggregate.
+	for i := 0; i < 200; i++ {
+		fs := fmt.Sprintf("vol%02d", i%4)
+		path := fmt.Sprintf("/f%d", i)
+		if err := c.Create(fs, path, sharedisk.Record{Size: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Stat(fs, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Durability barrier under a known trace: the sync flushes dirty file
+	// sets through the journal, so its trace crosses every layer.
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	trace := c.LastTrace()
+	if trace == 0 {
+		t.Fatal("sync response carried no trace ID")
+	}
+	spans, err := c.Trace(trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sp := range spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"wire", "queue-wait", "apply", "journal-commit-wait", "fsync"} {
+		if !names[want] {
+			t.Fatalf("sync trace %d missing %q span; spans: %+v", trace, want, spans)
+		}
+	}
+
+	// Tuner decisions: poll a few windows for at least one structured event.
+	var events []obs.TunerEvent
+	deadline := time.Now().Add(10 * time.Second)
+	for len(events) == 0 {
+		events, err = c.TunerLog(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no tuner decision events after 10s of load")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	ev := events[len(events)-1]
+	if ev.Seq == 0 || len(ev.Decisions) == 0 {
+		t.Fatalf("malformed tuner event: %+v", ev)
+	}
+	for _, d := range ev.Decisions {
+		if d.Reason == "" {
+			t.Fatalf("decision without a reason: %+v", ev)
+		}
+	}
+
+	// /metrics exposes the whole stack: wire per-op histograms, live
+	// per-server histograms and gauges, journal counters.
+	base := "http://" + httpAddr
+	code, metrics := httpGet(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`anufs_wire_request_seconds_bucket{op="create",le="`,
+		"anufs_wire_requests",
+		"anufs_live_latency_seconds_bucket",
+		"anufs_live_queue_wait_seconds_bucket",
+		"anufs_journal_records_appended",
+		"anufs_journal_fsync_seconds_bucket",
+		`anufs_server_speed{server="0"}`,
+		"anufs_server_share_frac",
+		"anufs_wire_open_connections",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q; scrape:\n%s", want, metrics)
+		}
+	}
+
+	if code, body := httpGet(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := httpGet(t, base+"/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	code, tl := httpGet(t, base+"/tuner-log")
+	if code != 200 {
+		t.Fatalf("/tuner-log status %d", code)
+	}
+	var httpEvents []obs.TunerEvent
+	if err := json.Unmarshal([]byte(tl), &httpEvents); err != nil {
+		t.Fatalf("/tuner-log not JSON: %v\n%s", err, tl)
+	}
+	if len(httpEvents) == 0 {
+		t.Fatal("/tuner-log empty after events were visible over the wire")
+	}
+	code, tr := httpGet(t, fmt.Sprintf("%s/trace?trace=%d", base, trace))
+	if code != 200 {
+		t.Fatalf("/trace status %d", code)
+	}
+	var httpSpans []obs.Span
+	if err := json.Unmarshal([]byte(tr), &httpSpans); err != nil || len(httpSpans) == 0 {
+		t.Fatalf("/trace?trace=%d = %d spans, %v", trace, len(httpSpans), err)
+	}
+
+	// Crash the daemon SIGKILL-style; the observability surface must not
+	// have interfered with durability (covered in depth by the restart
+	// test — here we just require a clean kill).
+	if err := daemon.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	daemon.Wait()
+}

@@ -7,27 +7,49 @@
 //	anusim -list
 //	anusim -experiment fig6 -scale full -outdir results/
 //	anusim -experiment fig10a -ascii
+//	anusim -experiment fig6 -tuner-log - | head
+//
+// -tuner-log streams every simulated delegate round as JSON lines — the
+// same structured tuner events the live daemon retains in its decision ring
+// (anufsctl tunerlog), stamped with simulation time and policy name instead
+// of wall-clock time.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
+	"anufs/internal/core"
 	"anufs/internal/experiment"
+	"anufs/internal/obs"
+	"anufs/internal/placement"
 	"anufs/internal/plot"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		expID  = flag.String("experiment", "", "experiment id (see -list)")
-		scale  = flag.String("scale", "full", `experiment scale: "full" (paper scale) or "quick"`)
-		outdir = flag.String("outdir", "", "directory for CSV + gnuplot output (omit to skip files)")
-		ascii  = flag.Bool("ascii", true, "render ASCII charts to stdout")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		expID    = flag.String("experiment", "", "experiment id (see -list)")
+		scale    = flag.String("scale", "full", `experiment scale: "full" (paper scale) or "quick"`)
+		outdir   = flag.String("outdir", "", "directory for CSV + gnuplot output (omit to skip files)")
+		ascii    = flag.Bool("ascii", true, "render ASCII charts to stdout")
+		tunerLog = flag.String("tuner-log", "", `stream structured tuner decision events as JSON lines to this file ("-" = stdout)`)
 	)
 	flag.Parse()
+
+	if *tunerLog != "" {
+		closeLog, err := installTunerLog(*tunerLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anusim:", err)
+			os.Exit(1)
+		}
+		defer closeLog()
+	}
 
 	if *list {
 		for _, id := range experiment.IDs() {
@@ -58,6 +80,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "anusim:", err)
 		os.Exit(1)
 	}
+}
+
+// installTunerLog points placement's tuner-event sink at a JSONL writer:
+// every ANU Reconfigure round during the run becomes one obs.TunerEvent
+// line, stamped with simulation time and policy name (live daemons stamp
+// wall-clock time instead — the streams are diffable).
+func installTunerLog(path string) (func(), error) {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	var (
+		mu  sync.Mutex
+		seq uint64
+	)
+	placement.SetTunerLog(func(policy string, now float64, res core.UpdateResult) {
+		ev := obs.EventFromUpdate(res)
+		ev.SimTime = now
+		ev.Policy = policy
+		mu.Lock()
+		seq++
+		ev.Seq = seq
+		_ = enc.Encode(ev)
+		mu.Unlock()
+	})
+	return func() {
+		placement.SetTunerLog(nil)
+		mu.Lock()
+		_ = w.Flush()
+		mu.Unlock()
+		if f != os.Stdout {
+			_ = f.Close()
+		}
+	}, nil
 }
 
 func emit(out *experiment.Output, outdir string, ascii bool) error {

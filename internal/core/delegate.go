@@ -30,6 +30,9 @@ type Decision struct {
 type UpdateResult struct {
 	Aggregate float64
 	Decisions []Decision
+	// Before is the share vector the round started from (fixed-point units,
+	// Σ = Half) — old region widths for the tuner decision log.
+	Before map[int]uint64
 	// Targets is the share vector installed (fixed-point units, Σ = Half).
 	Targets map[int]uint64
 	// ChangedMass is the interval measure that changed owner — the load-
@@ -131,6 +134,7 @@ func (d *Delegate) Update(m *Mapper, reports []LatencyReport) (UpdateResult, err
 
 	servers := m.Servers()
 	cur := m.Shares()
+	res.Before = cur
 	factors := make(map[int]float64, len(servers))
 	for _, id := range servers {
 		dec := Decision{ServerID: id, Latency: lat[id], Factor: 1, Reason: "untouched"}

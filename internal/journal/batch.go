@@ -1,6 +1,10 @@
 package journal
 
-import "time"
+import (
+	"time"
+
+	"anufs/internal/obs"
+)
 
 // Group commit. One committer goroutine owns the write path: it pulls the
 // first queued append, gathers whatever else is concurrently queued (plus,
@@ -56,9 +60,29 @@ func (j *Journal) gather(first *appendReq) []*appendReq {
 	}
 }
 
-// commit writes and fsyncs one batch, then wakes its waiters.
+// commit writes and fsyncs one batch, then wakes its waiters. With obs
+// wired, every record's group-commit wait (enqueue → durable) lands in a
+// histogram, and records carrying a request trace emit wait spans — the
+// per-request view of the amortization trade-off.
 func (j *Journal) commit(batch []*appendReq) {
 	err := j.writeBatch(batch)
+	done := time.Now()
+	if j.obs != nil {
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		for _, r := range batch {
+			wait := done.Sub(r.enq)
+			j.histCommitWait.Observe(wait)
+			if r.trace != 0 {
+				j.obs.Spans.Add(obs.Span{
+					Trace: r.trace, Name: "journal-commit-wait", Server: -1,
+					Start: r.enq, Dur: wait, Err: errStr,
+				})
+			}
+		}
+	}
 	for _, r := range batch {
 		r.done <- err
 	}
@@ -99,8 +123,24 @@ func (j *Journal) writeBatch(batch []*appendReq) error {
 	if _, err := j.f.Write(buf); err != nil {
 		return err
 	}
+	syncStart := time.Now()
 	if err := j.f.Sync(); err != nil {
 		return err
+	}
+	if j.obs != nil {
+		syncDur := time.Since(syncStart)
+		j.histFsync.Observe(syncDur)
+		// Attribute the fsync to the first traced record in the batch, so a
+		// traced request's timeline includes the sync it rode.
+		for _, r := range batch {
+			if r.trace != 0 {
+				j.obs.Spans.Add(obs.Span{
+					Trace: r.trace, Name: "fsync", Server: -1,
+					Start: syncStart, Dur: syncDur,
+				})
+				break
+			}
+		}
 	}
 	j.segSize += int64(len(buf))
 	j.nextSeq += uint64(len(batch))

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"anufs/internal/metrics"
+	"anufs/internal/obs"
 	"anufs/internal/sharedisk"
 )
 
@@ -98,6 +99,10 @@ type Options struct {
 	// Counters receives journal observability counters; one is created if
 	// nil. Retrieve it with Counters().
 	Counters *metrics.CounterSet
+	// Obs, when set, receives commit-path latency histograms
+	// (journal_fsync_seconds, journal_commit_wait_seconds), request trace
+	// spans for traced appends (LogFlushTraced), and the journal counters.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -116,6 +121,11 @@ type Journal struct {
 	dir      string
 	opts     Options
 	counters *metrics.CounterSet
+
+	// obs instrumentation; all nil when Options.Obs is unset.
+	obs            *obs.Registry
+	histFsync      *obs.Histogram
+	histCommitWait *obs.Histogram
 
 	appendCh chan *appendReq
 	quit     chan struct{} // closed by Close; stops accepting appends
@@ -139,6 +149,11 @@ type Journal struct {
 type appendReq struct {
 	frame []byte
 	done  chan error
+	// trace is the client request trace ID that triggered this append (0 =
+	// untraced); enq timestamps the hand-off to the committer so the
+	// group-commit wait is measurable.
+	trace uint64
+	enq   time.Time
 }
 
 // Open recovers the journal in dir (creating it if needed) and opens it for
@@ -183,6 +198,12 @@ func Open(dir string, opts Options) (*Journal, *sharedisk.Store, RecoverInfo, er
 	}
 	j.counters.Set(CtrRecoveryNanos, info.Duration.Nanoseconds())
 	j.counters.Set(CtrRecoveredEntries, int64(info.Entries))
+	if opts.Obs != nil {
+		j.obs = opts.Obs
+		j.histFsync = opts.Obs.Hist.Get("journal_fsync_seconds", "")
+		j.histCommitWait = opts.Obs.Hist.Get("journal_commit_wait_seconds", "")
+		opts.Obs.AddCounters(j.counters.Snapshot)
+	}
 	// A restart after an idle run (or a fully-torn tail) leaves a segment
 	// already named for nextSeq; it holds no durable entries, so replace it.
 	if err := os.Remove(j.segmentName(j.nextSeq)); err != nil && !os.IsNotExist(err) {
@@ -200,18 +221,25 @@ func (j *Journal) Counters() *metrics.CounterSet { return j.counters }
 
 // LogCreateFileSet journals a file-set creation; returns once durable.
 func (j *Journal) LogCreateFileSet(fileSet string) error {
-	return j.append(encodeEntry(Entry{Kind: KindCreateFileSet, FileSet: fileSet}))
+	return j.append(0, encodeEntry(Entry{Kind: KindCreateFileSet, FileSet: fileSet}))
 }
 
 // LogFlush journals a flushed image; returns once durable.
 func (j *Journal) LogFlush(fileSet string, im sharedisk.Image) error {
-	return j.append(encodeEntry(Entry{Kind: KindFlush, FileSet: fileSet, Image: im}))
+	return j.append(0, encodeEntry(Entry{Kind: KindFlush, FileSet: fileSet, Image: im}))
+}
+
+// LogFlushTraced is LogFlush carrying the client request trace that forced
+// the flush: the append's group-commit wait is recorded as a span under
+// that trace (sharedisk.TracedWAL).
+func (j *Journal) LogFlushTraced(trace uint64, fileSet string, im sharedisk.Image) error {
+	return j.append(trace, encodeEntry(Entry{Kind: KindFlush, FileSet: fileSet, Image: im}))
 }
 
 // append frames the payload and hands it to the group committer, blocking
 // until the entry is fsynced (or the journal fails/closes).
-func (j *Journal) append(payload []byte) error {
-	r := &appendReq{frame: appendFrame(nil, payload), done: make(chan error, 1)}
+func (j *Journal) append(trace uint64, payload []byte) error {
+	r := &appendReq{frame: appendFrame(nil, payload), done: make(chan error, 1), trace: trace, enq: time.Now()}
 	select {
 	case j.appendCh <- r:
 	case <-j.quit:

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"anufs/internal/lockmgr"
 	"anufs/internal/metaserver"
 	"anufs/internal/metrics"
+	"anufs/internal/obs"
 	"anufs/internal/sharedisk"
 )
 
@@ -47,6 +49,11 @@ type Config struct {
 	// sessions not renewed within it are declared failed and their locks
 	// reaped (paper §2).
 	LockLease time.Duration
+	// Obs is the shared observability registry (histograms, trace spans,
+	// tuner decision log). Nil makes the cluster create a private one —
+	// instrumentation is always on; share a registry across the wire server
+	// and journal (as anufsd does) to get one unified surface.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns demo-friendly defaults (fast windows so examples
@@ -65,11 +72,22 @@ func DefaultConfig() Config {
 // ErrStopped is returned for operations on a stopped cluster.
 var ErrStopped = errors.New("live: cluster stopped")
 
+// Cluster counter names, exported through the obs registry.
+const (
+	CtrMoves      = "live_moves"
+	CtrTuneRounds = "live_tune_rounds"
+)
+
 // task is one queued server operation (metadata or lock).
 type task struct {
 	fn    func(*server) error
 	enq   time.Time
 	reply chan taskResult
+	// trace/op/fileSet annotate the task for span emission; trace 0 means
+	// untraced (histograms still record).
+	trace   uint64
+	op      string
+	fileSet string
 }
 
 type taskResult struct {
@@ -88,6 +106,13 @@ type server struct {
 	// observe, if non-nil, records each completion into the cluster's
 	// latency series.
 	observe func(id int, lat time.Duration)
+	// spans receives queue-wait/apply spans for traced tasks; histLat and
+	// histWait are this server's latency and queue-wait histograms
+	// (resolved once at construction to keep the hot path to plain atomic
+	// adds).
+	spans    *obs.SpanRing
+	histLat  *obs.Histogram
+	histWait *obs.Histogram
 
 	mu     sync.Mutex
 	count  int
@@ -98,6 +123,8 @@ type server struct {
 func (s *server) run(opCost time.Duration) {
 	defer close(s.done)
 	for t := range s.ch {
+		deq := time.Now()
+		wait := deq.Sub(t.enq)
 		if d := time.Duration(float64(opCost) / s.speed); d > 0 {
 			time.Sleep(d)
 		}
@@ -110,6 +137,22 @@ func (s *server) run(opCost time.Duration) {
 		s.mu.Unlock()
 		if s.observe != nil {
 			s.observe(s.id, lat)
+		}
+		s.histLat.Observe(lat)
+		s.histWait.Observe(wait)
+		if t.trace != 0 {
+			errStr := ""
+			if err != nil {
+				errStr = err.Error()
+			}
+			s.spans.Add(obs.Span{
+				Trace: t.trace, Name: "queue-wait", Op: t.op, FileSet: t.fileSet,
+				Server: s.id, Start: t.enq, Dur: wait,
+			})
+			s.spans.Add(obs.Span{
+				Trace: t.trace, Name: "apply", Op: t.op, FileSet: t.fileSet,
+				Server: s.id, Start: deq, Dur: lat - wait, Err: errStr,
+			})
 		}
 		t.reply <- taskResult{err: err, latency: lat}
 	}
@@ -131,6 +174,12 @@ func (s *server) takeWindow() (count int, mean float64) {
 type Cluster struct {
 	cfg  Config
 	disk sharedisk.Disk
+
+	// obs is the observability registry (never nil after NewCluster);
+	// counters holds the cluster's own counters (moves, tune rounds),
+	// registered into obs.
+	obs      *obs.Registry
+	counters *metrics.CounterSet
 
 	// snapshot holds an immutable *core.Mapper for lock-free routing.
 	snapshot atomic.Value
@@ -183,9 +232,14 @@ func NewCluster(cfg Config, disk sharedisk.Disk, speeds map[int]float64) (*Clust
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		disk:      disk,
+		obs:       cfg.Obs,
+		counters:  metrics.NewCounterSet(),
 		mapper:    m,
 		delegate:  core.NewDelegate(cfg.Core),
 		elector:   election.New(3*cfg.Window+time.Second, nil),
@@ -194,6 +248,8 @@ func NewCluster(cfg Config, disk sharedisk.Disk, speeds map[int]float64) (*Clust
 		startedAt: time.Now(),
 		stopCh:    make(chan struct{}),
 	}
+	c.obs.AddCounters(c.counters.Snapshot)
+	c.obs.AddGauges(c.gauges)
 	for _, id := range ids {
 		c.servers[id] = c.newServer(id, speeds[id])
 		c.elector.Heartbeat(id)
@@ -215,14 +271,18 @@ func NewCluster(cfg Config, disk sharedisk.Disk, speeds map[int]float64) (*Clust
 }
 
 func (c *Cluster) newServer(id int, speed float64) *server {
+	label := fmt.Sprintf("server=%q", strconv.Itoa(id))
 	s := &server{
-		id:      id,
-		speed:   speed,
-		ms:      metaserver.New(id, c.disk),
-		locks:   lockmgr.New(c.cfg.LockLease, nil),
-		ch:      make(chan task, c.cfg.QueueDepth),
-		done:    make(chan struct{}),
-		observe: c.observe,
+		id:       id,
+		speed:    speed,
+		ms:       metaserver.New(id, c.disk),
+		locks:    lockmgr.New(c.cfg.LockLease, nil),
+		ch:       make(chan task, c.cfg.QueueDepth),
+		done:     make(chan struct{}),
+		observe:  c.observe,
+		spans:    c.obs.Spans,
+		histLat:  c.obs.Hist.Get("live_latency_seconds", label),
+		histWait: c.obs.Hist.Get("live_queue_wait_seconds", label),
 	}
 	go s.run(c.cfg.OpCost)
 	return s
@@ -267,8 +327,28 @@ func (c *Cluster) CreateFileSet(fileSet string) error {
 	return c.servers[owner].ms.Acquire(fileSet)
 }
 
+// Obs returns the cluster's observability registry (never nil): the one
+// passed in Config.Obs, or the private one NewCluster created.
+func (c *Cluster) Obs() *obs.Registry { return c.obs }
+
+// gauges snapshots the per-server gauges exported on /metrics.
+func (c *Cluster) gauges() []obs.Gauge {
+	stats := c.Stats()
+	out := make([]obs.Gauge, 0, 4*len(stats))
+	for _, st := range stats {
+		label := fmt.Sprintf("server=%q", strconv.Itoa(st.ID))
+		out = append(out,
+			obs.Gauge{Name: "server_speed", Labels: label, Value: st.Speed},
+			obs.Gauge{Name: "server_share_frac", Labels: label, Value: st.ShareFrac},
+			obs.Gauge{Name: "server_served_total", Labels: label, Value: float64(st.Served)},
+			obs.Gauge{Name: "server_owned_filesets", Labels: label, Value: float64(len(st.Owned))},
+		)
+	}
+	return out
+}
+
 // routeOnce submits one operation to the current owner of the file set.
-func (c *Cluster) routeOnce(fileSet string, fn func(*server) error) (taskResult, error) {
+func (c *Cluster) routeOnce(trace uint64, op, fileSet string, fn func(*server) error) (taskResult, error) {
 	snap := c.snapshot.Load().(*core.Mapper)
 	owner := snap.Owner(fileSet)
 	c.mu.Lock()
@@ -284,7 +364,7 @@ func (c *Cluster) routeOnce(fileSet string, fn func(*server) error) (taskResult,
 	c.submitters.Add(1)
 	c.mu.Unlock()
 	defer c.submitters.Done()
-	t := task{fn: fn, enq: time.Now(), reply: make(chan taskResult, 1)}
+	t := task{fn: fn, enq: time.Now(), reply: make(chan taskResult, 1), trace: trace, op: op, fileSet: fileSet}
 	select {
 	case srv.ch <- t:
 	case <-c.stopCh:
@@ -297,10 +377,16 @@ func (c *Cluster) routeOnce(fileSet string, fn func(*server) error) (taskResult,
 // set is mid-move (the new owner has not finished acquiring it yet) — the
 // client-visible cost of a move, which the paper bounds at 5–10 s.
 func (c *Cluster) do(fileSet string, fn func(*server) error) error {
+	return c.doT(0, "", fileSet, fn)
+}
+
+// doT is do carrying trace annotations: trace is the request trace ID (0 =
+// untraced) and op names the operation for span labels.
+func (c *Cluster) doT(trace uint64, op, fileSet string, fn func(*server) error) error {
 	deadline := time.Now().Add(c.cfg.RetryBudget)
 	backoff := time.Millisecond
 	for {
-		res, err := c.routeOnce(fileSet, fn)
+		res, err := c.routeOnce(trace, op, fileSet, fn)
 		if err != nil {
 			return err
 		}
@@ -373,6 +459,77 @@ func (c *Cluster) CheckpointAll() error {
 	var firstErr error
 	for _, fs := range c.disk.FileSets() {
 		if err := c.Checkpoint(fs); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Traced is a view of the cluster whose operations are attributed to one
+// request trace: each queued task emits queue-wait/apply spans under the
+// trace ID, and a traced Checkpoint threads the ID down to the journal so
+// its group-commit wait and fsync join the same timeline. Obtain one with
+// WithTrace; the zero trace ID is the untraced sentinel.
+type Traced struct {
+	c     *Cluster
+	trace uint64
+}
+
+// WithTrace returns a view of the cluster attributing operations to trace.
+func (c *Cluster) WithTrace(trace uint64) Traced { return Traced{c: c, trace: trace} }
+
+// Create is Cluster.Create under the view's trace.
+func (v Traced) Create(fileSet, path string, rec sharedisk.Record) error {
+	return v.c.doT(v.trace, "create", fileSet, func(s *server) error { return s.ms.Create(fileSet, path, rec) })
+}
+
+// Stat is Cluster.Stat under the view's trace.
+func (v Traced) Stat(fileSet, path string) (sharedisk.Record, error) {
+	var rec sharedisk.Record
+	err := v.c.doT(v.trace, "stat", fileSet, func(s *server) error {
+		r, e := s.ms.Stat(fileSet, path)
+		rec = r
+		return e
+	})
+	return rec, err
+}
+
+// Update is Cluster.Update under the view's trace.
+func (v Traced) Update(fileSet, path string, rec sharedisk.Record) error {
+	return v.c.doT(v.trace, "update", fileSet, func(s *server) error { return s.ms.Update(fileSet, path, rec) })
+}
+
+// Remove is Cluster.Remove under the view's trace.
+func (v Traced) Remove(fileSet, path string) error {
+	return v.c.doT(v.trace, "remove", fileSet, func(s *server) error { return s.ms.Remove(fileSet, path) })
+}
+
+// List is Cluster.List under the view's trace.
+func (v Traced) List(fileSet, prefix string) ([]string, error) {
+	var out []string
+	err := v.c.doT(v.trace, "list", fileSet, func(s *server) error {
+		l, e := s.ms.List(fileSet, prefix)
+		out = l
+		return e
+	})
+	return out, err
+}
+
+// Checkpoint is Cluster.Checkpoint under the view's trace: the flush is
+// journaled under the trace ID, so the request's span timeline includes the
+// group-commit wait and fsync it rode.
+func (v Traced) Checkpoint(fileSet string) error {
+	trace := v.trace
+	return v.c.doT(trace, "checkpoint", fileSet, func(s *server) error {
+		return s.ms.CheckpointTraced(trace, fileSet)
+	})
+}
+
+// CheckpointAll is Cluster.CheckpointAll under the view's trace.
+func (v Traced) CheckpointAll() error {
+	var firstErr error
+	for _, fs := range v.c.disk.FileSets() {
+		if err := v.Checkpoint(fs); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -485,11 +642,21 @@ func (c *Cluster) TuneOnce() {
 		c.delegate.ResetState()
 	}
 	before := c.mapper.Clone()
-	if _, err := c.delegate.Update(c.mapper, reports); err != nil {
+	res, err := c.delegate.Update(c.mapper, reports)
+	if err != nil {
 		// A failed round leaves the previous configuration in place; the
 		// next window retries with fresh reports.
 		c.mu.Unlock()
 		return
+	}
+	c.counters.Add(CtrTuneRounds, 1)
+	// Record the decision when the round saw traffic or acted; idle rounds
+	// would only flood the ring.
+	if res.Aggregate > 0 || res.Tuned {
+		ev := obs.EventFromUpdate(res)
+		ev.At = time.Now()
+		ev.Policy = "anu"
+		c.obs.Tuner.Add(ev)
 	}
 	c.finishReconfigLocked(before)
 }
@@ -512,6 +679,7 @@ func (c *Cluster) finishReconfigLocked(before *core.Mapper) {
 	c.snapshot.Store(after)
 	for _, mv := range moves {
 		atomic.AddInt64(&c.moves, 1)
+		c.counters.Add(CtrMoves, 1)
 		if from, ok := servers[mv.From]; ok {
 			// Serialize the release behind the old owner's queued work by
 			// routing it through the queue like any other task.

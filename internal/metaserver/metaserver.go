@@ -137,6 +137,19 @@ func (s *Server) Crash() {
 // Checkpoint flushes a file set's dirty state without releasing ownership
 // (background cleaning; keeps the window of loss small).
 func (s *Server) Checkpoint(fileSet string) error {
+	return s.CheckpointTraced(0, fileSet)
+}
+
+// tracedFlusher is optionally implemented by disks (sharedisk.Durable)
+// that can attribute a flush to the client request trace that forced it.
+type tracedFlusher interface {
+	FlushTraced(trace uint64, fileSet string, im sharedisk.Image) (uint64, error)
+}
+
+// CheckpointTraced is Checkpoint attributed to a request trace (0 =
+// untraced): a durable disk journals the flush under that trace so the
+// fsync it waits on appears in the request's timeline.
+func (s *Server) CheckpointTraced(trace uint64, fileSet string) error {
 	s.mu.Lock()
 	st, ok := s.owned[fileSet]
 	if !ok {
@@ -149,7 +162,13 @@ func (s *Server) Checkpoint(fileSet string) error {
 	}
 	im := st.clone()
 	s.mu.Unlock()
-	newV, err := s.disk.Flush(fileSet, im)
+	var newV uint64
+	var err error
+	if tf, ok := s.disk.(tracedFlusher); ok && trace != 0 {
+		newV, err = tf.FlushTraced(trace, fileSet, im)
+	} else {
+		newV, err = s.disk.Flush(fileSet, im)
+	}
 	if err != nil {
 		return err
 	}

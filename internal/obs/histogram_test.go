@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"anufs/internal/rng"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every bucket's lower bound must map back to that bucket, and the
+	// value one below it to the previous bucket.
+	for i := 0; i < nBuckets; i++ {
+		lo := bucketLower(i)
+		if lo < 0 {
+			// Top-of-range buckets above int64 durations are never hit.
+			continue
+		}
+		if got := bucketOf(lo); got != i {
+			t.Fatalf("bucketOf(bucketLower(%d)=%d) = %d", i, lo, got)
+		}
+		if i > 0 && lo > 0 {
+			if got := bucketOf(lo - 1); got != i-1 {
+				t.Fatalf("bucketOf(%d) = %d, want %d", lo-1, got, i-1)
+			}
+		}
+	}
+	if bucketOf(-5) != 0 {
+		t.Fatal("negative durations must clamp to bucket 0")
+	}
+}
+
+// TestQuantileErrorBounds draws random latencies, compares histogram
+// quantiles against the exact order statistics of a sorted copy, and
+// requires the log-linear error bound (one bucket, ≤ 1/subCount relative
+// plus the sub-unit bucket width) to hold at every probed quantile.
+func TestQuantileErrorBounds(t *testing.T) {
+	r := rng.NewStream(42)
+	for trial := 0; trial < 3; trial++ {
+		h := NewHistogram()
+		n := 20000
+		vals := make([]float64, n)
+		for i := range vals {
+			// Log-uniform between 1µs and 1s, the operating range of a
+			// metadata op: exercises ~20 octaves.
+			exp := 3 + r.Float64()*6 // 10^3 .. 10^9 ns
+			v := math.Pow(10, exp)
+			vals[i] = v
+			h.Observe(time.Duration(int64(v)))
+		}
+		sort.Float64s(vals)
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			exact := vals[int(q*float64(n-1))]
+			est := float64(h.Quantile(q))
+			// One bucket of slack: the estimate is a midpoint, so allow
+			// rel error 1/subCount on either side (plus 1ns rounding).
+			bound := exact/subCount + 1
+			if diff := math.Abs(est - exact); diff > bound {
+				t.Fatalf("trial %d q=%g: estimate %g vs exact %g (diff %g > bound %g)",
+					trial, q, est, exact, diff, bound)
+			}
+		}
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("fresh histogram not empty")
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %v, want 0", q, got)
+		}
+	}
+	s := h.Summarize()
+	if s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	var sb strings.Builder
+	h.writeProm(&sb, "x", "")
+	if !strings.Contains(sb.String(), `x_bucket{le="+Inf"} 0`) {
+		t.Fatalf("empty histogram export:\n%s", sb.String())
+	}
+}
+
+// TestConcurrentObserve hammers one histogram from many goroutines; run
+// with -race this is the data-race proof, and the final counts must be
+// exact (no lost updates).
+func TestConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(time.Duration(seed*1000 + int64(i)))
+			}
+		}(int64(w + 1))
+	}
+	done := make(chan struct{})
+	go func() { // concurrent reader: quantiles must never panic mid-write
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			_ = h.Quantile(0.99)
+			_ = h.Summarize()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != workers*perW {
+		t.Fatalf("lost updates: count %d, want %d", got, workers*perW)
+	}
+}
+
+// TestMergeAssociativity checks ((a⊕b)⊕c) == (a⊕(b⊕c)) == observe-all.
+func TestMergeAssociativity(t *testing.T) {
+	r := rng.NewStream(7)
+	mk := func(n int) (*Histogram, []time.Duration) {
+		h := NewHistogram()
+		ds := make([]time.Duration, n)
+		for i := range ds {
+			ds[i] = time.Duration(r.Intn(1_000_000_000))
+			h.Observe(ds[i])
+		}
+		return h, ds
+	}
+	a, da := mk(100)
+	b, db := mk(200)
+	c, dc := mk(300)
+
+	left := NewHistogram()
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := NewHistogram()
+	bc.Merge(b)
+	bc.Merge(c)
+	right := NewHistogram()
+	right.Merge(a)
+	right.Merge(bc)
+
+	all := NewHistogram()
+	for _, ds := range [][]time.Duration{da, db, dc} {
+		for _, d := range ds {
+			all.Observe(d)
+		}
+	}
+	for i := 0; i < nBuckets; i++ {
+		l, rr, aa := left.buckets[i].Load(), right.buckets[i].Load(), all.buckets[i].Load()
+		if l != rr || l != aa {
+			t.Fatalf("bucket %d: left %d right %d all %d", i, l, rr, aa)
+		}
+	}
+	if left.Count() != all.Count() || right.Count() != all.Count() {
+		t.Fatal("merged counts diverge")
+	}
+	if left.Sum() != all.Sum() || right.Sum() != all.Sum() {
+		t.Fatal("merged sums diverge")
+	}
+}
+
+func TestHistogramSetAndExport(t *testing.T) {
+	s := NewHistogramSet()
+	s.Get("op_latency_seconds", `op="stat"`).Observe(2 * time.Millisecond)
+	s.Get("op_latency_seconds", `op="create"`).Observe(5 * time.Millisecond)
+	if s.Get("op_latency_seconds", `op="stat"`).Count() != 1 {
+		t.Fatal("Get did not return the same histogram")
+	}
+	var sb strings.Builder
+	s.writeProm(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE anufs_op_latency_seconds histogram",
+		`anufs_op_latency_seconds_bucket{op="create",le="+Inf"} 1`,
+		`anufs_op_latency_seconds_count{op="stat"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets are cumulative: the 5ms observation (fine-bucket upper bound
+	// ~5.24ms) folds into the 0.01s export bound.
+	if !strings.Contains(out, `op="create",le="0.01"} 1`) {
+		t.Fatalf("create bucket fold wrong:\n%s", out)
+	}
+}

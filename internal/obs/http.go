@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler returns the daemon's HTTP observability surface:
+//
+//	/metrics       Prometheus text format (counters, gauges, histograms)
+//	/healthz       "ok" (liveness)
+//	/tuner-log     recent tuner decision events as JSON
+//	/trace         recent request spans as JSON (?trace=ID filters)
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// Mount it on a loopback or otherwise-protected port; it exposes
+// operational detail, not user data, but pprof can be made to burn CPU.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/tuner-log", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, r.Tuner.Snapshot(0))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		if q := req.URL.Query().Get("trace"); q != "" {
+			id, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, r.Spans.ByTrace(id))
+			return
+		}
+		writeJSON(w, r.Spans.Snapshot(0))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

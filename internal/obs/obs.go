@@ -1,0 +1,137 @@
+// Package obs is the shared observability layer for the live anufs stack:
+// lock-free log-bucketed latency histograms, a bounded ring of request
+// trace spans, a structured tuner decision log, and a Prometheus-text /
+// pprof HTTP surface.
+//
+// One Registry is threaded through the daemon — the wire server, the live
+// cluster's owner queues, the journal's group committer — so every layer
+// records into the same rings and histogram set and a single /metrics
+// scrape (or the wire "trace"/"tuner-log" ops) sees the whole request
+// path. The paper's feedback loop runs on one signal (per-server mean
+// latency, §4); this package is how we see everything that signal hides:
+// tail latency per op, queue wait vs. apply vs. fsync, and why the tuner
+// rescaled a region.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge is one exported point-in-time value (per-server share, queue
+// depth, ...). Labels is a preformatted Prometheus label string without
+// braces (`server="3"`), or empty.
+type Gauge struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Registry aggregates every observability source in one process.
+type Registry struct {
+	// Hist holds the latency histograms (per wire op, per server, journal).
+	Hist *HistogramSet
+	// Spans retains the most recent request trace spans.
+	Spans *SpanRing
+	// Tuner retains the most recent tuner decision events.
+	Tuner *TunerRing
+
+	traceID atomic.Uint64
+
+	mu       sync.Mutex
+	counters []func() map[string]int64
+	gauges   []func() []Gauge
+}
+
+// Default ring capacities: enough history to inspect recent behaviour
+// without unbounded growth.
+const (
+	defaultSpanCap  = 8192
+	defaultTunerCap = 1024
+)
+
+// New creates a registry with default ring capacities.
+func New() *Registry {
+	return &Registry{
+		Hist:  NewHistogramSet(),
+		Spans: NewSpanRing(defaultSpanCap),
+		Tuner: NewTunerRing(defaultTunerCap),
+	}
+}
+
+// NextTraceID mints a process-unique request trace ID (never zero — zero
+// means "untraced" throughout the stack).
+func (r *Registry) NextTraceID() uint64 { return r.traceID.Add(1) }
+
+// AddCounters registers a counter snapshot source (e.g. the journal's
+// CounterSet.Snapshot). Each scrape calls every source; keys are exported
+// as counters prefixed with "anufs_".
+func (r *Registry) AddCounters(fn func() map[string]int64) {
+	r.mu.Lock()
+	r.counters = append(r.counters, fn)
+	r.mu.Unlock()
+}
+
+// AddGauges registers a gauge source (e.g. the cluster's per-server share
+// and served totals).
+func (r *Registry) AddGauges(fn func() []Gauge) {
+	r.mu.Lock()
+	r.gauges = append(r.gauges, fn)
+	r.mu.Unlock()
+}
+
+// Counters merges every counter source into one map (later sources win on
+// key collisions; sources use distinct prefixes by convention).
+func (r *Registry) Counters() map[string]int64 {
+	r.mu.Lock()
+	srcs := append([]func() map[string]int64(nil), r.counters...)
+	r.mu.Unlock()
+	out := map[string]int64{}
+	for _, fn := range srcs {
+		for k, v := range fn() {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// WriteMetrics renders the whole registry in Prometheus text format:
+// counters, gauges, then histograms (with the coarse export ladder).
+func (r *Registry) WriteMetrics(w io.Writer) {
+	ctrs := r.Counters()
+	names := make([]string, 0, len(ctrs))
+	for k := range ctrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "# TYPE anufs_%s counter\nanufs_%s %d\n", k, k, ctrs[k])
+	}
+
+	r.mu.Lock()
+	gsrcs := append([]func() []Gauge(nil), r.gauges...)
+	r.mu.Unlock()
+	var gs []Gauge
+	for _, fn := range gsrcs {
+		gs = append(gs, fn()...)
+	}
+	sort.Slice(gs, func(i, j int) bool {
+		if gs[i].Name != gs[j].Name {
+			return gs[i].Name < gs[j].Name
+		}
+		return gs[i].Labels < gs[j].Labels
+	})
+	last := ""
+	for _, g := range gs {
+		if g.Name != last {
+			fmt.Fprintf(w, "# TYPE anufs_%s gauge\n", g.Name)
+			last = g.Name
+		}
+		fmt.Fprintf(w, "anufs_%s%s %g\n", g.Name, braced(g.Labels), g.Value)
+	}
+
+	r.Hist.writeProm(w)
+}

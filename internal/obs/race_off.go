@@ -1,0 +1,7 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in (the
+// Observe-overhead budget test skips itself under -race).
+const raceEnabled = false

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timestamped segment of a request's journey through the
+// daemon: the wire handler, a server queue wait, the store apply, the
+// journal group-commit wait, an fsync. Spans sharing a Trace ID belong to
+// the same client request.
+type Span struct {
+	Trace   uint64 `json:"trace"`
+	Name    string `json:"name"`
+	Op      string `json:"op,omitempty"`
+	FileSet string `json:"fileset,omitempty"`
+	// Server is the metadata-server ID the span ran on; -1 when the span is
+	// not tied to one (wire handling, journal batches).
+	Server int           `json:"server"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur"`
+	Err    string        `json:"err,omitempty"`
+}
+
+// SpanRing is a bounded in-memory ring of the most recent spans. Writers
+// never block and never allocate beyond the fixed backing array; when the
+// ring is full the oldest span is overwritten. Safe for concurrent use.
+type SpanRing struct {
+	mu   sync.Mutex
+	buf  []Span
+	next int // index the next span is written to
+	full bool
+}
+
+// NewSpanRing creates a ring holding up to capacity spans.
+func NewSpanRing(capacity int) *SpanRing {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &SpanRing{buf: make([]Span, capacity)}
+}
+
+// Add records a span, evicting the oldest if the ring is full.
+func (r *SpanRing) Add(s Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns up to n of the most recent spans, oldest first. n <= 0
+// means all retained spans.
+func (r *SpanRing) Snapshot(n int) []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Span, 0, n)
+	// Oldest retained span sits at next when full, at 0 otherwise; we want
+	// the newest n in chronological order.
+	start := r.next - n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// ByTrace returns every retained span with the given trace ID, oldest
+// first.
+func (r *SpanRing) ByTrace(trace uint64) []Span {
+	all := r.Snapshot(0)
+	out := all[:0]
+	for _, s := range all {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}

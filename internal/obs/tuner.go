@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"anufs/internal/core"
+	"anufs/internal/interval"
+)
+
+// TunerDecision explains what one delegate round did to one server: the
+// latency it reported, which heuristic fired (shed-overload, grow-underload,
+// within-threshold, convergent, untouched, no-traffic), the scale factor
+// applied before renormalization, and the region width before and after
+// (as fractions of the unit interval's occupied half).
+type TunerDecision struct {
+	Server   int     `json:"server"`
+	Latency  float64 `json:"latency"`
+	Factor   float64 `json:"factor"`
+	Reason   string  `json:"reason"`
+	OldShare float64 `json:"old_share"`
+	NewShare float64 `json:"new_share"`
+}
+
+// TunerEvent is one structured delegate round — the paper's §6 heuristics
+// made inspectable. Live clusters stamp At; simulator runs stamp SimTime
+// (seconds into the trace) and Policy instead, so a paper-replication run
+// and the live daemon emit diffable streams.
+type TunerEvent struct {
+	Seq       uint64    `json:"seq"`
+	At        time.Time `json:"at,omitempty"`
+	SimTime   float64   `json:"sim_time,omitempty"`
+	Policy    string    `json:"policy,omitempty"`
+	Aggregate float64   `json:"aggregate"`
+	Tuned     bool      `json:"tuned"`
+	// ChangedFrac is the fraction of the occupied interval whose owner
+	// changed this round — the load-movement cost.
+	ChangedFrac float64         `json:"changed_frac"`
+	Decisions   []TunerDecision `json:"decisions"`
+}
+
+// EventFromUpdate converts a delegate round's UpdateResult into the
+// structured event schema. Old and new shares come from the result's
+// Before/Targets vectors; rounds that did not rescale carry the current
+// shares in both.
+func EventFromUpdate(res core.UpdateResult) TunerEvent {
+	ev := TunerEvent{
+		Aggregate:   res.Aggregate,
+		Tuned:       res.Tuned,
+		ChangedFrac: float64(res.ChangedMass) / float64(interval.Half),
+	}
+	for _, d := range res.Decisions {
+		ev.Decisions = append(ev.Decisions, TunerDecision{
+			Server:   d.ServerID,
+			Latency:  d.Latency,
+			Factor:   d.Factor,
+			Reason:   d.Reason,
+			OldShare: float64(res.Before[d.ServerID]) / float64(interval.Half),
+			NewShare: float64(res.Targets[d.ServerID]) / float64(interval.Half),
+		})
+	}
+	return ev
+}
+
+// TunerRing is a bounded ring of the most recent tuner events. Safe for
+// concurrent use; Add assigns monotonically increasing sequence numbers.
+type TunerRing struct {
+	mu   sync.Mutex
+	buf  []TunerEvent
+	next int
+	full bool
+	seq  uint64
+}
+
+// NewTunerRing creates a ring holding up to capacity events.
+func NewTunerRing(capacity int) *TunerRing {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &TunerRing{buf: make([]TunerEvent, capacity)}
+}
+
+// Add records an event (stamping its Seq) and returns the sequence number.
+func (r *TunerRing) Add(ev TunerEvent) uint64 {
+	r.mu.Lock()
+	r.seq++
+	ev.Seq = r.seq
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+	return ev.Seq
+}
+
+// Snapshot returns up to n of the most recent events, oldest first. n <= 0
+// means all retained events.
+func (r *TunerRing) Snapshot(n int) []TunerEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]TunerEvent, 0, n)
+	start := r.next - n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

@@ -8,10 +8,32 @@ package placement
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"anufs/internal/core"
 	"anufs/internal/hashfam"
 )
+
+// tunerLog, when set, receives every ANU delegate round for structured
+// logging (anusim -tuner-log). A package-level sink keeps the Policy
+// interface unchanged for the dozens of experiment constructions; it is
+// nil in normal runs, so deterministic experiments are unaffected.
+var tunerLog atomic.Value // of tunerLogFn
+
+type tunerLogFn func(policy string, now float64, res core.UpdateResult)
+
+// SetTunerLog installs a sink for delegate-round events from every ANU
+// policy instance in the process (pass nil to disable). The sink must be
+// fast; it runs inline in Reconfigure.
+func SetTunerLog(fn func(policy string, now float64, res core.UpdateResult)) {
+	tunerLog.Store(tunerLogFn(fn))
+}
+
+func logTunerRound(policy string, now float64, res core.UpdateResult) {
+	if fn, _ := tunerLog.Load().(tunerLogFn); fn != nil {
+		fn(policy, now, res)
+	}
+}
 
 // Report is a per-server latency measurement for the elapsed interval.
 type Report = core.LatencyReport
@@ -147,12 +169,13 @@ func (p *ANU) Init(servers []int, _ []string) error {
 func (p *ANU) Owner(fileSet string) int { return p.mapper.Owner(fileSet) }
 
 // Reconfigure implements Policy: one delegate round.
-func (p *ANU) Reconfigure(_ float64, reports []Report) error {
+func (p *ANU) Reconfigure(now float64, reports []Report) error {
 	res, err := p.delegate.Update(p.mapper, reports)
 	if err != nil {
 		return err
 	}
 	p.LastUpdate = res
+	logTunerRound(p.Name(), now, res)
 	return nil
 }
 

@@ -26,6 +26,14 @@ type WAL interface {
 	Close() error
 }
 
+// TracedWAL is optionally implemented by WALs (internal/journal) that can
+// attribute a logged flush to the client request trace that forced it, so
+// the journal's group-commit wait and fsync show up as spans under that
+// request's trace ID.
+type TracedWAL interface {
+	LogFlushTraced(trace uint64, fileSet string, im Image) error
+}
+
 // Durable is a Store variant that write-ahead-logs every mutation, so the
 // shared disk's images survive a daemon crash: CreateFileSet and Flush
 // return only once the journal has fsynced the entry, and journal.Recover
@@ -68,13 +76,25 @@ func (d *Durable) CreateFileSet(fileSet string) error {
 // entry carries the post-flush version, so replay installs exactly what the
 // store held.
 func (d *Durable) Flush(fileSet string, im Image) (uint64, error) {
+	return d.FlushTraced(0, fileSet, im)
+}
+
+// FlushTraced is Flush attributed to a client request trace (0 = untraced):
+// when the WAL supports tracing, the journal entry carries the trace ID so
+// the commit path's spans join the request's timeline.
+func (d *Durable) FlushTraced(trace uint64, fileSet string, im Image) (uint64, error) {
 	v, err := d.Store.Flush(fileSet, im)
 	if err != nil {
 		return 0, err
 	}
 	flushed := im.clone()
 	flushed.Version = v
-	if err := d.wal.LogFlush(fileSet, flushed); err != nil {
+	if tw, ok := d.wal.(TracedWAL); ok && trace != 0 {
+		err = tw.LogFlushTraced(trace, fileSet, flushed)
+	} else {
+		err = d.wal.LogFlush(fileSet, flushed)
+	}
+	if err != nil {
 		return v, fmt.Errorf("sharedisk: journal flush of %q: %w", fileSet, err)
 	}
 	return v, d.maybeSnapshot()

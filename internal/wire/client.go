@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"anufs/internal/core"
+	"anufs/internal/obs"
 	"anufs/internal/sharedisk"
 )
 
@@ -26,6 +28,10 @@ type Client struct {
 	pending map[uint64]chan Response
 	err     error
 	done    chan struct{}
+
+	// lastTrace remembers the most recent server-echoed trace ID, so a
+	// caller can fetch the span timeline of the call it just made.
+	lastTrace atomic.Uint64
 }
 
 // Dial connects to a wire server.
@@ -102,10 +108,40 @@ func (c *Client) call(req Request) (Response, error) {
 		return Response{}, fmt.Errorf("wire: send: %w", err)
 	}
 	resp := <-ch
+	if resp.Trace != 0 {
+		c.lastTrace.Store(resp.Trace)
+	}
 	if resp.Err != "" {
 		return resp, errors.New(resp.Err)
 	}
 	return resp, nil
+}
+
+// LastTrace returns the trace ID the server assigned to this client's most
+// recently completed request (0 before any traced call) — pass it to Trace
+// to fetch that request's span timeline.
+func (c *Client) LastTrace() uint64 { return c.lastTrace.Load() }
+
+// Trace fetches request trace spans: those of one trace when trace != 0,
+// otherwise the n most recent across all traces (n <= 0 means all
+// retained).
+func (c *Client) Trace(trace uint64, n int) ([]obs.Span, error) {
+	resp, err := c.call(Request{Op: OpTrace, Trace: trace, Count: n})
+	return resp.Spans, err
+}
+
+// TunerLog fetches the n most recent structured tuner decision events
+// (n <= 0 means all retained).
+func (c *Client) TunerLog(n int) ([]obs.TunerEvent, error) {
+	resp, err := c.call(Request{Op: OpTunerLog, Count: n})
+	return resp.Tuner, err
+}
+
+// WireStats fetches the wire server's own counters and the per-connection
+// breakdown.
+func (c *Client) WireStats() (map[string]int64, []ConnStat, error) {
+	resp, err := c.call(Request{Op: OpStats})
+	return resp.Wire, resp.Conns, err
 }
 
 // CreateFileSet initializes a new file set cluster-wide.

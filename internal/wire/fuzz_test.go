@@ -69,7 +69,7 @@ func FuzzRequestDecode(f *testing.F) {
 		if err := json.Unmarshal(line, &req); err != nil {
 			return // bad frame: serveConn answers with an error response
 		}
-		resp := srv.handle(req)
+		resp := srv.serve(&connState{remote: "fuzz"}, req)
 		if resp.ID != req.ID {
 			t.Fatalf("response ID %d for request ID %d", resp.ID, req.ID)
 		}

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"anufs/internal/live"
+	"anufs/internal/sharedisk"
+)
+
+// TestRequestTracing drives typed operations and checks the full span
+// pipeline: the server mints a trace ID, echoes it, and the trace's
+// timeline (wire → queue-wait → apply) is retrievable over the wire.
+func TestRequestTracing(t *testing.T) {
+	c, cl := startServer(t, 2)
+	if err := c.Create("fs00", "/traced", sharedisk.Record{Size: 7}); err != nil {
+		t.Fatal(err)
+	}
+	trace := c.LastTrace()
+	if trace == 0 {
+		t.Fatal("server did not echo a trace ID")
+	}
+	spans, err := c.Trace(trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Trace != trace {
+			t.Fatalf("span from wrong trace: %+v", sp)
+		}
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"wire", "queue-wait", "apply"} {
+		if !names[want] {
+			t.Fatalf("trace %d missing %q span; got %v", trace, want, names)
+		}
+	}
+	// The per-op histogram recorded the request.
+	h := cl.Obs().Hist.Get("wire_request_seconds", `op="create"`)
+	if h.Summarize().Count == 0 {
+		t.Fatal("create latency histogram empty")
+	}
+	// Snapshot mode (trace 0) returns recent spans across traces.
+	recent, err := c.Trace(0, 4)
+	if err != nil || len(recent) == 0 {
+		t.Fatalf("Trace(0, 4) = %d spans, %v", len(recent), err)
+	}
+}
+
+// TestConnCounters feeds a malformed frame, a failing request, and a good
+// request through one raw connection, then checks that both the aggregate
+// wire counters and the per-connection breakdown account for all three —
+// the details the server used to drop silently.
+func TestConnCounters(t *testing.T) {
+	c, _ := startServer(t, 1)
+	addr := c.conn.RemoteAddr().String()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	sc := bufio.NewScanner(raw)
+	send := func(line string) Response {
+		if _, err := raw.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatalf("no response to %q: %v", line, sc.Err())
+		}
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatalf("bad response to %q: %v", line, err)
+		}
+		return resp
+	}
+
+	if resp := send(`{"id":1,`); !strings.HasPrefix(resp.Err, "bad frame") {
+		t.Fatalf("malformed frame answered %+v", resp)
+	}
+	if resp := send(`{"id":2,"op":"stat","fileset":"fs00","path":"/missing"}`); resp.Err == "" {
+		t.Fatal("stat of missing path succeeded")
+	}
+	if resp := send(`{"id":3,"op":"owner","fileset":"fs00"}`); resp.Err != "" {
+		t.Fatalf("owner failed: %s", resp.Err)
+	}
+
+	ws, conns, err := c.WireStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[CtrBadFrames] < 1 {
+		t.Fatalf("bad frame not counted: %v", ws)
+	}
+	if ws[CtrErrors] < 1 {
+		t.Fatalf("request error not counted: %v", ws)
+	}
+	if ws[CtrRequests] < 2 {
+		t.Fatalf("requests not counted: %v", ws)
+	}
+	// The raw connection's own row must carry its bad frame and error.
+	local := raw.LocalAddr().String()
+	var row *ConnStat
+	for i := range conns {
+		if conns[i].Remote == local {
+			row = &conns[i]
+		}
+	}
+	if row == nil {
+		t.Fatalf("no ConnStat for %s in %+v", local, conns)
+	}
+	if row.BadFrames != 1 || row.Errors != 1 || row.Requests != 2 {
+		t.Fatalf("per-conn accounting wrong: %+v", *row)
+	}
+}
+
+// TestSlowRequestCounter lowers the slow threshold to zero so every request
+// counts as slow.
+func TestSlowRequestCounter(t *testing.T) {
+	disk := sharedisk.NewStore(0)
+	if err := disk.CreateFileSet("fs00"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := live.DefaultConfig()
+	cfg.Window = time.Hour
+	cfg.OpCost = 0
+	cl, err := live.NewCluster(cfg, disk, map[int]float64{0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(cl)
+	srv.SetSlowThreshold(0)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		cl.Stop()
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if _, err := c.Owner("fs00"); err != nil {
+		t.Fatal(err)
+	}
+	ws, _, err := c.WireStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[CtrSlow] < 1 {
+		t.Fatalf("zero threshold counted no slow requests: %v", ws)
+	}
+}

@@ -6,25 +6,60 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"anufs/internal/live"
 	"anufs/internal/lockmgr"
+	"anufs/internal/metrics"
 	"anufs/internal/namespace"
+	"anufs/internal/obs"
 	"anufs/internal/sharedisk"
 )
+
+// Wire server counter names, exported via the obs registry and OpStats.
+const (
+	CtrRequests  = "wire_requests"
+	CtrErrors    = "wire_errors"
+	CtrSlow      = "wire_slow_requests"
+	CtrBadFrames = "wire_bad_frames"
+)
+
+// DefaultSlowThreshold classifies a request as slow for the
+// wire_slow_requests counter; override with SetSlowThreshold.
+const DefaultSlowThreshold = 500 * time.Millisecond
+
+// connState is one connection's request accounting (see ConnStat).
+type connState struct {
+	remote    string
+	requests  atomic.Int64
+	errors    atomic.Int64
+	slow      atomic.Int64
+	badFrames atomic.Int64
+}
 
 // Server exposes a live.Cluster over TCP. One goroutine per connection
 // reads frames; each request is served on its own goroutine so a slow
 // metadata operation does not head-of-line-block the connection's other
 // requests (responses are correlated by ID, not order).
+//
+// Every request is traced: the server mints a trace ID (unless the client
+// supplied one), times the handler into a per-op latency histogram, emits a
+// "wire" span, and echoes the ID in the response so the client can fetch
+// the request's full span timeline with OpTrace.
 type Server struct {
 	cluster *live.Cluster
 	ns      *namespace.Table
+	obs     *obs.Registry
+
+	counters *metrics.CounterSet
+	slow     time.Duration
 
 	mu       sync.Mutex
 	ln       net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*connState
 	closed   bool
 	handlers sync.WaitGroup
 	// journalStats, when set, supplies journal counters for OpStats.
@@ -32,9 +67,34 @@ type Server struct {
 }
 
 // NewServer wraps a cluster. The caller retains ownership of the cluster
-// (Close does not stop it).
+// (Close does not stop it). The server records into the cluster's obs
+// registry, so one /metrics scrape covers the wire layer, the owner
+// queues, and (when the daemon shares the registry) the journal.
 func NewServer(c *live.Cluster) *Server {
-	return &Server{cluster: c, ns: namespace.New(), conns: map[net.Conn]struct{}{}}
+	s := &Server{
+		cluster:  c,
+		ns:       namespace.New(),
+		obs:      c.Obs(),
+		counters: metrics.NewCounterSet(),
+		slow:     DefaultSlowThreshold,
+		conns:    map[net.Conn]*connState{},
+	}
+	s.obs.AddCounters(s.counters.Snapshot)
+	s.obs.AddGauges(func() []obs.Gauge {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		return []obs.Gauge{{Name: "wire_open_connections", Value: float64(n)}}
+	})
+	return s
+}
+
+// SetSlowThreshold overrides the latency above which a request counts as
+// slow. Call before Listen.
+func (s *Server) SetSlowThreshold(d time.Duration) {
+	s.mu.Lock()
+	s.slow = d
+	s.mu.Unlock()
 }
 
 // SetJournalStats registers a source of journal counters to include in
@@ -79,10 +139,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		cs := &connState{remote: conn.RemoteAddr().String()}
+		s.conns[conn] = cs
 		s.mu.Unlock()
 		s.handlers.Add(1)
-		go s.serveConn(conn)
+		go s.serveConn(conn, cs)
 	}
 }
 
@@ -104,7 +165,7 @@ func (s *Server) Close() {
 	s.handlers.Wait()
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(conn net.Conn, cs *connState) {
 	defer s.handlers.Done()
 	defer func() {
 		conn.Close()
@@ -127,23 +188,88 @@ func (s *Server) serveConn(conn net.Conn) {
 		line := sc.Bytes()
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
+			s.counters.Add(CtrBadFrames, 1)
+			cs.badFrames.Add(1)
 			send(Response{Err: "bad frame: " + err.Error()})
 			continue
 		}
 		reqWG.Add(1)
 		go func() {
 			defer reqWG.Done()
-			send(s.handle(req))
+			send(s.serve(cs, req))
 		}()
 	}
 }
 
-func (s *Server) handle(req Request) Response {
+// serve instruments one request around handle: per-op latency histogram,
+// request/error/slow counters (global and per connection), and — except for
+// the observability ops themselves — a trace ID and a "wire" span.
+func (s *Server) serve(cs *connState, req Request) Response {
+	start := time.Now()
+	// OpTrace/OpTunerLog inspect traces rather than participate in them
+	// (OpTrace reuses the Trace field to address the target trace).
+	observer := req.Op == OpTrace || req.Op == OpTunerLog
+	var trace uint64
+	if !observer {
+		trace = req.Trace
+		if trace == 0 {
+			trace = s.obs.NextTraceID()
+		}
+	}
+	resp := s.handle(trace, req)
+	dur := time.Since(start)
+	op := string(req.Op)
+	s.obs.Hist.Get("wire_request_seconds", fmt.Sprintf("op=%q", op)).Observe(dur)
+	s.counters.Add(CtrRequests, 1)
+	cs.requests.Add(1)
+	if resp.Err != "" {
+		s.counters.Add(CtrErrors, 1)
+		cs.errors.Add(1)
+	}
+	s.mu.Lock()
+	slow := s.slow
+	s.mu.Unlock()
+	if dur >= slow {
+		s.counters.Add(CtrSlow, 1)
+		cs.slow.Add(1)
+	}
+	if !observer {
+		resp.Trace = trace
+		s.obs.Spans.Add(obs.Span{
+			Trace: trace, Name: "wire", Op: op, FileSet: req.FileSet,
+			Server: -1, Start: start, Dur: dur, Err: resp.Err,
+		})
+	}
+	return resp
+}
+
+// connStats snapshots per-connection accounting, sorted by remote address.
+func (s *Server) connStats() []ConnStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ConnStat, 0, len(s.conns))
+	for _, cs := range s.conns {
+		out = append(out, ConnStat{
+			Remote:    cs.remote,
+			Requests:  cs.requests.Load(),
+			Errors:    cs.errors.Load(),
+			Slow:      cs.slow.Load(),
+			BadFrames: cs.badFrames.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Remote < out[j].Remote })
+	return out
+}
+
+func (s *Server) handle(trace uint64, req Request) Response {
 	resp := Response{ID: req.ID}
 	fail := func(err error) Response {
 		resp.Err = err.Error()
 		return resp
 	}
+	// Metadata operations go through the traced view, so queue-wait/apply
+	// (and, for sync, journal) spans land under this request's trace.
+	v := s.cluster.WithTrace(trace)
 	switch req.Op {
 	case OpCreateFileSet:
 		if err := s.cluster.CreateFileSet(req.FileSet); err != nil {
@@ -154,11 +280,11 @@ func (s *Server) handle(req Request) Response {
 		if req.Record != nil {
 			rec = *req.Record
 		}
-		if err := s.cluster.Create(req.FileSet, req.Path, rec); err != nil {
+		if err := v.Create(req.FileSet, req.Path, rec); err != nil {
 			return fail(err)
 		}
 	case OpStat:
-		rec, err := s.cluster.Stat(req.FileSet, req.Path)
+		rec, err := v.Stat(req.FileSet, req.Path)
 		if err != nil {
 			return fail(err)
 		}
@@ -167,15 +293,15 @@ func (s *Server) handle(req Request) Response {
 		if req.Record == nil {
 			return fail(errors.New("wire: update needs a record"))
 		}
-		if err := s.cluster.Update(req.FileSet, req.Path, *req.Record); err != nil {
+		if err := v.Update(req.FileSet, req.Path, *req.Record); err != nil {
 			return fail(err)
 		}
 	case OpRemove:
-		if err := s.cluster.Remove(req.FileSet, req.Path); err != nil {
+		if err := v.Remove(req.FileSet, req.Path); err != nil {
 			return fail(err)
 		}
 	case OpList:
-		paths, err := s.cluster.List(req.FileSet, req.Path)
+		paths, err := v.List(req.FileSet, req.Path)
 		if err != nil {
 			return fail(err)
 		}
@@ -214,10 +340,20 @@ func (s *Server) handle(req Request) Response {
 		if js != nil {
 			resp.Journal = js()
 		}
+		resp.Wire = s.counters.Snapshot()
+		resp.Conns = s.connStats()
 	case OpSync:
-		if err := s.cluster.CheckpointAll(); err != nil {
+		if err := v.CheckpointAll(); err != nil {
 			return fail(err)
 		}
+	case OpTrace:
+		if req.Trace != 0 {
+			resp.Spans = s.obs.Spans.ByTrace(req.Trace)
+		} else {
+			resp.Spans = s.obs.Spans.Snapshot(req.Count)
+		}
+	case OpTunerLog:
+		resp.Tuner = s.obs.Tuner.Snapshot(req.Count)
 	case OpMount:
 		if err := s.ns.Mount(req.Prefix, req.FileSet); err != nil {
 			return fail(err)
@@ -241,7 +377,7 @@ func (s *Server) handle(req Request) Response {
 		if req.Record != nil {
 			rec = *req.Record
 		}
-		if err := s.cluster.Create(fs, rel, rec); err != nil {
+		if err := v.Create(fs, rel, rec); err != nil {
 			return fail(err)
 		}
 	case OpPStat:
@@ -249,7 +385,7 @@ func (s *Server) handle(req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		rec, err := s.cluster.Stat(fs, rel)
+		rec, err := v.Stat(fs, rel)
 		if err != nil {
 			return fail(err)
 		}
@@ -259,7 +395,7 @@ func (s *Server) handle(req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		if err := s.cluster.Remove(fs, rel); err != nil {
+		if err := v.Remove(fs, rel); err != nil {
 			return fail(err)
 		}
 	case OpMapping:

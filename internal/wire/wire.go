@@ -11,6 +11,7 @@
 package wire
 
 import (
+	"anufs/internal/obs"
 	"anufs/internal/sharedisk"
 )
 
@@ -49,6 +50,12 @@ const (
 	// barrier: once it returns without error, all earlier metadata writes
 	// are flushed (and journaled, when the daemon runs with -journal-dir).
 	OpSync Op = "sync"
+	// OpTrace dumps request trace spans: the spans of one trace (Request.
+	// Trace set) or the most recent Count spans across all traces.
+	OpTrace Op = "trace"
+	// OpTunerLog dumps the most recent Count structured tuner decision
+	// events (all retained when Count is 0).
+	OpTunerLog Op = "tuner-log"
 )
 
 // Request is one client frame.
@@ -65,6 +72,24 @@ type Request struct {
 	// Prefix is the mount prefix for namespace operations; Path carries the
 	// global path for the P-prefixed ops.
 	Prefix string `json:"prefix,omitempty"`
+	// Trace selects the trace to dump for OpTrace. For every other op it is
+	// the caller-supplied trace ID; the server mints one when zero and
+	// echoes it in Response.Trace.
+	Trace uint64 `json:"trace,omitempty"`
+	// Count bounds how many entries OpTrace/OpTunerLog return (0 = all
+	// retained).
+	Count int `json:"count,omitempty"`
+}
+
+// ConnStat is the per-connection request/error accounting included in
+// OpStats replies — the detail the server previously dropped on the floor
+// when a connection sent malformed or failing requests.
+type ConnStat struct {
+	Remote    string `json:"remote"`
+	Requests  int64  `json:"requests"`
+	Errors    int64  `json:"errors"`
+	Slow      int64  `json:"slow"`
+	BadFrames int64  `json:"bad_frames"`
 }
 
 // ServerStat mirrors live.ServerStats for the stats reply.
@@ -94,4 +119,15 @@ type Response struct {
 	// fsyncs, batch sizes, recovery time, ...) in OpStats replies when the
 	// server runs over a durable store; nil otherwise.
 	Journal map[string]int64 `json:"journal,omitempty"`
+	// Trace echoes the request's trace ID (server-minted when the request
+	// carried none) so clients can fetch the request's span timeline later.
+	Trace uint64 `json:"trace,omitempty"`
+	// Spans answers OpTrace; Tuner answers OpTunerLog.
+	Spans []obs.Span       `json:"spans,omitempty"`
+	Tuner []obs.TunerEvent `json:"tuner,omitempty"`
+	// Wire and Conns carry the wire server's own counters (requests,
+	// errors, slow requests, bad frames) and per-connection breakdown in
+	// OpStats replies.
+	Wire  map[string]int64 `json:"wire,omitempty"`
+	Conns []ConnStat       `json:"conns,omitempty"`
 }
