@@ -14,11 +14,23 @@
 // and wire counters, per-server gauges), /healthz, /tuner-log, /trace, and
 // net/http/pprof under /debug/pprof/.
 //
+// With -replicate-to the journal is additionally log-shipped to a standby
+// daemon (started with -standby on the same flags), which applies it to a
+// warm in-memory store and promotes itself — serving the ordinary wire
+// protocol on its own -listen address — when the primary goes silent for
+// -peer-lease. -replicate-sync makes writes semi-synchronous: an append is
+// acknowledged only once the standby has it durably (degrading to async
+// after -sync-timeout rather than blocking writes on a dead standby).
+//
 // Usage:
 //
 //	anufsd -listen :7460 -speeds 1,3,5,7,9 -filesets 16 -window 250ms \
 //	       -journal-dir /var/lib/anufs/journal -fsync-interval 2ms \
-//	       -snapshot-every 4096 -checkpoint-interval 2s -http :6060
+//	       -snapshot-every 4096 -checkpoint-interval 2s -http :6060 \
+//	       -replicate-to standby:7461 -replicate-sync
+//
+//	anufsd -standby -listen :7461 -journal-dir /var/lib/anufs/standby \
+//	       -peer-lease 2s -http :6061
 package main
 
 import (
@@ -37,6 +49,7 @@ import (
 	"anufs/internal/journal"
 	"anufs/internal/live"
 	"anufs/internal/obs"
+	"anufs/internal/replica"
 	"anufs/internal/sharedisk"
 	"anufs/internal/wire"
 )
@@ -54,6 +67,12 @@ func main() {
 		snapEvery  = flag.Int("snapshot-every", 4096, "journal entries between snapshots + log compaction")
 		ckptIval   = flag.Duration("checkpoint-interval", 2*time.Second, "background flush of dirty file sets when journaling; 0 disables")
 		httpAddr   = flag.String("http", "", "observability HTTP address (/metrics, /healthz, /debug/pprof/); empty disables")
+
+		replicateTo = flag.String("replicate-to", "", "standby replication address; journal entries are log-shipped there (requires -journal-dir)")
+		replSync    = flag.Bool("replicate-sync", false, "semi-synchronous replication: acknowledge writes only after the standby acks")
+		syncTimeout = flag.Duration("sync-timeout", replica.DefaultSyncTimeout, "how long a sync write waits for the standby before degrading to async")
+		standby     = flag.Bool("standby", false, "run as a warm standby: receive log shipping on -listen, promote on primary silence (requires -journal-dir)")
+		peerLease   = flag.Duration("peer-lease", replica.DefaultLease, "standby: how long the primary may go silent before promotion")
 	)
 	flag.Parse()
 
@@ -61,16 +80,38 @@ func main() {
 	if err != nil {
 		log.Fatalf("anufsd: %v", err)
 	}
+	if (*replicateTo != "" || *standby) && *journalDir == "" {
+		log.Fatalf("anufsd: replication needs -journal-dir (there is nothing to ship without a journal)")
+	}
+	if *replicateTo != "" && *standby {
+		log.Fatalf("anufsd: -replicate-to and -standby are mutually exclusive (chained standbys are not supported)")
+	}
 
 	// One registry for the whole daemon: the journal, the cluster's owner
 	// queues, and the wire server all record into it, so a single /metrics
 	// scrape (or trace dump) covers the full request path.
 	reg := obs.New()
 
+	// Observability HTTP comes up before anything else so a standby (which
+	// may sit receiving for hours before promotion) is scrapeable too.
+	var hsrv *http.Server
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("anufsd: http: %v", err)
+		}
+		hsrv = &http.Server{Handler: reg.Handler()}
+		go func() { _ = hsrv.Serve(hln) }()
+		log.Printf("anufsd: observability HTTP at %s (/metrics, /healthz, /tuner-log, /trace, /debug/pprof/)",
+			hln.Addr())
+	}
+
 	var (
-		disk sharedisk.Disk
-		jnl  *journal.Journal
+		disk    sharedisk.Disk
+		jnl     *journal.Journal
+		shipper *replica.Shipper
 	)
+	role := "primary"
 	if *journalDir != "" {
 		j, st, info, err := journal.Open(*journalDir, journal.Options{FsyncInterval: *fsyncIval, Obs: reg})
 		if err != nil {
@@ -83,10 +124,39 @@ func main() {
 		}
 		log.Printf("anufsd: recovered %d file sets (%d journal entries, snapshot seq %d) in %s",
 			info.FileSets, info.Entries, info.SnapshotSeq, info.Duration)
+
+		if *standby {
+			// Standby mode: receive log shipping until the primary dies,
+			// then fall through to ordinary serving on the warm state.
+			reg.AddStatus("daemon", func() any { return map[string]string{"role": "standby"} })
+			st = runStandby(jnl, st, *listen, *peerLease, *snapEvery, reg, hsrv)
+			role = "promoted-primary"
+		}
 		disk = sharedisk.NewDurable(st, j, *snapEvery)
+
+		if *replicateTo != "" {
+			shipper, err = replica.NewShipper(replica.ShipperOptions{
+				Addr:        *replicateTo,
+				Journal:     jnl,
+				Images:      st.Images,
+				SyncTimeout: *syncTimeout,
+				Obs:         reg,
+			})
+			if err != nil {
+				log.Fatalf("anufsd: replication: %v", err)
+			}
+			shipper.Start()
+			mode := "async"
+			if *replSync {
+				jnl.SetAckGate(shipper.WaitAcked)
+				mode = fmt.Sprintf("semi-sync (degrade after %s)", *syncTimeout)
+			}
+			log.Printf("anufsd: log-shipping journal to %s, %s", *replicateTo, mode)
+		}
 	} else {
 		disk = sharedisk.NewStore(0)
 	}
+	reg.AddStatus("daemon", func() any { return map[string]string{"role": role} })
 
 	existing := map[string]bool{}
 	for _, fs := range disk.FileSets() {
@@ -115,24 +185,14 @@ func main() {
 	if jnl != nil {
 		srv.SetJournalStats(jnl.Counters().Snapshot)
 	}
-	addr, err := srv.Listen(*listen)
+	// A promoted standby re-binds the address its receiver just released;
+	// retry briefly instead of failing the takeover on a lingering socket.
+	addr, err := listenRetry(srv, *listen)
 	if err != nil {
 		log.Fatalf("anufsd: %v", err)
 	}
 	log.Printf("anufsd: serving %d file sets on %d servers at %s (journal: %s)",
 		len(disk.FileSets()), len(speedMap), addr, journalDesc(*journalDir))
-
-	var hsrv *http.Server
-	if *httpAddr != "" {
-		hln, err := net.Listen("tcp", *httpAddr)
-		if err != nil {
-			log.Fatalf("anufsd: http: %v", err)
-		}
-		hsrv = &http.Server{Handler: reg.Handler()}
-		go func() { _ = hsrv.Serve(hln) }()
-		log.Printf("anufsd: observability HTTP at %s (/metrics, /healthz, /tuner-log, /trace, /debug/pprof/)",
-			hln.Addr())
-	}
 
 	// Background checkpointer: bounds the window of metadata lost to a
 	// crash to one interval, without clients having to call sync.
@@ -167,6 +227,9 @@ func main() {
 		_ = hsrv.Close()
 	}
 	srv.Close()
+	if shipper != nil {
+		shipper.Stop()
+	}
 	if jnl != nil {
 		// Flush everything dirty so a clean shutdown loses nothing, then
 		// stop the cluster and seal the journal.
@@ -180,6 +243,66 @@ func main() {
 			log.Printf("anufsd: journal close: %v", err)
 		}
 	}
+}
+
+// runStandby serves log-shipping on the wire listen address until the
+// primary's lease lapses, then returns the promoted warm store. On
+// SIGINT/SIGTERM before promotion it shuts the standby down and exits.
+func runStandby(jnl *journal.Journal, st *sharedisk.Store, listen string, lease time.Duration, snapEvery int, reg *obs.Registry, hsrv *http.Server) *sharedisk.Store {
+	recv, err := replica.NewReceiver(replica.ReceiverOptions{
+		Journal:       jnl,
+		Images:        st.Images(),
+		Lease:         lease,
+		SnapshotEvery: snapEvery,
+		Obs:           reg,
+	})
+	if err != nil {
+		log.Fatalf("anufsd: standby: %v", err)
+	}
+	addr, err := recv.Listen(listen)
+	if err != nil {
+		log.Fatalf("anufsd: standby: %v", err)
+	}
+	log.Printf("anufsd: standby receiving log shipping at %s (promotes after %s of primary silence)", addr, lease)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case <-recv.Promoted():
+	case <-sig:
+		log.Println("anufsd: standby shutting down")
+		recv.Stop()
+		if hsrv != nil {
+			_ = hsrv.Close()
+		}
+		if err := jnl.Close(); err != nil {
+			log.Printf("anufsd: journal close: %v", err)
+		}
+		os.Exit(0)
+	}
+	recv.Stop()
+	images, applied := recv.State()
+	log.Printf("anufsd: primary lease lapsed; promoting with %d file sets warm at sequence %d",
+		len(images), applied)
+	return sharedisk.NewStoreFromImages(images, 0)
+}
+
+// listenRetry binds the wire server, retrying briefly — a promoted standby
+// reuses the address its own receiver just released.
+func listenRetry(srv *wire.Server, listen string) (string, error) {
+	var (
+		addr string
+		err  error
+	)
+	for i := 0; i < 50; i++ {
+		addr, err = srv.Listen(listen)
+		if err == nil {
+			return addr, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return "", err
 }
 
 func journalDesc(dir string) string {

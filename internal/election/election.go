@@ -26,6 +26,10 @@ type Elector struct {
 
 	mu     sync.Mutex
 	expiry map[int]time.Time
+	// maxNow is the furthest clock reading observed; nowLocked clamps the
+	// clock to it so a backwards step (NTP slew, VM migration) can never
+	// resurrect a member whose lease was already observed as lapsed.
+	maxNow time.Time
 	// epoch increments whenever the elected delegate changes, so observers
 	// can detect failovers (and reset divergent-tuning state, §6).
 	epoch        uint64
@@ -45,11 +49,25 @@ func New(lease time.Duration, now func() time.Time) *Elector {
 	return &Elector{lease: lease, now: now, expiry: map[int]time.Time{}}
 }
 
+// nowLocked reads the clock, clamped to be monotonically non-decreasing
+// across every elector operation. Without the clamp, a delegate whose
+// lease lapsed between a Heartbeat and the reap could be returned again
+// when the wall clock steps backwards — the expiry it left behind would
+// sit in the future once more. Callers hold e.mu.
+func (e *Elector) nowLocked() time.Time {
+	t := e.now()
+	if t.Before(e.maxNow) {
+		return e.maxNow
+	}
+	e.maxNow = t
+	return t
+}
+
 // Heartbeat joins or renews a member's candidacy.
 func (e *Elector) Heartbeat(id int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.expiry[id] = e.now().Add(e.lease)
+	e.expiry[id] = e.nowLocked().Add(e.lease)
 }
 
 // Leave withdraws a member immediately (graceful decommission).
@@ -61,7 +79,7 @@ func (e *Elector) Leave(id int) {
 
 // reapLocked drops lapsed candidacies. Callers hold e.mu.
 func (e *Elector) reapLocked() {
-	now := e.now()
+	now := e.nowLocked()
 	for id, exp := range e.expiry {
 		if now.After(exp) {
 			delete(e.expiry, id)
@@ -91,6 +109,59 @@ func (e *Elector) Delegate() (id int, epoch uint64, ok bool) {
 		e.hasDelegate = true
 	}
 	return best, e.epoch, true
+}
+
+// Change is one delegate transition observed by Watch.
+type Change struct {
+	// Delegate is the new delegate's ID (meaningless when OK is false).
+	Delegate int
+	// Epoch is the election epoch after the transition.
+	Epoch uint64
+	// OK is false when no member is live.
+	OK bool
+}
+
+// Watch polls the election every interval and delivers a Change whenever
+// the delegate (or liveness) differs from the last delivery, starting with
+// the current state — the promotion hook: a standby watches for the epoch
+// where it becomes the delegate and takes over. The channel is closed when
+// stop closes. Slow consumers miss intermediate transitions, never the
+// latest: delivery retries with the freshest state each tick.
+func (e *Elector) Watch(interval time.Duration, stop <-chan struct{}) <-chan Change {
+	if interval <= 0 {
+		interval = e.lease / 4
+	}
+	ch := make(chan Change, 1)
+	go func() {
+		defer close(ch)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var last Change
+		have := false
+		for {
+			id, epoch, ok := e.Delegate()
+			cur := Change{Delegate: id, Epoch: epoch, OK: ok}
+			if !have || cur != last {
+				select {
+				case ch <- cur:
+					last, have = cur, true
+				default:
+					// Consumer still holds the previous undelivered change;
+					// drop it and try again with fresher state next tick.
+					select {
+					case <-ch:
+					default:
+					}
+				}
+			}
+			select {
+			case <-t.C:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return ch
 }
 
 // Members lists the live members, ascending.

@@ -142,3 +142,122 @@ func TestConcurrentHeartbeats(t *testing.T) {
 		t.Fatalf("delegate %d, %v; want 0", id, ok)
 	}
 }
+
+func (c *clock) stepBack(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(-d)
+}
+
+// TestBackwardsClockCannotResurrectLapsedLease is the regression test for
+// the clock clamp: a wall-clock step backwards (NTP, VM migration) between
+// electing the failover delegate and the next Delegate() call must not put
+// the dead member's stale expiry back in the future and flap the election
+// back to it — that reopens the failover window the standby just closed.
+func TestBackwardsClockCannotResurrectLapsedLease(t *testing.T) {
+	e, clk := newElector()
+	e.Heartbeat(0) // expiry at t=10s
+	clk.advance(6 * time.Second)
+	e.Heartbeat(1) // expiry at t=16s
+	clk.advance(6 * time.Second)
+	// t=12s: 0's lease lapsed; 1 takes over.
+	id, epoch1, ok := e.Delegate()
+	if !ok || id != 1 {
+		t.Fatalf("failover delegate = %d, %v; want 1", id, ok)
+	}
+	// Wall clock steps back to t=5s, before 0's original expiry. Without
+	// the monotonic clamp, 0's reaped candidacy is gone but a heartbeat
+	// stamped with the rewound clock would under-expire — and worse, if the
+	// reap had not yet run, 0 would look live again. Reconstruct that
+	// pre-reap state: heartbeat 0 before the reap observes the lapse.
+	e2, clk2 := newElector()
+	e2.Heartbeat(0)
+	clk2.advance(6 * time.Second)
+	e2.Heartbeat(1)
+	clk2.advance(6 * time.Second)
+	e2.Heartbeat(1) // live member's renewal advances observed time to t=12s
+	// No Delegate() call yet — 0's stale expiry (t=10s) is still in the
+	// map, unreaped. Clock rewinds to t=5s, putting that expiry back "in
+	// the future" by the wall clock; the clamp must keep "now" at t=12s.
+	clk2.stepBack(7 * time.Second)
+	id, _, ok = e2.Delegate()
+	if !ok || id != 1 {
+		t.Fatalf("after backwards clock step: delegate = %d, %v; want 1 (0's lease lapsed at the clamped clock)", id, ok)
+	}
+	// And on the first elector, the already-elected standby must stay
+	// elected at the rewound clock.
+	clk.stepBack(7 * time.Second)
+	id, epoch2, ok := e.Delegate()
+	if !ok || id != 1 || epoch2 != epoch1 {
+		t.Fatalf("after backwards clock step: delegate = %d epoch %d->%d, %v; want stable 1", id, epoch1, epoch2, ok)
+	}
+}
+
+// TestBackwardsClockLeaseStillRenewable checks the clamp does not wedge the
+// clock: heartbeats after a backwards step still extend leases relative to
+// the clamped time.
+func TestBackwardsClockLeaseStillRenewable(t *testing.T) {
+	e, clk := newElector()
+	e.Heartbeat(3)
+	clk.advance(8 * time.Second)
+	e.Delegate()                  // elector observes t=8s; clamp now holds it
+	clk.stepBack(5 * time.Second) // wall clock rewinds to t=3s
+	e.Heartbeat(3)                // expiry = clamped 8s + 10s = 18s
+	clk.advance(12 * time.Second) // wall t=15s < 18s
+	if _, _, ok := e.Delegate(); !ok {
+		t.Fatal("renewed lease lapsed under clamped clock")
+	}
+}
+
+// TestWatchDeliversTransitions drives the promotion hook: Watch emits the
+// initial state, then a Change when the delegate fails over.
+func TestWatchDeliversTransitions(t *testing.T) {
+	e, clk := newElector()
+	e.Heartbeat(0)
+	e.Heartbeat(1)
+	e.Delegate() // settle epoch
+	stop := make(chan struct{})
+	defer close(stop)
+	ch := e.Watch(time.Millisecond, stop)
+
+	want := func(id int) Change {
+		t.Helper()
+		select {
+		case c, ok := <-ch:
+			if !ok {
+				t.Fatal("watch channel closed early")
+			}
+			if !c.OK || c.Delegate != id {
+				t.Fatalf("watch delivered %+v, want delegate %d", c, id)
+			}
+			return c
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no watch delivery for delegate %d", id)
+		}
+		panic("unreachable")
+	}
+
+	first := want(0)
+	clk.advance(6 * time.Second)
+	e.Heartbeat(1)
+	clk.advance(6 * time.Second) // 0 lapses; 1 is next
+	second := want(1)
+	if second.Epoch <= first.Epoch {
+		t.Fatalf("epoch did not advance across watched failover: %d -> %d", first.Epoch, second.Epoch)
+	}
+}
+
+// TestWatchClosesOnStop verifies stop tears the watcher down.
+func TestWatchClosesOnStop(t *testing.T) {
+	e, _ := newElector()
+	e.Heartbeat(0)
+	stop := make(chan struct{})
+	ch := e.Watch(time.Millisecond, stop)
+	<-ch // initial state
+	close(stop)
+	for {
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}

@@ -111,7 +111,10 @@ func (j *Journal) writeBatch(batch []*appendReq) error {
 	if j.f == nil {
 		return ErrClosed
 	}
-	if j.segSize >= j.opts.SegmentBytes {
+	// Rotate only a segment that holds entries — an empty active segment is
+	// already the freshest possible (and re-creating it would collide on
+	// O_EXCL when SegmentBytes is smaller than the header).
+	if j.segSize >= j.opts.SegmentBytes && j.segSize > headerLen {
 		if err := j.openSegmentLocked(); err != nil {
 			return err
 		}
@@ -143,7 +146,11 @@ func (j *Journal) writeBatch(batch []*appendReq) error {
 		}
 	}
 	j.segSize += int64(len(buf))
+	for i, r := range batch {
+		r.seq = j.nextSeq + uint64(i)
+	}
 	j.nextSeq += uint64(len(batch))
+	j.signalCommitLocked()
 	j.counters.Add(CtrRecords, int64(len(batch)))
 	j.counters.Add(CtrBytes, int64(len(buf)))
 	j.counters.Add(CtrFsyncs, 1)

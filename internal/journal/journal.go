@@ -144,6 +144,14 @@ type Journal struct {
 	nextSeq  uint64 // sequence the next appended entry will get
 	closeErr error
 	closed   bool
+	// commitSig is closed (and replaced) whenever the durable boundary
+	// advances; CommitSignal hands it to tailers so log shipping can wait
+	// for new entries without polling.
+	commitSig chan struct{}
+	// ackGate, when set, is called after an append is locally durable and
+	// must not return until the entry is replicated (or the replication
+	// policy gives up) — the semi-synchronous shipping hook (SetAckGate).
+	ackGate func(seq uint64) error
 }
 
 type appendReq struct {
@@ -154,6 +162,10 @@ type appendReq struct {
 	// group-commit wait is measurable.
 	trace uint64
 	enq   time.Time
+	// seq is the sequence the committer assigned this record, valid once
+	// done has been signalled without error; append passes it to the ack
+	// gate so semi-sync replication waits for exactly this entry.
+	seq uint64
 }
 
 // Open recovers the journal in dir (creating it if needed) and opens it for
@@ -169,32 +181,24 @@ func Open(dir string, opts Options) (*Journal, *sharedisk.Store, RecoverInfo, er
 	if err != nil {
 		return nil, nil, info, err
 	}
-	// Make the on-disk log agree with what replay could use: cut the torn
-	// tail and drop segments stranded behind it. A segment whose very
-	// header is unreadable keeps no bytes — remove it outright so it cannot
-	// wedge the next recovery at offset zero.
-	if info.Truncated {
-		if info.ValidBytes < headerLen {
-			if err := os.Remove(info.TruncatedSegment); err != nil {
-				return nil, nil, info, fmt.Errorf("journal: drop headerless segment: %w", err)
-			}
-		} else if err := os.Truncate(info.TruncatedSegment, info.ValidBytes); err != nil {
-			return nil, nil, info, fmt.Errorf("journal: truncate torn tail: %w", err)
-		}
-		for _, p := range info.strandedSegments {
-			if err := os.Remove(p); err != nil {
-				return nil, nil, info, err
-			}
+	// Make the on-disk log agree with what replay could use: drop segments
+	// stranded behind the tear, then cut the torn tail. Ordering matters —
+	// see tornTailCleanupOps for why a crash anywhere in between must leave
+	// a directory the next recovery derives the same prefix from.
+	for _, op := range tornTailCleanupOps(info) {
+		if err := op.apply(); err != nil {
+			return nil, nil, info, err
 		}
 	}
 	j := &Journal{
-		dir:      dir,
-		opts:     opts,
-		counters: opts.Counters,
-		appendCh: make(chan *appendReq, 256),
-		quit:     make(chan struct{}),
-		done:     make(chan struct{}),
-		nextSeq:  info.LastSeq + 1,
+		dir:       dir,
+		opts:      opts,
+		counters:  opts.Counters,
+		appendCh:  make(chan *appendReq, 256),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		nextSeq:   info.LastSeq + 1,
+		commitSig: make(chan struct{}),
 	}
 	j.counters.Set(CtrRecoveryNanos, info.Duration.Nanoseconds())
 	j.counters.Set(CtrRecoveredEntries, int64(info.Entries))
@@ -237,7 +241,9 @@ func (j *Journal) LogFlushTraced(trace uint64, fileSet string, im sharedisk.Imag
 }
 
 // append frames the payload and hands it to the group committer, blocking
-// until the entry is fsynced (or the journal fails/closes).
+// until the entry is fsynced (or the journal fails/closes). With an ack
+// gate armed (SetAckGate), a locally durable append additionally waits for
+// the gate — semi-synchronous replication.
 func (j *Journal) append(trace uint64, payload []byte) error {
 	r := &appendReq{frame: appendFrame(nil, payload), done: make(chan error, 1), trace: trace, enq: time.Now()}
 	select {
@@ -245,19 +251,66 @@ func (j *Journal) append(trace uint64, payload []byte) error {
 	case <-j.quit:
 		return ErrClosed
 	}
+	var err error
 	select {
-	case err := <-r.done:
-		return err
+	case err = <-r.done:
 	case <-j.done:
 		// The committer exited; it drained the queue first, so a reply is
 		// either buffered or will never come.
 		select {
-		case err := <-r.done:
-			return err
+		case err = <-r.done:
 		default:
 			return ErrClosed
 		}
 	}
+	if err == nil {
+		if gate := j.gate(); gate != nil {
+			err = gate(r.seq)
+		}
+	}
+	return err
+}
+
+// SetAckGate installs a replication gate: every subsequent append, once
+// locally durable, also blocks until gate(seq) returns. The gate receives
+// the entry's journal sequence; a nil gate (the default) disables the wait.
+// anufsd arms this with the shipper's WaitAcked when -replicate-sync is on,
+// making "Flush returned nil" mean "fsynced here AND acked by the standby".
+func (j *Journal) SetAckGate(gate func(seq uint64) error) {
+	j.mu.Lock()
+	j.ackGate = gate
+	j.mu.Unlock()
+}
+
+func (j *Journal) gate() func(uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ackGate
+}
+
+// DurableSeq returns the sequence of the last fsynced entry (0 before the
+// first). Everything at or below it is readable via a Tailer.
+func (j *Journal) DurableSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq - 1
+}
+
+// CommitSignal returns a channel that is closed the next time the durable
+// boundary advances. Callers re-fetch it after each wakeup; the canonical
+// wait loop captures the channel BEFORE reading DurableSeq so an advance
+// between the two cannot be missed.
+func (j *Journal) CommitSignal() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.commitSig
+}
+
+// signalCommitLocked wakes every CommitSignal waiter. Callers hold mu and
+// have just advanced nextSeq.
+func (j *Journal) signalCommitLocked() {
+	close(j.commitSig)
+	j.commitSig = make(chan struct{})
 }
 
 // Close commits everything queued, fsyncs, and closes the active segment.

@@ -33,6 +33,56 @@ type RecoverInfo struct {
 	strandedSegments []string
 }
 
+// cleanupOp is one filesystem mutation of the torn-tail cleanup. Keeping
+// the plan enumerable lets the crash-injection tests stop it after any
+// step and assert the directory still recovers to the same prefix.
+type cleanupOp struct {
+	path string
+	// truncate cuts the file to validBytes; otherwise the file is removed.
+	truncate   bool
+	validBytes int64
+}
+
+func (op cleanupOp) apply() error {
+	if op.truncate {
+		if err := os.Truncate(op.path, op.validBytes); err != nil {
+			return fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+		return nil
+	}
+	if err := os.Remove(op.path); err != nil {
+		return fmt.Errorf("journal: drop segment past the tear: %w", err)
+	}
+	return nil
+}
+
+// tornTailCleanupOps plans the mutations that make the on-disk log agree
+// with what replay could use after a tear. Ordering is load-bearing:
+// stranded segments are removed first, NEWEST first, and the torn segment
+// is cut last. A crash after any prefix of these ops then leaves the torn
+// segment in place, so the next recovery re-derives the same truncation
+// point and never replays a stranded segment past the hole. (Cutting the
+// torn segment first looks clean to the next recovery, which would then
+// replay the surviving stranded segments — resurrecting entries this
+// recovery already discarded and leaving a sequence gap.) A segment whose
+// very header is unreadable keeps no bytes — it is removed outright so it
+// cannot wedge the next recovery at offset zero.
+func tornTailCleanupOps(info RecoverInfo) []cleanupOp {
+	if !info.Truncated {
+		return nil
+	}
+	ops := make([]cleanupOp, 0, len(info.strandedSegments)+1)
+	for i := len(info.strandedSegments) - 1; i >= 0; i-- {
+		ops = append(ops, cleanupOp{path: info.strandedSegments[i]})
+	}
+	if info.ValidBytes < headerLen {
+		ops = append(ops, cleanupOp{path: info.TruncatedSegment})
+	} else {
+		ops = append(ops, cleanupOp{path: info.TruncatedSegment, truncate: true, validBytes: info.ValidBytes})
+	}
+	return ops
+}
+
 // Recover replays the journal directory read-only and returns the
 // prefix-consistent store it describes: the newest intact snapshot plus
 // every intact log entry after it, stopping at the first torn or corrupt

@@ -1,0 +1,332 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"anufs/internal/sharedisk"
+)
+
+// Log shipping support. A primary's journal is already a self-delimiting,
+// CRC-checksummed stream of framed entries, so replication is "read the
+// frames back and send them": the Tailer walks sealed and in-progress
+// segments from any sequence, capped at the durable boundary; AppendShipped
+// and InstallSnapshot are the standby-side mirrors that persist shipped
+// entries under the primary's sequence numbering, so a standby's
+// DurableSeq IS its replication ack and survives standby restarts via the
+// ordinary recovery path.
+
+// Shipped is one journal entry in transit: the primary-assigned sequence
+// and the raw entry payload (the bytes inside the frame, CRC-verified on
+// read and re-framed plus re-verified on apply).
+type Shipped struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// DecodeEntry parses a shipped entry payload; ErrCorrupt on malformation.
+func DecodeEntry(payload []byte) (Entry, error) { return decodeEntry(payload) }
+
+// EncodeEntry serializes an entry payload (no frame header) — the inverse
+// of DecodeEntry, exported for tests and tooling.
+func EncodeEntry(e Entry) []byte { return encodeEntry(e) }
+
+// Apply folds one entry into an image map exactly as recovery replay does:
+// idempotent, version-guarded. The standby uses it to keep a warm in-memory
+// state alongside its journal.
+func Apply(images map[string]sharedisk.Image, e Entry) { applyEntry(images, e) }
+
+// EncodeImages serializes a full store cut for snapshot shipping.
+func EncodeImages(images map[string]sharedisk.Image) []byte { return encodeImages(images) }
+
+// DecodeImages parses a shipped store cut; ErrCorrupt on malformation.
+func DecodeImages(payload []byte) (map[string]sharedisk.Image, error) {
+	return decodeImages(payload)
+}
+
+// CaptureCut returns a consistent (sequence, images) pair for snapshot
+// shipping: the durable sequence and the store cut are read with commits
+// paused, so the cut covers every entry at or below the sequence. (Because
+// the store applies before the journal appends, the cut may additionally
+// include a not-yet-journaled mutation; replay on the far side is
+// version-guarded, so re-shipping that entry later is harmless.)
+func (j *Journal) CaptureCut(images func() map[string]sharedisk.Image) (uint64, map[string]sharedisk.Image) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq - 1, images()
+}
+
+// segmentFor locates the segment whose entries include seq: the segment on
+// disk with the largest first sequence <= seq. ok is false when every such
+// segment has been compacted away (the caller needs a snapshot instead).
+func (j *Journal) segmentFor(seq uint64) (path string, first uint64, ok bool, err error) {
+	segs, err := filepath.Glob(filepath.Join(j.dir, "wal-*.log"))
+	if err != nil {
+		return "", 0, false, err
+	}
+	sort.Strings(segs)
+	for _, p := range segs {
+		f, nameOK := seqFromName(filepath.Base(p), "wal-", ".log")
+		if !nameOK || f > seq {
+			continue
+		}
+		if !ok || f > first {
+			path, first, ok = p, f, true
+		}
+	}
+	return path, first, ok, nil
+}
+
+// Tailer reads the journal's entries back in sequence order, following
+// segment rotations and stopping at the durable boundary. One Tailer is a
+// single-goroutine cursor; the shipper owns one per standby connection.
+//
+// A Tailer keeps its current segment file open, so compaction deleting the
+// file mid-read is harmless (the inode lives until Close); only entries it
+// has not reached yet can be compacted out from under it, which Next
+// reports as snapshotNeeded.
+type Tailer struct {
+	j    *Journal
+	next uint64 // sequence of the next entry to deliver
+
+	f        *os.File
+	segFirst uint64
+	off      int64
+}
+
+// NewTailer starts a cursor that will deliver entries from sequence `from`
+// (clamped to 1) onward.
+func (j *Journal) NewTailer(from uint64) *Tailer {
+	if from == 0 {
+		from = 1
+	}
+	return &Tailer{j: j, next: from}
+}
+
+// NextSeq reports the sequence the tailer will deliver next.
+func (t *Tailer) NextSeq() uint64 { return t.next }
+
+// Close releases the open segment file. The Tailer is reusable after Close
+// (the next Next reopens).
+func (t *Tailer) Close() {
+	if t.f != nil {
+		t.f.Close()
+		t.f = nil
+	}
+}
+
+// Next returns the next run of durable entries, bounded by maxEntries and
+// maxBytes (both must be positive). An empty result with snapshotNeeded
+// false means the tailer is caught up — wait on the journal's CommitSignal.
+// snapshotNeeded reports that the next entry has been compacted into a
+// snapshot; the caller must ship a full cut (CaptureCut) and restart the
+// tailer past it.
+func (t *Tailer) Next(maxEntries int, maxBytes int64) (ents []Shipped, snapshotNeeded bool, err error) {
+	durable := t.j.DurableSeq()
+	var bytes int64
+	for t.next <= durable && len(ents) < maxEntries && bytes < maxBytes {
+		if t.f == nil {
+			snap, err := t.open(t.next)
+			if err != nil {
+				return ents, false, err
+			}
+			if snap {
+				// Deliver what was already read; the caller sees
+				// snapshotNeeded once it drains to this point.
+				return ents, len(ents) == 0, nil
+			}
+		}
+		payload, n, ok, err := readFrameAt(t.f, t.off)
+		if err != nil {
+			return ents, false, fmt.Errorf("journal: tail %s@%d: %w", t.f.Name(), t.off, err)
+		}
+		if !ok {
+			// No complete frame yet t.next is durable: the segment was
+			// rotated and the entry lives in a newer one. Reopen there; if
+			// the reopened segment is the same file, the directory is
+			// inconsistent and retrying would spin.
+			prev := t.segFirst
+			t.Close()
+			if snap, err := t.open(t.next); err != nil || snap {
+				return ents, snap && len(ents) == 0, err
+			}
+			if t.segFirst == prev {
+				t.Close()
+				return ents, false, fmt.Errorf("journal: durable entry %d unreadable in segment %016x", t.next, prev)
+			}
+			continue
+		}
+		ents = append(ents, Shipped{Seq: t.next, Payload: payload})
+		bytes += int64(n)
+		t.off += int64(n)
+		t.next++
+	}
+	return ents, false, nil
+}
+
+// open positions the tailer at seq: locate the covering segment, verify its
+// header, and skip frames below seq.
+func (t *Tailer) open(seq uint64) (snapshotNeeded bool, err error) {
+	path, first, ok, err := t.j.segmentFor(seq)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return true, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return true, nil // compacted between glob and open
+		}
+		return false, err
+	}
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return false, fmt.Errorf("journal: tail %s: short header: %w", path, err)
+	}
+	hseq, hok := parseHeader(hdr, segMagic)
+	if !hok || hseq != first {
+		f.Close()
+		return false, fmt.Errorf("journal: tail %s: bad header", path)
+	}
+	off := int64(headerLen)
+	for cur := first; cur < seq; cur++ {
+		_, n, ok, err := readFrameAt(f, off)
+		if err != nil || !ok {
+			f.Close()
+			if err == nil {
+				err = fmt.Errorf("journal: entry %d missing while seeking %d in %s", cur, seq, path)
+			}
+			return false, err
+		}
+		off += int64(n)
+	}
+	t.f, t.segFirst, t.off = f, first, off
+	return false, nil
+}
+
+// readFrameAt reads one complete frame at off. ok=false with a nil error
+// means the frame is not (fully) there — a clean end for the reader. A CRC
+// mismatch on a complete frame is real corruption and returns an error,
+// because tailers only read below the durable boundary where torn writes
+// cannot exist.
+func readFrameAt(f *os.File, off int64) (payload []byte, n int, ok bool, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, rerr := f.ReadAt(hdr[:], off); rerr != nil {
+		return nil, 0, false, nil // short/EOF: nothing complete here
+	}
+	ln := binary.LittleEndian.Uint32(hdr[0:4])
+	if ln > maxFrameLen {
+		return nil, 0, false, fmt.Errorf("%w: frame length %d", ErrCorrupt, ln)
+	}
+	payload = make([]byte, ln)
+	if _, rerr := f.ReadAt(payload, off+frameHeaderLen); rerr != nil {
+		return nil, 0, false, nil
+	}
+	full := append(hdr[:], payload...)
+	got, n2, fok := nextFrame(full)
+	if !fok {
+		return nil, 0, false, fmt.Errorf("%w: bad frame CRC below durable boundary", ErrCorrupt)
+	}
+	return got, n2, true, nil
+}
+
+// AppendShipped persists replicated entries on a standby, preserving the
+// primary's sequence numbering: entries at or below the standby's durable
+// sequence are skipped (resume overlap), the rest must be contiguous from
+// it. The batch is written with one write and one fsync, exactly like a
+// group commit. Standby-side API only — a journal must not mix AppendShipped
+// with local Log* appends, or the sequence spaces would interleave.
+func (j *Journal) AppendShipped(ents []Shipped) error {
+	for _, e := range ents {
+		if _, err := decodeEntry(e.Payload); err != nil {
+			return fmt.Errorf("journal: shipped entry %d: %w", e.Seq, err)
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil || j.closed {
+		return ErrClosed
+	}
+	var buf []byte
+	count := uint64(0)
+	for _, e := range ents {
+		if e.Seq < j.nextSeq+count {
+			continue // already durable here
+		}
+		if e.Seq != j.nextSeq+count {
+			return fmt.Errorf("journal: shipped sequence gap: have %d, got %d", j.nextSeq+count-1, e.Seq)
+		}
+		buf = appendFrame(buf, e.Payload)
+		count++
+	}
+	if count == 0 {
+		return nil
+	}
+	if j.segSize >= j.opts.SegmentBytes && j.segSize > headerLen {
+		if err := j.openSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.segSize += int64(len(buf))
+	j.nextSeq += count
+	j.signalCommitLocked()
+	j.counters.Add(CtrRecords, int64(count))
+	j.counters.Add(CtrBytes, int64(len(buf)))
+	j.counters.Add(CtrFsyncs, 1)
+	j.counters.Add(CtrBatches, 1)
+	j.counters.Max(CtrMaxBatch, int64(count))
+	return nil
+}
+
+// InstallSnapshot adopts a full shipped cut at seq on a standby whose own
+// log has fallen behind the primary's compaction horizon: the snapshot file
+// is written (atomic rename is the commit point), the sequence space jumps
+// to seq+1 with a fresh active segment, and superseded segments/snapshots
+// are compacted away. A no-op when the standby already has everything the
+// cut covers. Crash-safe at every step: until the rename the old state
+// recovers; after it, recovery adopts the snapshot and ignores older
+// segments' entries.
+func (j *Journal) InstallSnapshot(seq uint64, images map[string]sharedisk.Image) error {
+	j.snapMu.Lock()
+	defer j.snapMu.Unlock()
+
+	j.mu.Lock()
+	if j.f == nil || j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	if seq < j.nextSeq {
+		j.mu.Unlock()
+		return nil
+	}
+	j.mu.Unlock()
+
+	if err := writeSnapshot(j.dir, seq, images); err != nil {
+		return err
+	}
+	j.counters.Add(CtrSnapshots, 1)
+
+	j.mu.Lock()
+	j.nextSeq = seq + 1
+	if err := j.openSegmentLocked(); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	activeName := j.f.Name()
+	j.signalCommitLocked()
+	j.mu.Unlock()
+	return j.compact(seq, activeName)
+}

@@ -11,6 +11,7 @@ import (
 //
 //	/metrics       Prometheus text format (counters, gauges, histograms)
 //	/healthz       "ok" (liveness)
+//	/status        registered status sources as JSON (role, replication)
 //	/tuner-log     recent tuner decision events as JSON
 //	/trace         recent request spans as JSON (?trace=ID filters)
 //	/debug/pprof/  the standard Go profiler endpoints
@@ -26,6 +27,9 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, r.Status())
 	})
 	mux.HandleFunc("/tuner-log", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, r.Tuner.Snapshot(0))

@@ -44,6 +44,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters []func() map[string]int64
 	gauges   []func() []Gauge
+	status   map[string]func() any
 }
 
 // Default ring capacities: enough history to inspect recent behaviour
@@ -81,6 +82,33 @@ func (r *Registry) AddGauges(fn func() []Gauge) {
 	r.mu.Lock()
 	r.gauges = append(r.gauges, fn)
 	r.mu.Unlock()
+}
+
+// AddStatus registers a named status source for the /status endpoint: a
+// point-in-time, JSON-marshalable description of one subsystem (role,
+// replication state, ...). Registering a name again replaces the source.
+func (r *Registry) AddStatus(name string, fn func() any) {
+	r.mu.Lock()
+	if r.status == nil {
+		r.status = map[string]func() any{}
+	}
+	r.status[name] = fn
+	r.mu.Unlock()
+}
+
+// Status snapshots every status source into one map.
+func (r *Registry) Status() map[string]any {
+	r.mu.Lock()
+	srcs := make(map[string]func() any, len(r.status))
+	for k, fn := range r.status {
+		srcs[k] = fn
+	}
+	r.mu.Unlock()
+	out := make(map[string]any, len(srcs))
+	for k, fn := range srcs {
+		out[k] = fn()
+	}
+	return out
 }
 
 // Counters merges every counter source into one map (later sources win on

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -186,5 +187,37 @@ func TestRegistryCountersMerge(t *testing.T) {
 	got := reg.Counters()
 	if len(got) != 3 || got["src_2"] != 2 {
 		t.Fatalf("merged counters = %v", got)
+	}
+}
+
+func TestStatusSourcesAndEndpoint(t *testing.T) {
+	reg := New()
+	reg.AddStatus("daemon", func() any { return map[string]string{"role": "primary"} })
+	reg.AddStatus("replication", func() any { return map[string]any{"mode": "shipping", "lag_entries": 3} })
+	// Re-registering a name replaces the source.
+	reg.AddStatus("daemon", func() any { return map[string]string{"role": "promoted-primary"} })
+
+	st := reg.Status()
+	if d, ok := st["daemon"].(map[string]string); !ok || d["role"] != "promoted-primary" {
+		t.Fatalf("daemon status = %+v", st["daemon"])
+	}
+	if _, ok := st["replication"]; !ok {
+		t.Fatalf("replication status missing: %+v", st)
+	}
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := got["replication"].(map[string]any)
+	if !ok || rep["mode"] != "shipping" {
+		t.Fatalf("/status replication = %+v", got["replication"])
 	}
 }

@@ -1,0 +1,362 @@
+package replica
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"anufs/internal/journal"
+	"anufs/internal/sharedisk"
+	"anufs/internal/wire"
+)
+
+// openJournal opens (or recovers) a journal directory for tests.
+func openJournal(t testing.TB, dir string, opts journal.Options) (*journal.Journal, *sharedisk.Store) {
+	t.Helper()
+	jnl, store, _, err := journal.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open journal %s: %v", dir, err)
+	}
+	return jnl, store
+}
+
+// appendFlushes journals n flush entries, each a distinct one-record image
+// for file set fs (version = prior+i), and returns the store-side images
+// func for snapshot capture.
+func appendFlushes(t testing.TB, jnl *journal.Journal, fs string, from, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		v := uint64(from + i)
+		im := sharedisk.Image{
+			Version: v,
+			Records: map[string]sharedisk.Record{
+				fmt.Sprintf("/f%04d", v): {Size: int64(v), Owner: "w"},
+			},
+		}
+		if err := jnl.LogFlush(fs, im); err != nil {
+			t.Fatalf("LogFlush %d: %v", v, err)
+		}
+	}
+}
+
+// startStandby builds a receiver over its own journal dir and listens.
+func startStandby(t testing.TB, dir string, opts ReceiverOptions) (*Receiver, string) {
+	t.Helper()
+	jnl, store := openJournal(t, dir, journal.Options{})
+	opts.Journal = jnl
+	opts.Images = store.Images()
+	recv, err := NewReceiver(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := recv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		recv.Stop()
+		jnl.Close()
+	})
+	return recv, addr
+}
+
+// waitAcked polls until the shipper's ack reaches seq.
+func waitAcked(t testing.TB, s *Shipper, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Acked() < seq {
+		if time.Now().After(deadline) {
+			t.Fatalf("shipper stuck at ack %d, want %d", s.Acked(), seq)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// requireStandbyEquals checks the standby's warm state AND its recovered
+// journal both match the primary's durable state.
+func requireStandbyEquals(t *testing.T, primaryDir string, recv *Receiver) {
+	t.Helper()
+	pStore, pInfo, err := journal.Recover(primaryDir)
+	if err != nil {
+		t.Fatalf("recover primary: %v", err)
+	}
+	warm, applied := recv.State()
+	if applied != pInfo.LastSeq {
+		t.Fatalf("standby applied %d, primary durable %d", applied, pInfo.LastSeq)
+	}
+	if !reflect.DeepEqual(warm, pStore.Images()) {
+		t.Fatalf("standby warm state diverged:\n standby %+v\n primary %+v", warm, pStore.Images())
+	}
+}
+
+func TestCatchUpThenLiveStreaming(t *testing.T) {
+	pDir, sDir := t.TempDir(), t.TempDir()
+	jnl, store := openJournal(t, pDir, journal.Options{})
+	defer jnl.Close()
+	if err := jnl.LogCreateFileSet("fs00"); err != nil {
+		t.Fatal(err)
+	}
+	// Backlog written before the standby exists: the shipper must catch up.
+	appendFlushes(t, jnl, "fs00", 1, 20)
+
+	recv, addr := startStandby(t, sDir, ReceiverOptions{})
+	ship, err := NewShipper(ShipperOptions{Addr: addr, Journal: jnl, Images: store.Images})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship.Start()
+	defer ship.Stop()
+	waitAcked(t, ship, jnl.DurableSeq())
+
+	// Live tail: entries appended while the stream is up.
+	appendFlushes(t, jnl, "fs00", 21, 20)
+	waitAcked(t, ship, jnl.DurableSeq())
+	requireStandbyEquals(t, pDir, recv)
+
+	if got := ship.Counters().Get("replica_shipped_entries"); got < 41 {
+		t.Fatalf("shipped %d entries, want >= 41", got)
+	}
+}
+
+func TestResumeAfterShipperRestartAndStandbyRestart(t *testing.T) {
+	pDir, sDir := t.TempDir(), t.TempDir()
+	jnl, store := openJournal(t, pDir, journal.Options{})
+	defer jnl.Close()
+	if err := jnl.LogCreateFileSet("fs00"); err != nil {
+		t.Fatal(err)
+	}
+	appendFlushes(t, jnl, "fs00", 1, 10)
+
+	sJnl, sStore := openJournal(t, sDir, journal.Options{})
+	recv, err := NewReceiver(ReceiverOptions{Journal: sJnl, Images: sStore.Images()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := recv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship, err := NewShipper(ShipperOptions{Addr: addr, Journal: jnl, Images: store.Images})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship.Start()
+	waitAcked(t, ship, jnl.DurableSeq())
+
+	// Primary-side stream break: stop the shipper, write more, restart.
+	ship.Stop()
+	appendFlushes(t, jnl, "fs00", 11, 10)
+	ship2, err := NewShipper(ShipperOptions{Addr: addr, Journal: jnl, Images: store.Images})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship2.Start()
+	waitAcked(t, ship2, jnl.DurableSeq())
+	ship2.Stop()
+
+	// Standby restart: tear the whole receiver down, recover its journal
+	// from disk — the durable sequence IS the resume point.
+	recv.Stop()
+	if err := sJnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	appendFlushes(t, jnl, "fs00", 21, 10)
+	recv2, addr2 := startStandby(t, sDir, ReceiverOptions{})
+	ship3, err := NewShipper(ShipperOptions{Addr: addr2, Journal: jnl, Images: store.Images})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship3.Start()
+	defer ship3.Stop()
+	waitAcked(t, ship3, jnl.DurableSeq())
+	requireStandbyEquals(t, pDir, recv2)
+}
+
+func TestSnapshotFallbackWhenStandbyBehindCompaction(t *testing.T) {
+	pDir, sDir := t.TempDir(), t.TempDir()
+	jnl, store := openJournal(t, pDir, journal.Options{})
+	defer jnl.Close()
+	if err := jnl.LogCreateFileSet("fs00"); err != nil {
+		t.Fatal(err)
+	}
+	appendFlushes(t, jnl, "fs00", 1, 10)
+	// Compact everything into a snapshot: a standby starting from zero can
+	// no longer be served from segments.
+	if err := jnl.Snapshot(store.Images); err != nil {
+		t.Fatal(err)
+	}
+
+	recv, addr := startStandby(t, sDir, ReceiverOptions{})
+	ship, err := NewShipper(ShipperOptions{Addr: addr, Journal: jnl, Images: store.Images})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship.Start()
+	defer ship.Stop()
+	waitAcked(t, ship, jnl.DurableSeq())
+	if got := ship.Counters().Get("replica_snapshots_shipped"); got == 0 {
+		t.Fatal("standby caught up without a snapshot ship")
+	}
+
+	// Streaming continues past the snapshot.
+	appendFlushes(t, jnl, "fs00", 11, 5)
+	waitAcked(t, ship, jnl.DurableSeq())
+	requireStandbyEquals(t, pDir, recv)
+}
+
+func TestSyncGateWaitsForStandbyAck(t *testing.T) {
+	pDir, sDir := t.TempDir(), t.TempDir()
+	jnl, store := openJournal(t, pDir, journal.Options{})
+	defer jnl.Close()
+
+	_, addr := startStandby(t, sDir, ReceiverOptions{})
+	ship, err := NewShipper(ShipperOptions{Addr: addr, Journal: jnl, Images: store.Images, SyncTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship.Start()
+	defer ship.Stop()
+	jnl.SetAckGate(ship.WaitAcked)
+
+	if err := jnl.LogCreateFileSet("fs00"); err != nil {
+		t.Fatal(err)
+	}
+	appendFlushes(t, jnl, "fs00", 1, 5)
+	// Semi-sync: every acked append is already standby-durable.
+	if got, want := ship.Acked(), jnl.DurableSeq(); got < want {
+		t.Fatalf("append acked before standby ack: acked %d, durable %d", got, want)
+	}
+	if ship.Counters().Get("replica_sync_degraded") != 0 {
+		t.Fatal("sync write degraded with a healthy standby")
+	}
+}
+
+func TestSyncGateDegradesWhenStandbyUnreachable(t *testing.T) {
+	pDir := t.TempDir()
+	jnl, store := openJournal(t, pDir, journal.Options{})
+	defer jnl.Close()
+
+	// No listener at this address: replication can never ack.
+	ship, err := NewShipper(ShipperOptions{
+		Addr: "127.0.0.1:1", Journal: jnl, Images: store.Images,
+		SyncTimeout: 20 * time.Millisecond, Backoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship.Start()
+	defer ship.Stop()
+	jnl.SetAckGate(ship.WaitAcked)
+
+	done := make(chan error, 1)
+	go func() { done <- jnl.LogCreateFileSet("fs00") }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("degraded append failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("append blocked forever on an unreachable standby")
+	}
+	if ship.Counters().Get("replica_sync_degraded") == 0 {
+		t.Fatal("degrade not counted")
+	}
+}
+
+func TestPromotionOnPrimarySilence(t *testing.T) {
+	pDir, sDir := t.TempDir(), t.TempDir()
+	jnl, store := openJournal(t, pDir, journal.Options{})
+	defer jnl.Close()
+	if err := jnl.LogCreateFileSet("fs00"); err != nil {
+		t.Fatal(err)
+	}
+	appendFlushes(t, jnl, "fs00", 1, 8)
+
+	recv, addr := startStandby(t, sDir, ReceiverOptions{
+		Lease:        200 * time.Millisecond,
+		StartupGrace: 10 * time.Second, // primary will appear; grace irrelevant
+	})
+	ship, err := NewShipper(ShipperOptions{Addr: addr, Journal: jnl, Images: store.Images, Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship.Start()
+	waitAcked(t, ship, jnl.DurableSeq())
+
+	// The primary is idle but alive: heartbeats must hold promotion off.
+	select {
+	case <-recv.Promoted():
+		t.Fatal("standby promoted under an idle-but-heartbeating primary")
+	case <-time.After(600 * time.Millisecond):
+	}
+
+	// Primary dies.
+	ship.Stop()
+	select {
+	case <-recv.Promoted():
+	case <-time.After(10 * time.Second):
+		t.Fatal("standby never promoted after primary went silent")
+	}
+
+	// The promoted standby's state is the primary's durable state.
+	requireStandbyEquals(t, pDir, recv)
+
+	// Straggler ships from a resurrected primary are refused.
+	c, err := wire.Dial(addr)
+	if err == nil {
+		defer c.Close()
+		if _, err := c.ShipStatus(); err == nil {
+			t.Fatal("promoted standby accepted ship-status")
+		}
+	}
+}
+
+func TestStandbyPromotesWhenPrimaryNeverAppears(t *testing.T) {
+	_, sDir := t.TempDir(), t.TempDir()
+	recv, _ := startStandby(t, sDir, ReceiverOptions{
+		Lease:        100 * time.Millisecond,
+		StartupGrace: 300 * time.Millisecond,
+	})
+	select {
+	case <-recv.Promoted():
+		// Promotion must come AFTER the startup grace, not instantly.
+	case <-time.After(10 * time.Second):
+		t.Fatal("lone standby never promoted")
+	}
+}
+
+func TestStandbyRefusesClientOps(t *testing.T) {
+	_, sDir := t.TempDir(), t.TempDir()
+	_, addr := startStandby(t, sDir, ReceiverOptions{})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Owner("fs00"); err == nil {
+		t.Fatal("standby served a client op before promotion")
+	}
+}
+
+func BenchmarkShipThroughput(b *testing.B) {
+	pDir, sDir := b.TempDir(), b.TempDir()
+	jnl, store := openJournal(b, pDir, journal.Options{})
+	defer jnl.Close()
+	if err := jnl.LogCreateFileSet("fs00"); err != nil {
+		b.Fatal(err)
+	}
+	_, addr := startStandby(b, sDir, ReceiverOptions{SnapshotEvery: -1})
+	ship, err := NewShipper(ShipperOptions{Addr: addr, Journal: jnl, Images: store.Images})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ship.Start()
+	defer ship.Stop()
+
+	b.ResetTimer()
+	appendFlushes(b, jnl, "fs00", 1, b.N)
+	waitAcked(b, ship, jnl.DurableSeq())
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "entries/s")
+}

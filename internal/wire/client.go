@@ -144,6 +144,35 @@ func (c *Client) WireStats() (map[string]int64, []ConnStat, error) {
 	return resp.Wire, resp.Conns, err
 }
 
+// ClosedConnStats fetches the retained aggregate of connections that have
+// disconnected (their live entries are reaped on close): the folded
+// counters and how many connections they cover.
+func (c *Client) ClosedConnStats() (*ConnStat, int64, error) {
+	resp, err := c.call(Request{Op: OpStats})
+	return resp.Closed, resp.ClosedConns, err
+}
+
+// Ship delivers replicated journal entries to a standby (nil/empty entries
+// is a liveness heartbeat) and returns the standby's durable ack sequence.
+func (c *Client) Ship(entries []ShipEntry) (uint64, error) {
+	resp, err := c.call(Request{Op: OpShip, Entries: entries})
+	return resp.AckSeq, err
+}
+
+// ShipSnapshot delivers a full encoded store cut covering sequences 1..seq
+// to a standby that has fallen behind the primary's compaction horizon.
+func (c *Client) ShipSnapshot(seq uint64, snap []byte) (uint64, error) {
+	resp, err := c.call(Request{Op: OpShip, SnapSeq: seq, Snap: snap})
+	return resp.AckSeq, err
+}
+
+// ShipStatus asks a standby how far it has durably applied — the
+// sequence-based resume point for log shipping.
+func (c *Client) ShipStatus() (uint64, error) {
+	resp, err := c.call(Request{Op: OpShipStatus})
+	return resp.AckSeq, err
+}
+
 // CreateFileSet initializes a new file set cluster-wide.
 func (c *Client) CreateFileSet(fileSet string) error {
 	_, err := c.call(Request{Op: OpCreateFileSet, FileSet: fileSet})

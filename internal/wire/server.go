@@ -62,6 +62,11 @@ type Server struct {
 	conns    map[net.Conn]*connState
 	closed   bool
 	handlers sync.WaitGroup
+	// closedAgg folds the accounting of disconnected connections (whose
+	// conns entries are reaped on close) into one retained aggregate, so
+	// per-connection totals survive connection churn with O(1) state.
+	closedAgg   ConnStat
+	closedConns int64
 	// journalStats, when set, supplies journal counters for OpStats.
 	journalStats func() map[string]int64
 }
@@ -82,9 +87,12 @@ func NewServer(c *live.Cluster) *Server {
 	s.obs.AddCounters(s.counters.Snapshot)
 	s.obs.AddGauges(func() []obs.Gauge {
 		s.mu.Lock()
-		n := len(s.conns)
+		n, nc := len(s.conns), s.closedConns
 		s.mu.Unlock()
-		return []obs.Gauge{{Name: "wire_open_connections", Value: float64(n)}}
+		return []obs.Gauge{
+			{Name: "wire_open_connections", Value: float64(n)},
+			{Name: "wire_closed_connections", Value: float64(nc)},
+		}
 	})
 	return s
 }
@@ -169,8 +177,17 @@ func (s *Server) serveConn(conn net.Conn, cs *connState) {
 	defer s.handlers.Done()
 	defer func() {
 		conn.Close()
+		// Reap the per-connection entry but keep its totals: fold them into
+		// the closed-connection aggregate under the same lock, so stats
+		// never double-count a connection mid-teardown and the map stays
+		// bounded by the number of LIVE connections.
 		s.mu.Lock()
 		delete(s.conns, conn)
+		s.closedConns++
+		s.closedAgg.Requests += cs.requests.Load()
+		s.closedAgg.Errors += cs.errors.Load()
+		s.closedAgg.Slow += cs.slow.Load()
+		s.closedAgg.BadFrames += cs.badFrames.Load()
 		s.mu.Unlock()
 	}()
 	var writeMu sync.Mutex
@@ -342,6 +359,12 @@ func (s *Server) handle(trace uint64, req Request) Response {
 		}
 		resp.Wire = s.counters.Snapshot()
 		resp.Conns = s.connStats()
+		s.mu.Lock()
+		if s.closedConns > 0 {
+			agg := s.closedAgg
+			resp.Closed, resp.ClosedConns = &agg, s.closedConns
+		}
+		s.mu.Unlock()
 	case OpSync:
 		if err := v.CheckpointAll(); err != nil {
 			return fail(err)
@@ -404,6 +427,11 @@ func (s *Server) handle(trace uint64, req Request) Response {
 			return fail(err)
 		}
 		resp.Mapping = data
+	case OpShip, OpShipStatus:
+		// Replication ops land on standby daemons (internal/replica); a
+		// serving cluster refuses them so a misconfigured -replicate-to
+		// pointing at a live primary fails loudly instead of wedging.
+		return fail(errors.New("wire: not a standby (replication ops need a -standby daemon)"))
 	default:
 		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
 	}

@@ -56,7 +56,22 @@ const (
 	// OpTunerLog dumps the most recent Count structured tuner decision
 	// events (all retained when Count is 0).
 	OpTunerLog Op = "tuner-log"
+	// Replication operations, served by standby daemons (internal/replica):
+	// OpShip delivers a batch of journal entries (or a full snapshot cut)
+	// from the primary; an empty ship is a liveness heartbeat renewing the
+	// primary's lease. OpShipStatus asks the standby how far it has durably
+	// applied — the sequence-based resume point after a reconnect. Both
+	// reply with AckSeq; a non-standby server rejects them.
+	OpShip       Op = "ship"
+	OpShipStatus Op = "ship-status"
 )
+
+// ShipEntry is one replicated journal entry: the primary's sequence and the
+// raw entry payload (Payload is base64 in JSON).
+type ShipEntry struct {
+	Seq     uint64 `json:"seq"`
+	Payload []byte `json:"payload"`
+}
 
 // Request is one client frame.
 type Request struct {
@@ -79,6 +94,12 @@ type Request struct {
 	// Count bounds how many entries OpTrace/OpTunerLog return (0 = all
 	// retained).
 	Count int `json:"count,omitempty"`
+	// Entries carries replicated journal entries for OpShip (empty = pure
+	// heartbeat). Snap/SnapSeq instead carry a full encoded store cut when
+	// the standby has fallen behind the primary's compaction horizon.
+	Entries []ShipEntry `json:"entries,omitempty"`
+	Snap    []byte      `json:"snap,omitempty"`
+	SnapSeq uint64      `json:"snap_seq,omitempty"`
 }
 
 // ConnStat is the per-connection request/error accounting included in
@@ -127,7 +148,14 @@ type Response struct {
 	Tuner []obs.TunerEvent `json:"tuner,omitempty"`
 	// Wire and Conns carry the wire server's own counters (requests,
 	// errors, slow requests, bad frames) and per-connection breakdown in
-	// OpStats replies.
-	Wire  map[string]int64 `json:"wire,omitempty"`
-	Conns []ConnStat       `json:"conns,omitempty"`
+	// OpStats replies. Closed aggregates the accounting of connections that
+	// have since disconnected (their per-connection entries are reaped), so
+	// totals survive millions of short-lived connections without growing a
+	// map; ClosedConns counts how many connections it folds together.
+	Wire        map[string]int64 `json:"wire,omitempty"`
+	Conns       []ConnStat       `json:"conns,omitempty"`
+	Closed      *ConnStat        `json:"closed,omitempty"`
+	ClosedConns int64            `json:"closed_conns,omitempty"`
+	// AckSeq answers OpShip/OpShipStatus: the standby's durable sequence.
+	AckSeq uint64 `json:"ack_seq,omitempty"`
 }
