@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"anufs/internal/placement"
+)
+
+// renderMap prints a cluster map as the `anufsctl map` table: the epoch,
+// then one row per daemon with its assigned file sets. Kept separate from
+// main so the output format is pinned by a golden test.
+func renderMap(w io.Writer, cm *placement.ClusterMap) error {
+	fmt.Fprintf(w, "epoch %d\n", cm.Epoch)
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DAEMON\tADDR\tSPEED\tFILESETS")
+	for _, d := range cm.Daemons {
+		fs := cm.FileSetsOf(d.ID)
+		owned := "-"
+		if len(fs) > 0 {
+			owned = strings.Join(fs, ",")
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%g\t%s\n", d.ID, d.Addr, d.Speed, owned)
+	}
+	return tw.Flush()
+}

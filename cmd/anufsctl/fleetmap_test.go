@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"anufs/internal/placement"
+)
+
+// TestRenderMapGolden pins the `anufsctl map` output format: scripts parse
+// this table, so changing it is a breaking change that must show up here.
+func TestRenderMapGolden(t *testing.T) {
+	cm := &placement.ClusterMap{
+		Epoch: 7,
+		Daemons: []placement.DaemonInfo{
+			{ID: 0, Addr: "10.0.0.1:7460", Speed: 1},
+			{ID: 1, Addr: "10.0.0.2:7460", Speed: 2.5},
+			{ID: 2, Addr: "10.0.0.3:7460", Speed: 4},
+		},
+		Assign: map[string]int{
+			"vol00": 1,
+			"vol01": 2,
+			"vol02": 1,
+			"vol03": 0,
+		},
+	}
+	var sb strings.Builder
+	if err := renderMap(&sb, cm); err != nil {
+		t.Fatal(err)
+	}
+	golden := "epoch 7\n" +
+		"DAEMON  ADDR           SPEED  FILESETS\n" +
+		"0       10.0.0.1:7460  1      vol03\n" +
+		"1       10.0.0.2:7460  2.5    vol00,vol02\n" +
+		"2       10.0.0.3:7460  4      vol01\n"
+	if got := sb.String(); got != golden {
+		t.Fatalf("renderMap output drifted.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestRenderMapEmptyDaemon shows daemons with no file sets as "-".
+func TestRenderMapEmptyDaemon(t *testing.T) {
+	cm := &placement.ClusterMap{
+		Epoch:   1,
+		Daemons: []placement.DaemonInfo{{ID: 0, Addr: "a:1", Speed: 1}},
+		Assign:  map[string]int{},
+	}
+	var sb strings.Builder
+	if err := renderMap(&sb, cm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "-") {
+		t.Fatalf("empty daemon not rendered as '-':\n%s", sb.String())
+	}
+}

@@ -23,14 +23,28 @@ import (
 	"strconv"
 	"text/tabwriter"
 
+	"anufs/internal/fleet"
 	"anufs/internal/metrics"
+	"anufs/internal/placement"
 	"anufs/internal/sharedisk"
 	"anufs/internal/wire"
 )
 
+// dataAPI is the surface shared by a direct wire.Client and a
+// fleet.Router: with -fleet, data commands route by the cluster map.
+type dataAPI interface {
+	CreateFileSet(fileSet string) error
+	Create(fileSet, path string, rec sharedisk.Record) error
+	Stat(fileSet, path string) (sharedisk.Record, error)
+	Remove(fileSet, path string) error
+	List(fileSet, prefix string) ([]string, error)
+	Sync() error
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7460", "anufsd address")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of tables (stats, trace, tunerlog)")
+	fleetMode := flag.Bool("fleet", false, "route data commands through the fleet cluster map (-addr is any fleet daemon; the authority for assign/rebalance)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -41,12 +55,21 @@ func main() {
 		fatal(err)
 	}
 	defer c.Close()
+	var data dataAPI = c
+	if *fleetMode {
+		r, err := fleet.NewRouter(fleet.RouterConfig{AuthorityAddr: *addr})
+		if err != nil {
+			fatal(err)
+		}
+		defer r.Close()
+		data = r
+	}
 
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "mkfs":
 		need(rest, 1)
-		check(c.CreateFileSet(rest[0]))
+		check(data.CreateFileSet(rest[0]))
 		fmt.Println("ok")
 	case "create":
 		need(rest, 2)
@@ -57,16 +80,16 @@ func main() {
 				fatal(err)
 			}
 		}
-		check(c.Create(rest[0], rest[1], sharedisk.Record{Size: size, Owner: "anufsctl"}))
+		check(data.Create(rest[0], rest[1], sharedisk.Record{Size: size, Owner: "anufsctl"}))
 		fmt.Println("ok")
 	case "stat":
 		need(rest, 2)
-		rec, err := c.Stat(rest[0], rest[1])
+		rec, err := data.Stat(rest[0], rest[1])
 		check(err)
 		fmt.Printf("size=%d mode=%o owner=%s modtime=%s\n", rec.Size, rec.Mode, rec.Owner, rec.ModTime)
 	case "rm":
 		need(rest, 2)
-		check(c.Remove(rest[0], rest[1]))
+		check(data.Remove(rest[0], rest[1]))
 		fmt.Println("ok")
 	case "ls":
 		need(rest, 1)
@@ -74,11 +97,39 @@ func main() {
 		if len(rest) >= 2 {
 			prefix = rest[1]
 		}
-		paths, err := c.List(rest[0], prefix)
+		paths, err := data.List(rest[0], prefix)
 		check(err)
 		for _, p := range paths {
 			fmt.Println(p)
 		}
+	case "map":
+		encoded, err := c.ClusterMap()
+		check(err)
+		cm, err := placement.DecodeClusterMap(encoded)
+		check(err)
+		if *jsonOut {
+			emitJSON(cm)
+			return
+		}
+		check(renderMap(os.Stdout, cm))
+	case "map-epoch":
+		epoch, err := c.MapEpoch()
+		check(err)
+		fmt.Printf("epoch %d\n", epoch)
+	case "assign":
+		need(rest, 2)
+		daemon := -1
+		if rest[1] != "auto" {
+			daemon, err = strconv.Atoi(rest[1])
+			check(err)
+		}
+		epoch, err := c.Assign(rest[0], daemon)
+		check(err)
+		fmt.Printf("ok (epoch %d)\n", epoch)
+	case "rebalance":
+		epoch, err := c.Rebalance()
+		check(err)
+		fmt.Printf("ok (epoch %d)\n", epoch)
 	case "owner":
 		need(rest, 1)
 		owner, err := c.Owner(rest[0])
@@ -165,7 +216,7 @@ func main() {
 			check(tw.Flush())
 		}
 	case "sync":
-		check(c.Sync())
+		check(data.Sync())
 		fmt.Println("ok")
 	case "trace":
 		// "trace" dumps recent spans; "trace <id>" one trace's timeline;
@@ -271,6 +322,11 @@ commands:
   stats            (add -json for machine-readable output)
   sync
   trace [id|last] [n]   dump request trace spans (one trace, or the n most recent)
-  tunerlog [n]          dump structured tuner decision events`)
+  tunerlog [n]          dump structured tuner decision events
+fleet (daemons started with -fleet; add -fleet here to route data commands by the map):
+  map                   show the cluster map (epoch, daemons, assignments)
+  map-epoch             show just the map epoch
+  assign <fileset> <daemon|auto>   place or live-move a file set (-addr must be the authority)
+  rebalance             recompute ANU placement and hand off every mis-placed file set`)
 	os.Exit(2)
 }

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"anufs/internal/fleet"
+	"anufs/internal/placement"
+	"anufs/internal/wire"
+)
+
+// fleetState is what -fleet mode resolves to before the cluster starts:
+// the authority (when hosted here), the initial cluster map, and the
+// authority address joiners keep polling.
+type fleetState struct {
+	id            int
+	auth          *fleet.Authority
+	authorityAddr string
+	initial       *placement.ClusterMap
+}
+
+// assigned lists the file sets the initial map gives this daemon.
+func (f *fleetState) assigned() []string { return f.initial.FileSetsOf(f.id) }
+
+// setupFleet resolves the fleet flags. Exactly one of roster (host the
+// authority) or join (fetch from an authority) must be set when id >= 0.
+// nFileSets seeds the authority's initial map with vol00..vol(n-1).
+func setupFleet(id int, roster, join string, nFileSets int) (*fleetState, error) {
+	if id < 0 {
+		if roster != "" || join != "" {
+			return nil, fmt.Errorf("-fleet-authority/-fleet-join need -fleet <id>")
+		}
+		return nil, nil
+	}
+	if (roster == "") == (join == "") {
+		return nil, fmt.Errorf("fleet mode needs exactly one of -fleet-authority or -fleet-join")
+	}
+	if roster != "" {
+		daemons, err := parseRoster(roster)
+		if err != nil {
+			return nil, err
+		}
+		found := false
+		for _, d := range daemons {
+			if d.ID == id {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("-fleet-authority roster does not include this daemon (id %d)", id)
+		}
+		names := make([]string, 0, nFileSets)
+		for i := 0; i < nFileSets; i++ {
+			names = append(names, fmt.Sprintf("vol%02d", i))
+		}
+		auth, err := fleet.NewAuthority(fleet.AuthorityConfig{Daemons: daemons, FileSets: names})
+		if err != nil {
+			return nil, err
+		}
+		return &fleetState{id: id, auth: auth, initial: auth.Map()}, nil
+	}
+	cm, err := fetchInitialMap(join, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &fleetState{id: id, authorityAddr: join, initial: cm}, nil
+}
+
+// parseRoster parses "id=addr@speed,id=addr@speed,..." — the static fleet
+// membership the authority daemon is started with.
+func parseRoster(s string) ([]placement.DaemonInfo, error) {
+	var out []placement.DaemonInfo
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		at := strings.LastIndexByte(part, '@')
+		if eq < 0 || at < eq {
+			return nil, fmt.Errorf("bad roster entry %q (want id=addr@speed)", part)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(part[:eq]))
+		if err != nil {
+			return nil, fmt.Errorf("bad roster id in %q", part)
+		}
+		speed, err := strconv.ParseFloat(strings.TrimSpace(part[at+1:]), 64)
+		if err != nil || speed <= 0 {
+			return nil, fmt.Errorf("bad roster speed in %q", part)
+		}
+		addr := strings.TrimSpace(part[eq+1 : at])
+		if addr == "" {
+			return nil, fmt.Errorf("bad roster addr in %q", part)
+		}
+		out = append(out, placement.DaemonInfo{ID: id, Addr: addr, Speed: speed})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty fleet roster")
+	}
+	return out, nil
+}
+
+// fetchInitialMap polls the authority for the cluster map until it answers
+// (joining daemons usually start while the authority is still coming up).
+func fetchInitialMap(addr string, patience time.Duration) (*placement.ClusterMap, error) {
+	deadline := time.Now().Add(patience)
+	backoff := wire.NewBackoff(50*time.Millisecond, time.Second)
+	var lastErr error
+	for {
+		cm, err := fetchMapOnce(addr)
+		if err == nil {
+			return cm, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("fleet join: no map from %s after %s: %w", addr, patience, lastErr)
+		}
+		time.Sleep(backoff.Next())
+	}
+}
+
+func fetchMapOnce(addr string) (*placement.ClusterMap, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	c.SetTimeout(5 * time.Second)
+	encoded, err := c.ClusterMap()
+	if err != nil {
+		return nil, err
+	}
+	return placement.DecodeClusterMap(encoded)
+}

@@ -46,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"anufs/internal/fleet"
 	"anufs/internal/journal"
 	"anufs/internal/live"
 	"anufs/internal/obs"
@@ -73,6 +74,10 @@ func main() {
 		syncTimeout = flag.Duration("sync-timeout", replica.DefaultSyncTimeout, "how long a sync write waits for the standby before degrading to async")
 		standby     = flag.Bool("standby", false, "run as a warm standby: receive log shipping on -listen, promote on primary silence (requires -journal-dir)")
 		peerLease   = flag.Duration("peer-lease", replica.DefaultLease, "standby: how long the primary may go silent before promotion")
+
+		fleetID        = flag.Int("fleet", -1, "this daemon's fleet ID; -1 runs standalone (no sharding)")
+		fleetAuthority = flag.String("fleet-authority", "", `host the cluster-map authority with this roster: "id=addr@speed,..." (must include this daemon's -fleet id)`)
+		fleetJoin      = flag.String("fleet-join", "", "join a fleet: the authority daemon's wire address")
 	)
 	flag.Parse()
 
@@ -158,12 +163,29 @@ func main() {
 	}
 	reg.AddStatus("daemon", func() any { return map[string]string{"role": role} })
 
+	// Fleet mode changes which file sets this daemon pre-creates: only the
+	// ones the cluster map assigns to it.
+	fl, err := setupFleet(*fleetID, *fleetAuthority, *fleetJoin, *fileSets)
+	if err != nil {
+		log.Fatalf("anufsd: %v", err)
+	}
+	if fl != nil && *standby {
+		log.Fatalf("anufsd: -fleet and -standby are mutually exclusive")
+	}
+
+	names := make([]string, 0, *fileSets)
+	if fl != nil {
+		names = fl.assigned()
+	} else {
+		for i := 0; i < *fileSets; i++ {
+			names = append(names, fmt.Sprintf("vol%02d", i))
+		}
+	}
 	existing := map[string]bool{}
 	for _, fs := range disk.FileSets() {
 		existing[fs] = true
 	}
-	for i := 0; i < *fileSets; i++ {
-		name := fmt.Sprintf("vol%02d", i)
+	for _, name := range names {
 		if existing[name] {
 			continue
 		}
@@ -185,6 +207,21 @@ func main() {
 	if jnl != nil {
 		srv.SetJournalStats(jnl.Counters().Snapshot)
 	}
+	var member *fleet.Member
+	if fl != nil {
+		member, err = fleet.NewMember(fleet.MemberConfig{
+			ID:            fl.id,
+			Cluster:       cluster,
+			Disk:          disk,
+			Authority:     fl.auth,
+			AuthorityAddr: fl.authorityAddr,
+			Obs:           reg,
+		}, fl.initial)
+		if err != nil {
+			log.Fatalf("anufsd: fleet: %v", err)
+		}
+		srv.SetFleet(member)
+	}
 	// A promoted standby re-binds the address its receiver just released;
 	// retry briefly instead of failing the takeover on a lingering socket.
 	addr, err := listenRetry(srv, *listen)
@@ -193,6 +230,15 @@ func main() {
 	}
 	log.Printf("anufsd: serving %d file sets on %d servers at %s (journal: %s)",
 		len(disk.FileSets()), len(speedMap), addr, journalDesc(*journalDir))
+	if member != nil {
+		member.Start()
+		role := "member"
+		if fl.auth != nil {
+			role = "authority"
+		}
+		log.Printf("anufsd: fleet daemon %d (%s) at map epoch %d with %d assigned file sets",
+			fl.id, role, member.CurrentMap().Epoch, len(fl.assigned()))
+	}
 
 	// Background checkpointer: bounds the window of metadata lost to a
 	// crash to one interval, without clients having to call sync.
@@ -225,6 +271,9 @@ func main() {
 	<-ckptDone
 	if hsrv != nil {
 		_ = hsrv.Close()
+	}
+	if member != nil {
+		member.Stop()
 	}
 	srv.Close()
 	if shipper != nil {

@@ -1,0 +1,335 @@
+// Package fleet shards anufs across N independent anufsd processes: each
+// daemon owns a subset of file sets, an epoch-numbered cluster map derived
+// from the ANU mapper (internal/placement) is the routing plane, and file
+// sets move between daemons by live handoff — the donor drains and flushes,
+// the recipient adopts the image, and the donor fences its copy.
+//
+// Roles: the Authority (hosted by one daemon) owns the map and orchestrates
+// handoffs; every daemon runs a Member that fences wire operations against
+// the map and serves the fleet ops; clients route through a Router that
+// caches the map and refetches on wrong-owner rejections.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anufs/internal/core"
+	"anufs/internal/interval"
+	"anufs/internal/placement"
+	"anufs/internal/wire"
+)
+
+// DefaultHandoffTimeout bounds one donor handoff call (drain + flush +
+// transfer + adopt) as seen by the authority.
+const DefaultHandoffTimeout = 60 * time.Second
+
+// AuthorityConfig parameterizes the map authority.
+type AuthorityConfig struct {
+	// Daemons is the static fleet: every anufsd process, with address and
+	// relative speed. Fleet membership is fixed for a deployment; changing
+	// it means restarting with a new -fleet-authority list (dynamic
+	// join/leave is future work, see DESIGN.md §12).
+	Daemons []placement.DaemonInfo
+	// FileSets seeds the initial assignment (epoch 1), placed by the ANU
+	// mapper over the daemon IDs with speed-proportional shares.
+	FileSets []string
+	// Core configures the ANU mapper; zero value takes core.Defaults().
+	Core core.Config
+	// Dial overrides how the authority reaches daemons (tests inject
+	// failures); nil uses wire.Dial with DefaultHandoffTimeout.
+	Dial func(addr string) (*wire.Client, error)
+}
+
+// Authority owns the cluster map: it computes assignments from the ANU
+// mapper, bumps the epoch on every change, and orchestrates live handoffs
+// with the donor daemons. Exactly one daemon in a fleet hosts it.
+type Authority struct {
+	dial func(addr string) (*wire.Client, error)
+
+	// cur holds the current *placement.ClusterMap. It is an atomic, not
+	// guarded by mu, so Map() never blocks on an in-flight reconfiguration
+	// — a handoff whose recipient is the authority daemon itself reads the
+	// map from inside the RPC the authority is waiting on.
+	cur atomic.Value
+
+	// mu serializes reconfigurations (assign/rebalance/handoffs).
+	mu      sync.Mutex
+	cfg     AuthorityConfig
+	mapper  *core.Mapper
+	daemons map[int]placement.DaemonInfo
+	// override pins file sets to explicit daemons (anufsctl assign); a
+	// rebalance clears it and returns to pure ANU placement.
+	override map[string]int
+}
+
+// NewAuthority builds the authority and its epoch-1 map. No daemons are
+// contacted; the initial assignment is what the daemons themselves fetch
+// (or compute locally, for the authority daemon) at startup.
+func NewAuthority(cfg AuthorityConfig) (*Authority, error) {
+	if len(cfg.Daemons) == 0 {
+		return nil, fmt.Errorf("fleet: authority needs at least one daemon")
+	}
+	if cfg.Core.Gamma == 0 {
+		cfg.Core = core.Defaults()
+	}
+	daemons := make(map[int]placement.DaemonInfo, len(cfg.Daemons))
+	ids := make([]int, 0, len(cfg.Daemons))
+	for _, d := range cfg.Daemons {
+		if _, dup := daemons[d.ID]; dup {
+			return nil, fmt.Errorf("fleet: duplicate daemon id %d", d.ID)
+		}
+		daemons[d.ID] = d
+		ids = append(ids, d.ID)
+	}
+	sort.Ints(ids)
+	mapper, err := core.NewMapper(cfg.Core, ids)
+	if err != nil {
+		return nil, err
+	}
+	a := &Authority{
+		dial:     cfg.Dial,
+		cfg:      cfg,
+		mapper:   mapper,
+		daemons:  daemons,
+		override: map[string]int{},
+	}
+	if a.dial == nil {
+		a.dial = func(addr string) (*wire.Client, error) {
+			c, err := wire.Dial(addr)
+			if err != nil {
+				return nil, err
+			}
+			c.SetTimeout(DefaultHandoffTimeout)
+			return c, nil
+		}
+	}
+	if err := a.rescaleBySpeed(); err != nil {
+		return nil, err
+	}
+	cm := a.composeLocked(1, cfg.FileSets)
+	if err := cm.Validate(); err != nil {
+		return nil, err
+	}
+	a.cur.Store(cm)
+	return a, nil
+}
+
+// rescaleBySpeed sets the mapper shares proportional to daemon speeds — the
+// paper's heterogeneity-aware starting point (the live tuner would refine
+// from here; the fleet map starts at the speed prior).
+func (a *Authority) rescaleBySpeed() error {
+	var total float64
+	for _, d := range a.daemons {
+		total += d.Speed
+	}
+	ids := make([]int, 0, len(a.daemons))
+	for id := range a.daemons {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	target := make(map[int]uint64, len(ids))
+	var sum uint64
+	fastest, fastestSpeed := ids[0], 0.0
+	for _, id := range ids {
+		sp := a.daemons[id].Speed
+		share := uint64(float64(interval.Half) * (sp / total))
+		target[id] = share
+		sum += share
+		if sp > fastestSpeed {
+			fastest, fastestSpeed = id, sp
+		}
+	}
+	// Integer truncation leaves a remainder; the fastest daemon absorbs it
+	// so the shares sum exactly to Half (Rescale's invariant).
+	target[fastest] += interval.Half - sum
+	return a.mapper.Rescale(target)
+}
+
+// composeLocked builds a map at the given epoch assigning fileSets by the
+// mapper plus overrides. Caller holds mu (or is in the constructor).
+func (a *Authority) composeLocked(epoch uint64, fileSets []string) *placement.ClusterMap {
+	cm := &placement.ClusterMap{
+		Epoch:   epoch,
+		Daemons: make([]placement.DaemonInfo, 0, len(a.daemons)),
+		Assign:  make(map[string]int, len(fileSets)),
+	}
+	for _, d := range a.daemons {
+		cm.Daemons = append(cm.Daemons, d)
+	}
+	sort.Slice(cm.Daemons, func(i, j int) bool { return cm.Daemons[i].ID < cm.Daemons[j].ID })
+	for _, fs := range fileSets {
+		if id, ok := a.override[fs]; ok {
+			cm.Assign[fs] = id
+			continue
+		}
+		cm.Assign[fs] = a.mapper.Owner(fs)
+	}
+	return cm
+}
+
+// Map returns the current cluster map (immutable; callers must not
+// mutate). Never blocks, even mid-reconfiguration.
+func (a *Authority) Map() *placement.ClusterMap {
+	return a.cur.Load().(*placement.ClusterMap)
+}
+
+// Epoch returns the current map epoch.
+func (a *Authority) Epoch() uint64 { return a.Map().Epoch }
+
+// fileSetsLocked lists the currently assigned file sets.
+func (a *Authority) fileSetsLocked() []string {
+	cur := a.Map()
+	out := make([]string, 0, len(cur.Assign))
+	for fs := range cur.Assign {
+		out = append(out, fs)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Assign pins a file set to a daemon (daemon = -1 places it by the ANU
+// mapper). A new file set just joins the map; moving an owned file set runs
+// a live handoff with the current owner before the new map commits. Returns
+// the resulting epoch.
+func (a *Authority) Assign(fileSet string, daemon int) (uint64, error) {
+	if fileSet == "" {
+		return 0, fmt.Errorf("fleet: assign needs a file set")
+	}
+	a.mu.Lock()
+	if daemon == -1 {
+		daemon = a.mapper.Owner(fileSet)
+	}
+	if _, ok := a.daemons[daemon]; !ok {
+		a.mu.Unlock()
+		return 0, fmt.Errorf("fleet: unknown daemon %d", daemon)
+	}
+	cur := a.Map()
+	from, owned := cur.Assign[fileSet]
+	if owned && from == daemon {
+		a.mu.Unlock()
+		return cur.Epoch, nil // already there
+	}
+	a.override[fileSet] = daemon
+	fileSets := a.fileSetsLocked()
+	if !owned {
+		fileSets = append(fileSets, fileSet)
+		sort.Strings(fileSets)
+		// A brand-new file set needs no handoff: commit and publish.
+		cm := a.composeLocked(cur.Epoch+1, fileSets)
+		a.cur.Store(cm)
+		a.mu.Unlock()
+		a.publish(cm)
+		return cm.Epoch, nil
+	}
+	candidate := a.composeLocked(cur.Epoch+1, fileSets)
+	err := a.moveLocked(candidate, fileSet, from, daemon)
+	cm := a.Map()
+	a.mu.Unlock()
+	if err != nil {
+		return cm.Epoch, err
+	}
+	a.publish(cm)
+	return cm.Epoch, nil
+}
+
+// Rebalance clears manual pins and recomputes the whole assignment from the
+// speed-proportional ANU mapper, handing off every file set whose owner
+// changes (one epoch bump per move, sequentially — a failed move leaves the
+// map at its last good epoch). Returns the final epoch and the first error.
+func (a *Authority) Rebalance() (uint64, error) {
+	a.mu.Lock()
+	a.override = map[string]int{}
+	fileSets := a.fileSetsLocked()
+	// Compute the pure-ANU target and the moves it implies.
+	type move struct {
+		fs       string
+		from, to int
+	}
+	var moves []move
+	for _, fs := range fileSets {
+		want := a.mapper.Owner(fs)
+		if have := a.Map().Assign[fs]; have != want {
+			moves = append(moves, move{fs: fs, from: have, to: want})
+		}
+	}
+	var firstErr error
+	for _, mv := range moves {
+		cur := a.Map()
+		candidate := a.composeLocked(cur.Epoch+1, fileSets)
+		// composeLocked already assigns by mapper (overrides cleared), but
+		// earlier failed moves must stay with their current owner.
+		for _, other := range moves {
+			if other.fs != mv.fs {
+				candidate.Assign[other.fs] = cur.Assign[other.fs]
+			}
+		}
+		if err := a.moveLocked(candidate, mv.fs, mv.from, mv.to); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	cm := a.Map()
+	a.mu.Unlock()
+	a.publish(cm)
+	return cm.Epoch, firstErr
+}
+
+// moveLocked runs one live handoff under candidate (epoch already bumped):
+// the donor fences itself with the candidate map, drains, flushes, and
+// transfers the file set to the recipient, which adopts map and image in
+// one frame. Only on success does the candidate become the current map.
+// Called with mu held; the handoff itself runs over the wire while holding
+// mu — the authority serializes reconfigurations by design.
+func (a *Authority) moveLocked(candidate *placement.ClusterMap, fileSet string, from, to int) error {
+	donor, ok := a.daemons[from]
+	if !ok {
+		return fmt.Errorf("fleet: donor daemon %d unknown", from)
+	}
+	recipient, ok := a.daemons[to]
+	if !ok {
+		return fmt.Errorf("fleet: recipient daemon %d unknown", to)
+	}
+	encoded, err := candidate.Encode()
+	if err != nil {
+		return err
+	}
+	c, err := a.dial(donor.Addr)
+	if err != nil {
+		return fmt.Errorf("fleet: dial donor %d (%s): %w", from, donor.Addr, err)
+	}
+	defer c.Close()
+	if err := c.Handoff(candidate.Epoch, fileSet, recipient.Addr, encoded); err != nil {
+		// The donor rolled itself back and keeps serving under the old
+		// epoch; the candidate map is discarded.
+		return fmt.Errorf("fleet: handoff of %q from %d to %d: %w", fileSet, from, to, err)
+	}
+	a.cur.Store(candidate)
+	return nil
+}
+
+// publish pushes the map to every daemon, best effort and in parallel —
+// member polling (and wrong-owner refetches) is the correctness backstop;
+// the push just makes convergence immediate.
+func (a *Authority) publish(cm *placement.ClusterMap) {
+	encoded, err := cm.Encode()
+	if err != nil {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, d := range cm.Daemons {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			c, err := a.dial(addr)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			_ = c.Adopt(cm.Epoch, "", nil, encoded) // empty FileSet = map-only push
+		}(d.Addr)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,549 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"anufs/internal/journal"
+	"anufs/internal/live"
+	"anufs/internal/metrics"
+	"anufs/internal/obs"
+	"anufs/internal/placement"
+	"anufs/internal/sharedisk"
+	"anufs/internal/wire"
+)
+
+// Fleet counter names exported through the obs registry.
+const (
+	CtrAdopts          = "fleet_adopts"
+	CtrHandoffs        = "fleet_handoffs"
+	CtrHandoffFailures = "fleet_handoff_failures"
+	CtrWrongOwner      = "fleet_wrong_owner_rejects"
+	CtrArrivingRejects = "fleet_arriving_rejects"
+	CtrDropFailures    = "fleet_drop_failures"
+	CtrMapRefreshes    = "fleet_map_refreshes"
+)
+
+// unplacedMsg prefixes rejections of operations on file sets absent from
+// the cluster map; the Router treats it as transient when its own (newer)
+// map places the file set.
+const unplacedMsg = "fleet: unplaced file set"
+
+// DefaultDrainTimeout bounds how long a donor waits for in-flight
+// operations on a departing file set; DefaultPollInterval is the join-mode
+// map poll cadence (a backstop behind the authority's eager pushes).
+const (
+	DefaultDrainTimeout = 10 * time.Second
+	DefaultPollInterval = 500 * time.Millisecond
+)
+
+// MemberConfig parameterizes one daemon's fleet membership.
+type MemberConfig struct {
+	// ID is this daemon's ID in the cluster map.
+	ID int
+	// Cluster serves this daemon's file sets; Disk is its backing store
+	// (the same one the cluster uses).
+	Cluster *live.Cluster
+	Disk    sharedisk.Disk
+	// Authority is non-nil on the daemon that hosts the map authority.
+	Authority *Authority
+	// AuthorityAddr is the authority daemon's wire address (join mode);
+	// empty on the authority daemon itself.
+	AuthorityAddr string
+	// Obs receives the fleet gauges/histograms/counters; nil disables.
+	Obs *obs.Registry
+	// DrainTimeout and PollInterval default to the package constants.
+	DrainTimeout time.Duration
+	PollInterval time.Duration
+	// Dial overrides outbound connections (tests); nil uses wire.Dial with
+	// a handoff-sized timeout.
+	Dial func(addr string) (*wire.Client, error)
+}
+
+// Member is one daemon's fleet state: the cached cluster map, the
+// ready/in-flight bookkeeping the wrong-owner fence needs, and the
+// adopt/handoff endpoints. It implements wire.FleetHandler.
+type Member struct {
+	cfg      MemberConfig
+	counters *metrics.CounterSet
+	handoffH *obs.Histogram
+
+	mu sync.Mutex
+	// cur is the newest validated cluster map this daemon has seen.
+	cur *placement.ClusterMap
+	// ready marks file sets this daemon is actively serving; a file set
+	// assigned here but not ready is either still being created or mid
+	// adoption (clients get ErrArriving and retry).
+	ready map[string]bool
+	// inflight counts gate-admitted operations per file set, so a handoff
+	// can drain them before the donor flushes — the zero-acked-write-loss
+	// invariant: every acknowledged write either completed before the
+	// flush or was never admitted.
+	inflight map[string]int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewMember builds the member around the initial map (the authority
+// daemon's own, or the one a joining daemon fetched at startup). File sets
+// assigned to this daemon that already exist on its disk are ready
+// immediately.
+func NewMember(cfg MemberConfig, initial *placement.ClusterMap) (*Member, error) {
+	if cfg.Cluster == nil || cfg.Disk == nil {
+		return nil, fmt.Errorf("fleet: member needs a cluster and a disk")
+	}
+	if err := initial.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := initial.Daemon(cfg.ID); !ok {
+		return nil, fmt.Errorf("fleet: daemon %d is not in the cluster map", cfg.ID)
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = DefaultPollInterval
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (*wire.Client, error) {
+			c, err := wire.Dial(addr)
+			if err != nil {
+				return nil, err
+			}
+			c.SetTimeout(DefaultHandoffTimeout)
+			return c, nil
+		}
+	}
+	m := &Member{
+		cfg:      cfg,
+		counters: metrics.NewCounterSet(),
+		cur:      initial,
+		ready:    map[string]bool{},
+		inflight: map[string]int{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	onDisk := map[string]bool{}
+	for _, fs := range cfg.Disk.FileSets() {
+		onDisk[fs] = true
+	}
+	for _, fs := range initial.FileSetsOf(cfg.ID) {
+		if onDisk[fs] {
+			m.ready[fs] = true
+		}
+	}
+	if cfg.Obs != nil {
+		m.handoffH = cfg.Obs.Hist.Get("fleet_handoff_seconds", "")
+		cfg.Obs.AddCounters(m.counters.Snapshot)
+		cfg.Obs.AddGauges(func() []obs.Gauge {
+			cm := m.CurrentMap()
+			m.mu.Lock()
+			nReady := len(m.ready)
+			m.mu.Unlock()
+			return []obs.Gauge{
+				{Name: "fleet_map_epoch", Value: float64(cm.Epoch)},
+				{Name: "fleet_ready_filesets", Value: float64(nReady)},
+				{Name: "fleet_daemon_id", Value: float64(m.cfg.ID)},
+			}
+		})
+	}
+	return m, nil
+}
+
+// Start launches the join-mode poll loop (a no-op on the authority daemon,
+// whose map is locally authoritative).
+func (m *Member) Start() {
+	if m.cfg.AuthorityAddr == "" {
+		close(m.done)
+		return
+	}
+	go m.pollLoop()
+}
+
+// Stop terminates the poll loop.
+func (m *Member) Stop() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+}
+
+// CurrentMap returns the newest map this daemon has seen.
+func (m *Member) CurrentMap() *placement.ClusterMap {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.Authority != nil {
+		return m.cfg.Authority.Map()
+	}
+	return m.cur
+}
+
+// pollLoop refetches the map from the authority — the backstop behind
+// eager pushes, and what converges a daemon that missed a push (e.g. it
+// was restarting).
+func (m *Member) pollLoop() {
+	defer close(m.done)
+	backoff := wire.NewBackoff(m.cfg.PollInterval, 10*m.cfg.PollInterval)
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-time.After(backoff.Next()):
+		}
+		if m.pollOnce() {
+			backoff.Reset()
+		}
+	}
+}
+
+// pollOnce fetches the authority's epoch and, when newer, the full map.
+// Returns true on a successful probe (fresh or not).
+func (m *Member) pollOnce() bool {
+	c, err := m.cfg.Dial(m.cfg.AuthorityAddr)
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	epoch, err := c.MapEpoch()
+	if err != nil {
+		return false
+	}
+	if epoch <= m.CurrentMap().Epoch {
+		return true
+	}
+	encoded, err := c.ClusterMap()
+	if err != nil {
+		return false
+	}
+	cm, err := placement.DecodeClusterMap(encoded)
+	if err != nil {
+		return false
+	}
+	m.adoptMap(cm)
+	return true
+}
+
+// adoptMap installs a validated map if it is newer than the current one.
+func (m *Member) adoptMap(cm *placement.ClusterMap) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.adoptMapLocked(cm)
+}
+
+func (m *Member) adoptMapLocked(cm *placement.ClusterMap) {
+	if cm.Epoch <= m.cur.Epoch {
+		return
+	}
+	m.cur = cm
+	m.counters.Add(CtrMapRefreshes, 1)
+}
+
+// Gate implements wire.FleetHandler: it admits or rejects one
+// file-set-addressed operation under the current map. See the interface
+// docs for the contract; the release closure is where a create-fileset
+// marks its file set ready.
+func (m *Member) Gate(op wire.Op, fileSet string) (func(), error) {
+	m.mu.Lock()
+	cm := m.cur
+	if m.cfg.Authority != nil {
+		cm = m.cfg.Authority.Map()
+		m.adoptMapLocked(cm)
+	}
+	owner, placed := cm.Assign[fileSet]
+	if !placed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%s %q (epoch %d): assign it to a daemon first (anufsctl assign)",
+			unplacedMsg, fileSet, cm.Epoch)
+	}
+	if owner != m.cfg.ID {
+		m.counters.Add(CtrWrongOwner, 1)
+		m.mu.Unlock()
+		return nil, &wire.WrongOwnerError{Epoch: cm.Epoch}
+	}
+	if !m.ready[fileSet] && op != wire.OpCreateFileSet {
+		m.counters.Add(CtrArrivingRejects, 1)
+		m.mu.Unlock()
+		return nil, wire.ErrArriving
+	}
+	m.inflight[fileSet]++
+	m.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.mu.Lock()
+			m.inflight[fileSet]--
+			if op == wire.OpCreateFileSet && !m.ready[fileSet] {
+				// Mark ready only if the create actually materialized the
+				// file set (the cluster op may have failed).
+				for _, fs := range m.cfg.Disk.FileSets() {
+					if fs == fileSet {
+						m.ready[fileSet] = true
+						break
+					}
+				}
+			}
+			m.mu.Unlock()
+		})
+	}, nil
+}
+
+// Fleet implements wire.FleetHandler: dispatch for the fleet ops.
+func (m *Member) Fleet(req wire.Request) wire.Response {
+	var resp wire.Response
+	fail := func(err error) wire.Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case wire.OpMap:
+		encoded, err := m.CurrentMap().Encode()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Map = encoded
+		resp.Epoch = m.CurrentMap().Epoch
+	case wire.OpMapEpoch:
+		resp.Epoch = m.CurrentMap().Epoch
+	case wire.OpAdopt:
+		if err := m.handleAdopt(req); err != nil {
+			return fail(err)
+		}
+		resp.Epoch = m.CurrentMap().Epoch
+	case wire.OpHandoff:
+		if err := m.handleHandoff(req); err != nil {
+			return fail(err)
+		}
+		resp.Epoch = m.CurrentMap().Epoch
+	case wire.OpAssign:
+		if m.cfg.Authority == nil {
+			return fail(fmt.Errorf("fleet: daemon %d is not the authority", m.cfg.ID))
+		}
+		epoch, err := m.cfg.Authority.Assign(req.FileSet, req.Daemon)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Epoch = epoch
+	case wire.OpRebalance:
+		if m.cfg.Authority == nil {
+			return fail(fmt.Errorf("fleet: daemon %d is not the authority", m.cfg.ID))
+		}
+		epoch, err := m.cfg.Authority.Rebalance()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Epoch = epoch
+	default:
+		return fail(fmt.Errorf("fleet: unknown fleet op %q", req.Op))
+	}
+	return resp
+}
+
+// handleAdopt serves OpAdopt: a map-only push (no FileSet) or a donated
+// file set arriving with its image and the map of the handoff's epoch.
+func (m *Member) handleAdopt(req wire.Request) error {
+	var cm *placement.ClusterMap
+	if len(req.Map) > 0 {
+		var err error
+		cm, err = placement.DecodeClusterMap(req.Map)
+		if err != nil {
+			return err
+		}
+	}
+	if req.FileSet == "" {
+		// Map-only push from the authority.
+		if cm == nil {
+			return fmt.Errorf("fleet: adopt without file set or map")
+		}
+		m.adoptMap(cm)
+		return nil
+	}
+	if cm == nil {
+		return fmt.Errorf("fleet: adopt of %q carries no cluster map", req.FileSet)
+	}
+	if id, ok := cm.Assign[req.FileSet]; !ok || id != m.cfg.ID {
+		return fmt.Errorf("fleet: adopt map (epoch %d) does not assign %q to daemon %d",
+			cm.Epoch, req.FileSet, m.cfg.ID)
+	}
+	m.mu.Lock()
+	if req.Epoch < m.cur.Epoch {
+		cur := m.cur.Epoch
+		m.mu.Unlock()
+		return fmt.Errorf("fleet: stale adopt of %q at epoch %d (daemon %d at epoch %d)",
+			req.FileSet, req.Epoch, m.cfg.ID, cur)
+	}
+	if m.ready[req.FileSet] && m.cur.Epoch >= req.Epoch {
+		// Idempotent retry of a handoff that already completed.
+		m.mu.Unlock()
+		return nil
+	}
+	m.mu.Unlock()
+
+	images, err := journal.DecodeImages(req.Snap)
+	if err != nil {
+		return fmt.Errorf("fleet: adopt of %q: decode image: %w", req.FileSet, err)
+	}
+	im, ok := images[req.FileSet]
+	if !ok {
+		return fmt.Errorf("fleet: adopt of %q: image missing from snapshot", req.FileSet)
+	}
+	installer, ok := m.cfg.Disk.(sharedisk.Installer)
+	if !ok {
+		return fmt.Errorf("fleet: disk %T cannot install images", m.cfg.Disk)
+	}
+	if err := installer.Install(req.FileSet, im); err != nil {
+		return fmt.Errorf("fleet: adopt of %q: %w", req.FileSet, err)
+	}
+	if err := m.cfg.Cluster.AdoptFileSet(req.FileSet); err != nil {
+		return fmt.Errorf("fleet: adopt of %q: %w", req.FileSet, err)
+	}
+	// Serve first, then converge the map: until the map flips, the gate
+	// still answers wrong-owner (the donor's fence epoch), which routers
+	// already handle. Flipping last means no window where the map says
+	// "mine" but the file set is not yet served.
+	m.mu.Lock()
+	m.ready[req.FileSet] = true
+	m.adoptMapLocked(cm)
+	m.mu.Unlock()
+	m.counters.Add(CtrAdopts, 1)
+	return nil
+}
+
+// handleHandoff serves OpHandoff on the donor: fence, drain, flush,
+// transfer, and (on success) drop the local copy. On any failure before
+// the recipient has adopted, the donor rolls itself back and keeps
+// serving, and the authority discards the candidate map.
+func (m *Member) handleHandoff(req wire.Request) error {
+	start := time.Now()
+	err := m.donate(req)
+	if err != nil {
+		m.counters.Add(CtrHandoffFailures, 1)
+		return err
+	}
+	m.counters.Add(CtrHandoffs, 1)
+	if m.handoffH != nil {
+		m.handoffH.Observe(time.Since(start))
+	}
+	return nil
+}
+
+func (m *Member) donate(req wire.Request) error {
+	fs := req.FileSet
+	cm, err := placement.DecodeClusterMap(req.Map)
+	if err != nil {
+		return err
+	}
+	if cm.Epoch != req.Epoch {
+		return fmt.Errorf("fleet: handoff epoch %d does not match its map (epoch %d)", req.Epoch, cm.Epoch)
+	}
+	if id, ok := cm.Assign[fs]; !ok || id == m.cfg.ID {
+		return fmt.Errorf("fleet: handoff map still assigns %q to donor %d", fs, m.cfg.ID)
+	}
+
+	// Fence: adopt the handoff map now. From this instant the gate rejects
+	// new operations on fs with wrong-owner(new epoch); operations admitted
+	// earlier are drained below, so every acknowledged write is in the
+	// flush the recipient adopts.
+	m.mu.Lock()
+	if req.Epoch <= m.cur.Epoch {
+		cur := m.cur.Epoch
+		m.mu.Unlock()
+		return fmt.Errorf("fleet: stale handoff of %q at epoch %d (daemon %d at epoch %d)",
+			fs, req.Epoch, m.cfg.ID, cur)
+	}
+	if !m.ready[fs] {
+		m.mu.Unlock()
+		return fmt.Errorf("fleet: daemon %d does not serve %q", m.cfg.ID, fs)
+	}
+	prev := m.cur
+	m.adoptMapLocked(cm)
+	delete(m.ready, fs)
+	m.mu.Unlock()
+
+	rollback := func(reAdopt bool) {
+		m.mu.Lock()
+		// Restore the pre-handoff map unless something even newer arrived
+		// while we were failing.
+		if m.cur.Epoch == cm.Epoch {
+			m.cur = prev
+		}
+		m.ready[fs] = true
+		m.mu.Unlock()
+		if reAdopt {
+			_ = m.cfg.Cluster.AdoptFileSet(fs)
+		}
+	}
+
+	if err := m.drain(fs); err != nil {
+		rollback(false)
+		return err
+	}
+	// Flush the consistent cut (release serializes behind every admitted
+	// operation through the owner queue) and stop serving.
+	if err := m.cfg.Cluster.ReleaseFileSet(fs); err != nil {
+		rollback(false)
+		return fmt.Errorf("fleet: release %q: %w", fs, err)
+	}
+	im, err := m.cfg.Disk.Load(fs)
+	if err != nil {
+		rollback(true)
+		return fmt.Errorf("fleet: load %q for transfer: %w", fs, err)
+	}
+	snap := journal.EncodeImages(map[string]sharedisk.Image{fs: im})
+
+	c, err := m.cfg.Dial(req.Addr)
+	if err != nil {
+		rollback(true)
+		return fmt.Errorf("fleet: dial recipient %s: %w", req.Addr, err)
+	}
+	defer c.Close()
+	if err := c.Adopt(req.Epoch, fs, snap, req.Map); err != nil {
+		// NOTE: if this error is a timeout the recipient may in fact have
+		// adopted — the authority keeps the old map, the recipient holds an
+		// orphaned copy it does not serve (its map never flips), and the
+		// next successful handoff re-installs over it. Documented in
+		// DESIGN.md §12.
+		rollback(true)
+		return fmt.Errorf("fleet: recipient adopt of %q: %w", fs, err)
+	}
+
+	// The recipient serves fs now; drop our copy (journaled, so a restart
+	// cannot resurrect it). Failure is counted, not fatal: the map fence
+	// already keeps this daemon from ever serving fs again.
+	if dropper, ok := m.cfg.Disk.(sharedisk.Dropper); ok {
+		if err := dropper.DropFileSet(fs); err != nil {
+			m.counters.Add(CtrDropFailures, 1)
+		}
+	} else {
+		m.counters.Add(CtrDropFailures, 1)
+	}
+	return nil
+}
+
+// drain waits for gate-admitted operations on fs to finish. Admissions
+// stopped when the fence flipped the map, so the count only decreases.
+func (m *Member) drain(fs string) error {
+	deadline := time.Now().Add(m.cfg.DrainTimeout)
+	for {
+		m.mu.Lock()
+		n := m.inflight[fs]
+		m.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet: drain of %q timed out with %d operations in flight", fs, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Counters exposes the member's counters (tests and stats).
+func (m *Member) Counters() *metrics.CounterSet { return m.counters }
+
+// String identifies the member in logs.
+func (m *Member) String() string { return "fleet-member-" + strconv.Itoa(m.cfg.ID) }

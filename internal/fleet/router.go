@@ -1,0 +1,346 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"anufs/internal/metrics"
+	"anufs/internal/obs"
+	"anufs/internal/placement"
+	"anufs/internal/sharedisk"
+	"anufs/internal/wire"
+)
+
+// DefaultRouteBudget bounds how long a routed operation keeps retrying
+// through map refetches, adoption waits, and reconnects.
+const DefaultRouteBudget = 10 * time.Second
+
+// RouterConfig parameterizes a routing client.
+type RouterConfig struct {
+	// AuthorityAddr is where maps are fetched from.
+	AuthorityAddr string
+	// Budget bounds one routed operation end to end (default
+	// DefaultRouteBudget).
+	Budget time.Duration
+	// Obs receives per-daemon route counters; nil disables.
+	Obs *obs.Registry
+	// Dial overrides outbound connections; nil uses wire.Dial.
+	Dial func(addr string) (*wire.Client, error)
+}
+
+// Router is the fleet's client side: it caches the cluster map, routes
+// each operation to the owning daemon, and converges on wrong-owner
+// rejections by refetching the map. The retry discipline is deliberate: a
+// wrong-owner error names the epoch the daemon rejected under, and the
+// router retries the operation at most once per refetch that reaches that
+// epoch — no retry storm against a daemon that keeps saying no.
+type Router struct {
+	cfg      RouterConfig
+	counters *metrics.CounterSet
+
+	mu      sync.Mutex
+	cur     *placement.ClusterMap
+	clients map[string]*wire.Client
+}
+
+// NewRouter fetches the initial map from the authority and returns a ready
+// router.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.AuthorityAddr == "" {
+		return nil, fmt.Errorf("fleet: router needs an authority address")
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = DefaultRouteBudget
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = wire.Dial
+	}
+	r := &Router{
+		cfg:      cfg,
+		counters: metrics.NewCounterSet(),
+		clients:  map[string]*wire.Client{},
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.AddCounters(r.counters.Snapshot)
+	}
+	if _, err := r.Refresh(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Close tears down the cached daemon connections.
+func (r *Router) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.clients {
+		c.Close()
+	}
+	r.clients = map[string]*wire.Client{}
+}
+
+// Map returns the router's cached cluster map.
+func (r *Router) Map() *placement.ClusterMap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur
+}
+
+// Refresh refetches the map from the authority, keeping the cached one if
+// the fetch is older (maps only move forward).
+func (r *Router) Refresh() (*placement.ClusterMap, error) {
+	c, err := r.client(r.cfg.AuthorityAddr)
+	if err != nil {
+		return r.Map(), err
+	}
+	encoded, err := c.ClusterMap()
+	if err != nil {
+		r.invalidate(r.cfg.AuthorityAddr)
+		return r.Map(), err
+	}
+	cm, err := placement.DecodeClusterMap(encoded)
+	if err != nil {
+		return r.Map(), err
+	}
+	r.counters.Add("fleet_router_refreshes", 1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil || cm.Epoch > r.cur.Epoch {
+		r.cur = cm
+	}
+	return r.cur, nil
+}
+
+// client returns the cached connection to addr, dialing on first use.
+func (r *Router) client(addr string) (*wire.Client, error) {
+	r.mu.Lock()
+	if c, ok := r.clients[addr]; ok {
+		r.mu.Unlock()
+		return c, nil
+	}
+	r.mu.Unlock()
+	c, err := r.cfg.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.clients[addr]; ok {
+		// Lost the dial race; keep the first connection.
+		go c.Close()
+		return prev, nil
+	}
+	r.clients[addr] = c
+	return c, nil
+}
+
+// invalidate drops a cached connection (it errored; the next use redials).
+func (r *Router) invalidate(addr string) {
+	r.mu.Lock()
+	c, ok := r.clients[addr]
+	delete(r.clients, addr)
+	r.mu.Unlock()
+	if ok {
+		c.Close()
+	}
+}
+
+// transientErr reports connection-level failures worth a reconnect+retry,
+// as opposed to application errors the caller must see.
+func transientErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	s := err.Error()
+	return strings.Contains(s, "connection closed") ||
+		strings.Contains(s, "timed out") ||
+		strings.Contains(s, "wire: send:") ||
+		strings.Contains(s, "connection refused") ||
+		strings.Contains(s, "connection reset")
+}
+
+// Do routes one operation against the file set's owning daemon, converging
+// through wrong-owner refetches, adoption waits, and reconnects within the
+// route budget. fn runs against the owner's client and is retried at most
+// once per state change (new map epoch, reconnect, or backoff step) — it
+// must be idempotent or check-before-write, like every wire op here.
+func (r *Router) Do(fileSet string, fn func(*wire.Client) error) error {
+	deadline := time.Now().Add(r.cfg.Budget)
+	backoff := wire.NewBackoff(5*time.Millisecond, 250*time.Millisecond)
+	var lastErr error
+	for {
+		cm := r.Map()
+		d, placed := cm.Owner(fileSet)
+		if !placed {
+			return fmt.Errorf("fleet: file set %q is not in the cluster map (epoch %d)", fileSet, cm.Epoch)
+		}
+		c, err := r.client(d.Addr)
+		if err == nil {
+			err = fn(c)
+		}
+		if err == nil {
+			r.counters.Add("fleet_routed_daemon_"+strconv.Itoa(d.ID), 1)
+			return nil
+		}
+		lastErr = err
+		switch {
+		case isWrongOwnerErr(err):
+			epoch, _ := wire.IsWrongOwner(err)
+			r.counters.Add("fleet_router_wrong_owner", 1)
+			// Refetch until the map reaches the rejecting daemon's epoch;
+			// only then is a retry allowed — exactly one per refetch that
+			// advances far enough.
+			if !r.awaitEpoch(epoch, deadline, backoff) {
+				return fmt.Errorf("fleet: map never reached epoch %d within the route budget: %w", epoch, lastErr)
+			}
+		case wire.IsArriving(err):
+			r.counters.Add("fleet_router_arriving_waits", 1)
+			if !sleepUntil(backoff.Next(), deadline) {
+				return lastErr
+			}
+		case transientErr(err):
+			r.counters.Add("fleet_router_reconnects", 1)
+			r.invalidate(d.Addr)
+			if !sleepUntil(backoff.Next(), deadline) {
+				return lastErr
+			}
+			// The daemon may have moved on while we were disconnected.
+			_, _ = r.Refresh()
+		case strings.Contains(err.Error(), unplacedMsg) && cm.Assign[fileSet] == d.ID:
+			// The daemon has not seen the map that assigns it this file set
+			// yet (our map is newer than its). Transient: it converges by
+			// authority push or poll.
+			if !sleepUntil(backoff.Next(), deadline) {
+				return lastErr
+			}
+		default:
+			return err // application error: the caller's problem
+		}
+	}
+}
+
+func isWrongOwnerErr(err error) bool {
+	_, ok := wire.IsWrongOwner(err)
+	return ok
+}
+
+// awaitEpoch refetches the map until its epoch reaches target (true) or
+// the deadline passes (false).
+func (r *Router) awaitEpoch(target uint64, deadline time.Time, backoff *wire.Backoff) bool {
+	for {
+		cm, _ := r.Refresh()
+		if cm != nil && cm.Epoch >= target {
+			return true
+		}
+		if !sleepUntil(backoff.Next(), deadline) {
+			return false
+		}
+	}
+}
+
+// sleepUntil sleeps d (clipped to the deadline) and reports whether the
+// deadline still lies ahead.
+func sleepUntil(d time.Duration, deadline time.Time) bool {
+	remain := time.Until(deadline)
+	if remain <= 0 {
+		return false
+	}
+	if d > remain {
+		d = remain
+	}
+	time.Sleep(d)
+	return true
+}
+
+// --- typed convenience methods -------------------------------------------
+
+// CreateFileSet creates a file set fleet-wide: unplaced file sets are first
+// assigned by the authority (ANU placement), then created on their owner.
+func (r *Router) CreateFileSet(fileSet string) error {
+	if _, placed := r.Map().Owner(fileSet); !placed {
+		ac, err := r.client(r.cfg.AuthorityAddr)
+		if err != nil {
+			return err
+		}
+		if _, err := ac.Assign(fileSet, -1); err != nil {
+			return fmt.Errorf("fleet: place %q: %w", fileSet, err)
+		}
+		if _, err := r.Refresh(); err != nil {
+			return err
+		}
+	}
+	return r.Do(fileSet, func(c *wire.Client) error { return c.CreateFileSet(fileSet) })
+}
+
+// Create adds a metadata record.
+func (r *Router) Create(fileSet, path string, rec sharedisk.Record) error {
+	return r.Do(fileSet, func(c *wire.Client) error { return c.Create(fileSet, path, rec) })
+}
+
+// Stat reads a metadata record.
+func (r *Router) Stat(fileSet, path string) (sharedisk.Record, error) {
+	var rec sharedisk.Record
+	err := r.Do(fileSet, func(c *wire.Client) error {
+		got, err := c.Stat(fileSet, path)
+		rec = got
+		return err
+	})
+	return rec, err
+}
+
+// Update overwrites a metadata record.
+func (r *Router) Update(fileSet, path string, rec sharedisk.Record) error {
+	return r.Do(fileSet, func(c *wire.Client) error { return c.Update(fileSet, path, rec) })
+}
+
+// Remove deletes a metadata record.
+func (r *Router) Remove(fileSet, path string) error {
+	return r.Do(fileSet, func(c *wire.Client) error { return c.Remove(fileSet, path) })
+}
+
+// List returns paths under a prefix.
+func (r *Router) List(fileSet, prefix string) ([]string, error) {
+	var out []string
+	err := r.Do(fileSet, func(c *wire.Client) error {
+		got, err := c.List(fileSet, prefix)
+		out = got
+		return err
+	})
+	return out, err
+}
+
+// Sync checkpoints every daemon in the fleet (the fleet-wide durability
+// barrier); the first error wins but every daemon is attempted.
+func (r *Router) Sync() error {
+	var firstErr error
+	for _, d := range r.Map().Daemons {
+		c, err := r.client(d.Addr)
+		if err == nil {
+			err = c.Sync()
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("fleet: sync daemon %d: %w", d.ID, err)
+		}
+	}
+	return firstErr
+}
+
+// Forward routes a raw request by its FileSet field — the gateway's
+// pass-through. The response keeps the caller's request ID.
+func (r *Router) Forward(req wire.Request) (wire.Response, error) {
+	var resp wire.Response
+	err := r.Do(req.FileSet, func(c *wire.Client) error {
+		fwd := req
+		got, err := c.Call(fwd)
+		resp = got
+		return err
+	})
+	resp.ID = req.ID
+	return resp, err
+}
+
+// Counters exposes the router's counters (tests and the gateway's stats).
+func (r *Router) Counters() *metrics.CounterSet { return r.counters }

@@ -228,6 +228,13 @@ func (j *Journal) LogCreateFileSet(fileSet string) error {
 	return j.append(0, encodeEntry(Entry{Kind: KindCreateFileSet, FileSet: fileSet}))
 }
 
+// LogDrop journals the removal of a file set (fleet handoff donated it);
+// returns once durable. Replay after a drop leaves no trace of the file
+// set, so a restarted donor cannot resurrect a fenced copy.
+func (j *Journal) LogDrop(fileSet string) error {
+	return j.append(0, encodeEntry(Entry{Kind: KindDrop, FileSet: fileSet}))
+}
+
 // LogFlush journals a flushed image; returns once durable.
 func (j *Journal) LogFlush(fileSet string, im sharedisk.Image) error {
 	return j.append(0, encodeEntry(Entry{Kind: KindFlush, FileSet: fileSet, Image: im}))

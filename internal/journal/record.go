@@ -42,6 +42,10 @@ const (
 	KindCreateFileSet EntryKind = 1
 	// KindFlush records a flushed image (post-flush version included).
 	KindFlush EntryKind = 2
+	// KindDrop records the removal of a file set from this journal's shared
+	// disk — written when a fleet handoff donates the file set to another
+	// daemon, so replay does not resurrect the fenced copy.
+	KindDrop EntryKind = 3
 )
 
 // Entry is one decoded journal record.
@@ -97,7 +101,7 @@ func decodeEntry(payload []byte) (Entry, error) {
 	e := Entry{Kind: EntryKind(c.u8())}
 	e.FileSet = c.str()
 	switch e.Kind {
-	case KindCreateFileSet:
+	case KindCreateFileSet, KindDrop:
 	case KindFlush:
 		e.Image = c.image()
 	default:

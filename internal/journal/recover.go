@@ -196,6 +196,8 @@ func applyEntry(images map[string]sharedisk.Image, e Entry) {
 		if cur, ok := images[e.FileSet]; !ok || e.Image.Version > cur.Version {
 			images[e.FileSet] = e.Image
 		}
+	case KindDrop:
+		delete(images, e.FileSet)
 	}
 }
 

@@ -1,0 +1,85 @@
+package live
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"anufs/internal/sharedisk"
+)
+
+func handoffCluster(t *testing.T, disk sharedisk.Disk) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Window = time.Hour // no background tuning during the test
+	cfg.OpCost = 0
+	cfg.RetryBudget = 100 * time.Millisecond
+	c, err := NewCluster(cfg, disk, map[int]float64{0: 1, 1: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// TestReleaseAdoptRoundTrip walks a file set through the two cluster-side
+// halves of a fleet handoff: release flushes the dirty cache to shared
+// disk, and a later adopt (as the recipient daemon would do after install)
+// resumes serving the flushed state.
+func TestReleaseAdoptRoundTrip(t *testing.T) {
+	disk := sharedisk.NewStore(0)
+	c := handoffCluster(t, disk)
+	if err := c.CreateFileSet("vol00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("vol00", "/a", sharedisk.Record{Size: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.ReleaseFileSet("vol00"); err != nil {
+		t.Fatal(err)
+	}
+	// The release flushed: shared disk has the record.
+	im, err := disk.Load("vol00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Records["/a"].Size != 7 {
+		t.Fatalf("release did not flush: %+v", im)
+	}
+	// Released file sets are not served: ops burn the retry budget.
+	if err := c.Create("vol00", "/b", sharedisk.Record{}); err == nil ||
+		!strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("op on released file set = %v", err)
+	}
+
+	if err := c.AdoptFileSet("vol00"); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Stat("vol00", "/a")
+	if err != nil || rec.Size != 7 {
+		t.Fatalf("Stat after adopt = %+v, %v", rec, err)
+	}
+}
+
+// TestAdoptUnknownFileSetFails ensures adopt surfaces a missing image
+// instead of serving an empty file set.
+func TestAdoptUnknownFileSetFails(t *testing.T) {
+	c := handoffCluster(t, sharedisk.NewStore(0))
+	if err := c.AdoptFileSet("nope"); err == nil {
+		t.Fatal("adopt of unknown file set succeeded")
+	}
+}
+
+// TestDoubleAdoptFails ensures a second adopt reports the double
+// assignment instead of silently double-serving.
+func TestDoubleAdoptFails(t *testing.T) {
+	disk := sharedisk.NewStore(0)
+	c := handoffCluster(t, disk)
+	if err := c.CreateFileSet("vol00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdoptFileSet("vol00"); err == nil {
+		t.Fatal("adopt of an already-served file set succeeded")
+	}
+}

@@ -327,6 +327,33 @@ func (c *Cluster) CreateFileSet(fileSet string) error {
 	return c.servers[owner].ms.Acquire(fileSet)
 }
 
+// ReleaseFileSet flushes a file set (if dirty) and stops serving it — the
+// donor half of a fleet handoff. The release runs through the owner's
+// queue, so it serializes behind every operation the fleet gate already
+// admitted; when it returns nil, the shared-disk image is the consistent
+// cut the recipient adopts. Client locks on the file set are dropped, not
+// transferred (same semantics as an intra-cluster move).
+func (c *Cluster) ReleaseFileSet(fileSet string) error {
+	return c.do(fileSet, func(s *server) error {
+		s.locks.DropFileSet(fileSet)
+		return s.ms.Release(fileSet)
+	})
+}
+
+// AdoptFileSet starts serving a file set whose image already exists on this
+// cluster's shared disk — the recipient half of a fleet handoff (the fleet
+// layer installs the image first, then adopts). The mapper-designated owner
+// acquires it, exactly as CreateFileSet assigns new file sets.
+func (c *Cluster) AdoptFileSet(fileSet string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return ErrStopped
+	}
+	owner := c.mapper.Owner(fileSet)
+	return c.servers[owner].ms.Acquire(fileSet)
+}
+
 // Obs returns the cluster's observability registry (never nil): the one
 // passed in Config.Obs, or the private one NewCluster created.
 func (c *Cluster) Obs() *obs.Registry { return c.obs }

@@ -1,0 +1,102 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleMap() *ClusterMap {
+	return &ClusterMap{
+		Epoch: 3,
+		Daemons: []DaemonInfo{
+			{ID: 1, Addr: "127.0.0.1:7001", Speed: 2},
+			{ID: 0, Addr: "127.0.0.1:7000", Speed: 1},
+		},
+		Assign: map[string]int{"vol00": 0, "vol01": 1, "vol02": 1},
+	}
+}
+
+func TestClusterMapRoundTrip(t *testing.T) {
+	m := sampleMap()
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeClusterMap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || len(got.Daemons) != 2 || len(got.Assign) != 3 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// Encode sorts daemons by ID for deterministic bytes.
+	if got.Daemons[0].ID != 0 || got.Daemons[1].ID != 1 {
+		t.Fatalf("daemons not sorted: %+v", got.Daemons)
+	}
+	b2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("encoding not deterministic:\n%s\n%s", b, b2)
+	}
+}
+
+func TestClusterMapOwnerLookups(t *testing.T) {
+	m := sampleMap()
+	d, ok := m.Owner("vol01")
+	if !ok || d.ID != 1 || d.Addr != "127.0.0.1:7001" {
+		t.Fatalf("Owner(vol01) = %+v, %v", d, ok)
+	}
+	if _, ok := m.Owner("nope"); ok {
+		t.Fatal("unplaced file set reported an owner")
+	}
+	if got := m.FileSetsOf(1); len(got) != 2 || got[0] != "vol01" || got[1] != "vol02" {
+		t.Fatalf("FileSetsOf(1) = %v", got)
+	}
+	if _, ok := m.Daemon(9); ok {
+		t.Fatal("unknown daemon resolved")
+	}
+}
+
+func TestClusterMapValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*ClusterMap)
+		want string
+	}{
+		{"zero epoch", func(m *ClusterMap) { m.Epoch = 0 }, "epoch"},
+		{"no daemons", func(m *ClusterMap) { m.Daemons = nil }, "no daemons"},
+		{"dup id", func(m *ClusterMap) { m.Daemons[1].ID = 1 }, "duplicate"},
+		{"empty addr", func(m *ClusterMap) { m.Daemons[0].Addr = "" }, "no address"},
+		{"zero speed", func(m *ClusterMap) { m.Daemons[0].Speed = 0 }, "speed"},
+		{"nan speed", func(m *ClusterMap) { m.Daemons[0].Speed = nan() }, "speed"},
+		{"unknown owner", func(m *ClusterMap) { m.Assign["vol00"] = 42 }, "unknown daemon"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := sampleMap()
+			tc.mut(m)
+			err := m.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+			if _, err := m.Encode(); err == nil {
+				t.Fatal("Encode accepted an invalid map")
+			}
+		})
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestDecodeClusterMapRejectsGarbage(t *testing.T) {
+	for _, b := range []string{"", "null", "{}", "[1,2]", `{"epoch":1}`, "\x00\x01"} {
+		if _, err := DecodeClusterMap([]byte(b)); err == nil {
+			t.Fatalf("DecodeClusterMap(%q) accepted garbage", b)
+		}
+	}
+}

@@ -255,6 +255,11 @@ func (s *Shipper) setAcked(seq uint64) {
 
 func (s *Shipper) run() {
 	defer close(s.done)
+	// Reconnects back off exponentially with jitter (shared wire.Backoff
+	// policy) from the configured base, so a fleet of shippers that lost the
+	// same standby does not re-dial in lockstep; a session that got as far
+	// as a successful resume resets the ladder.
+	backoff := wire.NewBackoff(s.opts.Backoff, 10*s.opts.Backoff)
 	for {
 		select {
 		case <-s.stop:
@@ -263,7 +268,10 @@ func (s *Shipper) run() {
 		}
 		c, err := wire.Dial(s.opts.Addr)
 		if err == nil {
-			err = s.stream(c)
+			// Snapshot ships can be large; give calls a generous deadline
+			// instead of the client default.
+			c.SetTimeout(30 * time.Second)
+			err = s.stream(c, backoff)
 			c.Close()
 		}
 		if err != nil {
@@ -272,7 +280,7 @@ func (s *Shipper) run() {
 		select {
 		case <-s.stop:
 			return
-		case <-time.After(s.opts.Backoff):
+		case <-time.After(backoff.Next()):
 			s.counters.Add("replica_reconnects", 1)
 		}
 	}
@@ -280,11 +288,12 @@ func (s *Shipper) run() {
 
 // stream runs one connection's replication session: resume from the
 // standby's ack, then follow the journal until an error or Stop.
-func (s *Shipper) stream(c *wire.Client) error {
+func (s *Shipper) stream(c *wire.Client, backoff *wire.Backoff) error {
 	ack, err := c.ShipStatus()
 	if err != nil {
 		return err
 	}
+	backoff.Reset()
 	s.setAcked(ack)
 	tailer := s.opts.Journal.NewTailer(ack + 1)
 	defer tailer.Close()

@@ -34,6 +34,25 @@ type TracedWAL interface {
 	LogFlushTraced(trace uint64, fileSet string, im Image) error
 }
 
+// DropWAL is optionally implemented by WALs (internal/journal) that can
+// journal a file-set removal. It is separate from WAL so existing WAL
+// implementations keep compiling; Durable.DropFileSet requires it.
+type DropWAL interface {
+	LogDrop(fileSet string) error
+}
+
+// Installer is optionally implemented by disks that can adopt a complete
+// image from elsewhere (fleet handoff). *Store and *Durable implement it.
+type Installer interface {
+	Install(fileSet string, im Image) error
+}
+
+// Dropper is optionally implemented by disks that can remove a file set
+// (fleet handoff fencing). *Store and *Durable implement it.
+type Dropper interface {
+	DropFileSet(fileSet string) error
+}
+
 // Durable is a Store variant that write-ahead-logs every mutation, so the
 // shared disk's images survive a daemon crash: CreateFileSet and Flush
 // return only once the journal has fsynced the entry, and journal.Recover
@@ -98,6 +117,43 @@ func (d *Durable) FlushTraced(trace uint64, fileSet string, im Image) (uint64, e
 		return v, fmt.Errorf("sharedisk: journal flush of %q: %w", fileSet, err)
 	}
 	return v, d.maybeSnapshot()
+}
+
+// Install adopts a complete image (fleet handoff) and journals it as a
+// flush, so replay after a crash re-installs exactly the adopted state —
+// KindFlush replay creates the file set if absent, so no separate create
+// entry is needed.
+func (d *Durable) Install(fileSet string, im Image) error {
+	if err := d.Store.Install(fileSet, im); err != nil {
+		return err
+	}
+	// Journal what the store now holds (Install may have defaulted the
+	// version), not the caller's argument.
+	installed, err := d.Store.Load(fileSet)
+	if err != nil {
+		return err
+	}
+	if err := d.wal.LogFlush(fileSet, installed); err != nil {
+		return fmt.Errorf("sharedisk: journal install of %q: %w", fileSet, err)
+	}
+	return d.maybeSnapshot()
+}
+
+// DropFileSet removes the file set and journals the drop, so a restarted
+// donor cannot resurrect a copy it already donated. The WAL must implement
+// DropWAL.
+func (d *Durable) DropFileSet(fileSet string) error {
+	dw, ok := d.wal.(DropWAL)
+	if !ok {
+		return fmt.Errorf("sharedisk: WAL %T cannot journal drops", d.wal)
+	}
+	if err := d.Store.DropFileSet(fileSet); err != nil {
+		return err
+	}
+	if err := dw.LogDrop(fileSet); err != nil {
+		return fmt.Errorf("sharedisk: journal drop of %q: %w", fileSet, err)
+	}
+	return d.maybeSnapshot()
 }
 
 // maybeSnapshot counts journaled entries and cuts a snapshot (compacting

@@ -1,0 +1,113 @@
+package sharedisk
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInstallCreatesAndReplaces(t *testing.T) {
+	s := NewStore(0)
+	im := Image{Version: 4, Records: map[string]Record{"/a": {Size: 1}}}
+	if err := s.Install("vol00", im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("vol00")
+	if err != nil || got.Version != 4 || got.Records["/a"].Size != 1 {
+		t.Fatalf("Load after install = %+v, %v", got, err)
+	}
+	// Same-version reinstall (idempotent retry) and upgrades are fine.
+	if err := s.Install("vol00", im); err != nil {
+		t.Fatal(err)
+	}
+	im.Version = 9
+	if err := s.Install("vol00", im); err != nil {
+		t.Fatal(err)
+	}
+	// Downgrades are not.
+	im.Version = 2
+	if err := s.Install("vol00", im); err == nil || !strings.Contains(err.Error(), "downgrade") {
+		t.Fatalf("downgrade install err = %v", err)
+	}
+	// Zero-value images get the same defaults CreateFileSet would.
+	if err := s.Install("vol01", Image{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Load("vol01")
+	if err != nil || got.Version != 1 || got.Records == nil {
+		t.Fatalf("zero-value install = %+v, %v", got, err)
+	}
+}
+
+func TestDropFileSet(t *testing.T) {
+	s := NewStore(0)
+	if err := s.CreateFileSet("vol00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropFileSet("vol00"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("vol00"); err == nil {
+		t.Fatal("dropped file set still loads")
+	}
+	if err := s.DropFileSet("vol00"); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+}
+
+// fakeWAL records calls and implements only the base WAL; fakeDropWAL adds
+// LogDrop, so the Durable paths with and without a DropWAL are both
+// testable.
+type fakeWAL struct {
+	creates, flushes, drops []string
+}
+
+func (w *fakeWAL) LogCreateFileSet(fs string) error { w.creates = append(w.creates, fs); return nil }
+func (w *fakeWAL) LogFlush(fs string, im Image) error {
+	w.flushes = append(w.flushes, fs)
+	return nil
+}
+func (w *fakeWAL) Snapshot(func() map[string]Image) error { return nil }
+func (w *fakeWAL) Close() error                           { return nil }
+
+type fakeDropWAL struct{ fakeWAL }
+
+func (w *fakeDropWAL) LogDrop(fs string) error { w.drops = append(w.drops, fs); return nil }
+
+func TestDurableInstallJournalsFlush(t *testing.T) {
+	wal := &fakeDropWAL{}
+	d := NewDurable(NewStore(0), wal, 0)
+	if err := d.Install("vol00", Image{Version: 3, Records: map[string]Record{"/x": {}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(wal.flushes) != 1 || wal.flushes[0] != "vol00" {
+		t.Fatalf("install journaled %v, want one vol00 flush", wal.flushes)
+	}
+	if err := d.DropFileSet("vol00"); err != nil {
+		t.Fatal(err)
+	}
+	if len(wal.drops) != 1 || wal.drops[0] != "vol00" {
+		t.Fatalf("drop journaled %v", wal.drops)
+	}
+}
+
+func TestDurableDropRequiresDropWAL(t *testing.T) {
+	d := NewDurable(NewStore(0), &fakeWAL{}, 0)
+	if err := d.Store.CreateFileSet("vol00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DropFileSet("vol00"); err == nil {
+		t.Fatal("drop without DropWAL succeeded")
+	}
+	// The store copy must be untouched when the WAL cannot fence the drop.
+	if _, err := d.Load("vol00"); err != nil {
+		t.Fatalf("file set lost despite failed drop: %v", err)
+	}
+}
+
+// Interface conformance the fleet layer relies on.
+var (
+	_ Installer = (*Store)(nil)
+	_ Installer = (*Durable)(nil)
+	_ Dropper   = (*Store)(nil)
+	_ Dropper   = (*Durable)(nil)
+)

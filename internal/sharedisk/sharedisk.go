@@ -108,6 +108,43 @@ func (s *Store) CreateFileSet(fileSet string) error {
 	return nil
 }
 
+// Install places a complete image for a file set, creating it if absent or
+// replacing an existing one — the adopting half of a fleet handoff, where
+// the image arrives from the donor daemon rather than this store's own
+// flush cycle. A version downgrade is rejected: the donor's image must be
+// at least as new as whatever copy this store holds.
+func (s *Store) Install(fileSet string, im Image) error {
+	s.sleep()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.images[fileSet]; ok && im.Version < cur.Version {
+		return fmt.Errorf("sharedisk: install of %q would downgrade version %d to %d",
+			fileSet, cur.Version, im.Version)
+	}
+	if im.Records == nil {
+		im.Records = map[string]Record{}
+	}
+	if im.Version == 0 {
+		im.Version = 1
+	}
+	s.images[fileSet] = im.clone()
+	return nil
+}
+
+// DropFileSet removes a file set's image — the fencing half of a fleet
+// handoff: after the recipient adopts, the donor drops its copy so a stale
+// restart cannot serve it. Dropping an unknown file set is an error (it
+// would indicate a double donate).
+func (s *Store) DropFileSet(fileSet string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.images[fileSet]; !ok {
+		return fmt.Errorf("sharedisk: unknown file set %q", fileSet)
+	}
+	delete(s.images, fileSet)
+	return nil
+}
+
 // FileSets lists the stored file sets (unordered).
 func (s *Store) FileSets() []string {
 	s.mu.RLock()

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff produces exponentially growing, jittered retry delays — the
+// shared reconnect policy for everything that re-dials a wire peer
+// (replica.Shipper, fleet.Router). Jitter (±25%) keeps a fleet of clients
+// that lost the same daemon from re-dialing in lockstep.
+//
+// A Backoff is cheap (two durations and a cursor) and NOT safe for
+// concurrent use; give each retry loop its own.
+type Backoff struct {
+	// Base is the first delay; Max caps the growth. NewBackoff fills
+	// defaults for zero values.
+	Base, Max time.Duration
+	cur       time.Duration
+}
+
+// DefaultBackoffBase and DefaultBackoffMax are the zero-value defaults.
+const (
+	DefaultBackoffBase = 100 * time.Millisecond
+	DefaultBackoffMax  = 5 * time.Second
+)
+
+// NewBackoff returns a backoff starting at base and doubling up to max
+// (zero values take the defaults; max below base is raised to base).
+func NewBackoff(base, max time.Duration) *Backoff {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{Base: base, Max: max}
+}
+
+// Next returns the next delay: the current step jittered by ±25%, after
+// which the step doubles (capped at Max).
+func (b *Backoff) Next() time.Duration {
+	if b.cur <= 0 {
+		b.cur = b.Base
+		if b.cur <= 0 {
+			b.cur = DefaultBackoffBase
+		}
+	}
+	d := b.cur
+	b.cur *= 2
+	max := b.Max
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if b.cur > max {
+		b.cur = max
+	}
+	// Jitter in [0.75d, 1.25d).
+	return d - d/4 + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// Reset returns the backoff to its base step — call after a successful
+// round trip so the next failure starts the ladder over.
+func (b *Backoff) Reset() { b.cur = 0 }

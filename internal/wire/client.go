@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"anufs/internal/core"
 	"anufs/internal/obs"
@@ -32,7 +34,23 @@ type Client struct {
 	// lastTrace remembers the most recent server-echoed trace ID, so a
 	// caller can fetch the span timeline of the call it just made.
 	lastTrace atomic.Uint64
+
+	// timeout bounds each call's wait for a response (SetTimeout): 0 means
+	// DefaultCallTimeout, negative disables the deadline.
+	timeout atomic.Int64
 }
+
+// DefaultCallTimeout bounds how long a call waits for its response when
+// SetTimeout has not been called — a hung or wedged server must not block
+// every caller forever.
+const DefaultCallTimeout = 5 * time.Second
+
+// SetTimeout overrides the per-call response deadline: 0 restores
+// DefaultCallTimeout, a negative duration disables the deadline entirely
+// (bulk transfers like snapshot shipping set their own, longer budget).
+// Safe to call concurrently with in-flight calls; it applies to calls
+// started after it.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
 
 // Dial connects to a wire server.
 func Dial(addr string) (*Client, error) {
@@ -107,14 +125,51 @@ func (c *Client) call(req Request) (Response, error) {
 		c.mu.Unlock()
 		return Response{}, fmt.Errorf("wire: send: %w", err)
 	}
-	resp := <-ch
+	d := time.Duration(c.timeout.Load())
+	if d == 0 {
+		d = DefaultCallTimeout
+	}
+	var resp Response
+	if d < 0 {
+		resp = <-ch
+	} else {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case resp = <-ch:
+		case <-timer.C:
+			// Abandon the call: readLoop's send into the (buffered) channel
+			// cannot block, and deleting the pending entry keeps the map from
+			// accumulating abandoned IDs.
+			c.mu.Lock()
+			delete(c.pending, req.ID)
+			c.mu.Unlock()
+			return Response{}, fmt.Errorf("wire: %s call timed out after %v", req.Op, d)
+		}
+	}
 	if resp.Trace != 0 {
 		c.lastTrace.Store(resp.Trace)
 	}
 	if resp.Err != "" {
+		// Rebuild the typed fleet errors that crossed the wire as strings, so
+		// callers can switch on them without string matching.
+		if strings.HasPrefix(resp.Err, wrongOwnerMsg) {
+			return resp, &WrongOwnerError{Epoch: resp.Epoch}
+		}
+		if strings.HasPrefix(resp.Err, arrivingMsg) {
+			return resp, fmt.Errorf("%w (server: %s)", ErrArriving, resp.Err)
+		}
 		return resp, errors.New(resp.Err)
 	}
 	return resp, nil
+}
+
+// Call sends a raw request (the ID is assigned by the client) and returns
+// the raw response — the pass-through the fleet gateway uses to forward
+// frames without enumerating every op. The response is returned even when
+// err is non-nil, so forwarders can relay server-side error strings.
+func (c *Client) Call(req Request) (Response, error) {
+	return c.call(req)
 }
 
 // LastTrace returns the trace ID the server assigned to this client's most
@@ -310,6 +365,51 @@ func (c *Client) PStat(path string) (sharedisk.Record, error) {
 func (c *Client) PRemove(path string) error {
 	_, err := c.call(Request{Op: OpPRemove, Path: path})
 	return err
+}
+
+// ClusterMap fetches the daemon's current encoded cluster map
+// (placement.DecodeClusterMap parses it). Only fleet-mode daemons serve it.
+func (c *Client) ClusterMap() ([]byte, error) {
+	resp, err := c.call(Request{Op: OpMap})
+	return resp.Map, err
+}
+
+// MapEpoch fetches just the daemon's cluster-map epoch — the cheap probe a
+// fleet member polls to notice a newer map.
+func (c *Client) MapEpoch() (uint64, error) {
+	resp, err := c.call(Request{Op: OpMapEpoch})
+	return resp.Epoch, err
+}
+
+// Adopt delivers a donated file set to its new owner during a handoff:
+// snap is the donor's encoded image cut (journal.EncodeImages) and mapData
+// the encoded cluster map of the epoch the handoff runs under, so the
+// recipient converges to the new epoch in the same frame.
+func (c *Client) Adopt(epoch uint64, fileSet string, snap, mapData []byte) error {
+	_, err := c.call(Request{Op: OpAdopt, Epoch: epoch, FileSet: fileSet, Snap: snap, Map: mapData})
+	return err
+}
+
+// Handoff tells a donor daemon to donate a file set to the daemon at addr,
+// under the (already published) cluster map mapData with the given epoch.
+func (c *Client) Handoff(epoch uint64, fileSet, addr string, mapData []byte) error {
+	_, err := c.call(Request{Op: OpHandoff, Epoch: epoch, FileSet: fileSet, Addr: addr, Map: mapData})
+	return err
+}
+
+// Assign pins a file set to a daemon (authority daemons only) and returns
+// the epoch of the resulting map. Moving an owned file set triggers a live
+// handoff.
+func (c *Client) Assign(fileSet string, daemon int) (uint64, error) {
+	resp, err := c.call(Request{Op: OpAssign, FileSet: fileSet, Daemon: daemon})
+	return resp.Epoch, err
+}
+
+// Rebalance recomputes the whole assignment from the ANU mapper (authority
+// daemons only), clearing manual pins, and returns the new epoch.
+func (c *Client) Rebalance() (uint64, error) {
+	resp, err := c.call(Request{Op: OpRebalance})
+	return resp.Epoch, err
 }
 
 // Mapping fetches the cluster's replicated routing configuration and

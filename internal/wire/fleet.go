@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// This file is the wire surface of fleet mode (internal/fleet): the error
+// vocabulary of the wrong-owner protocol and the hook a fleet member uses
+// to fence file-set operations on its daemon.
+
+// wrongOwnerMsg prefixes every wrong-owner rejection. The error crosses the
+// wire as a string, so the client matches the prefix and rebuilds a typed
+// *WrongOwnerError carrying Response.Epoch.
+const wrongOwnerMsg = "wire: wrong owner"
+
+// arrivingMsg prefixes rejections of operations on a file set this daemon
+// owns but has not finished adopting — a transient state clients retry.
+const arrivingMsg = "wire: file set arriving"
+
+// WrongOwnerError rejects an operation on a file set this daemon does not
+// own under the current cluster map. Epoch tells the client which epoch it
+// must at least fetch before the retry can possibly land.
+type WrongOwnerError struct {
+	Epoch uint64
+}
+
+func (e *WrongOwnerError) Error() string {
+	return fmt.Sprintf("%s (epoch %d): refetch the cluster map", wrongOwnerMsg, e.Epoch)
+}
+
+// IsWrongOwner reports whether err is a wrong-owner rejection (locally
+// typed or reconstructed from the wire) and returns the rejecting daemon's
+// epoch.
+func IsWrongOwner(err error) (epoch uint64, ok bool) {
+	var woe *WrongOwnerError
+	if errors.As(err, &woe) {
+		return woe.Epoch, true
+	}
+	return 0, false
+}
+
+// ErrArriving rejects an operation on a file set that is assigned to this
+// daemon but whose adoption has not completed. Unlike wrong-owner, the map
+// is not stale — the client just retries after a short backoff.
+var ErrArriving = errors.New(arrivingMsg + ": adoption in progress, retry")
+
+// IsArriving reports whether err is an arriving rejection, locally typed or
+// reconstructed from a wire error string.
+func IsArriving(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrArriving) || strings.Contains(err.Error(), arrivingMsg)
+}
+
+// FleetHandler is what the wire server needs from a fleet member
+// (internal/fleet.Member implements it). It lives here as an interface so
+// wire does not import fleet (fleet imports wire for the client).
+type FleetHandler interface {
+	// Gate admits or rejects one file-set-addressed operation under the
+	// current cluster map. On nil error the operation may proceed and the
+	// caller MUST call release() when it completes — the member counts
+	// in-flight operations so a handoff can drain them before the donor
+	// flushes. Rejections are *WrongOwnerError (not ours under this map),
+	// ErrArriving (ours, adoption pending), or a plain error (unplaced).
+	Gate(op Op, fileSet string) (release func(), err error)
+	// Fleet serves the fleet ops (map, map-epoch, adopt, handoff, assign,
+	// rebalance). The returned Response's ID is overwritten by the server.
+	Fleet(req Request) Response
+}
+
+// gatedOp reports whether an op is addressed to a single file set and must
+// pass the fleet gate. Namespace P-ops resolve through the per-daemon mount
+// table and are not fleet-routed (documented out of scope in fleet mode);
+// observability and replication ops are daemon-local by design.
+func gatedOp(op Op) bool {
+	switch op {
+	case OpCreateFileSet, OpCreate, OpStat, OpUpdate, OpRemove, OpList, OpLock, OpUnlock:
+		return true
+	}
+	return false
+}

@@ -69,6 +69,9 @@ type Server struct {
 	closedConns int64
 	// journalStats, when set, supplies journal counters for OpStats.
 	journalStats func() map[string]int64
+	// fleet, when set, fences file-set ops against the cluster map and
+	// serves the fleet ops (SetFleet).
+	fleet FleetHandler
 }
 
 // NewServer wraps a cluster. The caller retains ownership of the cluster
@@ -111,6 +114,16 @@ func (s *Server) SetSlowThreshold(d time.Duration) {
 func (s *Server) SetJournalStats(fn func() map[string]int64) {
 	s.mu.Lock()
 	s.journalStats = fn
+	s.mu.Unlock()
+}
+
+// SetFleet puts the server in fleet mode: every file-set-addressed
+// operation passes h.Gate before dispatch (wrong-owner fencing), and the
+// fleet ops (map/map-epoch/adopt/handoff/assign/rebalance) dispatch to
+// h.Fleet. Call before Listen.
+func (s *Server) SetFleet(h FleetHandler) {
+	s.mu.Lock()
+	s.fleet = h
 	s.mu.Unlock()
 }
 
@@ -283,6 +296,30 @@ func (s *Server) handle(trace uint64, req Request) Response {
 	fail := func(err error) Response {
 		resp.Err = err.Error()
 		return resp
+	}
+	s.mu.Lock()
+	fleet := s.fleet
+	s.mu.Unlock()
+	switch req.Op {
+	case OpMap, OpMapEpoch, OpAdopt, OpHandoff, OpAssign, OpRebalance:
+		if fleet == nil {
+			return fail(errors.New("wire: not in fleet mode (start anufsd with -fleet)"))
+		}
+		r := fleet.Fleet(req)
+		r.ID = req.ID
+		return r
+	}
+	if fleet != nil && gatedOp(req.Op) {
+		release, err := fleet.Gate(req.Op, req.FileSet)
+		if err != nil {
+			// A wrong-owner rejection carries the rejecting daemon's epoch so
+			// the client knows how fresh a map it needs before retrying.
+			if epoch, ok := IsWrongOwner(err); ok {
+				resp.Epoch = epoch
+			}
+			return fail(err)
+		}
+		defer release()
 	}
 	// Metadata operations go through the traced view, so queue-wait/apply
 	// (and, for sync, journal) spans land under this request's trace.

@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCallTimesOutOnStalledServer is the regression test for per-call
+// deadlines: a listener that accepts and then never responds used to block
+// every caller forever; now the call fails after Client.SetTimeout.
+func TestCallTimesOutOnStalledServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn // hold the conn open, read nothing, answer nothing
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	_, err = c.Stat("vol00", "/a")
+	if err == nil {
+		t.Fatal("call against a stalled server returned nil")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want a timeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", d)
+	}
+	// The abandoned call must not leak its pending entry.
+	c.mu.Lock()
+	n := len(c.pending)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d pending entries leaked after timeout", n)
+	}
+	// The client is still usable for its next (also timed-out) call.
+	if _, err := c.Stat("vol00", "/b"); err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("second call err = %v", err)
+	}
+	select {
+	case conn := <-accepted:
+		conn.Close()
+	default:
+	}
+}
+
+// TestNegativeTimeoutDisablesDeadline checks the opt-out: a negative
+// timeout waits indefinitely (here: until the response arrives late).
+func TestNegativeTimeoutDisablesDeadline(t *testing.T) {
+	c, _ := startServer(t, 1)
+	c.SetTimeout(-1)
+	if err := c.CreateFileSet("volx"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackoffGrowsJittersAndResets(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second)
+	prevMax := time.Duration(0)
+	for i := 0; i < 6; i++ {
+		d := b.Next()
+		step := 100 * time.Millisecond << i
+		if step > time.Second {
+			step = time.Second
+		}
+		lo, hi := step-step/4, step+step/4
+		if d < lo || d > hi {
+			t.Fatalf("step %d: delay %v outside [%v, %v]", i, d, lo, hi)
+		}
+		if d > prevMax {
+			prevMax = d
+		}
+	}
+	b.Reset()
+	if d := b.Next(); d > 125*time.Millisecond {
+		t.Fatalf("after Reset, delay %v did not return to base", d)
+	}
+	// Zero-value Backoff is usable with defaults.
+	var zb Backoff
+	if d := zb.Next(); d <= 0 {
+		t.Fatalf("zero-value backoff returned %v", d)
+	}
+}

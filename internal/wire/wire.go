@@ -64,6 +64,18 @@ const (
 	// reply with AckSeq; a non-standby server rejects them.
 	OpShip       Op = "ship"
 	OpShipStatus Op = "ship-status"
+	// Fleet operations (internal/fleet): OpMap fetches the encoded
+	// epoch-numbered cluster map; OpMapEpoch fetches just the epoch (cheap
+	// staleness probe). OpAdopt delivers a donated file set's image to its
+	// new owner during a handoff; OpHandoff tells a donor daemon to donate a
+	// file set to another daemon; OpAssign pins a file set to a daemon and
+	// OpRebalance recomputes the whole assignment — both are authority-only.
+	OpMap       Op = "map"
+	OpMapEpoch  Op = "map-epoch"
+	OpAdopt     Op = "adopt"
+	OpHandoff   Op = "handoff"
+	OpAssign    Op = "assign"
+	OpRebalance Op = "rebalance"
 )
 
 // ShipEntry is one replicated journal entry: the primary's sequence and the
@@ -100,6 +112,17 @@ type Request struct {
 	Entries []ShipEntry `json:"entries,omitempty"`
 	Snap    []byte      `json:"snap,omitempty"`
 	SnapSeq uint64      `json:"snap_seq,omitempty"`
+	// Fleet fields. Epoch is the cluster-map epoch the sender acted under
+	// (OpAdopt/OpHandoff). Addr is the recipient daemon's address for
+	// OpHandoff. Daemon is the target daemon ID for OpAssign. Map carries an
+	// encoded cluster map (placement.ClusterMap) inline on OpAdopt/OpHandoff
+	// so the receiving daemon converges to the new epoch in the same frame
+	// that needs it — no window where the recipient rejects its own adoption
+	// as wrong-owner. Snap is reused by OpAdopt for the donated image.
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Addr   string `json:"addr,omitempty"`
+	Daemon int    `json:"daemon,omitempty"`
+	Map    []byte `json:"map,omitempty"`
 }
 
 // ConnStat is the per-connection request/error accounting included in
@@ -158,4 +181,9 @@ type Response struct {
 	ClosedConns int64            `json:"closed_conns,omitempty"`
 	// AckSeq answers OpShip/OpShipStatus: the standby's durable sequence.
 	AckSeq uint64 `json:"ack_seq,omitempty"`
+	// Epoch answers OpMapEpoch/OpAssign/OpRebalance, and rides along every
+	// wrong-owner rejection so a stale client knows which epoch it must at
+	// least reach before retrying. Map answers OpMap.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Map   []byte `json:"map,omitempty"`
 }
