@@ -1,0 +1,31 @@
+GO ?= go
+ANUFSVET := $(CURDIR)/bin/anufsvet
+
+.PHONY: all build test vet fuzz-smoke clean
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# vet runs go vet plus the repository's own invariant suite
+# (internal/analysis via cmd/anufsvet; see DESIGN.md §13).
+vet: $(ANUFSVET)
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(ANUFSVET) ./...
+
+$(ANUFSVET): FORCE
+	$(GO) build -o $(ANUFSVET) ./cmd/anufsvet
+
+# fuzz-smoke replays the committed corpora and fuzzes briefly, as CI does.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzRequestDecode -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeClusterMap -fuzztime 10s ./internal/placement/
+
+clean:
+	rm -rf bin
+
+FORCE:

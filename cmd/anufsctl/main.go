@@ -22,6 +22,7 @@ import (
 	"os"
 	"strconv"
 	"text/tabwriter"
+	"time"
 
 	"anufs/internal/fleet"
 	"anufs/internal/metrics"
@@ -55,6 +56,9 @@ func main() {
 		fatal(err)
 	}
 	defer c.Close()
+	// Generous deadline: rebalance fans out many handoffs, but a CLI must
+	// still fail rather than hang on a wedged daemon.
+	c.SetTimeout(2 * time.Minute)
 	var data dataAPI = c
 	if *fleetMode {
 		r, err := fleet.NewRouter(fleet.RouterConfig{AuthorityAddr: *addr})

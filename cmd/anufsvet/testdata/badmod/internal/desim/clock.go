@@ -1,0 +1,15 @@
+// Package desim is a deliberately bad fixture: the anufsvet self-check
+// asserts that the multichecker reports each planted violation.
+package desim
+
+import "time"
+
+// WallClock reads the real clock inside the simulator.
+func WallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+// Stall sleeps on the wall clock.
+func Stall() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,23 @@
+// Package wire plants a one-sided op for the anufsvet self-check.
+package wire
+
+// Op enumerates protocol operations.
+type Op string
+
+const (
+	// OpStat is dispatched by the server but never sent by a client.
+	OpStat Op = "stat"
+)
+
+// Request is one client frame.
+type Request struct {
+	Op Op
+}
+
+func serve(req Request) int {
+	switch req.Op {
+	case OpStat:
+		return 1
+	}
+	return 0
+}

@@ -48,6 +48,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer c.Close()
+	c.SetTimeout(10 * time.Second)
 
 	// Build the mount table: subtrees of the global namespace → file sets.
 	mounts := map[string]string{

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression annotation:
+//
+//	//anufs:allow <analyzer> <reason...>
+//
+// An allow on line L suppresses diagnostics of the named analyzer on
+// line L and line L+1, so it works both as a trailing comment on the
+// offending line and as a standalone comment immediately above it.
+const allowPrefix = "//anufs:allow"
+
+// AllowHygiene is the pseudo-analyzer name under which malformed or
+// unused allow annotations are reported. It cannot be suppressed.
+const AllowHygiene = "allowhygiene"
+
+// an allow is one parsed annotation.
+type allow struct {
+	pos      token.Pos
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// parseAllows extracts every allow annotation from the files.
+func parseAllows(fset *token.FileSet, files []*ast.File) []*allow {
+	var allows []*allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				// A nested "//" ends the annotation (the golden tests put
+				// their expectations there).
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				a := &allow{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+				if len(fields) > 0 {
+					a.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					a.reason = strings.Join(fields[1:], " ")
+				}
+				allows = append(allows, a)
+			}
+		}
+	}
+	return allows
+}
+
+// applyAllows filters diags through the annotations and appends hygiene
+// diagnostics for annotations that are malformed, name an unknown
+// analyzer, or suppress nothing. registered maps every valid analyzer
+// name; ran maps the analyzers that executed in this pass — the unused
+// check only applies to those, so running a single analyzer (as the
+// golden tests do) does not condemn allows for the others.
+func applyAllows(fset *token.FileSet, allows []*allow, ran, registered map[string]bool, diags []Diagnostic) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		line := fset.Position(d.Pos).Line
+		file := fset.Position(d.Pos).Filename
+		suppressed := false
+		for _, a := range allows {
+			if a.analyzer != d.Analyzer || a.reason == "" {
+				continue
+			}
+			if fset.Position(a.pos).Filename != file {
+				continue
+			}
+			if a.line == line || a.line == line-1 {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case a.analyzer == "" || a.reason == "":
+			kept = append(kept, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: AllowHygiene,
+				Message:  "anufs:allow needs an analyzer name and a reason: //anufs:allow <analyzer> <reason...>",
+			})
+		case !registered[a.analyzer]:
+			kept = append(kept, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: AllowHygiene,
+				Message:  "anufs:allow names unknown analyzer " + a.analyzer,
+			})
+		case !ran[a.analyzer]:
+			// Not exercised in this run; nothing to say about it.
+		case !a.used:
+			kept = append(kept, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: AllowHygiene,
+				Message:  "unused anufs:allow for " + a.analyzer + ": nothing on this or the next line triggers it",
+			})
+		}
+	}
+	return kept
+}

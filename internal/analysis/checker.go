@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Run executes the analyzers over one loaded package and returns the
+// surviving diagnostics: every violation the analyzers reported, minus
+// those suppressed by a justified //anufs:allow, plus hygiene
+// diagnostics for annotations that are malformed or suppress nothing.
+// Diagnostics come back sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	registered := map[string]bool{}
+	for _, a := range Registry() {
+		registered[a.Name] = true
+	}
+	allows := parseAllows(pkg.Fset, pkg.Files)
+	diags = applyAllows(pkg.Fset, allows, ran, registered, diags)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// Format renders one diagnostic the way vet does: file:line:col: message.
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+}

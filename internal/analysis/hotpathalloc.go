@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotPathMarker tags a function whose body must stay allocation-free.
+// It goes in the function's doc comment:
+//
+//	// Observe records one latency sample.
+//	//anufs:hotpath
+//	func (h *Histogram) Observe(d time.Duration) { ... }
+const hotPathMarker = "//anufs:hotpath"
+
+// HotPathAlloc forbids allocation-heavy constructs inside functions
+// marked //anufs:hotpath — the obs Observe/histogram path sits on every
+// request, and a single fmt.Sprintf there costs more than the entire
+// measurement (~23ns budget). Forbidden: any fmt call, non-constant
+// string concatenation, append, make, map/slice composite literals, and
+// string([]byte) conversions.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "no fmt calls, string building, append/make, or map/slice literals " +
+		"inside functions marked //anufs:hotpath",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			checkHotPathBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, hotPathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotPathBody(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotPathCall(pass, name, n)
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if t := pass.TypesInfo.TypeOf(n.Lhs[0]); t != nil && isStringType(t) {
+					pass.Reportf(n.Pos(), "string concatenation allocates in hot path %s", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() != "+" {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil || !isStringType(t) {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Value != nil {
+				return true // constant-folded at compile time
+			}
+			pass.Reportf(n.Pos(), "string concatenation allocates in hot path %s", name)
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map, *types.Slice:
+				pass.Reportf(n.Pos(), "map/slice literal allocates in hot path %s", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkHotPathCall(pass *Pass, name string, call *ast.CallExpr) {
+	// Builtins: append and make always allocate or risk it.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" || b.Name() == "make" {
+				pass.Reportf(call.Pos(), "%s allocates in hot path %s", b.Name(), name)
+			}
+			return
+		}
+	}
+	// string([]byte) / string([]rune) conversions copy.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if isStringType(tv.Type) && len(call.Args) == 1 {
+			if at := pass.TypesInfo.TypeOf(call.Args[0]); at != nil {
+				if _, isSlice := at.Underlying().(*types.Slice); isSlice {
+					pass.Reportf(call.Pos(), "string conversion copies in hot path %s", name)
+				}
+			}
+		}
+		return
+	}
+	obj := calleeObject(pass, call)
+	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(),
+			"fmt.%s allocates and reflects in hot path %s (format off the hot path or //anufs:allow hotpathalloc <why>)",
+			obj.Name(), name)
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// JournalKinds enforces recovery exhaustiveness over the journal's
+// record kinds: every Kind* constant of the journal's EntryKind type
+// must be handled in at least one switch over an EntryKind value in the
+// package's non-test code (the recovery/apply path), and — when the
+// unit includes the package's tests — referenced by at least one
+// _test.go file, so a new record kind cannot ship without a crash-path
+// test exercising it. A kind with no recovery case is exactly the
+// silent-corruption shape log-structured designs warn about: the record
+// is written durably and then ignored at replay.
+var JournalKinds = &Analyzer{
+	Name: "journalkinds",
+	Doc: "every journal Kind* constant must be handled in an EntryKind switch " +
+		"and referenced by a test",
+	Run: runJournalKinds,
+}
+
+func runJournalKinds(pass *Pass) error {
+	if !pathHasSuffix(pass.Pkg.Path(), "internal/journal") {
+		return nil
+	}
+
+	// The journal's kind type: a defined integer type named EntryKind.
+	kindType := pass.Pkg.Scope().Lookup("EntryKind")
+	if kindType == nil {
+		return nil
+	}
+
+	type kindConst struct {
+		obj      types.Object
+		decl     ast.Node
+		switched bool
+		tested   bool
+	}
+	var kinds []*kindConst
+	byObj := map[types.Object]*kindConst{}
+	for ident, obj := range pass.TypesInfo.Defs {
+		c, ok := obj.(*types.Const)
+		if !ok || !strings.HasPrefix(ident.Name, "Kind") || c.Type() != kindType.Type() {
+			continue
+		}
+		k := &kindConst{obj: obj, decl: ident}
+		kinds = append(kinds, k)
+		byObj[obj] = k
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].decl.Pos() < kinds[j].decl.Pos() })
+
+	hasTests := false
+	for _, f := range pass.Files {
+		inTest := isTestFile(pass, f)
+		hasTests = hasTests || inTest
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if k, ok := byObj[pass.TypesInfo.Uses[n]]; ok && inTest {
+					k.tested = true
+				}
+			case *ast.SwitchStmt:
+				if inTest {
+					return true
+				}
+				for _, cl := range n.Body.List {
+					for _, e := range cl.(*ast.CaseClause).List {
+						if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+							if k, ok := byObj[pass.TypesInfo.Uses[id]]; ok {
+								k.switched = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, k := range kinds {
+		if !k.switched {
+			pass.Reportf(k.decl.Pos(),
+				"%s has no case in any EntryKind switch: records of this kind would be journaled but silently skipped at recovery", k.obj.Name())
+		}
+		if hasTests && !k.tested {
+			pass.Reportf(k.decl.Pos(),
+				"%s is not referenced by any _test.go file: add a crash/recovery test exercising this record kind", k.obj.Name())
+		}
+	}
+	return nil
+}

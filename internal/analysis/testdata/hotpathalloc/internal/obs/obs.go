@@ -1,0 +1,63 @@
+// Package obs is a fixture for the hotpathalloc analyzer: functions
+// marked //anufs:hotpath must not allocate.
+package obs
+
+import "fmt"
+
+// Histogram is a stand-in for the real latency histogram.
+type Histogram struct {
+	counts [8]uint64
+	labels string
+}
+
+// Observe records one sample; it runs on every request.
+//
+//anufs:hotpath
+func (h *Histogram) Observe(bucket int, name string, raw []byte) {
+	h.counts[bucket]++
+	fmt.Sprintf("bucket=%d", bucket) // want `fmt\.Sprintf allocates and reflects in hot path Observe`
+	key := "op:" + name              // want `string concatenation allocates in hot path Observe`
+	h.labels += key                  // want `string concatenation allocates in hot path Observe`
+	_ = string(raw)                  // want `string conversion copies in hot path Observe`
+}
+
+// Snapshot builds a scratch buffer; it is marked hot to exercise the
+// builtin and literal rules.
+//
+//anufs:hotpath
+func (h *Histogram) Snapshot() []uint64 {
+	out := make([]uint64, 0, len(h.counts)) // want `make allocates in hot path Snapshot`
+	for _, c := range h.counts {
+		out = append(out, c) // want `append allocates in hot path Snapshot`
+	}
+	_ = map[string]uint64{} // want `map/slice literal allocates in hot path Snapshot`
+	return out
+}
+
+// Reset is marked hot but every construct it uses is free.
+//
+//anufs:hotpath
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	const tag = "hist:" + "v1" // constant-folded, no allocation
+	_ = tag
+}
+
+// Describe is NOT marked hot: the same constructs are fine here.
+func (h *Histogram) Describe() string {
+	return fmt.Sprintf("histogram with %d buckets", len(h.counts))
+}
+
+// Drain is marked hot but carries a justified allow for its one
+// allocation.
+//
+//anufs:hotpath
+func (h *Histogram) Drain() []uint64 {
+	out := make([]uint64, len(h.counts)) //anufs:allow hotpathalloc Drain runs once per scrape, not per request
+	for i, c := range h.counts {
+		out[i] = c
+	}
+	return out
+}

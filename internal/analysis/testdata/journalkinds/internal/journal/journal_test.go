@@ -1,0 +1,9 @@
+package journal
+
+import "testing"
+
+func TestApplyCreate(t *testing.T) {
+	if apply(KindCreate) != 1 {
+		t.Fatal("create must apply")
+	}
+}

@@ -1,0 +1,76 @@
+// Package fleet is a fixture for the lockdiscipline analyzer: no
+// channel sends, wire.Client calls, or journal commits while holding a
+// mutex.
+package fleet
+
+import (
+	"sync"
+
+	"anufs/internal/journal"
+	"anufs/internal/wire"
+)
+
+type node struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+func (n *node) sendWhileLocked() {
+	n.mu.Lock()
+	n.ch <- 1 // want `channel send while holding n\.mu`
+	n.mu.Unlock()
+}
+
+func (n *node) sendAfterUnlock() {
+	n.mu.Lock()
+	n.mu.Unlock()
+	n.ch <- 1
+}
+
+func (n *node) rpcUnderDefer(c *wire.Client) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return c.Call() // want `wire\.Client\.Call network round-trip while holding n\.mu`
+}
+
+func (n *node) rpcOutsideLock(c *wire.Client) error {
+	n.mu.Lock()
+	n.mu.Unlock()
+	return c.Call()
+}
+
+func (n *node) commitUnderReadLock(j *journal.Journal) error {
+	n.rw.RLock()
+	defer n.rw.RUnlock()
+	return j.LogFlush("vol00") // want `journal commit \(LogFlush waits for group-commit fsync\)`
+}
+
+func (n *node) cheapReadUnderLockIsFine(j *journal.Journal) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return j.DurableSeq()
+}
+
+func (n *node) selectSendWhileLocked() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.ch <- 1: // want `channel send while holding n\.mu`
+	default:
+	}
+}
+
+func (n *node) goroutineRunsUnlocked() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.ch <- 1
+	}()
+}
+
+func (n *node) allowedSend() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ch <- 1 //anufs:allow lockdiscipline ch is buffered with one reserved slot per holder; the send cannot block
+}

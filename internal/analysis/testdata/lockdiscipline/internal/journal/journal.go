@@ -1,0 +1,11 @@
+// Package journal is a stub dependency for the lockdiscipline fixture.
+package journal
+
+// Journal stands in for the real write-ahead log.
+type Journal struct{}
+
+// LogFlush appends a flush record and waits for the group commit.
+func (j *Journal) LogFlush(fileSet string) error { return nil }
+
+// DurableSeq is a cheap read, not a commit.
+func (j *Journal) DurableSeq() uint64 { return 0 }

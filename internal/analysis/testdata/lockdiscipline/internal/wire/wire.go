@@ -1,0 +1,11 @@
+// Package wire is a stub dependency for the lockdiscipline fixture.
+package wire
+
+// Client stands in for the real wire client.
+type Client struct{}
+
+// Call performs a network round-trip.
+func (c *Client) Call() error { return nil }
+
+// Close tears the connection down.
+func (c *Client) Close() error { return nil }

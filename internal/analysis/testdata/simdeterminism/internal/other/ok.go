@@ -1,0 +1,21 @@
+// Package other is the negative case: it is not a determinism-critical
+// package, so wall-clock reads, global rand, and map iteration are all
+// fine here and must produce no diagnostics.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() time.Time { return time.Now() }
+
+func roll() int { return rand.Intn(6) }
+
+func iterate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,22 @@
+// Package consumer exercises the dialed-client deadline rule outside
+// the wire package itself.
+package consumer
+
+import "anufs/internal/wire"
+
+func deadlined() (*wire.Client, error) {
+	c, err := wire.Dial("127.0.0.1:7460")
+	if err != nil {
+		return nil, err
+	}
+	c.SetTimeout(30)
+	return c, nil
+}
+
+func undeadlined() (*wire.Client, error) {
+	return wire.Dial("127.0.0.1:7460") // want `wire\.Dial without SetTimeout in undeadlined`
+}
+
+func allowed() (*wire.Client, error) {
+	return wire.Dial("127.0.0.1:7460") //anufs:allow wireops interactive debugging helper; the operator interrupts it
+}

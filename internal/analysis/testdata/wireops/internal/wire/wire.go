@@ -1,0 +1,49 @@
+// Package wire is a fixture for the wireops analyzer: every Op must be
+// registered in both the client encode and server dispatch tables.
+package wire
+
+// Op enumerates protocol operations.
+type Op string
+
+const (
+	// OpPing is registered on both ends: clean.
+	OpPing Op = "ping"
+	// OpOrphanServer is dispatched by the server but no client sends it.
+	OpOrphanServer Op = "orphan-server" // want `OpOrphanServer is never sent by a client Request literal`
+	// OpOrphanClient is sent by a client but the server never answers it.
+	OpOrphanClient Op = "orphan-client" // want `OpOrphanClient is not dispatched by any server switch`
+	// OpVestigial is reserved for a future epoch bump; the allow records that.
+	OpVestigial Op = "vestigial" //anufs:allow wireops reserved opcode for the next protocol rev; neither end speaks it yet
+)
+
+// Request is one client frame.
+type Request struct {
+	Op Op
+}
+
+// Client is the protocol client.
+type Client struct{ timeout int }
+
+// SetTimeout arms the per-call deadline.
+func (c *Client) SetTimeout(d int) { c.timeout = d }
+
+func (c *Client) call(req Request) Request { return req }
+
+// Ping sends OpPing.
+func (c *Client) Ping() { c.call(Request{Op: OpPing}) }
+
+// Orphan sends the op the server never answers.
+func (c *Client) Orphan() { c.call(Request{Op: OpOrphanClient}) }
+
+// Dial connects a client.
+func Dial(addr string) (*Client, error) { return &Client{}, nil }
+
+func serve(req Request) int {
+	switch req.Op {
+	case OpPing:
+		return 1
+	case OpOrphanServer:
+		return 2
+	}
+	return 0
+}

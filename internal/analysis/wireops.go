@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireOps enforces protocol symmetry and client hygiene:
+//
+//  1. Inside the wire package, every Op* constant of the protocol's Op
+//     type must appear both in a server dispatch switch (a case clause)
+//     and in a client Request{Op: ...} literal. An op registered on one
+//     end only is a request that can be sent but never answered — or an
+//     opcode squatting in the server that no client exercises.
+//  2. In every package, a function that dials a wire client
+//     (wire.Dial) must also arm a deadline on it (SetTimeout) before
+//     returning, or carry a justified //anufs:allow: an undeadlined
+//     client hangs forever on a stalled peer.
+var WireOps = &Analyzer{
+	Name: "wireops",
+	Doc: "wire ops must be registered in both the client encode and server " +
+		"dispatch tables, and dialed clients must set a deadline",
+	Run: runWireOps,
+}
+
+func runWireOps(pass *Pass) error {
+	if pathHasSuffix(pass.Pkg.Path(), "internal/wire") {
+		checkOpSymmetry(pass)
+	}
+	checkDialDeadlines(pass)
+	return nil
+}
+
+func checkOpSymmetry(pass *Pass) {
+	opType := pass.Pkg.Scope().Lookup("Op")
+	if opType == nil {
+		return
+	}
+	type opConst struct {
+		obj      types.Object
+		decl     ast.Node
+		inClient bool // used in a Request{Op: ...} composite literal
+		inServer bool // used in a switch case clause
+	}
+	var ops []*opConst
+	byObj := map[types.Object]*opConst{}
+	for ident, obj := range pass.TypesInfo.Defs {
+		c, ok := obj.(*types.Const)
+		if !ok || !strings.HasPrefix(ident.Name, "Op") || c.Type() != opType.Type() {
+			continue
+		}
+		o := &opConst{obj: obj, decl: ident}
+		ops = append(ops, o)
+		byObj[obj] = o
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].decl.Pos() < ops[j].decl.Pos() })
+
+	opOf := func(e ast.Expr) *opConst {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			return byObj[pass.TypesInfo.Uses[id]]
+		}
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				for _, cl := range n.Body.List {
+					for _, e := range cl.(*ast.CaseClause).List {
+						if o := opOf(e); o != nil {
+							o.inServer = true
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				t := pass.TypesInfo.TypeOf(n)
+				if t == nil || !strings.HasSuffix(t.String(), ".Request") {
+					return true
+				}
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Op" {
+						if o := opOf(kv.Value); o != nil {
+							o.inClient = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, o := range ops {
+		if !o.inServer {
+			pass.Reportf(o.decl.Pos(),
+				"%s is not dispatched by any server switch: clients can send it but the server will never answer it", o.obj.Name())
+		}
+		if !o.inClient {
+			pass.Reportf(o.decl.Pos(),
+				"%s is never sent by a client Request literal: dead opcode or missing client method", o.obj.Name())
+		}
+	}
+}
+
+// checkDialDeadlines flags functions that obtain a wire client via Dial
+// but never call SetTimeout on anything before the function ends.
+func checkDialDeadlines(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var dials []*ast.CallExpr
+			setsTimeout := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeObject(pass, call)
+				if obj == nil {
+					return true
+				}
+				if obj.Name() == "Dial" && obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/wire") {
+					dials = append(dials, call)
+				}
+				if obj.Name() == "SetTimeout" {
+					setsTimeout = true
+				}
+				return true
+			})
+			if !setsTimeout {
+				for _, call := range dials {
+					pass.Reportf(call.Pos(),
+						"wire.Dial without SetTimeout in %s: an undeadlined client blocks forever on a stalled peer (call SetTimeout or //anufs:allow wireops <why>)", fn.Name.Name)
+				}
+			}
+		}
+	}
+}

@@ -72,14 +72,17 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	return r, nil
 }
 
-// Close tears down the cached daemon connections.
+// Close tears down the cached daemon connections. The client map is
+// swapped out under the lock and the connections closed outside it, so a
+// slow teardown cannot stall routers mid-Refresh.
 func (r *Router) Close() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, c := range r.clients {
+	clients := r.clients
+	r.clients = map[string]*wire.Client{}
+	r.mu.Unlock()
+	for _, c := range clients {
 		c.Close()
 	}
-	r.clients = map[string]*wire.Client{}
 }
 
 // Map returns the router's cached cluster map.

@@ -40,7 +40,11 @@ func NewSpanRing(capacity int) *SpanRing {
 	return &SpanRing{buf: make([]Span, capacity)}
 }
 
-// Add records a span, evicting the oldest if the ring is full.
+// Add records a span, evicting the oldest if the ring is full. It runs
+// once per traced request stage; the ring buffer is preallocated so Add
+// never allocates.
+//
+//anufs:hotpath
 func (r *SpanRing) Add(s Span) {
 	r.mu.Lock()
 	r.buf[r.next] = s

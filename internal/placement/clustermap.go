@@ -77,7 +77,7 @@ func (m *ClusterMap) Validate() error {
 			return fmt.Errorf("placement: daemon %d speed %v must be > 0", d.ID, d.Speed)
 		}
 	}
-	for fs, id := range m.Assign {
+	for fs, id := range m.Assign { //anufs:allow simdeterminism validation verdict is order-free; order only picks which of several errors reports first
 		if !seen[id] {
 			return fmt.Errorf("placement: file set %q assigned to unknown daemon %d", fs, id)
 		}
@@ -108,7 +108,7 @@ func (m *ClusterMap) Owner(fileSet string) (DaemonInfo, bool) {
 // FileSetsOf lists the file sets assigned to a daemon, sorted.
 func (m *ClusterMap) FileSetsOf(id int) []string {
 	var out []string
-	for fs, d := range m.Assign {
+	for fs, d := range m.Assign { //anufs:allow simdeterminism result is sorted before return
 		if d == id {
 			out = append(out, fs)
 		}

@@ -143,7 +143,7 @@ func (p *Prescient) cloneForTrial() *Prescient {
 		all:    p.all,
 		owner:  make(map[string]int, len(p.owner)),
 	}
-	for fs, id := range p.owner {
+	for fs, id := range p.owner { //anufs:allow simdeterminism map copy; insertion order cannot matter
 		cp.owner[fs] = id
 	}
 	return cp
@@ -156,9 +156,12 @@ func (p *Prescient) fixOrphans(weights map[string]float64) {
 	for _, id := range p.alive {
 		aliveSet[id] = true
 	}
+	// Accumulate in the sorted p.all order, not map order: float addition
+	// is not associative, and an ULP of difference in load can flip a
+	// near-tie placement between runs.
 	load := map[int]float64{}
-	for fs, id := range p.owner {
-		if aliveSet[id] {
+	for _, fs := range p.all {
+		if id, ok := p.owner[fs]; ok && aliveSet[id] {
 			load[id] += weights[fs]
 		}
 	}
@@ -235,12 +238,20 @@ func (p *Prescient) packWeights(weights map[string]float64) {
 // MaxCompletion returns max over servers of load/speed for a hypothetical
 // weight assignment — exported for tests comparing LPT against optimal.
 func MaxCompletion(assign map[string]int, weights map[string]float64, speeds map[int]float64) float64 {
+	// Sum in sorted key order: float accumulation in map order is not
+	// reproducible across runs.
+	sets := make([]string, 0, len(assign))
+	for fs := range assign { //anufs:allow simdeterminism collecting keys to sort; order cannot matter
+		sets = append(sets, fs)
+	}
+	sort.Strings(sets)
 	load := map[int]float64{}
-	for fs, id := range assign {
-		load[id] += weights[fs]
+	for _, fs := range sets {
+		load[assign[fs]] += weights[fs]
 	}
 	var worst float64
-	for id, l := range load {
+	for id, l := range load { //anufs:allow simdeterminism max over servers is order-free
+
 		if c := l / speeds[id]; c > worst {
 			worst = c
 		}
