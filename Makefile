@@ -1,7 +1,7 @@
 GO ?= go
 ANUFSVET := $(CURDIR)/bin/anufsvet
 
-.PHONY: all build test vet fuzz-smoke clean
+.PHONY: all build test vet fuzz-smoke bench-sat clean
 
 all: build test vet
 
@@ -23,7 +23,13 @@ $(ANUFSVET): FORCE
 # fuzz-smoke replays the committed corpora and fuzzes briefly, as CI does.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRequestDecode -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzTaggedFrame -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeClusterMap -fuzztime 10s ./internal/placement/
+
+# bench-sat measures sdk saturation (blocking vs pipelined vs batched) and
+# enforces the batched >= 5x blocking throughput floor, as CI does.
+bench-sat:
+	$(GO) run ./cmd/benchsat -check
 
 clean:
 	rm -rf bin

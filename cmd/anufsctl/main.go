@@ -10,6 +10,7 @@
 //	anufsctl owner  <fileset>
 //	anufsctl lock   <fileset> <path> [shared|exclusive]
 //	anufsctl [-json] stats
+//	anufsctl ping [n]
 //	anufsctl sync
 //	anufsctl [-json] trace [id|last] [n]
 //	anufsctl [-json] tunerlog [n]
@@ -27,6 +28,7 @@ import (
 	"anufs/internal/fleet"
 	"anufs/internal/metrics"
 	"anufs/internal/placement"
+	"anufs/internal/sdk"
 	"anufs/internal/sharedisk"
 	"anufs/internal/wire"
 )
@@ -219,6 +221,27 @@ func main() {
 			}
 			check(tw.Flush())
 		}
+	case "ping":
+		// Health probe that also reports the negotiated protocol: an sdk
+		// dial upgrades to tagged frames when the server speaks them and
+		// falls back to the line protocol when it does not.
+		n := 3
+		if len(rest) >= 1 {
+			n, err = strconv.Atoi(rest[0])
+			check(err)
+		}
+		sc, err := sdk.Dial(*addr, sdk.Options{Timeout: 5 * time.Second})
+		check(err)
+		defer sc.Close()
+		proto := "line"
+		if sc.Tagged() {
+			proto = "tagged-v1"
+		}
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			check(sc.Ping())
+			fmt.Printf("pong from %s (%s): %s\n", *addr, proto, time.Since(start))
+		}
 	case "sync":
 		check(data.Sync())
 		fmt.Println("ok")
@@ -324,6 +347,7 @@ commands:
   pcreate <global-path>
   pstat <global-path>
   stats            (add -json for machine-readable output)
+  ping [n]         round-trip n pings; reports the negotiated protocol (tagged-v1 or line)
   sync
   trace [id|last] [n]   dump request trace spans (one trace, or the n most recent)
   tunerlog [n]          dump structured tuner decision events

@@ -1,246 +1,94 @@
-// Command anufsgw is the fleet gateway: a single wire-protocol endpoint
-// fronting a sharded anufsd fleet. Clients that do not speak the cluster
-// map (plain wire.Client users, netcat) connect here; the gateway routes
-// every file-set-addressed request to its owning daemon with a
-// fleet.Router, transparently absorbing wrong-owner rejections and live
-// handoffs. Map reads are answered from the gateway's cache; assign and
-// rebalance are forwarded to the authority.
+// Command anufsgw is the fleet gateway: a wire-protocol endpoint fronting
+// a sharded anufsd fleet. Clients that do not speak the cluster map
+// (plain wire.Client users, netcat) connect here; the gateway routes
+// every file-set-addressed request to its owning daemon over pipelined
+// connection pools (internal/sdk), transparently absorbing wrong-owner
+// rejections and live handoffs. Namespace mounts broadcast to every
+// daemon, global-path ops resolve then route, and lock sessions map to
+// per-daemon sessions — so one gateway looks like one logical server.
+//
+// Gateways are stateless and scale horizontally: run N of them behind any
+// TCP load balancer and point each at its peers with -peers, so they
+// share cached cluster maps and converge on new epochs without all
+// hitting the authority.
 //
 // Usage:
 //
 //	anufsgw -listen :7470 -authority 127.0.0.1:7460 -http :6070
+//	anufsgw -listen :7471 -authority 127.0.0.1:7460 -peers 127.0.0.1:7470
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
+	"strings"
 	"syscall"
 	"time"
 
 	"anufs/internal/fleet"
 	"anufs/internal/obs"
-	"anufs/internal/wire"
+	"anufs/internal/sdk"
 )
 
 func main() {
 	var (
 		listen    = flag.String("listen", ":7470", "TCP listen address for wire clients")
 		authority = flag.String("authority", "127.0.0.1:7460", "the fleet authority daemon's wire address")
+		peers     = flag.String("peers", "", "comma-separated wire addresses of peer gateways (shared map cache sources)")
 		budget    = flag.Duration("budget", fleet.DefaultRouteBudget, "per-request routing budget (map refetches + retries)")
+		pool      = flag.Int("pool", sdk.DefaultPoolSize, "pipelined connections per daemon")
+		timeout   = flag.Duration("timeout", 0, "per-call deadline toward daemons (0 = wire default)")
 		httpAddr  = flag.String("http", "", "observability HTTP address (/metrics, /healthz); empty disables")
 	)
 	flag.Parse()
 
+	var peerAddrs []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerAddrs = append(peerAddrs, p)
+		}
+	}
+
 	reg := obs.New()
-	router, err := fleet.NewRouter(fleet.RouterConfig{
-		AuthorityAddr: *authority,
-		Budget:        *budget,
-		Obs:           reg,
+	gw, err := sdk.NewGateway(sdk.GatewayConfig{
+		Authority: *authority,
+		Peers:     peerAddrs,
+		Budget:    *budget,
+		PoolSize:  *pool,
+		Timeout:   *timeout,
+		Obs:       reg,
 	})
 	if err != nil {
 		log.Fatalf("anufsgw: %v", err)
 	}
-	defer router.Close()
+	defer gw.Close()
 
 	if *httpAddr != "" {
 		hln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			log.Fatalf("anufsgw: http: %v", err)
 		}
-		hsrv := &http.Server{Handler: reg.Handler()}
+		hsrv := &http.Server{Handler: reg.Handler(), ReadHeaderTimeout: 5 * time.Second}
 		go func() { _ = hsrv.Serve(hln) }()
 		defer hsrv.Close()
 		log.Printf("anufsgw: observability HTTP at %s", hln.Addr())
 	}
 
-	gw := newGateway(router, *authority)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("anufsgw: %v", err)
 	}
-	log.Printf("anufsgw: routing for fleet authority %s at %s (map epoch %d)",
-		*authority, ln.Addr(), router.Map().Epoch)
-	go gw.acceptLoop(ln)
+	log.Printf("anufsgw: routing for fleet authority %s at %s (map epoch %d, %d peers)",
+		*authority, ln.Addr(), gw.Router().Map().Epoch, len(peerAddrs))
+	go gw.ServeListener(ln)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Println("anufsgw: shutting down")
 	ln.Close()
-	gw.close()
 }
-
-// gateway accepts wire connections and routes each request through the
-// fleet router.
-type gateway struct {
-	router        *fleet.Router
-	authorityAddr string
-
-	mu    sync.Mutex
-	auth  *wire.Client // lazy connection for authority-only ops
-	conns map[net.Conn]struct{}
-}
-
-func newGateway(router *fleet.Router, authorityAddr string) *gateway {
-	return &gateway{
-		router:        router,
-		authorityAddr: authorityAddr,
-		conns:         map[net.Conn]struct{}{},
-	}
-}
-
-func (g *gateway) acceptLoop(ln net.Listener) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		g.mu.Lock()
-		g.conns[conn] = struct{}{}
-		g.mu.Unlock()
-		go g.serveConn(conn)
-	}
-}
-
-func (g *gateway) close() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for conn := range g.conns {
-		conn.Close()
-	}
-	if g.auth != nil {
-		g.auth.Close()
-	}
-}
-
-func (g *gateway) serveConn(conn net.Conn) {
-	defer func() {
-		conn.Close()
-		g.mu.Lock()
-		delete(g.conns, conn)
-		g.mu.Unlock()
-	}()
-	var writeMu sync.Mutex
-	enc := json.NewEncoder(conn)
-	send := func(resp wire.Response) {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		_ = enc.Encode(resp)
-	}
-	var wg sync.WaitGroup
-	defer wg.Wait()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
-	for sc.Scan() {
-		var req wire.Request
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			send(wire.Response{Err: "bad frame: " + err.Error()})
-			continue
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			send(g.serve(req))
-		}()
-	}
-}
-
-// serve routes one request. Responses keep the caller's request ID even
-// when the routed call failed (the router's Forward already restores it;
-// error paths set it here).
-func (g *gateway) serve(req wire.Request) wire.Response {
-	resp := wire.Response{ID: req.ID}
-	fail := func(err error) wire.Response {
-		resp.Err = err.Error()
-		return resp
-	}
-	switch req.Op {
-	case wire.OpMap:
-		cm, err := g.router.Refresh()
-		if err != nil && cm == nil {
-			return fail(err)
-		}
-		encoded, err := cm.Encode()
-		if err != nil {
-			return fail(err)
-		}
-		resp.Map = encoded
-		resp.Epoch = cm.Epoch
-		return resp
-	case wire.OpMapEpoch:
-		cm, _ := g.router.Refresh()
-		if cm == nil {
-			return fail(errNoMap)
-		}
-		resp.Epoch = cm.Epoch
-		return resp
-	case wire.OpSync:
-		if err := g.router.Sync(); err != nil {
-			return fail(err)
-		}
-		return resp
-	case wire.OpAssign, wire.OpRebalance:
-		// Authority-only: forward to the authority daemon verbatim.
-		out, err := g.authorityCall(req)
-		if err != nil && out.Err == "" {
-			return fail(err) // transport failure, no server response
-		}
-		out.ID = req.ID
-		return out // relays the server's Err string when it set one
-	}
-	if req.FileSet == "" {
-		return fail(errNotRoutable)
-	}
-	out, err := g.router.Forward(req)
-	if err != nil && out.Err == "" {
-		return fail(err)
-	}
-	return out
-}
-
-// authorityCall forwards one raw request to the authority. A transport
-// failure (no server response at all) drops the cached connection and
-// retries once; server-reported errors are returned as-is.
-func (g *gateway) authorityCall(req wire.Request) (wire.Response, error) {
-	for attempt := 0; ; attempt++ {
-		g.mu.Lock()
-		c := g.auth
-		if c == nil {
-			var err error
-			c, err = wire.Dial(g.authorityAddr)
-			if err != nil {
-				g.mu.Unlock()
-				return wire.Response{}, err
-			}
-			c.SetTimeout(2 * time.Minute) // rebalances run many handoffs
-			g.auth = c
-		}
-		g.mu.Unlock()
-		out, err := c.Call(req)
-		if err == nil || out.Err != "" || attempt > 0 {
-			return out, err
-		}
-		g.mu.Lock()
-		if g.auth == c {
-			g.auth = nil
-		}
-		g.mu.Unlock()
-		c.Close()
-	}
-}
-
-type gwError string
-
-func (e gwError) Error() string { return string(e) }
-
-const (
-	errNoMap       = gwError("anufsgw: no cluster map available")
-	errNotRoutable = gwError("anufsgw: operation has no file set to route by (connect to a daemon directly)")
-)

@@ -2,7 +2,10 @@
 // the wire package itself.
 package consumer
 
-import "anufs/internal/wire"
+import (
+	"anufs/internal/sdk"
+	"anufs/internal/wire"
+)
 
 func deadlined() (*wire.Client, error) {
 	c, err := wire.Dial("127.0.0.1:7460")
@@ -14,9 +17,26 @@ func deadlined() (*wire.Client, error) {
 }
 
 func undeadlined() (*wire.Client, error) {
-	return wire.Dial("127.0.0.1:7460") // want `wire\.Dial without SetTimeout in undeadlined`
+	return wire.Dial("127.0.0.1:7460") // want `wire\.Dial without a deadline in undeadlined`
 }
 
 func allowed() (*wire.Client, error) {
 	return wire.Dial("127.0.0.1:7460") //anufs:allow wireops interactive debugging helper; the operator interrupts it
+}
+
+func sdkDeadlined() (*sdk.Conn, error) {
+	c, err := sdk.Dial("127.0.0.1:7470", sdk.Options{})
+	if err != nil {
+		return nil, err
+	}
+	c.SetTimeout(30)
+	return c, nil
+}
+
+func sdkOptionsTimeout() *sdk.Pool {
+	return sdk.NewPool("127.0.0.1:7470", sdk.Options{Timeout: 30})
+}
+
+func sdkUndeadlined() *sdk.Pool {
+	return sdk.NewPool("127.0.0.1:7470", sdk.Options{}) // want `sdk\.NewPool without a deadline in sdkUndeadlined`
 }

@@ -1,0 +1,57 @@
+// Package sdk is a fixture for the wireops analyzer's sdk rules: ops sent
+// in Request literals without a file set must have a gateway demux case,
+// and every transport construction must arm a deadline.
+package sdk
+
+import "anufs/internal/wire"
+
+// Options configures transports; a Timeout key in a literal arms the
+// deadline at construction.
+type Options struct {
+	Timeout int
+}
+
+// Conn is a pipelined connection.
+type Conn struct{ timeout int }
+
+// SetTimeout arms the per-call deadline.
+func (c *Conn) SetTimeout(d int) { c.timeout = d }
+
+// Dial opens a connection.
+func Dial(addr string, opts Options) (*Conn, error) {
+	return &Conn{timeout: opts.Timeout}, nil
+}
+
+// Pool is a connection pool.
+type Pool struct{ opts Options }
+
+// SetTimeout arms the deadline on pooled connections.
+func (p *Pool) SetTimeout(d int) { p.opts.Timeout = d }
+
+// NewPool builds a pool.
+func NewPool(addr string, opts Options) *Pool { return &Pool{opts: opts} }
+
+func send(req wire.Request) wire.Request { return req }
+
+// route is the gateway demux: it special-cases OpPing only.
+func route(req wire.Request) int {
+	switch req.Op {
+	case wire.OpPing:
+		return 1
+	}
+	return 0
+}
+
+// sendsDemuxed emits an op the demux handles: clean.
+func sendsDemuxed() { send(wire.Request{Op: wire.OpPing}) }
+
+// sendsUnroutable emits an op with no file set and no demux case: a
+// gateway has no way to route it.
+func sendsUnroutable() {
+	send(wire.Request{Op: wire.OpOrphanServer}) // want `OpOrphanServer is sent without a file set but has no gateway demux case`
+}
+
+// sendsWithFileSet rides the default forward-by-owner route: exempt.
+func sendsWithFileSet() { send(wire.Request{Op: wire.OpOrphanServer, FileSet: "vol00"}) }
+
+var _ = route

@@ -18,7 +18,8 @@ const (
 
 // Request is one client frame.
 type Request struct {
-	Op Op
+	Op      Op
+	FileSet string
 }
 
 // Client is the protocol client.

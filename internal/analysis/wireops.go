@@ -14,20 +14,30 @@ import (
 //     and in a client Request{Op: ...} literal. An op registered on one
 //     end only is a request that can be sent but never answered — or an
 //     opcode squatting in the server that no client exercises.
-//  2. In every package, a function that dials a wire client
-//     (wire.Dial) must also arm a deadline on it (SetTimeout) before
-//     returning, or carry a justified //anufs:allow: an undeadlined
-//     client hangs forever on a stalled peer.
+//  2. Inside the sdk package, every wire op sent in a Request literal
+//     without a FileSet must have a case in the gateway demux switch: an
+//     op with no file set cannot ride the default forward-by-owner route,
+//     so a missing case means the sdk client can emit a request no
+//     gateway will ever route.
+//  3. In every package, a function that obtains a wire transport —
+//     wire.Dial, sdk.Dial, sdk.NewPool, or sdk.NewClient — must also arm
+//     a deadline before returning: a SetTimeout call or an sdk.Options
+//     literal with a Timeout key. An undeadlined client hangs forever on
+//     a stalled peer. Justified exceptions carry //anufs:allow.
 var WireOps = &Analyzer{
 	Name: "wireops",
 	Doc: "wire ops must be registered in both the client encode and server " +
-		"dispatch tables, and dialed clients must set a deadline",
+		"dispatch tables (and, for the sdk, in the gateway demux), and " +
+		"dialed clients and pools must set a deadline",
 	Run: runWireOps,
 }
 
 func runWireOps(pass *Pass) error {
 	if pathHasSuffix(pass.Pkg.Path(), "internal/wire") {
 		checkOpSymmetry(pass)
+	}
+	if pathHasSuffix(pass.Pkg.Path(), "internal/sdk") {
+		checkGatewayDemux(pass)
 	}
 	checkDialDeadlines(pass)
 	return nil
@@ -111,8 +121,102 @@ func checkOpSymmetry(pass *Pass) {
 	}
 }
 
-// checkDialDeadlines flags functions that obtain a wire client via Dial
-// but never call SetTimeout on anything before the function ends.
+// wireOpOf resolves an expression to a constant of the wire package's Op
+// type (referenced directly or as a wire.OpX selector); nil otherwise.
+func wireOpOf(pass *Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return nil
+	}
+	named, ok := c.Type().(*types.Named)
+	if !ok || named.Obj().Name() != "Op" {
+		return nil
+	}
+	if named.Obj().Pkg() == nil || !pathHasSuffix(named.Obj().Pkg().Path(), "internal/wire") {
+		return nil
+	}
+	return obj
+}
+
+// checkGatewayDemux enforces sdk/gateway symmetry: a Request literal built
+// in the sdk with an Op but no FileSet must use an op the gateway demux
+// (some switch case clause in the package) handles, because the default
+// route — forward to the file set's owner — cannot carry it.
+func checkGatewayDemux(pass *Pass) {
+	demuxed := map[types.Object]bool{}
+	type sent struct {
+		obj types.Object
+		pos ast.Node
+	}
+	var sends []sent
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				for _, cl := range n.Body.List {
+					for _, e := range cl.(*ast.CaseClause).List {
+						if o := wireOpOf(pass, e); o != nil {
+							demuxed[o] = true
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				t := pass.TypesInfo.TypeOf(n)
+				if t == nil || !strings.HasSuffix(t.String(), ".Request") {
+					return true
+				}
+				var op types.Object
+				var opNode ast.Node
+				hasFileSet := false
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch key.Name {
+					case "Op":
+						op = wireOpOf(pass, kv.Value)
+						opNode = kv.Value
+					case "FileSet":
+						hasFileSet = true
+					}
+				}
+				if op != nil && !hasFileSet {
+					sends = append(sends, sent{obj: op, pos: opNode})
+				}
+			}
+			return true
+		})
+	}
+	for _, s := range sends {
+		if !demuxed[s.obj] {
+			pass.Reportf(s.pos.Pos(),
+				"%s is sent without a file set but has no gateway demux case: a gateway cannot route it (add a case to the route switch or set FileSet)", s.obj.Name())
+		}
+	}
+}
+
+// checkDialDeadlines flags functions that obtain a wire transport — a
+// wire.Dial'ed client, an sdk Conn, Pool, or Client — but never arm a
+// deadline before the function ends: no SetTimeout call and no sdk.Options
+// literal carrying a Timeout key.
 func checkDialDeadlines(pass *Pass) {
 	for _, f := range pass.Files {
 		if isTestFile(pass, f) {
@@ -123,29 +227,52 @@ func checkDialDeadlines(pass *Pass) {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			var dials []*ast.CallExpr
-			setsTimeout := false
+			type dial struct {
+				call *ast.CallExpr
+				name string
+			}
+			var dials []dial
+			armed := false
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				obj := calleeObject(pass, call)
-				if obj == nil {
-					return true
-				}
-				if obj.Name() == "Dial" && obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/wire") {
-					dials = append(dials, call)
-				}
-				if obj.Name() == "SetTimeout" {
-					setsTimeout = true
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					obj := calleeObject(pass, n)
+					if obj == nil {
+						return true
+					}
+					if obj.Pkg() != nil {
+						switch {
+						case obj.Name() == "Dial" && pathHasSuffix(obj.Pkg().Path(), "internal/wire"):
+							dials = append(dials, dial{n, "wire.Dial"})
+						case pathHasSuffix(obj.Pkg().Path(), "internal/sdk") &&
+							(obj.Name() == "Dial" || obj.Name() == "NewPool" || obj.Name() == "NewClient"):
+							dials = append(dials, dial{n, "sdk." + obj.Name()})
+						}
+					}
+					if obj.Name() == "SetTimeout" {
+						armed = true
+					}
+				case *ast.CompositeLit:
+					// An sdk.Options{Timeout: ...} literal counts: the
+					// transport it configures is born with the deadline.
+					t := pass.TypesInfo.TypeOf(n)
+					if t == nil || !strings.HasSuffix(t.String(), ".Options") {
+						return true
+					}
+					for _, el := range n.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Timeout" {
+								armed = true
+							}
+						}
+					}
 				}
 				return true
 			})
-			if !setsTimeout {
-				for _, call := range dials {
-					pass.Reportf(call.Pos(),
-						"wire.Dial without SetTimeout in %s: an undeadlined client blocks forever on a stalled peer (call SetTimeout or //anufs:allow wireops <why>)", fn.Name.Name)
+			if !armed {
+				for _, d := range dials {
+					pass.Reportf(d.call.Pos(),
+						"%s without a deadline in %s: an undeadlined client blocks forever on a stalled peer (call SetTimeout, set Options.Timeout, or //anufs:allow wireops <why>)", d.name, fn.Name.Name)
 				}
 			}
 		}

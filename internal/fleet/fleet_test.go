@@ -318,7 +318,7 @@ func TestStaleRouterRetriesOncePerRefetch(t *testing.T) {
 	}
 	defer short.Close()
 	calls := 0
-	err = short.Do("vol00", func(*wire.Client) error {
+	err = short.Do("vol00", func(placement.DaemonInfo, Caller) error {
 		calls++
 		return &wire.WrongOwnerError{Epoch: cur + 5}
 	})
@@ -337,9 +337,9 @@ func TestStaleRouterRetriesOncePerRefetch(t *testing.T) {
 		t.Fatal(err)
 	}
 	calls = 0
-	err = stale.Do("vol00", func(c *wire.Client) error {
+	err = stale.Do("vol00", func(_ placement.DaemonInfo, c Caller) error {
 		calls++
-		_, err := c.Stat("vol00", "/nope")
+		_, err := c.Call(wire.Request{Op: wire.OpStat, FileSet: "vol00", Path: "/nope"})
 		if err != nil && strings.Contains(err.Error(), "no such path") {
 			return nil // reached the owner; the miss is expected
 		}

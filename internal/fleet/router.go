@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -20,15 +21,28 @@ const DefaultRouteBudget = 10 * time.Second
 
 // RouterConfig parameterizes a routing client.
 type RouterConfig struct {
-	// AuthorityAddr is where maps are fetched from.
+	// AuthorityAddr is where maps are fetched from (the last-resort map
+	// source, and the target of assign/rebalance forwards).
 	AuthorityAddr string
+	// MapSources are additional map sources tried before the authority —
+	// peer gateways sharing their cached maps, so N gateways converge on a
+	// new epoch without all of them hitting the authority.
+	MapSources []string
+	// Maps shares a cluster-map cache across routers; nil builds a private
+	// one from MapSources+AuthorityAddr.
+	Maps *MapCache
 	// Budget bounds one routed operation end to end (default
 	// DefaultRouteBudget).
 	Budget time.Duration
 	// Obs receives per-daemon route counters; nil disables.
 	Obs *obs.Registry
-	// Dial overrides outbound connections; nil uses wire.Dial.
+	// Dial overrides outbound connections; nil uses wire.Dial. Ignored
+	// when DialCaller is set.
 	Dial func(addr string) (*wire.Client, error)
+	// DialCaller overrides outbound connections with an arbitrary Caller —
+	// the sdk plugs pipelined connection pools in here. Takes precedence
+	// over Dial.
+	DialCaller func(addr string) (Caller, error)
 }
 
 // Router is the fleet's client side: it caches the cluster map, routes
@@ -40,10 +54,11 @@ type RouterConfig struct {
 type Router struct {
 	cfg      RouterConfig
 	counters *metrics.CounterSet
+	maps     *MapCache
+	ownsMaps bool
 
 	mu      sync.Mutex
-	cur     *placement.ClusterMap
-	clients map[string]*wire.Client
+	clients map[string]Caller
 }
 
 // NewRouter fetches the initial map from the authority and returns a ready
@@ -55,13 +70,29 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Budget <= 0 {
 		cfg.Budget = DefaultRouteBudget
 	}
-	if cfg.Dial == nil {
-		cfg.Dial = wire.Dial
+	if cfg.DialCaller == nil {
+		dial := cfg.Dial
+		if dial == nil {
+			dial = wire.Dial
+		}
+		cfg.DialCaller = func(addr string) (Caller, error) {
+			c, err := dial(addr)
+			if err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
 	}
 	r := &Router{
 		cfg:      cfg,
 		counters: metrics.NewCounterSet(),
-		clients:  map[string]*wire.Client{},
+		maps:     cfg.Maps,
+		clients:  map[string]Caller{},
+	}
+	if r.maps == nil {
+		sources := append(append([]string{}, cfg.MapSources...), cfg.AuthorityAddr)
+		r.maps = NewMapCache(sources, cfg.DialCaller, r.counters)
+		r.ownsMaps = true
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.AddCounters(r.counters.Snapshot)
@@ -69,63 +100,59 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if _, err := r.Refresh(); err != nil {
 		return nil, err
 	}
+	if r.maps.Cached() == nil {
+		return nil, fmt.Errorf("fleet: no map source answered")
+	}
 	return r, nil
 }
 
-// Close tears down the cached daemon connections. The client map is
-// swapped out under the lock and the connections closed outside it, so a
-// slow teardown cannot stall routers mid-Refresh.
+// Close tears down the cached daemon connections (and the map cache, when
+// the router owns it). The client map is swapped out under the lock and
+// the connections closed outside it, so a slow teardown cannot stall
+// routers mid-refresh.
 func (r *Router) Close() {
 	r.mu.Lock()
 	clients := r.clients
-	r.clients = map[string]*wire.Client{}
+	r.clients = map[string]Caller{}
 	r.mu.Unlock()
 	for _, c := range clients {
 		c.Close()
+	}
+	if r.ownsMaps {
+		r.maps.Close()
 	}
 }
 
 // Map returns the router's cached cluster map.
 func (r *Router) Map() *placement.ClusterMap {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.cur
+	return r.maps.Cached()
 }
 
-// Refresh refetches the map from the authority, keeping the cached one if
-// the fetch is older (maps only move forward).
+// Maps exposes the router's cluster-map cache — gateways share it across
+// routers and invalidate it on epoch announcements.
+func (r *Router) Maps() *MapCache { return r.maps }
+
+// Refresh refetches the map through the cache's sources, keeping the
+// cached one if every fetch is older (maps only move forward).
 func (r *Router) Refresh() (*placement.ClusterMap, error) {
-	c, err := r.client(r.cfg.AuthorityAddr)
-	if err != nil {
-		return r.Map(), err
+	cm, err := r.maps.Refresh()
+	if err == nil {
+		r.counters.Add("fleet_router_refreshes", 1)
 	}
-	encoded, err := c.ClusterMap()
-	if err != nil {
-		r.invalidate(r.cfg.AuthorityAddr)
-		return r.Map(), err
-	}
-	cm, err := placement.DecodeClusterMap(encoded)
-	if err != nil {
-		return r.Map(), err
-	}
-	r.counters.Add("fleet_router_refreshes", 1)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.cur == nil || cm.Epoch > r.cur.Epoch {
-		r.cur = cm
-	}
-	return r.cur, nil
+	return cm, err
 }
 
-// client returns the cached connection to addr, dialing on first use.
-func (r *Router) client(addr string) (*wire.Client, error) {
+// Caller returns the cached connection to addr, dialing on first use —
+// exported so gateways can reach the authority through the router's
+// connection cache.
+func (r *Router) Caller(addr string) (Caller, error) {
 	r.mu.Lock()
 	if c, ok := r.clients[addr]; ok {
 		r.mu.Unlock()
 		return c, nil
 	}
 	r.mu.Unlock()
-	c, err := r.cfg.Dial(addr)
+	c, err := r.cfg.DialCaller(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -162,27 +189,31 @@ func transientErr(err error) bool {
 		strings.Contains(s, "timed out") ||
 		strings.Contains(s, "wire: send:") ||
 		strings.Contains(s, "connection refused") ||
-		strings.Contains(s, "connection reset")
+		strings.Contains(s, "connection reset") ||
+		strings.Contains(s, "sdk: no connection")
 }
 
 // Do routes one operation against the file set's owning daemon, converging
 // through wrong-owner refetches, adoption waits, and reconnects within the
-// route budget. fn runs against the owner's client and is retried at most
-// once per state change (new map epoch, reconnect, or backoff step) — it
-// must be idempotent or check-before-write, like every wire op here.
-func (r *Router) Do(fileSet string, fn func(*wire.Client) error) error {
+// route budget. fn runs against the owner's transport and is retried at
+// most once per state change (new map epoch, reconnect, or backoff step) —
+// it must be idempotent or check-before-write, like every wire op here.
+func (r *Router) Do(fileSet string, fn func(d placement.DaemonInfo, c Caller) error) error {
 	deadline := time.Now().Add(r.cfg.Budget)
 	backoff := wire.NewBackoff(5*time.Millisecond, 250*time.Millisecond)
 	var lastErr error
 	for {
-		cm := r.Map()
+		cm, _ := r.maps.Get()
+		if cm == nil {
+			return fmt.Errorf("fleet: no cluster map")
+		}
 		d, placed := cm.Owner(fileSet)
 		if !placed {
 			return fmt.Errorf("fleet: file set %q is not in the cluster map (epoch %d)", fileSet, cm.Epoch)
 		}
-		c, err := r.client(d.Addr)
+		c, err := r.Caller(d.Addr)
 		if err == nil {
-			err = fn(c)
+			err = fn(d, c)
 		}
 		if err == nil {
 			r.counters.Add("fleet_routed_daemon_"+strconv.Itoa(d.ID), 1)
@@ -193,9 +224,10 @@ func (r *Router) Do(fileSet string, fn func(*wire.Client) error) error {
 		case isWrongOwnerErr(err):
 			epoch, _ := wire.IsWrongOwner(err)
 			r.counters.Add("fleet_router_wrong_owner", 1)
-			// Refetch until the map reaches the rejecting daemon's epoch;
-			// only then is a retry allowed — exactly one per refetch that
-			// advances far enough.
+			// Mark the cache stale up to the rejecting daemon's epoch, then
+			// refetch until the map reaches it; only then is a retry allowed
+			// — exactly one per refetch that advances far enough.
+			r.maps.Invalidate(epoch)
 			if !r.awaitEpoch(epoch, deadline, backoff) {
 				return fmt.Errorf("fleet: map never reached epoch %d within the route budget: %w", epoch, lastErr)
 			}
@@ -260,59 +292,107 @@ func sleepUntil(d time.Duration, deadline time.Time) bool {
 
 // --- typed convenience methods -------------------------------------------
 
+// The typed methods speak raw wire requests through the Caller interface,
+// so they work identically over a line-mode wire.Client and the sdk's
+// pipelined pools.
+
 // CreateFileSet creates a file set fleet-wide: unplaced file sets are first
 // assigned by the authority (ANU placement), then created on their owner.
 func (r *Router) CreateFileSet(fileSet string) error {
 	if _, placed := r.Map().Owner(fileSet); !placed {
-		ac, err := r.client(r.cfg.AuthorityAddr)
+		ac, err := r.Caller(r.cfg.AuthorityAddr)
 		if err != nil {
 			return err
 		}
-		if _, err := ac.Assign(fileSet, -1); err != nil {
+		resp, err := ac.Call(wire.Request{Op: wire.OpAssign, FileSet: fileSet, Daemon: -1})
+		if err != nil {
 			return fmt.Errorf("fleet: place %q: %w", fileSet, err)
 		}
+		// The cache must reach the assigning epoch before routing can see
+		// the new owner.
+		r.maps.Invalidate(resp.Epoch)
 		if _, err := r.Refresh(); err != nil {
 			return err
 		}
 	}
-	return r.Do(fileSet, func(c *wire.Client) error { return c.CreateFileSet(fileSet) })
+	return r.Do(fileSet, func(_ placement.DaemonInfo, c Caller) error {
+		_, err := c.Call(wire.Request{Op: wire.OpCreateFileSet, FileSet: fileSet})
+		return err
+	})
 }
 
 // Create adds a metadata record.
 func (r *Router) Create(fileSet, path string, rec sharedisk.Record) error {
-	return r.Do(fileSet, func(c *wire.Client) error { return c.Create(fileSet, path, rec) })
+	return r.Do(fileSet, func(_ placement.DaemonInfo, c Caller) error {
+		_, err := c.Call(wire.Request{Op: wire.OpCreate, FileSet: fileSet, Path: path, Record: &rec})
+		return err
+	})
 }
 
 // Stat reads a metadata record.
 func (r *Router) Stat(fileSet, path string) (sharedisk.Record, error) {
 	var rec sharedisk.Record
-	err := r.Do(fileSet, func(c *wire.Client) error {
-		got, err := c.Stat(fileSet, path)
-		rec = got
-		return err
+	err := r.Do(fileSet, func(_ placement.DaemonInfo, c Caller) error {
+		resp, err := c.Call(wire.Request{Op: wire.OpStat, FileSet: fileSet, Path: path})
+		if err != nil {
+			return err
+		}
+		if resp.Record == nil {
+			return errors.New("wire: stat returned no record")
+		}
+		rec = *resp.Record
+		return nil
 	})
 	return rec, err
 }
 
 // Update overwrites a metadata record.
 func (r *Router) Update(fileSet, path string, rec sharedisk.Record) error {
-	return r.Do(fileSet, func(c *wire.Client) error { return c.Update(fileSet, path, rec) })
+	return r.Do(fileSet, func(_ placement.DaemonInfo, c Caller) error {
+		_, err := c.Call(wire.Request{Op: wire.OpUpdate, FileSet: fileSet, Path: path, Record: &rec})
+		return err
+	})
 }
 
 // Remove deletes a metadata record.
 func (r *Router) Remove(fileSet, path string) error {
-	return r.Do(fileSet, func(c *wire.Client) error { return c.Remove(fileSet, path) })
+	return r.Do(fileSet, func(_ placement.DaemonInfo, c Caller) error {
+		_, err := c.Call(wire.Request{Op: wire.OpRemove, FileSet: fileSet, Path: path})
+		return err
+	})
 }
 
 // List returns paths under a prefix.
 func (r *Router) List(fileSet, prefix string) ([]string, error) {
 	var out []string
-	err := r.Do(fileSet, func(c *wire.Client) error {
-		got, err := c.List(fileSet, prefix)
-		out = got
-		return err
+	err := r.Do(fileSet, func(_ placement.DaemonInfo, c Caller) error {
+		resp, err := c.Call(wire.Request{Op: wire.OpList, FileSet: fileSet, Path: prefix})
+		if err != nil {
+			return err
+		}
+		out = resp.Paths
+		return nil
 	})
 	return out, err
+}
+
+// Batch applies a pre-grouped batch against one file set's owner — the
+// routing half of the sdk's client-side batching. Durable batches ride
+// one journal group commit on the owning daemon.
+func (r *Router) Batch(fileSet string, durable bool, items []wire.BatchItem) ([]wire.BatchResult, error) {
+	var results []wire.BatchResult
+	err := r.Do(fileSet, func(_ placement.DaemonInfo, c Caller) error {
+		resp, err := c.Call(wire.Request{Op: wire.OpBatch, FileSet: fileSet, Durable: durable, Batch: items})
+		if err != nil {
+			return err
+		}
+		if len(resp.Results) != len(items) {
+			return fmt.Errorf("wire: batch of %d items got %d results", len(items), len(resp.Results))
+		}
+		results = resp.Results
+		return nil
+	})
+	return results, err
 }
 
 // Sync checkpoints every daemon in the fleet (the fleet-wide durability
@@ -320,9 +400,9 @@ func (r *Router) List(fileSet, prefix string) ([]string, error) {
 func (r *Router) Sync() error {
 	var firstErr error
 	for _, d := range r.Map().Daemons {
-		c, err := r.client(d.Addr)
+		c, err := r.Caller(d.Addr)
 		if err == nil {
-			err = c.Sync()
+			_, err = c.Call(wire.Request{Op: wire.OpSync})
 		}
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("fleet: sync daemon %d: %w", d.ID, err)
@@ -335,7 +415,7 @@ func (r *Router) Sync() error {
 // pass-through. The response keeps the caller's request ID.
 func (r *Router) Forward(req wire.Request) (wire.Response, error) {
 	var resp wire.Response
-	err := r.Do(req.FileSet, func(c *wire.Client) error {
+	err := r.Do(req.FileSet, func(_ placement.DaemonInfo, c Caller) error {
 		fwd := req
 		got, err := c.Call(fwd)
 		resp = got

@@ -1,0 +1,70 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+
+	"anufs/internal/metaserver"
+	"anufs/internal/sharedisk"
+)
+
+// BatchOp is one operation inside a Batch: Kind is the wire op name
+// ("create", "stat", "update", "remove"), Path the record path, Rec the
+// record for create/update.
+type BatchOp struct {
+	Kind string
+	Path string
+	Rec  sharedisk.Record
+}
+
+// BatchOutcome is the per-op result of a Batch, index-aligned with the
+// ops. Rec answers stat ops.
+type BatchOutcome struct {
+	Err error
+	Rec *sharedisk.Record
+}
+
+// Batch applies many operations against one file set as a single queued
+// task: the batch pays one queue wait and one OpCost service time instead
+// of one per op — the server-side half of the sdk's client batching.
+// Per-op failures land in the outcomes; err reports whole-batch failures
+// (stopped cluster, retry budget exhausted mid-move). The error return is
+// what doT's ownership retry loop keys on: ErrNotOwner can only surface
+// on the first op (ownership is checked per file set and the whole batch
+// runs on one server), so re-running the entire batch after a move is
+// safe — nothing was applied.
+func (v Traced) Batch(fileSet string, ops []BatchOp) ([]BatchOutcome, error) {
+	out := make([]BatchOutcome, len(ops))
+	err := v.c.doT(v.trace, "batch", fileSet, func(s *server) error {
+		for i, op := range ops {
+			switch op.Kind {
+			case "create":
+				out[i].Err = s.ms.Create(fileSet, op.Path, op.Rec)
+			case "stat":
+				r, e := s.ms.Stat(fileSet, op.Path)
+				if e == nil {
+					out[i].Rec = &r
+				}
+				out[i].Err = e
+			case "update":
+				out[i].Err = s.ms.Update(fileSet, op.Path, op.Rec)
+			case "remove":
+				out[i].Err = s.ms.Remove(fileSet, op.Path)
+			default:
+				out[i].Err = fmt.Errorf("live: unknown batch op %q", op.Kind)
+			}
+			if errors.Is(out[i].Err, metaserver.ErrNotOwner) {
+				// Mid-move: surface as the task error so doT retries the
+				// whole batch against the new owner.
+				return out[i].Err
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Batch is Traced.Batch without trace attribution.
+func (c *Cluster) Batch(fileSet string, ops []BatchOp) ([]BatchOutcome, error) {
+	return c.WithTrace(0).Batch(fileSet, ops)
+}

@@ -1,0 +1,92 @@
+package live
+
+import (
+	"strings"
+	"testing"
+
+	"anufs/internal/sharedisk"
+)
+
+func TestBatchAppliesInOrder(t *testing.T) {
+	c, _ := newTestCluster(t, 1)
+	outs, err := c.Batch("fs00", []BatchOp{
+		{Kind: "create", Path: "/a", Rec: sharedisk.Record{Size: 1}},
+		{Kind: "update", Path: "/a", Rec: sharedisk.Record{Size: 2}},
+		{Kind: "stat", Path: "/a"},
+		{Kind: "create", Path: "/b", Rec: sharedisk.Record{Size: 3}},
+		{Kind: "remove", Path: "/b"},
+		{Kind: "stat", Path: "/b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if outs[i].Err != nil {
+			t.Fatalf("op %d: %v", i, outs[i].Err)
+		}
+	}
+	if outs[2].Rec == nil || outs[2].Rec.Size != 2 {
+		t.Fatalf("stat after update = %+v", outs[2])
+	}
+	if outs[5].Err == nil {
+		t.Fatal("stat of removed path succeeded")
+	}
+}
+
+func TestBatchPerOpErrorsDoNotAbort(t *testing.T) {
+	c, _ := newTestCluster(t, 1)
+	outs, err := c.Batch("fs00", []BatchOp{
+		{Kind: "stat", Path: "/missing"},
+		{Kind: "create", Path: "/a", Rec: sharedisk.Record{Size: 1}},
+		{Kind: "bogus", Path: "/a"},
+		{Kind: "stat", Path: "/a"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Err == nil {
+		t.Fatal("stat of missing path succeeded")
+	}
+	if outs[1].Err != nil {
+		t.Fatalf("create after failed stat: %v", outs[1].Err)
+	}
+	if outs[2].Err == nil || !strings.Contains(outs[2].Err.Error(), "unknown batch op") {
+		t.Fatalf("bogus op = %v", outs[2].Err)
+	}
+	if outs[3].Err != nil || outs[3].Rec == nil || outs[3].Rec.Size != 1 {
+		t.Fatalf("stat after bogus op = %+v", outs[3])
+	}
+}
+
+func TestBatchIsOneQueuedTask(t *testing.T) {
+	c, _ := newTestCluster(t, 1)
+	owner := c.Owner("fs00")
+	before := serverServed(c, owner)
+	ops := make([]BatchOp, 50)
+	for i := range ops {
+		ops[i] = BatchOp{Kind: "create", Path: "/p" + string(rune('a'+i%26)) + string(rune('a'+i/26)), Rec: sharedisk.Record{Size: 1}}
+	}
+	if _, err := c.Batch("fs00", ops); err != nil {
+		t.Fatal(err)
+	}
+	after := serverServed(c, owner)
+	if got := after - before; got != 1 {
+		t.Fatalf("batch of 50 consumed %d queue slots, want 1", got)
+	}
+}
+
+func serverServed(c *Cluster, id int) int64 {
+	for _, st := range c.Stats() {
+		if st.ID == id {
+			return st.Served
+		}
+	}
+	return 0
+}
+
+func TestBatchUnknownFileSet(t *testing.T) {
+	c, _ := newTestCluster(t, 1)
+	if _, err := c.Batch("nope", []BatchOp{{Kind: "stat", Path: "/a"}}); err == nil {
+		t.Fatal("batch against unknown file set succeeded")
+	}
+}

@@ -1,0 +1,145 @@
+package sdk
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"anufs/internal/metrics"
+	"anufs/internal/obs"
+	"anufs/internal/wire"
+)
+
+// Batcher counter names.
+const (
+	CtrBatchesSent = "sdk_batches_sent"
+	CtrBatchedOps  = "sdk_batched_ops"
+)
+
+var errBatcherClosed = errors.New("sdk: client closed")
+
+// batcher coalesces small writes per file set: the first write in a
+// window arms a timer, later writes for the same file set pile on, and
+// the batch goes out as one OpBatch when the window expires or the batch
+// fills — one round trip, one owner-queue wait, and (durable) one journal
+// group commit for the lot. Each caller still blocks until its own item's
+// outcome arrives, so the API stays synchronous per op.
+type batcher struct {
+	send     func(fileSet string, durable bool, items []wire.BatchItem) ([]wire.BatchResult, error)
+	hist     *obs.Histogram // batch sizes; buckets read as counts
+	counters *metrics.CounterSet
+	max      int
+	delay    time.Duration
+	durable  bool
+
+	mu      sync.Mutex
+	pending map[string]*pendingBatch
+	closed  bool
+}
+
+type pendingBatch struct {
+	items []wire.BatchItem
+	done  []chan error
+	timer *time.Timer
+}
+
+func newBatcher(send func(string, bool, []wire.BatchItem) ([]wire.BatchResult, error),
+	opts Options, counters *metrics.CounterSet) *batcher {
+	b := &batcher{
+		send:     send,
+		counters: counters,
+		max:      opts.MaxBatch,
+		delay:    opts.BatchDelay,
+		durable:  opts.Durable,
+		pending:  map[string]*pendingBatch{},
+	}
+	if opts.Obs != nil {
+		b.hist = opts.Obs.Hist.Get("sdk_batch_items", "")
+	}
+	return b
+}
+
+// add queues one item for fileSet and blocks until its batch is acked.
+func (b *batcher) add(fileSet string, item wire.BatchItem) error {
+	ch := make(chan error, 1)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errBatcherClosed
+	}
+	pb := b.pending[fileSet]
+	if pb == nil {
+		pb = &pendingBatch{}
+		b.pending[fileSet] = pb
+		pb.timer = time.AfterFunc(b.delay, func() { b.flushSet(fileSet) })
+	}
+	pb.items = append(pb.items, item)
+	pb.done = append(pb.done, ch)
+	var full *pendingBatch
+	if len(pb.items) >= b.max {
+		delete(b.pending, fileSet)
+		pb.timer.Stop()
+		full = pb
+	}
+	b.mu.Unlock()
+	if full != nil {
+		// The filling caller ships the batch itself — no handoff latency
+		// at saturation, when batches fill faster than the delay.
+		b.ship(fileSet, full)
+	}
+	return <-ch
+}
+
+// flushSet detaches and ships fileSet's pending batch (timer expiry, or a
+// read that needs its writes visible).
+func (b *batcher) flushSet(fileSet string) {
+	b.mu.Lock()
+	pb := b.pending[fileSet]
+	delete(b.pending, fileSet)
+	b.mu.Unlock()
+	if pb != nil {
+		pb.timer.Stop()
+		b.ship(fileSet, pb)
+	}
+}
+
+// Flush ships every pending batch and returns when all are acked.
+func (b *batcher) Flush() {
+	b.mu.Lock()
+	detached := b.pending
+	b.pending = map[string]*pendingBatch{}
+	b.mu.Unlock()
+	for fs, pb := range detached {
+		pb.timer.Stop()
+		b.ship(fs, pb)
+	}
+}
+
+// Close flushes and refuses further adds.
+func (b *batcher) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.Flush()
+}
+
+// ship sends one batch and delivers per-item outcomes to the waiters.
+func (b *batcher) ship(fileSet string, pb *pendingBatch) {
+	if b.hist != nil {
+		// Size histogram buckets read as item counts, not seconds.
+		b.hist.Observe(time.Duration(len(pb.items)))
+	}
+	b.counters.Add(CtrBatchesSent, 1)
+	b.counters.Add(CtrBatchedOps, int64(len(pb.items)))
+	results, err := b.send(fileSet, b.durable, pb.items)
+	for i, ch := range pb.done {
+		switch {
+		case err != nil:
+			ch <- err
+		case results[i].Err != "":
+			ch <- errors.New(results[i].Err)
+		default:
+			ch <- nil
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package sdk
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"anufs/internal/fleet"
+	"anufs/internal/metrics"
+	"anufs/internal/obs"
+	"anufs/internal/sharedisk"
+	"anufs/internal/wire"
+)
+
+// Client is the fleet-aware sdk client: it routes every operation to the
+// owning daemon through a fleet.Router whose transport is pipelined
+// connection pools, and (when Options.BatchDelay is set) coalesces small
+// writes per file set into single batched round trips. Safe for
+// concurrent use; that concurrency is exactly what fills the pipelines
+// and batches.
+type Client struct {
+	opts     Options
+	router   *fleet.Router
+	batch    *batcher // nil when batching is disabled
+	counters *metrics.CounterSet
+	inflight atomic.Int64
+}
+
+// NewClient connects to the fleet named by opts.Authority. Every target
+// daemon gets a connection pool of opts.PoolSize pipelined connections;
+// opts.Peers are consulted for cluster maps before the authority.
+func NewClient(opts Options) (*Client, error) {
+	if opts.Authority == "" {
+		return nil, fmt.Errorf("sdk: client needs an authority address")
+	}
+	opts = opts.withDefaults()
+	c := &Client{opts: opts, counters: metrics.NewCounterSet()}
+	dial := func(addr string) (fleet.Caller, error) {
+		p := NewPool(addr, opts)
+		p.SetTimeout(opts.Timeout)
+		return p, nil
+	}
+	router, err := fleet.NewRouter(fleet.RouterConfig{
+		AuthorityAddr: opts.Authority,
+		MapSources:    opts.Peers,
+		Budget:        opts.Budget,
+		Obs:           opts.Obs,
+		DialCaller:    dial,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.router = router
+	if opts.BatchDelay > 0 {
+		c.batch = newBatcher(router.Batch, opts, c.counters)
+	}
+	if opts.Obs != nil {
+		opts.Obs.AddCounters(c.counters.Snapshot)
+		opts.Obs.AddGauges(func() []obs.Gauge {
+			return []obs.Gauge{{Name: "sdk_inflight_requests", Value: float64(c.inflight.Load())}}
+		})
+	}
+	return c, nil
+}
+
+// Router exposes the underlying fleet router (map cache, raw Do).
+func (c *Client) Router() *fleet.Router { return c.router }
+
+// track wraps one client-level operation for the in-flight gauge.
+func (c *Client) track() func() {
+	c.inflight.Add(1)
+	return func() { c.inflight.Add(-1) }
+}
+
+// CreateFileSet creates a file set fleet-wide (authority placement, then
+// creation on the owner).
+func (c *Client) CreateFileSet(fileSet string) error {
+	defer c.track()()
+	return c.router.CreateFileSet(fileSet)
+}
+
+// Create adds a metadata record. With batching enabled it may coalesce
+// with other writes to the same file set; the call still blocks until
+// this record's outcome is known.
+func (c *Client) Create(fileSet, path string, rec sharedisk.Record) error {
+	defer c.track()()
+	if c.batch != nil {
+		return c.batch.add(fileSet, wire.BatchItem{Op: wire.OpCreate, Path: path, Record: &rec})
+	}
+	return c.router.Create(fileSet, path, rec)
+}
+
+// Update overwrites a metadata record (batched like Create).
+func (c *Client) Update(fileSet, path string, rec sharedisk.Record) error {
+	defer c.track()()
+	if c.batch != nil {
+		return c.batch.add(fileSet, wire.BatchItem{Op: wire.OpUpdate, Path: path, Record: &rec})
+	}
+	return c.router.Update(fileSet, path, rec)
+}
+
+// Remove deletes a metadata record (batched like Create).
+func (c *Client) Remove(fileSet, path string) error {
+	defer c.track()()
+	if c.batch != nil {
+		return c.batch.add(fileSet, wire.BatchItem{Op: wire.OpRemove, Path: path})
+	}
+	return c.router.Remove(fileSet, path)
+}
+
+// Stat reads a metadata record. Pending batched writes to the file set
+// are flushed first, so a client reads its own acked-or-queued writes.
+func (c *Client) Stat(fileSet, path string) (sharedisk.Record, error) {
+	defer c.track()()
+	if c.batch != nil {
+		c.batch.flushSet(fileSet)
+	}
+	return c.router.Stat(fileSet, path)
+}
+
+// List returns paths under a prefix (flushes the file set's pending
+// writes first, like Stat).
+func (c *Client) List(fileSet, prefix string) ([]string, error) {
+	defer c.track()()
+	if c.batch != nil {
+		c.batch.flushSet(fileSet)
+	}
+	return c.router.List(fileSet, prefix)
+}
+
+// Batch applies pre-grouped items against one file set in a single round
+// trip, bypassing the delay-based coalescing — for callers that already
+// hold a batch in hand.
+func (c *Client) Batch(fileSet string, items []wire.BatchItem) ([]wire.BatchResult, error) {
+	defer c.track()()
+	return c.router.Batch(fileSet, c.opts.Durable, items)
+}
+
+// Flush ships every pending batched write and returns when all are
+// acked.
+func (c *Client) Flush() {
+	if c.batch != nil {
+		c.batch.Flush()
+	}
+}
+
+// Sync flushes pending batches, then checkpoints every daemon — the
+// fleet-wide durability barrier.
+func (c *Client) Sync() error {
+	defer c.track()()
+	c.Flush()
+	return c.router.Sync()
+}
+
+// Close flushes pending writes and tears down every pool.
+func (c *Client) Close() error {
+	if c.batch != nil {
+		c.batch.Close()
+	}
+	c.router.Close()
+	return nil
+}

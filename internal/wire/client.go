@@ -150,18 +150,28 @@ func (c *Client) call(req Request) (Response, error) {
 	if resp.Trace != 0 {
 		c.lastTrace.Store(resp.Trace)
 	}
-	if resp.Err != "" {
-		// Rebuild the typed fleet errors that crossed the wire as strings, so
-		// callers can switch on them without string matching.
-		if strings.HasPrefix(resp.Err, wrongOwnerMsg) {
-			return resp, &WrongOwnerError{Epoch: resp.Epoch}
-		}
-		if strings.HasPrefix(resp.Err, arrivingMsg) {
-			return resp, fmt.Errorf("%w (server: %s)", ErrArriving, resp.Err)
-		}
-		return resp, errors.New(resp.Err)
+	return resp, ResponseError(resp)
+}
+
+// ResponseError maps a server-reported error string back to the typed
+// error vocabulary: wrong-owner and arriving rejections cross the wire as
+// strings and are rebuilt here (carrying Response.Epoch), so callers can
+// switch on them without string matching. Every client that decodes raw
+// responses — wire.Client, the sdk's pipelined connections — shares this
+// mapping, which is what keeps the fleet router's retry discipline
+// working no matter which transport carried the frame. Nil when the
+// response carries no error.
+func ResponseError(resp Response) error {
+	if resp.Err == "" {
+		return nil
 	}
-	return resp, nil
+	if strings.HasPrefix(resp.Err, wrongOwnerMsg) {
+		return &WrongOwnerError{Epoch: resp.Epoch}
+	}
+	if strings.HasPrefix(resp.Err, arrivingMsg) {
+		return fmt.Errorf("%w (server: %s)", ErrArriving, resp.Err)
+	}
+	return errors.New(resp.Err)
 }
 
 // Call sends a raw request (the ID is assigned by the client) and returns
@@ -314,6 +324,31 @@ func (c *Client) Stats() ([]ServerStat, error) {
 func (c *Client) JournalStats() (map[string]int64, error) {
 	resp, err := c.call(Request{Op: OpStats})
 	return resp.Journal, err
+}
+
+// Ping round-trips a no-op — the liveness probe connection pools use for
+// health checks.
+func (c *Client) Ping() error {
+	_, err := c.call(Request{Op: OpPing})
+	return err
+}
+
+// Batch applies items (create/update/remove/stat) in one round trip; the
+// server folds each file set's items into a single owner-queue task.
+// Items naming no file set inherit fileSet. With durable, the server
+// checkpoints every touched file set before acking — the whole batch
+// rides one journal group commit. Results are index-aligned with items;
+// err reports transport or whole-batch failures only (per-item errors are
+// in the results).
+func (c *Client) Batch(fileSet string, durable bool, items []BatchItem) ([]BatchResult, error) {
+	resp, err := c.call(Request{Op: OpBatch, FileSet: fileSet, Durable: durable, Batch: items})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(items) {
+		return nil, fmt.Errorf("wire: batch of %d items got %d results", len(items), len(resp.Results))
+	}
+	return resp.Results, nil
 }
 
 // Sync checkpoints every file set to shared disk — the client-side

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -76,6 +77,56 @@ func FuzzRequestDecode(f *testing.F) {
 		// Whatever came back must be encodable, or the write path would die.
 		if _, err := json.Marshal(resp); err != nil {
 			t.Fatalf("unencodable response %+v: %v", resp, err)
+		}
+	})
+}
+
+// FuzzTaggedFrame drives the tagged-frame decoder with arbitrary bytes:
+// framing must either parse cleanly or fail with a typed error — never
+// panic, never return an out-of-range kind or an oversized payload. What
+// does parse must survive a re-encode/re-parse round trip, so the reader
+// and writer can never drift apart.
+func FuzzTaggedFrame(f *testing.F) {
+	frame := func(kind byte, tag uint64, payload string) []byte {
+		buf := make([]byte, FrameHeaderSize+len(payload))
+		PutFrameHeader(buf, kind, tag, len(payload))
+		copy(buf[FrameHeaderSize:], payload)
+		return buf
+	}
+	seeds := [][]byte{
+		frame(FrameRequest, 1, `{"id":1,"op":"ping"}`),
+		frame(FrameResponse, 42, `{"id":42}`),
+		frame(FrameRequest, 7, ""),
+		append(frame(FrameRequest, 1, `{"id":1}`), frame(FrameResponse, 2, `{"id":2}`)...),
+		frame(FrameRequest, 1, `{"id":1}`)[:10],                          // truncated header
+		{'x', 'F', 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},             // bad magic
+		{'a', 'F', 9, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},             // bad version
+		{'a', 'F', 1, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},             // bad kind
+		{'a', 'F', 1, 1, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0}, // oversized
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		for {
+			kind, tag, payload, err := fr.ReadFrame()
+			if err != nil {
+				return // typed rejection or short read; both fine
+			}
+			if kind != FrameRequest && kind != FrameResponse {
+				t.Fatalf("decoder returned invalid kind %d", kind)
+			}
+			if len(payload) > MaxFramePayload {
+				t.Fatalf("decoder returned %d-byte payload over the cap", len(payload))
+			}
+			var hdr [FrameHeaderSize]byte
+			PutFrameHeader(hdr[:], kind, tag, len(payload))
+			k2, t2, n2, err := ParseFrameHeader(hdr[:])
+			if err != nil || k2 != kind || t2 != tag || n2 != len(payload) {
+				t.Fatalf("re-encode round trip: kind %d/%d tag %d/%d n %d/%d err %v",
+					kind, k2, tag, t2, len(payload), n2, err)
+			}
 		}
 	})
 }

@@ -1,8 +1,6 @@
 package wire
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -21,10 +19,12 @@ import (
 
 // Wire server counter names, exported via the obs registry and OpStats.
 const (
-	CtrRequests  = "wire_requests"
-	CtrErrors    = "wire_errors"
-	CtrSlow      = "wire_slow_requests"
-	CtrBadFrames = "wire_bad_frames"
+	CtrRequests   = "wire_requests"
+	CtrErrors     = "wire_errors"
+	CtrSlow       = "wire_slow_requests"
+	CtrBadFrames  = "wire_bad_frames"
+	CtrBatches    = "wire_batches"
+	CtrBatchItems = "wire_batch_items"
 )
 
 // DefaultSlowThreshold classifies a request as slow for the
@@ -38,6 +38,9 @@ type connState struct {
 	errors    atomic.Int64
 	slow      atomic.Int64
 	badFrames atomic.Int64
+	// inflight counts requests admitted but not yet answered on this
+	// connection — with the tagged protocol one connection carries many.
+	inflight atomic.Int64
 }
 
 // Server exposes a live.Cluster over TCP. One goroutine per connection
@@ -56,6 +59,12 @@ type Server struct {
 
 	counters *metrics.CounterSet
 	slow     time.Duration
+	// histDepth observes the connection's pipeline depth at each
+	// admission and histBatch the item count of each OpBatch. Both encode
+	// a unitless count as nanoseconds (obs histograms observe durations):
+	// bucket boundaries read directly as counts.
+	histDepth *obs.Histogram
+	histBatch *obs.Histogram
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -87,14 +96,21 @@ func NewServer(c *live.Cluster) *Server {
 		slow:     DefaultSlowThreshold,
 		conns:    map[net.Conn]*connState{},
 	}
+	s.histDepth = s.obs.Hist.Get("wire_pipeline_depth", "")
+	s.histBatch = s.obs.Hist.Get("wire_batch_items", "")
 	s.obs.AddCounters(s.counters.Snapshot)
 	s.obs.AddGauges(func() []obs.Gauge {
 		s.mu.Lock()
 		n, nc := len(s.conns), s.closedConns
+		var inflight int64
+		for _, cs := range s.conns {
+			inflight += cs.inflight.Load()
+		}
 		s.mu.Unlock()
 		return []obs.Gauge{
 			{Name: "wire_open_connections", Value: float64(n)},
 			{Name: "wire_closed_connections", Value: float64(nc)},
+			{Name: "wire_inflight_requests", Value: float64(inflight)},
 		}
 	})
 	return s
@@ -203,32 +219,20 @@ func (s *Server) serveConn(conn net.Conn, cs *connState) {
 		s.closedAgg.BadFrames += cs.badFrames.Load()
 		s.mu.Unlock()
 	}()
-	var writeMu sync.Mutex
-	enc := json.NewEncoder(conn)
-	send := func(resp Response) {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		_ = enc.Encode(resp) // write errors surface as reader EOF
-	}
-	var reqWG sync.WaitGroup
-	defer reqWG.Wait()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		var req Request
-		if err := json.Unmarshal(line, &req); err != nil {
+	fs := &FrameServer{
+		Handle: func(req Request) Response { return s.serve(cs, req) },
+		OnBadFrame: func() {
 			s.counters.Add(CtrBadFrames, 1)
 			cs.badFrames.Add(1)
-			send(Response{Err: "bad frame: " + err.Error()})
-			continue
-		}
-		reqWG.Add(1)
-		go func() {
-			defer reqWG.Done()
-			send(s.serve(cs, req))
-		}()
+		},
+		OnInflight: func(d int64) {
+			n := cs.inflight.Add(d)
+			if d > 0 {
+				s.histDepth.Observe(time.Duration(n))
+			}
+		},
 	}
+	fs.Serve(conn)
 }
 
 // serve instruments one request around handle: per-op latency histogram,
@@ -325,6 +329,12 @@ func (s *Server) handle(trace uint64, req Request) Response {
 	// (and, for sync, journal) spans land under this request's trace.
 	v := s.cluster.WithTrace(trace)
 	switch req.Op {
+	case OpPing:
+		// Liveness no-op: connection pools health-check with it.
+	case OpBatch:
+		// Batches gate per touched file set inside handleBatch (the
+		// generic gate above is single-file-set).
+		return s.handleBatch(trace, fleet, req)
 	case OpCreateFileSet:
 		if err := s.cluster.CreateFileSet(req.FileSet); err != nil {
 			return fail(err)
@@ -472,5 +482,107 @@ func (s *Server) handle(trace uint64, req Request) Response {
 	default:
 		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
 	}
+	return resp
+}
+
+// handleBatch serves OpBatch: validate, gate every touched file set (in
+// fleet mode), then apply each file set's items as ONE owner-queue task —
+// the server-side half of client batching. Admission is all-or-nothing: a
+// single wrong-owner file set rejects the whole batch before anything is
+// applied, so the client retries the batch intact after a map refetch and
+// no partially-admitted batch can be acknowledged.
+func (s *Server) handleBatch(trace uint64, fleet FleetHandler, req Request) Response {
+	resp := Response{ID: req.ID}
+	fail := func(err error) Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	n := len(req.Batch)
+	if n == 0 {
+		return fail(errors.New("wire: empty batch"))
+	}
+	if n > MaxBatchItems {
+		return fail(fmt.Errorf("wire: batch of %d items exceeds the limit of %d", n, MaxBatchItems))
+	}
+	// Group items by file set, preserving first-appearance order so
+	// gating is deterministic.
+	var order []string
+	groups := map[string][]int{}
+	for i := range req.Batch {
+		it := &req.Batch[i]
+		if !BatchableOp(it.Op) {
+			return fail(fmt.Errorf("wire: op %q is not batchable", it.Op))
+		}
+		fs := it.FileSet
+		if fs == "" {
+			fs = req.FileSet
+		}
+		if fs == "" {
+			return fail(errors.New("wire: batch item names no file set"))
+		}
+		if _, seen := groups[fs]; !seen {
+			order = append(order, fs)
+		}
+		groups[fs] = append(groups[fs], i)
+	}
+	if fleet != nil {
+		var releases []func()
+		defer func() {
+			for _, r := range releases {
+				r()
+			}
+		}()
+		for _, fs := range order {
+			release, err := fleet.Gate(OpBatch, fs)
+			if err != nil {
+				if epoch, ok := IsWrongOwner(err); ok {
+					resp.Epoch = epoch
+				}
+				return fail(err)
+			}
+			releases = append(releases, release)
+		}
+	}
+	v := s.cluster.WithTrace(trace)
+	results := make([]BatchResult, n)
+	for _, fs := range order {
+		idx := groups[fs]
+		ops := make([]live.BatchOp, len(idx))
+		for j, i := range idx {
+			it := req.Batch[i]
+			ops[j] = live.BatchOp{Kind: string(it.Op), Path: it.Path}
+			if it.Record != nil {
+				ops[j].Rec = *it.Record
+			}
+		}
+		outs, err := v.Batch(fs, ops)
+		if err != nil {
+			// Routing-level failure (file set mid-move past the retry
+			// budget): every item of this file set fails; others proceed.
+			for _, i := range idx {
+				results[i] = BatchResult{Err: err.Error()}
+			}
+			continue
+		}
+		for j, i := range idx {
+			if outs[j].Err != nil {
+				results[i].Err = outs[j].Err.Error()
+			}
+			results[i].Record = outs[j].Rec
+		}
+	}
+	if req.Durable {
+		// One checkpoint per touched file set: concurrent batches fold
+		// into the journal's group commit, so N batches cost ~1 fsync.
+		for _, fs := range order {
+			if err := v.Checkpoint(fs); err != nil {
+				return fail(fmt.Errorf("wire: batch checkpoint of %q: %w", fs, err))
+			}
+		}
+	}
+	s.counters.Add(CtrBatches, 1)
+	s.counters.Add(CtrBatchItems, int64(n))
+	s.histBatch.Observe(time.Duration(n))
+	resp.Results = results
 	return resp
 }

@@ -76,7 +76,51 @@ const (
 	OpHandoff   Op = "handoff"
 	OpAssign    Op = "assign"
 	OpRebalance Op = "rebalance"
+	// Tagged-protocol operations (internal/sdk is the primary client).
+	// OpHello, sent as the first request on a connection, negotiates the
+	// tagged-frame protocol (see tagged.go); OpPing is the no-op liveness
+	// probe connection pools use for health checks; OpBatch applies many
+	// small metadata writes in one frame — the server folds each file
+	// set's items into a single owner-queue task (live.Cluster.Batch), so
+	// a batch pays one queue wait and, with Request.Durable, one journal
+	// group commit instead of one per item.
+	OpHello Op = "hello"
+	OpPing  Op = "ping"
+	OpBatch Op = "batch"
 )
+
+// MaxBatchItems caps one OpBatch request — enough to amortize the
+// round-trip and the owner-queue hop, small enough that one batch cannot
+// monopolize a server's queue.
+const MaxBatchItems = 1024
+
+// BatchableOp reports whether an op may appear as an OpBatch item. Only
+// the single-record metadata ops qualify: everything else has semantics
+// (locks, namespace, fleet) that do not fold into a batch.
+func BatchableOp(op Op) bool {
+	switch op {
+	case OpCreate, OpStat, OpUpdate, OpRemove:
+		return true
+	}
+	return false
+}
+
+// BatchItem is one operation inside an OpBatch request. FileSet may be
+// empty when the enclosing Request.FileSet names it (the common case: a
+// client-side batcher coalesces per file set).
+type BatchItem struct {
+	Op      Op                `json:"op"`
+	FileSet string            `json:"fileset,omitempty"`
+	Path    string            `json:"path,omitempty"`
+	Record  *sharedisk.Record `json:"record,omitempty"`
+}
+
+// BatchResult is the per-item outcome of an OpBatch, index-aligned with
+// the request's items. Record answers OpStat items.
+type BatchResult struct {
+	Err    string            `json:"err,omitempty"`
+	Record *sharedisk.Record `json:"record,omitempty"`
+}
 
 // ShipEntry is one replicated journal entry: the primary's sequence and the
 // raw entry payload (Payload is base64 in JSON).
@@ -123,6 +167,13 @@ type Request struct {
 	Addr   string `json:"addr,omitempty"`
 	Daemon int    `json:"daemon,omitempty"`
 	Map    []byte `json:"map,omitempty"`
+	// Proto is the protocol version offered by OpHello (TaggedProtoV1).
+	Proto int `json:"proto,omitempty"`
+	// Batch carries the items of an OpBatch; Durable asks the server to
+	// checkpoint each touched file set after applying the batch, so the
+	// whole batch rides one journal group commit before it is acked.
+	Batch   []BatchItem `json:"batch,omitempty"`
+	Durable bool        `json:"durable,omitempty"`
 }
 
 // ConnStat is the per-connection request/error accounting included in
@@ -186,4 +237,8 @@ type Response struct {
 	// least reach before retrying. Map answers OpMap.
 	Epoch uint64 `json:"epoch,omitempty"`
 	Map   []byte `json:"map,omitempty"`
+	// Proto answers OpHello: the protocol version the server accepted.
+	Proto int `json:"proto,omitempty"`
+	// Results answers OpBatch, index-aligned with Request.Batch.
+	Results []BatchResult `json:"results,omitempty"`
 }
