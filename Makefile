@@ -1,7 +1,7 @@
 GO ?= go
 ANUFSVET := $(CURDIR)/bin/anufsvet
 
-.PHONY: all build test vet fuzz-smoke bench-sat clean
+.PHONY: all build test vet fuzz-smoke bench-sat bench-trace clean
 
 all: build test vet
 
@@ -30,6 +30,11 @@ fuzz-smoke:
 # enforces the batched >= 5x blocking throughput floor, as CI does.
 bench-sat:
 	$(GO) run ./cmd/benchsat -check
+
+# bench-trace measures edge-tracing overhead on the pipelined transport
+# and enforces the <=5% throughput-loss budget, as CI does.
+bench-trace:
+	$(GO) run ./cmd/benchsat -trace -trace-check
 
 clean:
 	rm -rf bin

@@ -1,0 +1,262 @@
+// Fleet observability commands: "trace <id> -fleet" pulls one trace's
+// spans from every node and stitches the cross-node timeline; "top" polls
+// /metrics across the fleet and renders per-node, per-op RED rows plus
+// replication lag, pool health, and exemplar traces.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"anufs/internal/fleet"
+	"anufs/internal/obs"
+	"anufs/internal/placement"
+	"anufs/internal/wire"
+)
+
+// traceNodes builds the trace-pull target list: the -nodes flag
+// ("name=addr,..." or bare addresses) wins; otherwise every daemon in the
+// cluster map plus the addressed node itself. Standbys and gateways are
+// not in the map — name them with -nodes to include their hops.
+func traceNodes(c *wire.Client, addr, nodesFlag string) ([]fleet.TraceNode, error) {
+	var out []fleet.TraceNode
+	seen := map[string]bool{}
+	add := func(name, a string) {
+		if a == "" || seen[a] {
+			return
+		}
+		seen[a] = true
+		out = append(out, fleet.TraceNode{Name: name, Addr: a})
+	}
+	for _, part := range strings.Split(nodesFlag, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if name, a, ok := strings.Cut(part, "="); ok {
+			add(name, a)
+		} else {
+			add(part, part)
+		}
+	}
+	if len(out) > 0 {
+		return out, nil
+	}
+	if encoded, err := c.ClusterMap(); err == nil {
+		if cm, err := placement.DecodeClusterMap(encoded); err == nil {
+			for _, d := range cm.Daemons {
+				add(fmt.Sprintf("daemon-%d", d.ID), d.Addr)
+			}
+		}
+	}
+	add(addr, addr)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no trace-pull targets (pass -nodes name=addr,...)")
+	}
+	return out, nil
+}
+
+// fleetTrace pulls and stitches one trace across the fleet.
+func fleetTrace(c *wire.Client, addr, nodesFlag string, trace uint64, jsonOut bool) {
+	nodes, err := traceNodes(c, addr, nodesFlag)
+	check(err)
+	pulled := fleet.PullTrace(trace, nodes, nil)
+	ft := obs.Stitch(trace, pulled)
+	if jsonOut {
+		emitJSON(ft)
+		return
+	}
+	ft.WriteTimeline(os.Stdout)
+}
+
+// topTarget is one /metrics endpoint "top" polls.
+type topTarget struct {
+	name string
+	url  string
+}
+
+// parseTopTargets parses -metrics: comma-separated "name=host:port" or
+// bare "host:port" observability HTTP addresses.
+func parseTopTargets(flagVal string) ([]topTarget, error) {
+	var out []topTarget
+	for _, part := range strings.Split(flagVal, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr := part, part
+		if n, a, ok := strings.Cut(part, "="); ok {
+			name, addr = n, a
+		}
+		url := addr
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			url = "http://" + url
+		}
+		if !strings.HasSuffix(url, "/metrics") {
+			url = strings.TrimSuffix(url, "/") + "/metrics"
+		}
+		out = append(out, topTarget{name: name, url: url})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("top needs -metrics host:port[,name=host:port...] (the daemons' -http addresses)")
+	}
+	return out, nil
+}
+
+// scrapeTarget fetches and parses one /metrics endpoint.
+func scrapeTarget(t topTarget) (*obs.Scrape, error) {
+	cl := &http.Client{Timeout: 3 * time.Second}
+	resp, err := cl.Get(t.url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("%s: HTTP %d", t.url, resp.StatusCode)
+	}
+	return obs.ParseProm(resp.Body)
+}
+
+// opCounts returns per-op request totals for one histogram family.
+func opCounts(s *obs.Scrape, hist string) map[string]float64 {
+	out := map[string]float64{}
+	s.Each(hist+"_count", func(p obs.MetricPoint) {
+		out[p.Labels["op"]] += p.Value
+	})
+	return out
+}
+
+// runTop polls every target iters times, interval apart, and renders a
+// fleet dashboard per poll: RED rows (rate from count deltas, errors,
+// p99 duration) per node and op, the slowest exemplar trace per row, then
+// replication lag per peer, pool and gateway health.
+func runTop(targets []topTarget, iters int, interval time.Duration) {
+	// Previous per-(target, histogram, op) counts for rate computation.
+	prev := map[string]map[string]float64{}
+	prevErrs := map[string]float64{}
+	prevAt := time.Time{}
+	for i := 0; iters <= 0 || i < iters; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		now := time.Now()
+		elapsed := now.Sub(prevAt)
+		fmt.Printf("--- anufs top @ %s ---\n", now.Format("15:04:05"))
+		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "NODE\tOP\tREQS\tRATE\tERRS\tP99\tSLOWEST-TRACE")
+		type section struct {
+			target topTarget
+			scrape *obs.Scrape
+		}
+		var scrapes []section
+		for _, t := range targets {
+			s, err := scrapeTarget(t)
+			if err != nil {
+				fmt.Fprintf(tw, "%s\t-\t-\t-\t-\t-\t(%v)\n", t.name, err)
+				continue
+			}
+			scrapes = append(scrapes, section{t, s})
+			errs, _ := s.Value("anufs_wire_errors", nil)
+			if v, ok := s.Value("anufs_gw_errors", nil); ok {
+				errs += v
+			}
+			errDelta := errs - prevErrs[t.name]
+			prevErrs[t.name] = errs
+			for _, hist := range []string{"anufs_wire_request_seconds", "anufs_gw_request_seconds"} {
+				counts := opCounts(s, hist)
+				ops := make([]string, 0, len(counts))
+				for op := range counts {
+					ops = append(ops, op)
+				}
+				sort.Strings(ops)
+				for _, op := range ops {
+					key := t.name + "|" + hist + "|" + op
+					rate := "-"
+					if p, ok := prev[key]; ok && elapsed > 0 {
+						rate = fmt.Sprintf("%.0f/s", (counts[op]-p["count"])/elapsed.Seconds())
+					}
+					prev[key] = map[string]float64{"count": counts[op]}
+					p99 := "-"
+					if q, ok := s.Quantile(hist, map[string]string{"op": op}, 0.99); ok {
+						p99 = q.String()
+					}
+					slow := "-"
+					if ex, ok := s.SlowestExemplar(hist, map[string]string{"op": op}); ok {
+						slow = fmt.Sprintf("%d (%.1fms)", ex.Trace, ex.Value*1e3)
+					}
+					fmt.Fprintf(tw, "%s\t%s\t%.0f\t%s\t%.0f\t%s\t%s\n",
+						t.name, op, counts[op], rate, errDelta, p99, slow)
+					errDelta = 0 // errors are per node, print once
+				}
+			}
+		}
+		check(tw.Flush())
+		prevAt = now
+
+		// Replication: per-peer shipping lag and acked sequence.
+		repl := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		replRows := 0
+		for _, sec := range scrapes {
+			for _, peer := range sec.scrape.LabelValues("anufs_replica_lag_entries", "peer") {
+				lag, _ := sec.scrape.Value("anufs_replica_lag_entries", map[string]string{"peer": peer})
+				acked, _ := sec.scrape.Value("anufs_replica_acked_seq", map[string]string{"peer": peer})
+				if replRows == 0 {
+					fmt.Fprintln(repl, "\nREPLICATION\tPEER\tLAG\tACKED-SEQ")
+				}
+				fmt.Fprintf(repl, "%s\t%s\t%.0f\t%.0f\n", sec.target.name, peer, lag, acked)
+				replRows++
+			}
+		}
+		check(repl.Flush())
+
+		// Client/gateway health: pool liveness and pipeline depth per
+		// daemon, redials, batch fold ratio, map-cache behaviour.
+		pool := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		poolRows := 0
+		for _, sec := range scrapes {
+			s := sec.scrape
+			for _, daemon := range s.LabelValues("anufs_sdk_pool_live", "daemon") {
+				live, _ := s.Value("anufs_sdk_pool_live", map[string]string{"daemon": daemon})
+				infl, _ := s.Value("anufs_sdk_pool_inflight", map[string]string{"daemon": daemon})
+				if poolRows == 0 {
+					fmt.Fprintln(pool, "\nPOOLS\tDAEMON\tLIVE\tINFLIGHT")
+				}
+				fmt.Fprintf(pool, "%s\t%s\t%.0f\t%.0f\n", sec.target.name, daemon, live, infl)
+				poolRows++
+			}
+		}
+		check(pool.Flush())
+		for _, sec := range scrapes {
+			s := sec.scrape
+			var bits []string
+			if v, ok := s.Value("anufs_sdk_pool_redials", nil); ok && v > 0 {
+				bits = append(bits, fmt.Sprintf("redials=%.0f", v))
+			}
+			if v, ok := s.Value("anufs_sdk_pool_health_failures", nil); ok && v > 0 {
+				bits = append(bits, fmt.Sprintf("health-failures=%.0f", v))
+			}
+			if sent, ok := s.Value("anufs_sdk_batches_sent", nil); ok && sent > 0 {
+				opsv, _ := s.Value("anufs_sdk_batched_ops", nil)
+				bits = append(bits, fmt.Sprintf("batch-fold=%.1fx", opsv/sent))
+			}
+			if v, ok := s.Value("anufs_fleet_map_fetches", nil); ok {
+				hits, _ := s.Value("anufs_fleet_map_peer_hits", nil)
+				bits = append(bits, fmt.Sprintf("map-fetches=%.0f (peer-hits=%.0f)", v, hits))
+			}
+			if v, ok := s.Value("anufs_gw_inflight_requests", nil); ok {
+				bits = append(bits, fmt.Sprintf("gw-inflight=%.0f", v))
+			}
+			if len(bits) > 0 {
+				fmt.Printf("%s: %s\n", sec.target.name, strings.Join(bits, "  "))
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -47,11 +47,33 @@ type dataAPI interface {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7460", "anufsd address")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of tables (stats, trace, tunerlog)")
-	fleetMode := flag.Bool("fleet", false, "route data commands through the fleet cluster map (-addr is any fleet daemon; the authority for assign/rebalance)")
+	fleetMode := flag.Bool("fleet", false, "route data commands through the fleet cluster map (-addr is any fleet daemon; the authority for assign/rebalance); with trace <id>, pull and stitch the trace across the fleet")
+	nodesFlag := flag.String("nodes", "", `trace-pull targets for "trace <id> -fleet": comma-separated name=addr (or bare addr) wire addresses; default = every daemon in the cluster map`)
+	metricsFlag := flag.String("metrics", "", `observability HTTP addresses for "top": comma-separated name=host:port (or bare host:port)`)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+	if args[0] == "top" {
+		// top speaks HTTP to the nodes' observability endpoints; no wire
+		// connection needed.
+		targets, err := parseTopTargets(*metricsFlag)
+		check(err)
+		iters := 0 // forever
+		interval := 2 * time.Second
+		if len(args) >= 2 {
+			v, err := strconv.Atoi(args[1])
+			check(err)
+			iters = v
+		}
+		if len(args) >= 3 {
+			d, err := time.ParseDuration(args[2])
+			check(err)
+			interval = d
+		}
+		runTop(targets, iters, interval)
+		return
 	}
 	c, err := wire.Dial(*addr)
 	if err != nil {
@@ -266,6 +288,12 @@ func main() {
 				n = v
 			}
 		}
+		if *fleetMode && trace != 0 {
+			// Stitch the trace across every node instead of dumping one
+			// daemon's ring.
+			fleetTrace(c, *addr, *nodesFlag, trace, *jsonOut)
+			return
+		}
 		spans, err := c.Trace(trace, n)
 		check(err)
 		if *jsonOut {
@@ -350,6 +378,10 @@ commands:
   ping [n]         round-trip n pings; reports the negotiated protocol (tagged-v1 or line)
   sync
   trace [id|last] [n]   dump request trace spans (one trace, or the n most recent)
+  trace <id> -fleet     pull the trace from every node (-nodes name=addr,... adds
+                        gateways/standbys) and print one stitched cross-node timeline
+  top [iters [ival]]    poll -metrics host:port,... and render per-node/per-op RED rows,
+                        replication lag, pool health, and exemplar traces
   tunerlog [n]          dump structured tuner decision events
 fleet (daemons started with -fleet; add -fleet here to route data commands by the map):
   map                   show the cluster map (epoch, daemons, assignments)

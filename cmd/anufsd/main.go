@@ -82,6 +82,9 @@ func main() {
 		fleetID        = flag.Int("fleet", -1, "this daemon's fleet ID; -1 runs standalone (no sharding)")
 		fleetAuthority = flag.String("fleet-authority", "", `host the cluster-map authority with this roster: "id=addr@speed,..." (must include this daemon's -fleet id)`)
 		fleetJoin      = flag.String("fleet-join", "", "join a fleet: the authority daemon's wire address")
+
+		nodeName = flag.String("node", "", `node identity stamped on trace spans and trace-pull answers (default "daemon-<fleet id>" or "daemon@<listen>")`)
+		slowOver = flag.Duration("slow-trace", 0, "promote traces slower than this into the durable flight recorder (/debug/slow, SIGQUIT); 0 disables")
 	)
 	flag.Parse()
 
@@ -100,6 +103,27 @@ func main() {
 	// queues, and the wire server all record into it, so a single /metrics
 	// scrape (or trace dump) covers the full request path.
 	reg := obs.New()
+	node := *nodeName
+	if node == "" {
+		if *fleetID >= 0 {
+			node = fmt.Sprintf("daemon-%d", *fleetID)
+		} else {
+			node = "daemon@" + *listen
+		}
+	}
+	reg.SetNode(node)
+	reg.Slow.SetThreshold(*slowOver)
+
+	// SIGQUIT dumps the slow-trace flight recorder to stderr — the incident
+	// snapshot for a process about to be killed or already misbehaving.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			fmt.Fprintf(os.Stderr, "anufsd: slow-trace flight recorder (%s):\n", node)
+			reg.Slow.WriteTo(os.Stderr)
+		}
+	}()
 
 	// Observability HTTP comes up before anything else so a standby (which
 	// may sit receiving for hours before promotion) is scrapeable too.
@@ -150,6 +174,7 @@ func main() {
 				Images:      st.Images,
 				SyncTimeout: *syncTimeout,
 				Obs:         reg,
+				DaemonID:    *fleetID,
 			})
 			if err != nil {
 				log.Fatalf("anufsd: replication: %v", err)

@@ -20,6 +20,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -43,6 +44,8 @@ func main() {
 		pool      = flag.Int("pool", sdk.DefaultPoolSize, "pipelined connections per daemon")
 		timeout   = flag.Duration("timeout", 0, "per-call deadline toward daemons (0 = wire default)")
 		httpAddr  = flag.String("http", "", "observability HTTP address (/metrics, /healthz); empty disables")
+		nodeName  = flag.String("node", "", `node identity stamped on trace spans and trace-pull answers (default "gw@<listen>")`)
+		slowOver  = flag.Duration("slow-trace", 0, "promote traces slower than this into the durable flight recorder (/debug/slow, SIGQUIT); 0 disables")
 	)
 	flag.Parse()
 
@@ -54,6 +57,20 @@ func main() {
 	}
 
 	reg := obs.New()
+	node := *nodeName
+	if node == "" {
+		node = "gw@" + *listen
+	}
+	reg.SetNode(node)
+	reg.Slow.SetThreshold(*slowOver)
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			fmt.Fprintf(os.Stderr, "anufsgw: slow-trace flight recorder (%s):\n", node)
+			reg.Slow.WriteTo(os.Stderr)
+		}
+	}()
 	gw, err := sdk.NewGateway(sdk.GatewayConfig{
 		Authority: *authority,
 		Peers:     peerAddrs,

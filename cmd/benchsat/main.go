@@ -17,9 +17,17 @@
 // -min-speedup times the blocking transport's throughput at the highest
 // client count — the regression gate for the sdk's reason to exist.
 //
+// With -trace, benchsat instead compares the pipelined transport with
+// tracing off against the same transport with edge trace minting on
+// (client registry: per-op trace IDs, sdk-call spans, trace context on
+// every request), emitting BenchmarkTrace lines for the BENCH_trace.json
+// artifact; -trace-check fails the run when tracing costs more than
+// -max-trace-overhead of the untraced throughput.
+//
 // Usage:
 //
 //	benchsat -clients 1,8,64 -dur 400ms -check
+//	benchsat -trace -trace-check
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 
 	"anufs/internal/fleet"
 	"anufs/internal/live"
+	"anufs/internal/obs"
 	"anufs/internal/placement"
 	"anufs/internal/sdk"
 	"anufs/internal/sharedisk"
@@ -51,6 +60,10 @@ func main() {
 		opCost      = flag.Duration("opcost", 100*time.Microsecond, "server-side cost per queued task (models apply + journal commit; a batch is one task)")
 		check       = flag.Bool("check", false, "fail unless batched reaches -min-speedup x blocking at the highest client count")
 		minSpeedup  = flag.Float64("min-speedup", 5, "required batched/blocking throughput ratio for -check")
+
+		traceMode   = flag.Bool("trace", false, "measure tracing overhead instead: pipelined with tracing off vs on (BenchmarkTrace lines)")
+		traceCheck  = flag.Bool("trace-check", false, "with -trace: fail when traced throughput drops below (1 - -max-trace-overhead) x untraced")
+		maxOverhead = flag.Float64("max-trace-overhead", 0.05, "tolerated fractional throughput loss from tracing for -trace-check")
 	)
 	flag.Parse()
 	var clients []int
@@ -85,15 +98,21 @@ func main() {
 
 	// opsPerSec[mode] at the highest client count, for -check.
 	final := map[string]float64{}
-	for _, mode := range []string{"blocking", "pipelined", "batched"} {
+	modes := []string{"blocking", "pipelined", "batched"}
+	benchName := "BenchmarkSat"
+	if *traceMode {
+		modes = []string{"pipelined", "traced"}
+		benchName = "BenchmarkTrace"
+	}
+	for _, mode := range modes {
 		op, teardown := newTransport(mode, addr, *poolSize, *batchDelay, names)
 		for _, n := range clients {
 			ops, p99 := run(op, n, *dur)
 			elapsed := dur.Seconds()
 			opsPerSec := float64(ops) / elapsed
 			nsPerOp := elapsed * 1e9 / float64(max64(ops, 1))
-			fmt.Printf("BenchmarkSat/%s/c%d \t%d\t%.1f ns/op\n", mode, n, ops, nsPerOp)
-			fmt.Printf("BenchmarkSat/%s/c%d/p99 \t1\t%d ns/op\n", mode, n, p99.Nanoseconds())
+			fmt.Printf("%s/%s/c%d \t%d\t%.1f ns/op\n", benchName, mode, n, ops, nsPerOp)
+			fmt.Printf("%s/%s/c%d/p99 \t1\t%d ns/op\n", benchName, mode, n, p99.Nanoseconds())
 			fmt.Fprintf(os.Stderr, "benchsat: %-9s c=%-3d %10.0f ops/sec  p99=%v\n", mode, n, opsPerSec, p99)
 			if n == maxClients {
 				final[mode] = opsPerSec
@@ -102,7 +121,17 @@ func main() {
 		teardown()
 	}
 
-	if *check {
+	if *traceMode && *traceCheck {
+		ratio := final["traced"] / final["pipelined"]
+		floor := 1 - *maxOverhead
+		fmt.Fprintf(os.Stderr, "benchsat: traced/untraced at c=%d: %.3f (floor %.3f)\n",
+			maxClients, ratio, floor)
+		if ratio < floor {
+			log.Fatalf("benchsat: tracing costs %.1f%% of untraced throughput, budget is %.1f%%",
+				(1-ratio)*100, *maxOverhead*100)
+		}
+	}
+	if *check && !*traceMode {
 		ratio := final["batched"] / final["blocking"]
 		fmt.Fprintf(os.Stderr, "benchsat: batched/blocking at c=%d: %.1fx (floor %.1fx)\n",
 			maxClients, ratio, *minSpeedup)
@@ -192,7 +221,7 @@ func newTransport(mode, addr string, poolSize int, batchDelay time.Duration, nam
 			defer mu.Unlock()
 			return c.Update(names[w%len(names)], workerPath(w), rec)
 		}, func() { c.Close() }
-	case "pipelined", "batched":
+	case "pipelined", "batched", "traced":
 		opts := sdk.Options{
 			Authority: addr,
 			Timeout:   10 * time.Second,
@@ -201,6 +230,11 @@ func newTransport(mode, addr string, poolSize int, batchDelay time.Duration, nam
 		}
 		if mode == "batched" {
 			opts.BatchDelay = batchDelay
+		}
+		if mode == "traced" {
+			// Edge trace minting on: every op gets a trace ID, an sdk-call
+			// span, and trace context on the wire.
+			opts.Obs = obs.New()
 		}
 		c, err := sdk.NewClient(opts)
 		if err != nil {

@@ -190,7 +190,11 @@ func transientErr(err error) bool {
 		strings.Contains(s, "wire: send:") ||
 		strings.Contains(s, "connection refused") ||
 		strings.Contains(s, "connection reset") ||
-		strings.Contains(s, "sdk: no connection")
+		strings.Contains(s, "sdk: no connection") ||
+		// A pool the router just invalidated fails its in-flight callers
+		// with "pool closed"; they must reconnect and retry like everyone
+		// else, not surface a fatal error for a race they lost.
+		strings.Contains(s, "sdk: pool closed")
 }
 
 // Do routes one operation against the file set's owning daemon, converging
@@ -199,8 +203,30 @@ func transientErr(err error) bool {
 // most once per state change (new map epoch, reconnect, or backoff step) —
 // it must be idempotent or check-before-write, like every wire op here.
 func (r *Router) Do(fileSet string, fn func(d placement.DaemonInfo, c Caller) error) error {
+	return r.do(0, fileSet, fn)
+}
+
+// do is Do with trace context: when the routed operation belongs to a
+// trace (and the router has a registry), every retry event — wrong-owner
+// refetch, adoption backoff, reconnect — lands in the trace as a
+// "route-retry" span, so a stitched fleet timeline shows WHY a request
+// crossed daemons, not just that it did.
+func (r *Router) do(trace uint64, fileSet string, fn func(d placement.DaemonInfo, c Caller) error) error {
 	deadline := time.Now().Add(r.cfg.Budget)
 	backoff := wire.NewBackoff(5*time.Millisecond, 250*time.Millisecond)
+	retrySpan := func(reason string, daemon int, start time.Time, err error) {
+		if trace == 0 || r.cfg.Obs == nil {
+			return
+		}
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		r.cfg.Obs.Spans.Add(obs.Span{
+			Trace: trace, Name: "route-retry", Op: reason, FileSet: fileSet,
+			Server: daemon, Start: start, Dur: time.Since(start), Err: errStr,
+		})
+	}
 	var lastErr error
 	for {
 		cm, _ := r.maps.Get()
@@ -211,6 +237,7 @@ func (r *Router) Do(fileSet string, fn func(d placement.DaemonInfo, c Caller) er
 		if !placed {
 			return fmt.Errorf("fleet: file set %q is not in the cluster map (epoch %d)", fileSet, cm.Epoch)
 		}
+		attempt := time.Now()
 		c, err := r.Caller(d.Addr)
 		if err == nil {
 			err = fn(d, c)
@@ -229,17 +256,23 @@ func (r *Router) Do(fileSet string, fn func(d placement.DaemonInfo, c Caller) er
 			// — exactly one per refetch that advances far enough.
 			r.maps.Invalidate(epoch)
 			if !r.awaitEpoch(epoch, deadline, backoff) {
+				retrySpan("wrong-owner", d.ID, attempt, err)
 				return fmt.Errorf("fleet: map never reached epoch %d within the route budget: %w", epoch, lastErr)
 			}
+			retrySpan("wrong-owner", d.ID, attempt, err)
 		case wire.IsArriving(err):
 			r.counters.Add("fleet_router_arriving_waits", 1)
-			if !sleepUntil(backoff.Next(), deadline) {
+			ok := sleepUntil(backoff.Next(), deadline)
+			retrySpan("arriving", d.ID, attempt, err)
+			if !ok {
 				return lastErr
 			}
 		case transientErr(err):
 			r.counters.Add("fleet_router_reconnects", 1)
 			r.invalidate(d.Addr)
-			if !sleepUntil(backoff.Next(), deadline) {
+			ok := sleepUntil(backoff.Next(), deadline)
+			retrySpan("reconnect", d.ID, attempt, err)
+			if !ok {
 				return lastErr
 			}
 			// The daemon may have moved on while we were disconnected.
@@ -248,7 +281,9 @@ func (r *Router) Do(fileSet string, fn func(d placement.DaemonInfo, c Caller) er
 			// The daemon has not seen the map that assigns it this file set
 			// yet (our map is newer than its). Transient: it converges by
 			// authority push or poll.
-			if !sleepUntil(backoff.Next(), deadline) {
+			ok := sleepUntil(backoff.Next(), deadline)
+			retrySpan("await-assign", d.ID, attempt, err)
+			if !ok {
 				return lastErr
 			}
 		default:
@@ -397,12 +432,17 @@ func (r *Router) Batch(fileSet string, durable bool, items []wire.BatchItem) ([]
 
 // Sync checkpoints every daemon in the fleet (the fleet-wide durability
 // barrier); the first error wins but every daemon is attempted.
-func (r *Router) Sync() error {
+func (r *Router) Sync() error { return r.SyncTraced(0, 0) }
+
+// SyncTraced is Sync carrying trace context: every fanned-out checkpoint
+// joins the caller's trace, so a stitched timeline shows the barrier
+// landing on each daemon.
+func (r *Router) SyncTraced(trace, parent uint64) error {
 	var firstErr error
 	for _, d := range r.Map().Daemons {
 		c, err := r.Caller(d.Addr)
 		if err == nil {
-			_, err = c.Call(wire.Request{Op: wire.OpSync})
+			_, err = c.Call(wire.Request{Op: wire.OpSync, Trace: trace, Parent: parent})
 		}
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("fleet: sync daemon %d: %w", d.ID, err)
@@ -411,11 +451,13 @@ func (r *Router) Sync() error {
 	return firstErr
 }
 
-// Forward routes a raw request by its FileSet field — the gateway's
-// pass-through. The response keeps the caller's request ID.
+// Forward routes a raw request by its FileSet field — the gateway's (and
+// the traced sdk client's) pass-through. The request's trace context rides
+// through untouched, and routing retries join its trace as route-retry
+// spans. The response keeps the caller's request ID.
 func (r *Router) Forward(req wire.Request) (wire.Response, error) {
 	var resp wire.Response
-	err := r.Do(req.FileSet, func(_ placement.DaemonInfo, c Caller) error {
+	err := r.do(req.Trace, req.FileSet, func(_ placement.DaemonInfo, c Caller) error {
 		fwd := req
 		got, err := c.Call(fwd)
 		resp = got

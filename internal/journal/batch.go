@@ -148,6 +148,12 @@ func (j *Journal) writeBatch(batch []*appendReq) error {
 	j.segSize += int64(len(buf))
 	for i, r := range batch {
 		r.seq = j.nextSeq + uint64(i)
+		if r.trace != 0 {
+			// Remember which trace appended this sequence so replication can
+			// stamp the shipped entry (TraceOf).
+			j.traceSeq[r.seq%traceRingLen] = r.seq
+			j.traceID[r.seq%traceRingLen] = r.trace
+		}
 	}
 	j.nextSeq += uint64(len(batch))
 	j.signalCommitLocked()

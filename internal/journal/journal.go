@@ -152,6 +152,27 @@ type Journal struct {
 	// must not return until the entry is replicated (or the replication
 	// policy gives up) — the semi-synchronous shipping hook (SetAckGate).
 	ackGate func(seq uint64) error
+	// traceRing remembers which request trace appended recent sequences
+	// (guarded by mu; see TraceOf). The shipper reads it to stamp shipped
+	// entries with their originating trace.
+	traceSeq [traceRingLen]uint64
+	traceID  [traceRingLen]uint64
+}
+
+// traceRingLen bounds the seq→trace memory: large enough to cover any
+// realistic ship lag (the shipper batches at most 512 entries and resumes
+// from the standby's ack), tiny enough to be free.
+const traceRingLen = 4096
+
+// TraceOf returns the request trace ID that appended sequence seq, or 0
+// if the append was untraced or the ring has since wrapped past it.
+func (j *Journal) TraceOf(seq uint64) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i := seq % traceRingLen; j.traceSeq[i] == seq {
+		return j.traceID[i]
+	}
+	return 0
 }
 
 type appendReq struct {

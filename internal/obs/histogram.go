@@ -67,6 +67,12 @@ type Histogram struct {
 	count   atomic.Int64
 	sumNs   atomic.Int64
 	buckets [nBuckets]atomic.Int64
+	// Exemplars: per coarse export bucket, the trace ID and value of the
+	// most recent traced observation that landed there. The two cells are
+	// stored independently — a racing pair can mismatch trace and value by
+	// one observation, which is fine for a debugging pointer.
+	exTrace [len(exportBounds) + 1]atomic.Uint64
+	exNs    [len(exportBounds) + 1]atomic.Int64
 }
 
 // NewHistogram creates an empty histogram.
@@ -81,6 +87,61 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketOf(int64(d))].Add(1)
 	h.count.Add(1)
 	h.sumNs.Add(int64(d))
+}
+
+// ObserveTrace is Observe plus exemplar capture: when the sample belongs
+// to a trace, the coarse export bucket it falls in remembers that trace
+// ID, so a slow /metrics quantile links to a concrete fleet trace. Same
+// hot-path budget as Observe (one extra compare loop over a 24-entry
+// array and two atomic stores, no allocation).
+//
+//anufs:hotpath
+func (h *Histogram) ObserveTrace(d time.Duration, trace uint64) {
+	h.Observe(d)
+	if trace == 0 {
+		return
+	}
+	bi := exportBucketOf(float64(d) / 1e9)
+	h.exTrace[bi].Store(trace)
+	h.exNs[bi].Store(int64(d))
+}
+
+// exportBucketOf returns the index of the coarse export bucket for a
+// value in seconds (len(exportBounds) = the +Inf bucket).
+//
+//anufs:hotpath
+func exportBucketOf(sec float64) int {
+	for bi := range exportBounds {
+		if sec <= exportBounds[bi] {
+			return bi
+		}
+	}
+	return len(exportBounds)
+}
+
+// Exemplar links one coarse export bucket to the most recent traced
+// observation recorded in it.
+type Exemplar struct {
+	Le    string        `json:"le"` // bucket upper bound (seconds; "+Inf")
+	Trace uint64        `json:"trace"`
+	Value time.Duration `json:"value"`
+}
+
+// Exemplars returns the populated exemplar slots, fastest bucket first.
+func (h *Histogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for bi := 0; bi <= len(exportBounds); bi++ {
+		tr := h.exTrace[bi].Load()
+		if tr == 0 {
+			continue
+		}
+		le := "+Inf"
+		if bi < len(exportBounds) {
+			le = formatBound(exportBounds[bi])
+		}
+		out = append(out, Exemplar{Le: le, Trace: tr, Value: time.Duration(h.exNs[bi].Load())})
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -164,7 +225,7 @@ func (h *Histogram) Summarize() Summary {
 // quantiles, but 500 bucket lines per series would drown a scrape, so
 // export folds the fine buckets into this ladder (1µs → 60s, roughly 2.5×
 // apart) plus +Inf.
-var exportBounds = []float64{
+var exportBounds = [...]float64{
 	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
 	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
 	1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
@@ -203,6 +264,13 @@ func (h *Histogram) writeProm(w io.Writer, name, labels string) {
 	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, total)
 	fmt.Fprintf(w, "%s_sum%s %g\n", name, braced(labels), h.Sum().Seconds())
 	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), total)
+	// Exemplars ride along as comment lines: classic text-format parsers
+	// skip '#' lines they don't recognize, while anufsctl top reads them
+	// to link slow buckets to concrete traces.
+	for _, ex := range h.Exemplars() {
+		fmt.Fprintf(w, "# exemplar %s_bucket{%s%sle=%q} trace=%d value=%g\n",
+			name, labels, sep, ex.Le, ex.Trace, ex.Value.Seconds())
+	}
 }
 
 func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }

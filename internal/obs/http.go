@@ -14,6 +14,7 @@ import (
 //	/status        registered status sources as JSON (role, replication)
 //	/tuner-log     recent tuner decision events as JSON
 //	/trace         recent request spans as JSON (?trace=ID filters)
+//	/debug/slow    slow-trace flight recorder as JSON (newest first)
 //	/debug/pprof/  the standard Go profiler endpoints
 //
 // Mount it on a loopback or otherwise-protected port; it exposes
@@ -45,6 +46,9 @@ func (r *Registry) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, r.Spans.Snapshot(0))
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, r.Slow.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

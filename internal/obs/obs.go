@@ -14,6 +14,8 @@
 package obs
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
@@ -38,8 +40,13 @@ type Registry struct {
 	Spans *SpanRing
 	// Tuner retains the most recent tuner decision events.
 	Tuner *TunerRing
+	// Slow is the flight recorder: traces promoted for exceeding the slow
+	// threshold, durable past span-ring wraparound.
+	Slow *SlowRing
 
 	traceID atomic.Uint64
+	seed    uint64 // random per-process offset making IDs fleet-unique
+	node    atomic.Value
 
 	mu       sync.Mutex
 	counters []func() map[string]int64
@@ -52,20 +59,59 @@ type Registry struct {
 const (
 	defaultSpanCap  = 8192
 	defaultTunerCap = 1024
+	defaultSlowCap  = 128
 )
 
 // New creates a registry with default ring capacities.
 func New() *Registry {
-	return &Registry{
+	r := &Registry{
 		Hist:  NewHistogramSet(),
 		Spans: NewSpanRing(defaultSpanCap),
 		Tuner: NewTunerRing(defaultTunerCap),
+		Slow:  NewSlowRing(defaultSlowCap),
+	}
+	// Offset the ID counter by a random per-process seed so trace IDs
+	// minted on different nodes of a fleet don't collide. Each process
+	// still mints sequential IDs within its own 2^64 window; crypto/rand
+	// failure (no entropy device) degrades to process-local uniqueness.
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		r.seed = binary.LittleEndian.Uint64(b[:])
+	}
+	return r
+}
+
+// NextTraceID mints a fleet-unique request trace ID (never zero — zero
+// means "untraced" throughout the stack).
+func (r *Registry) NextTraceID() uint64 { return r.nextID() }
+
+// NextSpanID mints an ID for one span so downstream hops can reference it
+// as their Parent. Span IDs share the trace-ID space; never zero.
+func (r *Registry) NextSpanID() uint64 { return r.nextID() }
+
+func (r *Registry) nextID() uint64 {
+	for {
+		if id := r.seed + r.traceID.Add(1); id != 0 {
+			return id
+		}
 	}
 }
 
-// NextTraceID mints a process-unique request trace ID (never zero — zero
-// means "untraced" throughout the stack).
-func (r *Registry) NextTraceID() uint64 { return r.traceID.Add(1) }
+// SetNode names this process for the fleet plane (e.g. "daemon-2",
+// "gw@:7101"): responses to trace-pull report it and every span recorded
+// without an explicit Node is stamped with it.
+func (r *Registry) SetNode(node string) {
+	r.node.Store(node)
+	r.Spans.SetNode(node)
+}
+
+// Node returns the identity set by SetNode ("" if unset).
+func (r *Registry) Node() string {
+	if v, ok := r.node.Load().(string); ok {
+		return v
+	}
+	return ""
+}
 
 // AddCounters registers a counter snapshot source (e.g. the journal's
 // CounterSet.Snapshot). Each scrape calls every source; keys are exported

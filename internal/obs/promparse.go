@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the read side of WriteMetrics: a parser for the subset of
+// the Prometheus text format the registry emits (plus its "# exemplar"
+// comment lines), so anufsctl top can aggregate /metrics scrapes from
+// every node of a fleet without an external client library.
+
+// MetricPoint is one parsed series sample.
+type MetricPoint struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ScrapeExemplar is one parsed "# exemplar" comment line: the bucket it
+// annotates plus the trace it points at.
+type ScrapeExemplar struct {
+	Name   string
+	Labels map[string]string // includes "le"
+	Trace  uint64
+	Value  float64 // seconds
+}
+
+// Scrape is one parsed /metrics response.
+type Scrape struct {
+	Points    []MetricPoint
+	Exemplars []ScrapeExemplar
+}
+
+// ParseProm parses a Prometheus text-format exposition. Lines it cannot
+// parse are skipped, not fatal — the caller is polling live daemons and
+// a half-written series must not kill the whole scrape.
+func ParseProm(r io.Reader) (*Scrape, error) {
+	out := &Scrape{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# exemplar "); ok {
+				if ex, ok := parseExemplarLine(rest); ok {
+					out.Exemplars = append(out.Exemplars, ex)
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name, labels, ok := parseSeries(fields[0])
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out.Points = append(out.Points, MetricPoint{Name: name, Labels: labels, Value: v})
+	}
+	return out, sc.Err()
+}
+
+func parseExemplarLine(rest string) (ScrapeExemplar, bool) {
+	parts := strings.Fields(rest)
+	if len(parts) != 3 {
+		return ScrapeExemplar{}, false
+	}
+	name, labels, ok := parseSeries(parts[0])
+	if !ok {
+		return ScrapeExemplar{}, false
+	}
+	tr, ok1 := strings.CutPrefix(parts[1], "trace=")
+	val, ok2 := strings.CutPrefix(parts[2], "value=")
+	if !ok1 || !ok2 {
+		return ScrapeExemplar{}, false
+	}
+	trace, err1 := strconv.ParseUint(tr, 10, 64)
+	v, err2 := strconv.ParseFloat(val, 64)
+	if err1 != nil || err2 != nil || trace == 0 {
+		return ScrapeExemplar{}, false
+	}
+	return ScrapeExemplar{Name: name, Labels: labels, Trace: trace, Value: v}, true
+}
+
+// parseSeries splits `name{k="v",k2="v2"}` into name and label map.
+func parseSeries(s string) (string, map[string]string, bool) {
+	brace := strings.IndexByte(s, '{')
+	if brace < 0 {
+		return s, nil, s != ""
+	}
+	if !strings.HasSuffix(s, "}") {
+		return "", nil, false
+	}
+	name := s[:brace]
+	body := s[brace+1 : len(s)-1]
+	labels := map[string]string{}
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+			return "", nil, false
+		}
+		key := body[:eq]
+		val, rest, ok := scanQuoted(body[eq+1:])
+		if !ok {
+			return "", nil, false
+		}
+		labels[key] = val
+		body = strings.TrimPrefix(rest, ",")
+	}
+	return name, labels, name != ""
+}
+
+// scanQuoted consumes a leading double-quoted string (with \", \\, \n
+// escapes) and returns the unescaped value plus the remainder.
+func scanQuoted(s string) (string, string, bool) {
+	if len(s) < 2 || s[0] != '"' {
+		return "", "", false
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", false
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], true
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", false
+}
+
+// hasLabels reports whether every (k, v) in want is present in got.
+func hasLabels(got, want map[string]string) bool {
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns the first sample of name whose labels include want.
+func (s *Scrape) Value(name string, want map[string]string) (float64, bool) {
+	for _, p := range s.Points {
+		if p.Name == name && hasLabels(p.Labels, want) {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Each calls fn for every sample of name.
+func (s *Scrape) Each(name string, fn func(p MetricPoint)) {
+	for _, p := range s.Points {
+		if p.Name == name {
+			fn(p)
+		}
+	}
+}
+
+// LabelValues returns the distinct values of one label across every
+// sample of name, sorted.
+func (s *Scrape) LabelValues(name, label string) []string {
+	seen := map[string]bool{}
+	for _, p := range s.Points {
+		if p.Name == name {
+			if v, ok := p.Labels[label]; ok && !seen[v] {
+				seen[v] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Quantile estimates the q-quantile of an exported histogram from its
+// cumulative `name_bucket` series matching want (the "le" label is
+// ignored in the match). The estimate reports the matched bucket's upper
+// bound — conservative, and as tight as the coarse export ladder allows.
+func (s *Scrape) Quantile(name string, want map[string]string, q float64) (time.Duration, bool) {
+	type bkt struct {
+		le  float64
+		cum float64
+	}
+	var bkts []bkt
+	for _, p := range s.Points {
+		if p.Name != name+"_bucket" || !hasLabels(p.Labels, want) {
+			continue
+		}
+		le := p.Labels["le"]
+		bound := math.Inf(1)
+		if le != "+Inf" {
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			bound = v
+		}
+		bkts = append(bkts, bkt{le: bound, cum: p.Value})
+	}
+	if len(bkts) == 0 {
+		return 0, false
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	total := bkts[len(bkts)-1].cum
+	if total <= 0 {
+		return 0, true
+	}
+	rank := q * total
+	for _, b := range bkts {
+		if b.cum >= rank && !math.IsInf(b.le, 1) {
+			return time.Duration(b.le * float64(time.Second)), true
+		}
+	}
+	// Only the +Inf bucket holds the rank: report the last finite bound.
+	if len(bkts) >= 2 {
+		return time.Duration(bkts[len(bkts)-2].le * float64(time.Second)), true
+	}
+	return 0, true
+}
+
+// SlowestExemplar returns the exemplar with the largest value for name
+// whose labels include want.
+func (s *Scrape) SlowestExemplar(name string, want map[string]string) (ScrapeExemplar, bool) {
+	var best ScrapeExemplar
+	found := false
+	for _, ex := range s.Exemplars {
+		if ex.Name != name+"_bucket" || !hasLabels(ex.Labels, want) {
+			continue
+		}
+		if !found || ex.Value > best.Value {
+			best = ex
+			found = true
+		}
+	}
+	return best, found
+}

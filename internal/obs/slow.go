@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowTrace is one over-budget request promoted into the flight recorder:
+// the root op's identity plus a copy of every span the main ring held for
+// that trace at promotion time. The copy makes the record durable — the
+// main ring wraps within seconds under load, the slow ring keeps the
+// worst requests until pushed out by newer slow ones.
+type SlowTrace struct {
+	Trace uint64        `json:"trace"`
+	Op    string        `json:"op,omitempty"`
+	Node  string        `json:"node,omitempty"`
+	At    time.Time     `json:"at"`
+	Dur   time.Duration `json:"dur"`
+	Spans []Span        `json:"spans"`
+}
+
+// SlowRing is the slow-trace flight recorder: a bounded ring of traces
+// whose root span exceeded the threshold. Promotion is self-gating — a
+// zero threshold disables it — so callers hook MaybePromote into the
+// request exit path unconditionally. Safe for concurrent use.
+type SlowRing struct {
+	threshold atomic.Int64 // ns; 0 disables promotion
+
+	mu   sync.Mutex
+	buf  []SlowTrace
+	next int
+	full bool
+}
+
+// NewSlowRing creates a recorder retaining up to capacity slow traces.
+func NewSlowRing(capacity int) *SlowRing {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &SlowRing{buf: make([]SlowTrace, capacity)}
+}
+
+// SetThreshold sets the promotion budget; requests at or above it are
+// recorded. Zero disables the recorder.
+func (r *SlowRing) SetThreshold(d time.Duration) { r.threshold.Store(int64(d)) }
+
+// Threshold returns the current promotion budget.
+func (r *SlowRing) Threshold() time.Duration { return time.Duration(r.threshold.Load()) }
+
+// MaybePromote records the trace if dur meets the threshold, copying its
+// spans out of src. A trace already retained is updated in place (retried
+// hops re-promote with more spans) rather than occupying a second slot.
+// Returns whether the trace is now retained.
+func (r *SlowRing) MaybePromote(src *SpanRing, trace uint64, op string, dur time.Duration) bool {
+	th := r.threshold.Load()
+	if th <= 0 || int64(dur) < th || trace == 0 {
+		return false
+	}
+	st := SlowTrace{Trace: trace, Op: op, At: time.Now(), Dur: dur}
+	if src != nil {
+		st.Spans = src.ByTrace(trace)
+		// ByTrace aliases Snapshot's backing array it filtered in place;
+		// clone so ring writes after promotion can't shear the record.
+		st.Spans = append([]Span(nil), st.Spans...)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.buf {
+		if r.buf[i].Trace == trace {
+			if dur >= r.buf[i].Dur {
+				r.buf[i].Dur = dur
+				r.buf[i].Op = op
+			}
+			r.buf[i].Spans = st.Spans
+			return true
+		}
+	}
+	r.buf[r.next] = st
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	return true
+}
+
+// Snapshot returns the retained slow traces, newest first.
+func (r *SlowRing) Snapshot() []SlowTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	out := make([]SlowTrace, 0, size)
+	for i := 0; i < size; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// ByTrace returns the retained spans for one promoted trace (nil if the
+// trace was never promoted or has been evicted).
+func (r *SlowRing) ByTrace(trace uint64) []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.buf {
+		if r.buf[i].Trace == trace && r.buf[i].Trace != 0 {
+			return append([]Span(nil), r.buf[i].Spans...)
+		}
+	}
+	return nil
+}
+
+// WriteTo dumps the recorder human-readably (the SIGQUIT handler points
+// it at stderr). Implements io.WriterTo.
+func (r *SlowRing) WriteTo(w io.Writer) (int64, error) {
+	traces := r.Snapshot()
+	var n int64
+	count := func(c int, err error) error { n += int64(c); return err }
+	if err := count(fmt.Fprintf(w, "slow-trace flight recorder: %d trace(s), threshold %v\n", len(traces), r.Threshold())); err != nil {
+		return n, err
+	}
+	for _, t := range traces {
+		if err := count(fmt.Fprintf(w, "trace %d op=%s node=%s at=%s dur=%v\n",
+			t.Trace, t.Op, t.Node, t.At.Format(time.RFC3339Nano), t.Dur)); err != nil {
+			return n, err
+		}
+		base := t.At
+		for _, s := range t.Spans {
+			if s.Start.Before(base) {
+				base = s.Start
+			}
+		}
+		for _, s := range t.Spans {
+			if err := count(fmt.Fprintf(w, "  +%-12v %-10v %-20s op=%-10s node=%-14s fs=%s %s\n",
+				s.Start.Sub(base).Round(time.Microsecond), s.Dur.Round(time.Microsecond),
+				s.Name, s.Op, s.Node, s.FileSet, s.Err)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}

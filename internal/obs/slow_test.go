@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowRingThresholdGating(t *testing.T) {
+	r := NewSlowRing(4)
+	if r.MaybePromote(nil, 1, "update", time.Hour) {
+		t.Fatal("zero threshold must disable promotion")
+	}
+	r.SetThreshold(10 * time.Millisecond)
+	if r.MaybePromote(nil, 1, "update", 5*time.Millisecond) {
+		t.Fatal("under-budget trace promoted")
+	}
+	if r.MaybePromote(nil, 0, "update", time.Hour) {
+		t.Fatal("untraced (trace 0) request promoted")
+	}
+	if !r.MaybePromote(nil, 1, "update", 15*time.Millisecond) {
+		t.Fatal("over-budget trace not promoted")
+	}
+	if got := r.Snapshot(); len(got) != 1 || got[0].Trace != 1 || got[0].Dur != 15*time.Millisecond {
+		t.Fatalf("snapshot = %+v", got)
+	}
+}
+
+// TestSlowRingCopiesSpans: promotion must copy the trace's spans out of
+// the live ring — that copy is the whole point of the flight recorder,
+// surviving after the main ring wraps.
+func TestSlowRingCopiesSpans(t *testing.T) {
+	src := NewSpanRing(8)
+	src.Add(Span{Trace: 42, Name: "wire", Op: "update"})
+	src.Add(Span{Trace: 42, Name: "apply"})
+	src.Add(Span{Trace: 99, Name: "wire"}) // other trace, not copied
+
+	r := NewSlowRing(4)
+	r.SetThreshold(time.Millisecond)
+	if !r.MaybePromote(src, 42, "update", 2*time.Millisecond) {
+		t.Fatal("promotion failed")
+	}
+	// Wrap the live ring completely; the slow record must be unaffected.
+	for i := 0; i < 16; i++ {
+		src.Add(Span{Trace: 1000 + uint64(i)})
+	}
+	spans := r.ByTrace(42)
+	if len(spans) != 2 || spans[0].Name != "wire" || spans[1].Name != "apply" {
+		t.Fatalf("retained spans = %+v", spans)
+	}
+	if r.ByTrace(7777) != nil {
+		t.Fatal("ByTrace invented a record for an unpromoted trace")
+	}
+}
+
+// TestSlowRingUpdateInPlaceAndEviction: re-promoting a retained trace
+// (a retried hop, or the same trace crossing two thresholds) updates its
+// slot rather than burning a second one; overflow evicts oldest-first.
+func TestSlowRingUpdateInPlaceAndEviction(t *testing.T) {
+	r := NewSlowRing(2)
+	r.SetThreshold(time.Millisecond)
+	r.MaybePromote(nil, 1, "stat", 2*time.Millisecond)
+	r.MaybePromote(nil, 1, "update", 9*time.Millisecond) // same trace, slower
+	if got := r.Snapshot(); len(got) != 1 || got[0].Dur != 9*time.Millisecond || got[0].Op != "update" {
+		t.Fatalf("update-in-place snapshot = %+v", got)
+	}
+	r.MaybePromote(nil, 2, "stat", 3*time.Millisecond)
+	r.MaybePromote(nil, 3, "stat", 4*time.Millisecond) // evicts trace 1
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].Trace != 3 || got[1].Trace != 2 {
+		t.Fatalf("post-eviction snapshot = %+v", got)
+	}
+	if r.ByTrace(1) != nil {
+		t.Fatal("evicted trace still retained")
+	}
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "2 trace(s)") || !strings.Contains(out, "trace 3") {
+		t.Fatalf("WriteTo output:\n%s", out)
+	}
+}
+
+func TestSlowRingConcurrent(t *testing.T) {
+	src := NewSpanRing(128)
+	r := NewSlowRing(8)
+	r.SetThreshold(time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := id*1000 + uint64(i%5) + 1
+				src.Add(Span{Trace: tr, Name: "wire"})
+				r.MaybePromote(src, tr, "update", 2*time.Millisecond)
+				_ = r.Snapshot()
+				_ = r.ByTrace(tr)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if got := len(r.Snapshot()); got != 8 {
+		t.Fatalf("full slow ring holds %d records, want 8", got)
+	}
+}

@@ -20,6 +20,19 @@ type Span struct {
 	Start  time.Time     `json:"start"`
 	Dur    time.Duration `json:"dur"`
 	Err    string        `json:"err,omitempty"`
+	// ID identifies this span within the trace (0 = unidentified; legacy
+	// spans and leaf spans that nothing parents can stay at 0). Parent is
+	// the ID of the causally enclosing span on the upstream hop, carried
+	// across processes by the wire trace context.
+	ID     uint64 `json:"id,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Node names the process that recorded the span (stamped by the ring's
+	// configured node identity when empty). The fleet stitcher keys
+	// clock-skew adjustment on it.
+	Node string `json:"node,omitempty"`
+	// Links are other trace IDs this span is causally tied to — e.g. a
+	// client op folded into a batch links to the batch's trace.
+	Links []uint64 `json:"links,omitempty"`
 }
 
 // SpanRing is a bounded in-memory ring of the most recent spans. Writers
@@ -30,6 +43,7 @@ type SpanRing struct {
 	buf  []Span
 	next int // index the next span is written to
 	full bool
+	node string // default Node stamp for spans added without one
 }
 
 // NewSpanRing creates a ring holding up to capacity spans.
@@ -47,12 +61,22 @@ func NewSpanRing(capacity int) *SpanRing {
 //anufs:hotpath
 func (r *SpanRing) Add(s Span) {
 	r.mu.Lock()
+	if s.Node == "" {
+		s.Node = r.node
+	}
 	r.buf[r.next] = s
 	r.next++
 	if r.next == len(r.buf) {
 		r.next = 0
 		r.full = true
 	}
+	r.mu.Unlock()
+}
+
+// SetNode sets the node identity stamped onto spans added without one.
+func (r *SpanRing) SetNode(node string) {
+	r.mu.Lock()
+	r.node = node
 	r.mu.Unlock()
 }
 

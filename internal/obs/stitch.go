@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// NodeTrace is one node's answer to a trace-pull: its retained spans for
+// the trace plus the clock sample the stitcher uses to estimate skew.
+// The fetcher records the remote wall clock (Now) and the local midpoint
+// of the pull round trip (PulledAt); if both clocks agreed they would be
+// equal, so their difference estimates the remote clock's offset to
+// within half the RTT.
+type NodeTrace struct {
+	Node     string    `json:"node"`
+	Addr     string    `json:"addr,omitempty"`
+	Now      time.Time `json:"now"`
+	PulledAt time.Time `json:"pulled_at"`
+	Err      string    `json:"err,omitempty"`
+	Spans    []Span    `json:"spans"`
+}
+
+// Hop summarizes one node's contribution to a stitched trace.
+type Hop struct {
+	Node  string        `json:"node"`
+	Addr  string        `json:"addr,omitempty"`
+	Skew  time.Duration `json:"skew"` // remote clock minus local clock
+	Spans int           `json:"spans"`
+	Err   string        `json:"err,omitempty"`
+}
+
+// FleetTrace is a cross-node timeline assembled by Stitch: every node's
+// spans for one trace, de-duplicated, skew-adjusted into the stitching
+// node's clock frame, and ordered by adjusted start time.
+type FleetTrace struct {
+	Trace uint64 `json:"trace"`
+	Spans []Span `json:"spans"`
+	Hops  []Hop  `json:"hops"`
+	// MissingParents lists span IDs referenced as a Parent but present on
+	// no pulled node — a hop that was unreachable, or whose ring already
+	// evicted the trace.
+	MissingParents []uint64 `json:"missing_parents,omitempty"`
+	// Links are other trace IDs the spans point at (batch folds): follow
+	// them with further pulls to widen the picture.
+	Links []uint64 `json:"links,omitempty"`
+}
+
+// Stitch merges per-node span pulls into one fleet timeline. Nodes may
+// arrive in any order; nodes that failed to answer contribute an errored
+// hop; duplicate spans (the same trace pulled twice from one node, or a
+// span visible in both the live and slow rings) collapse. Span start
+// times are shifted by the per-node skew estimate so cross-node ordering
+// is meaningful even when node clocks disagree.
+func Stitch(trace uint64, nodes []NodeTrace) *FleetTrace {
+	ft := &FleetTrace{Trace: trace}
+	type spanKey struct {
+		id    uint64
+		node  string
+		name  string
+		start int64
+	}
+	seen := map[spanKey]bool{}
+	ids := map[uint64]bool{}
+	links := map[uint64]bool{}
+	for _, nt := range nodes {
+		skew := time.Duration(0)
+		if !nt.Now.IsZero() && !nt.PulledAt.IsZero() {
+			skew = nt.Now.Sub(nt.PulledAt)
+		}
+		hop := Hop{Node: nt.Node, Addr: nt.Addr, Skew: skew, Err: nt.Err}
+		for _, s := range nt.Spans {
+			if s.Trace != trace && trace != 0 {
+				continue
+			}
+			if s.Node == "" {
+				s.Node = nt.Node
+			}
+			k := spanKey{id: s.ID, node: s.Node, name: s.Name, start: s.Start.UnixNano()}
+			if s.ID != 0 {
+				// An identified span is unique fleet-wide; dedupe on ID alone.
+				k = spanKey{id: s.ID}
+			}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			s.Start = s.Start.Add(-skew)
+			if s.ID != 0 {
+				ids[s.ID] = true
+			}
+			for _, l := range s.Links {
+				if l != trace {
+					links[l] = true
+				}
+			}
+			ft.Spans = append(ft.Spans, s)
+			hop.Spans++
+		}
+		ft.Hops = append(ft.Hops, hop)
+	}
+	sort.SliceStable(ft.Spans, func(i, j int) bool {
+		return ft.Spans[i].Start.Before(ft.Spans[j].Start)
+	})
+	missing := map[uint64]bool{}
+	for _, s := range ft.Spans {
+		if s.Parent != 0 && !ids[s.Parent] && !missing[s.Parent] {
+			missing[s.Parent] = true
+			ft.MissingParents = append(ft.MissingParents, s.Parent)
+		}
+	}
+	sort.Slice(ft.MissingParents, func(i, j int) bool { return ft.MissingParents[i] < ft.MissingParents[j] })
+	for l := range links {
+		ft.Links = append(ft.Links, l)
+	}
+	sort.Slice(ft.Links, func(i, j int) bool { return ft.Links[i] < ft.Links[j] })
+	return ft
+}
+
+// WriteTimeline renders the stitched trace human-readably: one hop
+// summary block (with skew and fetch errors), then the spans ordered by
+// skew-adjusted start, offset from the earliest span.
+func (ft *FleetTrace) WriteTimeline(w io.Writer) {
+	fmt.Fprintf(w, "trace %d: %d span(s) across %d hop(s)\n", ft.Trace, len(ft.Spans), len(ft.Hops))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "HOP\tADDR\tSPANS\tCLOCK-SKEW\tERR")
+	for _, h := range ft.Hops {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%v\t%s\n", h.Node, h.Addr, h.Spans, h.Skew.Round(time.Microsecond), h.Err)
+	}
+	tw.Flush()
+	if len(ft.Spans) == 0 {
+		return
+	}
+	base := ft.Spans[0].Start
+	fmt.Fprintln(w)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "START\tDUR\tNODE\tSPAN\tOP\tFILESET\tERR")
+	for _, s := range ft.Spans {
+		extra := s.Err
+		if len(s.Links) > 0 {
+			extra = fmt.Sprintf("links=%v %s", s.Links, s.Err)
+		}
+		fmt.Fprintf(tw, "+%v\t%v\t%s\t%s\t%s\t%s\t%s\n",
+			s.Start.Sub(base).Round(time.Microsecond), s.Dur.Round(time.Microsecond),
+			s.Node, s.Name, s.Op, s.FileSet, extra)
+	}
+	tw.Flush()
+	if len(ft.MissingParents) > 0 {
+		fmt.Fprintf(w, "warning: %d parent span(s) missing (unreachable hop or evicted ring): %v\n",
+			len(ft.MissingParents), ft.MissingParents)
+	}
+	for _, h := range ft.Hops {
+		if h.Err != "" {
+			fmt.Fprintf(w, "warning: hop %s (%s) not pulled: %s\n", h.Node, h.Addr, h.Err)
+		}
+	}
+	if len(ft.Links) > 0 {
+		fmt.Fprintf(w, "linked traces (batch folds): %v\n", ft.Links)
+	}
+}

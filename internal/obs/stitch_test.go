@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStitchSkewAdjustment feeds the stitcher two hops whose clocks
+// disagree by 100ms and checks the remote span is shifted back into the
+// local frame: without the adjustment the daemon's span would appear to
+// start after it already finished on the gateway's clock.
+func TestStitchSkewAdjustment(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	pulled := base.Add(50 * time.Millisecond)
+	nodes := []NodeTrace{
+		{
+			Node: "gw", Now: pulled, PulledAt: pulled, // clocks agree
+			Spans: []Span{{Trace: 7, ID: 1, Name: "gateway", Start: base, Dur: 10 * time.Millisecond}},
+		},
+		{
+			Node: "daemon-0",
+			// The daemon's clock runs 100ms ahead of the stitching node.
+			Now:      pulled.Add(100 * time.Millisecond),
+			PulledAt: pulled,
+			Spans: []Span{{
+				Trace: 7, ID: 2, Parent: 1, Name: "wire",
+				Start: base.Add(105 * time.Millisecond), // really base+5ms local
+				Dur:   4 * time.Millisecond,
+			}},
+		},
+	}
+	ft := Stitch(7, nodes)
+	if len(ft.Spans) != 2 {
+		t.Fatalf("stitched %d spans, want 2", len(ft.Spans))
+	}
+	if ft.Spans[0].Name != "gateway" || ft.Spans[1].Name != "wire" {
+		t.Fatalf("span order = %s, %s", ft.Spans[0].Name, ft.Spans[1].Name)
+	}
+	if got, want := ft.Spans[1].Start, base.Add(5*time.Millisecond); !got.Equal(want) {
+		t.Fatalf("skew-adjusted start = %v, want %v", got, want)
+	}
+	var daemonHop Hop
+	for _, h := range ft.Hops {
+		if h.Node == "daemon-0" {
+			daemonHop = h
+		}
+	}
+	if daemonHop.Skew != 100*time.Millisecond {
+		t.Fatalf("daemon hop skew = %v, want 100ms", daemonHop.Skew)
+	}
+	if len(ft.MissingParents) != 0 {
+		t.Fatalf("unexpected missing parents: %v", ft.MissingParents)
+	}
+}
+
+// TestStitchOutOfOrderArrival pulls the downstream hop before the edge
+// hop; the timeline must still come out in causal (start-time) order.
+func TestStitchOutOfOrderArrival(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	at := base.Add(time.Second)
+	nodes := []NodeTrace{
+		{Node: "standby", Now: at, PulledAt: at, Spans: []Span{
+			{Trace: 3, ID: 30, Parent: 20, Name: "standby-ack", Start: base.Add(8 * time.Millisecond)},
+		}},
+		{Node: "daemon-1", Now: at, PulledAt: at, Spans: []Span{
+			{Trace: 3, ID: 20, Parent: 10, Name: "apply", Start: base.Add(3 * time.Millisecond)},
+		}},
+		{Node: "gw", Now: at, PulledAt: at, Spans: []Span{
+			{Trace: 3, ID: 10, Name: "gateway", Start: base},
+		}},
+	}
+	ft := Stitch(3, nodes)
+	want := []string{"gateway", "apply", "standby-ack"}
+	if len(ft.Spans) != len(want) {
+		t.Fatalf("stitched %d spans, want %d", len(ft.Spans), len(want))
+	}
+	for i, name := range want {
+		if ft.Spans[i].Name != name {
+			t.Fatalf("span %d = %s, want %s", i, ft.Spans[i].Name, name)
+		}
+	}
+}
+
+// TestStitchMissingHop covers the degraded cases: a hop that failed to
+// answer contributes an errored hop entry, and a span whose parent lives
+// on that hop is reported under MissingParents so the operator knows the
+// timeline has a hole rather than trusting it blind.
+func TestStitchMissingHop(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	at := base.Add(time.Second)
+	nodes := []NodeTrace{
+		{Node: "gw", Addr: "127.0.0.1:1", Err: "dial tcp: connection refused"},
+		{Node: "daemon-0", Now: at, PulledAt: at, Spans: []Span{
+			{Trace: 9, ID: 2, Parent: 1, Name: "wire", Start: base},
+			{Trace: 9, ID: 4, Parent: 2, Name: "apply", Start: base.Add(time.Millisecond)},
+		}},
+	}
+	ft := Stitch(9, nodes)
+	if len(ft.Spans) != 2 {
+		t.Fatalf("stitched %d spans, want 2", len(ft.Spans))
+	}
+	if len(ft.MissingParents) != 1 || ft.MissingParents[0] != 1 {
+		t.Fatalf("missing parents = %v, want [1]", ft.MissingParents)
+	}
+	var gwHop Hop
+	for _, h := range ft.Hops {
+		if h.Node == "gw" {
+			gwHop = h
+		}
+	}
+	if gwHop.Err == "" || gwHop.Spans != 0 {
+		t.Fatalf("errored hop = %+v", gwHop)
+	}
+	var sb strings.Builder
+	ft.WriteTimeline(&sb)
+	out := sb.String()
+	for _, want := range []string{"connection refused", "missing", "apply"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStitchDedupAndLinks: the same identified span pulled from both the
+// live ring and the slow ring collapses to one, foreign spans are
+// filtered out, and batch-fold links aggregate across spans.
+func TestStitchDedupAndLinks(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	at := base.Add(time.Second)
+	dup := Span{Trace: 5, ID: 77, Name: "journal-commit-wait", Start: base, Links: []uint64{111}}
+	nodes := []NodeTrace{
+		{Node: "daemon-0", Now: at, PulledAt: at, Spans: []Span{
+			dup, dup, // live ring + slow ring copies
+			{Trace: 6, ID: 78, Name: "wire", Start: base}, // different trace: dropped
+			{Trace: 5, ID: 79, Name: "batch-fold", Start: base, Links: []uint64{112, 5}},
+		}},
+	}
+	ft := Stitch(5, nodes)
+	if len(ft.Spans) != 2 {
+		t.Fatalf("stitched %d spans, want 2 (dedup + trace filter): %+v", len(ft.Spans), ft.Spans)
+	}
+	if len(ft.Links) != 2 || ft.Links[0] != 111 || ft.Links[1] != 112 {
+		t.Fatalf("links = %v, want [111 112] (own trace excluded)", ft.Links)
+	}
+}

@@ -147,8 +147,12 @@ func (r *Receiver) Listen(addr string) (string, error) {
 	r.ln = ln
 	r.mu.Unlock()
 
-	// The standby is always a live election member.
+	// The standby is always a live election member. The primary's startup
+	// grant must land before the promotion watcher starts: its initial poll
+	// reports current state immediately, and a one-member election would
+	// make the standby delegate — instant self-promotion at boot.
 	r.elector.Heartbeat(StandbyID)
+	r.elector.Heartbeat(PrimaryID)
 	r.wg.Add(3)
 	go r.acceptLoop(ln)
 	go r.selfHeartbeat()
@@ -201,7 +205,6 @@ func (r *Receiver) Stop() {
 func (r *Receiver) selfHeartbeat() {
 	defer r.wg.Done()
 	graceUntil := time.Now().Add(r.opts.StartupGrace)
-	r.elector.Heartbeat(PrimaryID) // initial grant
 	t := time.NewTicker(r.opts.Lease / 4)
 	defer t.Stop()
 	for {
@@ -321,13 +324,27 @@ func (r *Receiver) handle(req wire.Request) wire.Response {
 			return wire.Response{Err: err.Error()}
 		}
 		return wire.Response{AckSeq: r.opts.Journal.DurableSeq()}
+	case wire.OpTracePull:
+		// The standby participates in the fleet tracing plane: its
+		// standby-ack spans complete a replicated write's timeline.
+		resp := wire.Response{Now: time.Now().UnixNano()}
+		if reg := r.opts.Obs; reg != nil {
+			resp.Spans = reg.Spans.ByTrace(req.Trace)
+			resp.Spans = append(resp.Spans, reg.Slow.ByTrace(req.Trace)...)
+			resp.Node = reg.Node()
+		}
+		return resp
 	default:
 		return wire.Response{Err: fmt.Sprintf("replica: standby serves replication only (op %q refused until promotion)", req.Op)}
 	}
 }
 
 // absorb persists one ship request and folds it into the warm image map.
+// Entries stamped with an originating trace get a "standby-ack" span
+// (Server = the shipping daemon's ID) covering journal append + warm
+// apply — durability on the standby IS the ack the primary waits on.
 func (r *Receiver) absorb(req wire.Request) error {
+	start := time.Now()
 	if len(req.Snap) > 0 {
 		images, err := journal.DecodeImages(req.Snap)
 		if err != nil {
@@ -376,6 +393,17 @@ func (r *Receiver) absorb(req wire.Request) error {
 		journal.Apply(r.images, ent)
 		r.applied = e.Seq
 		applied++
+	}
+	if reg := r.opts.Obs; reg != nil {
+		dur := time.Since(start)
+		for i := range req.Entries {
+			if tr := req.Entries[i].Trace; tr != 0 {
+				reg.Spans.Add(obs.Span{
+					Trace: tr, Name: "standby-ack",
+					Server: req.Daemon, Start: start, Dur: dur,
+				})
+			}
+		}
 	}
 	r.counters.Add("replica_recv_ships", 1)
 	r.counters.Add("replica_recv_entries", int64(applied))

@@ -91,8 +91,14 @@ type ShipperOptions struct {
 	// Backoff is the reconnect delay (default DefaultBackoff).
 	Backoff time.Duration
 	// Obs, when set, receives the shipper's counters, lag gauge, and the
-	// replica_ship_rtt_seconds / replica_replication_lag_seconds histograms.
+	// replica_ship_rtt_seconds / replica_replication_lag_seconds histograms
+	// (all labeled peer="<Addr>"), plus "replica-ship" spans for shipped
+	// entries whose journal append carried a request trace.
 	Obs *obs.Registry
+	// DaemonID is this primary's fleet daemon ID, stamped onto ship
+	// requests and replica spans so the standby (and the fleet stitcher)
+	// know which daemon originated each entry. Use -1 outside a fleet.
+	DaemonID int
 }
 
 func (o ShipperOptions) withDefaults() ShipperOptions {
@@ -146,8 +152,13 @@ func NewShipper(opts ShipperOptions) (*Shipper, error) {
 		done:     make(chan struct{}),
 	}
 	if r := s.opts.Obs; r != nil {
-		s.rtt = r.Hist.Get("replica_ship_rtt_seconds", "")
-		s.lag = r.Hist.Get("replica_replication_lag_seconds", "")
+		// Every series carries the peer label, so a primary shipping to
+		// several standbys (or a fleet scrape aggregating many primaries)
+		// keeps per-peer replication lag apart — anufsctl top renders one
+		// row per peer from exactly these series.
+		peer := fmt.Sprintf("peer=%q", s.opts.Addr)
+		s.rtt = r.Hist.Get("replica_ship_rtt_seconds", peer)
+		s.lag = r.Hist.Get("replica_replication_lag_seconds", peer)
 		r.AddCounters(s.counters.Snapshot)
 		r.AddGauges(func() []obs.Gauge {
 			durable := s.opts.Journal.DurableSeq()
@@ -157,8 +168,8 @@ func NewShipper(opts ShipperOptions) (*Shipper, error) {
 				lag = 0
 			}
 			return []obs.Gauge{
-				{Name: "replica_lag_entries", Value: float64(lag)},
-				{Name: "replica_acked_seq", Value: float64(acked)},
+				{Name: "replica_lag_entries", Labels: peer, Value: float64(lag)},
+				{Name: "replica_acked_seq", Labels: peer, Value: float64(acked)},
 			}
 		})
 		r.AddStatus("replication", func() any {
@@ -329,15 +340,31 @@ func (s *Shipper) stream(c *wire.Client, backoff *wire.Backoff) error {
 			ship := make([]wire.ShipEntry, len(ents))
 			var bytes int64
 			for i, e := range ents {
-				ship[i] = wire.ShipEntry{Seq: e.Seq, Payload: e.Payload}
+				// Stamp each entry with the request trace that appended it
+				// (0 when untraced or past the journal's trace ring), so the
+				// standby's apply/ack spans join the originating timeline.
+				ship[i] = wire.ShipEntry{Seq: e.Seq, Payload: e.Payload, Trace: s.opts.Journal.TraceOf(e.Seq)}
 				bytes += int64(len(e.Payload))
 			}
 			start := time.Now()
-			ack, err := c.Ship(ship)
+			ack, err := c.Ship(s.opts.DaemonID, ship)
 			if err != nil {
 				return err
 			}
-			s.rtt.Observe(time.Since(start))
+			rtt := time.Since(start)
+			s.rtt.ObserveTrace(rtt, firstTrace(ship))
+			if s.opts.Obs != nil {
+				for i := range ship {
+					if ship[i].Trace == 0 {
+						continue
+					}
+					// Server carries the originating daemon ID on replica spans.
+					s.opts.Obs.Spans.Add(obs.Span{
+						Trace: ship[i].Trace, Name: "replica-ship",
+						Server: s.opts.DaemonID, Start: start, Dur: rtt,
+					})
+				}
+			}
 			s.counters.Add("replica_ships", 1)
 			s.counters.Add("replica_shipped_entries", int64(len(ents)))
 			s.counters.Add("replica_shipped_bytes", bytes)
@@ -349,7 +376,7 @@ func (s *Shipper) stream(c *wire.Client, backoff *wire.Backoff) error {
 			case <-sig:
 			case <-hb.C:
 				start := time.Now()
-				ack, err := c.Ship(nil)
+				ack, err := c.Ship(s.opts.DaemonID, nil)
 				if err != nil {
 					return err
 				}
@@ -361,6 +388,17 @@ func (s *Shipper) stream(c *wire.Client, backoff *wire.Backoff) error {
 			}
 		}
 	}
+}
+
+// firstTrace returns the first non-zero entry trace of a ship batch (the
+// exemplar the rtt histogram links to).
+func firstTrace(ship []wire.ShipEntry) uint64 {
+	for i := range ship {
+		if ship[i].Trace != 0 {
+			return ship[i].Trace
+		}
+	}
+	return 0
 }
 
 // String describes the shipper for logs.

@@ -1,8 +1,10 @@
 package sdk
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"anufs/internal/fleet"
 	"anufs/internal/metrics"
@@ -18,11 +20,12 @@ import (
 // concurrent use; that concurrency is exactly what fills the pipelines
 // and batches.
 type Client struct {
-	opts     Options
-	router   *fleet.Router
-	batch    *batcher // nil when batching is disabled
-	counters *metrics.CounterSet
-	inflight atomic.Int64
+	opts      Options
+	router    *fleet.Router
+	batch     *batcher // nil when batching is disabled
+	counters  *metrics.CounterSet
+	inflight  atomic.Int64
+	lastTrace atomic.Uint64
 }
 
 // NewClient connects to the fleet named by opts.Authority. Every target
@@ -34,6 +37,7 @@ func NewClient(opts Options) (*Client, error) {
 	}
 	opts = opts.withDefaults()
 	c := &Client{opts: opts, counters: metrics.NewCounterSet()}
+	opts.counters = c.counters // pools sum their redial/health counters here
 	dial := func(addr string) (fleet.Caller, error) {
 		p := NewPool(addr, opts)
 		p.SetTimeout(opts.Timeout)
@@ -51,7 +55,7 @@ func NewClient(opts Options) (*Client, error) {
 	}
 	c.router = router
 	if opts.BatchDelay > 0 {
-		c.batch = newBatcher(router.Batch, opts, c.counters)
+		c.batch = newBatcher(c.sendBatch, opts, c.counters)
 	}
 	if opts.Obs != nil {
 		opts.Obs.AddCounters(c.counters.Snapshot)
@@ -65,10 +69,108 @@ func NewClient(opts Options) (*Client, error) {
 // Router exposes the underlying fleet router (map cache, raw Do).
 func (c *Client) Router() *fleet.Router { return c.router }
 
+// LastTrace returns the trace ID minted for this client's most recent
+// traced operation (0 without a registry): issue a write, then pull its
+// fleet-wide timeline by this ID.
+func (c *Client) LastTrace() uint64 { return c.lastTrace.Load() }
+
 // track wraps one client-level operation for the in-flight gauge.
 func (c *Client) track() func() {
 	c.inflight.Add(1)
 	return func() { c.inflight.Add(-1) }
+}
+
+// call routes one raw request, minting trace context at the edge when the
+// client has a registry: the request carries a fresh trace ID plus the
+// client span's ID as Parent, routing retries join the trace as
+// route-retry spans, and the blocking client side is recorded as an
+// "sdk-call" span. Without a registry this is a plain Forward.
+func (c *Client) call(req wire.Request) (wire.Response, error) {
+	reg := c.opts.Obs
+	if reg == nil {
+		return c.router.Forward(req)
+	}
+	req.Trace = reg.NextTraceID()
+	req.Parent = reg.NextSpanID()
+	c.lastTrace.Store(req.Trace)
+	start := time.Now()
+	resp, err := c.router.Forward(req)
+	errStr := ""
+	if err != nil {
+		errStr = err.Error()
+	}
+	reg.Spans.Add(obs.Span{
+		Trace: req.Trace, ID: req.Parent, Name: "sdk-call", Op: string(req.Op),
+		FileSet: req.FileSet, Server: -1, Start: start, Dur: time.Since(start), Err: errStr,
+	})
+	return resp, err
+}
+
+// addBatched queues one write into the batcher under its own minted
+// trace. The client span covers the full wait — coalescing delay included
+// — and the server links sibling items' traces to the carrying batch's,
+// so a folded op's timeline still reaches the journal commit it rode.
+func (c *Client) addBatched(fileSet string, item wire.BatchItem) error {
+	reg := c.opts.Obs
+	if reg == nil {
+		return c.batch.add(fileSet, item)
+	}
+	item.Trace = reg.NextTraceID()
+	span := reg.NextSpanID()
+	c.lastTrace.Store(item.Trace)
+	start := time.Now()
+	err := c.batch.add(fileSet, item)
+	errStr := ""
+	if err != nil {
+		errStr = err.Error()
+	}
+	reg.Spans.Add(obs.Span{
+		Trace: item.Trace, ID: span, Name: "sdk-call", Op: string(item.Op),
+		FileSet: fileSet, Server: -1, Start: start, Dur: time.Since(start), Err: errStr,
+	})
+	return err
+}
+
+// sendBatch ships one coalesced batch through the router. The batch
+// request adopts the first item's trace as its own (the owner journals the
+// whole group commit under it), so at least one client op gets a complete
+// end-to-end timeline; the remaining items are linked in by the server's
+// batch-fold spans.
+func (c *Client) sendBatch(fileSet string, durable bool, items []wire.BatchItem) ([]wire.BatchResult, error) {
+	req := wire.Request{Op: wire.OpBatch, FileSet: fileSet, Durable: durable, Batch: items}
+	reg := c.opts.Obs
+	var start time.Time
+	if reg != nil {
+		for _, it := range items {
+			if it.Trace != 0 {
+				req.Trace = it.Trace
+				break
+			}
+		}
+		if req.Trace == 0 {
+			req.Trace = reg.NextTraceID()
+		}
+		req.Parent = reg.NextSpanID()
+		start = time.Now()
+	}
+	resp, err := c.router.Forward(req)
+	if reg != nil {
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		reg.Spans.Add(obs.Span{
+			Trace: req.Trace, ID: req.Parent, Name: "sdk-batch", Op: string(wire.OpBatch),
+			FileSet: fileSet, Server: -1, Start: start, Dur: time.Since(start), Err: errStr,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(items) {
+		return nil, fmt.Errorf("wire: batch of %d items got %d results", len(items), len(resp.Results))
+	}
+	return resp.Results, nil
 }
 
 // CreateFileSet creates a file set fleet-wide (authority placement, then
@@ -84,27 +186,30 @@ func (c *Client) CreateFileSet(fileSet string) error {
 func (c *Client) Create(fileSet, path string, rec sharedisk.Record) error {
 	defer c.track()()
 	if c.batch != nil {
-		return c.batch.add(fileSet, wire.BatchItem{Op: wire.OpCreate, Path: path, Record: &rec})
+		return c.addBatched(fileSet, wire.BatchItem{Op: wire.OpCreate, Path: path, Record: &rec})
 	}
-	return c.router.Create(fileSet, path, rec)
+	_, err := c.call(wire.Request{Op: wire.OpCreate, FileSet: fileSet, Path: path, Record: &rec})
+	return err
 }
 
 // Update overwrites a metadata record (batched like Create).
 func (c *Client) Update(fileSet, path string, rec sharedisk.Record) error {
 	defer c.track()()
 	if c.batch != nil {
-		return c.batch.add(fileSet, wire.BatchItem{Op: wire.OpUpdate, Path: path, Record: &rec})
+		return c.addBatched(fileSet, wire.BatchItem{Op: wire.OpUpdate, Path: path, Record: &rec})
 	}
-	return c.router.Update(fileSet, path, rec)
+	_, err := c.call(wire.Request{Op: wire.OpUpdate, FileSet: fileSet, Path: path, Record: &rec})
+	return err
 }
 
 // Remove deletes a metadata record (batched like Create).
 func (c *Client) Remove(fileSet, path string) error {
 	defer c.track()()
 	if c.batch != nil {
-		return c.batch.add(fileSet, wire.BatchItem{Op: wire.OpRemove, Path: path})
+		return c.addBatched(fileSet, wire.BatchItem{Op: wire.OpRemove, Path: path})
 	}
-	return c.router.Remove(fileSet, path)
+	_, err := c.call(wire.Request{Op: wire.OpRemove, FileSet: fileSet, Path: path})
+	return err
 }
 
 // Stat reads a metadata record. Pending batched writes to the file set
@@ -114,7 +219,14 @@ func (c *Client) Stat(fileSet, path string) (sharedisk.Record, error) {
 	if c.batch != nil {
 		c.batch.flushSet(fileSet)
 	}
-	return c.router.Stat(fileSet, path)
+	resp, err := c.call(wire.Request{Op: wire.OpStat, FileSet: fileSet, Path: path})
+	if err != nil {
+		return sharedisk.Record{}, err
+	}
+	if resp.Record == nil {
+		return sharedisk.Record{}, errors.New("wire: stat returned no record")
+	}
+	return *resp.Record, nil
 }
 
 // List returns paths under a prefix (flushes the file set's pending
@@ -124,7 +236,11 @@ func (c *Client) List(fileSet, prefix string) ([]string, error) {
 	if c.batch != nil {
 		c.batch.flushSet(fileSet)
 	}
-	return c.router.List(fileSet, prefix)
+	resp, err := c.call(wire.Request{Op: wire.OpList, FileSet: fileSet, Path: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Paths, nil
 }
 
 // Batch applies pre-grouped items against one file set in a single round
@@ -132,7 +248,14 @@ func (c *Client) List(fileSet, prefix string) ([]string, error) {
 // hold a batch in hand.
 func (c *Client) Batch(fileSet string, items []wire.BatchItem) ([]wire.BatchResult, error) {
 	defer c.track()()
-	return c.router.Batch(fileSet, c.opts.Durable, items)
+	resp, err := c.call(wire.Request{Op: wire.OpBatch, FileSet: fileSet, Durable: c.opts.Durable, Batch: items})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(items) {
+		return nil, fmt.Errorf("wire: batch of %d items got %d results", len(items), len(resp.Results))
+	}
+	return resp.Results, nil
 }
 
 // Flush ships every pending batched write and returns when all are

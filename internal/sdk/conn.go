@@ -43,6 +43,7 @@ type Conn struct {
 	done     chan struct{}
 	inflight atomic.Int64
 	timeout  atomic.Int64
+	caps     uint64         // capability bits the server granted at hello
 	depth    *obs.Histogram // client-side pipeline depth; may be nil
 }
 
@@ -93,6 +94,7 @@ func Dial(addr string, opts Options) (*Conn, error) {
 		bw:      bufio.NewWriterSize(nc, 64<<10),
 		pending: map[uint64]chan wire.Response{},
 		done:    make(chan struct{}),
+		caps:    resp.Caps,
 	}
 	c.fw = wire.NewFrameWriter(c.bw)
 	c.timeout.Store(int64(opts.Timeout))
@@ -106,6 +108,13 @@ func Dial(addr string, opts Options) (*Conn, error) {
 // Tagged reports whether the connection upgraded to the tagged protocol
 // (false = line-mode fallback).
 func (c *Conn) Tagged() bool { return c.line == nil }
+
+// Caps returns the capability bits the server granted at hello — the
+// intersection of both sides' wire.SupportedCaps. Zero for line-mode
+// fallbacks and pre-capability servers: trace context still travels (the
+// fields are simply ignored by old peers), but callers can use this to
+// know whether the far side records it.
+func (c *Conn) Caps() uint64 { return c.caps }
 
 // InFlight returns the number of calls currently awaiting responses — the
 // load signal pool picking compares.

@@ -218,12 +218,48 @@ func (g *Gateway) session(id uint64) *gwSession {
 // when the routed call failed; server-reported error strings are relayed
 // verbatim so a client behind the gateway sees the same errors it would
 // see against the daemon.
+//
+// With a registry, the gateway is the fleet's trace edge: a request
+// arriving without trace context gets a fresh trace ID minted here, the
+// gateway hop is recorded as a "gateway" span, and the span's ID rides
+// downstream as the daemons' Parent — so a stitched timeline roots at the
+// tier the client actually talked to. The trace ID is echoed in the
+// response for clients that want to pull the timeline afterwards.
 func (g *Gateway) serve(req wire.Request) wire.Response {
 	g.counters.Add(CtrGwRequests, 1)
+	reg := g.cfg.Obs
+	// Observer ops reuse the Trace field to address a target trace; Ping is
+	// the health no-op. Neither should mint or join traces.
+	observer := req.Op == wire.OpTrace || req.Op == wire.OpTunerLog || req.Op == wire.OpTracePull
+	traced := reg != nil && !observer && req.Op != wire.OpPing
+	var trace, span, inParent uint64
+	var start time.Time
+	if traced {
+		trace = req.Trace
+		if trace == 0 {
+			trace = reg.NextTraceID()
+		}
+		span = reg.NextSpanID()
+		inParent = req.Parent
+		req.Trace = trace
+		req.Parent = span
+		start = time.Now()
+	}
 	resp := g.route(req)
 	resp.ID = req.ID
 	if resp.Err != "" {
 		g.counters.Add(CtrGwErrors, 1)
+	}
+	if traced {
+		dur := time.Since(start)
+		op := string(req.Op)
+		reg.Hist.Get("gw_request_seconds", fmt.Sprintf("op=%q", op)).ObserveTrace(dur, trace)
+		reg.Spans.Add(obs.Span{
+			Trace: trace, ID: span, Parent: inParent, Name: "gateway", Op: op,
+			FileSet: req.FileSet, Server: -1, Start: start, Dur: dur, Err: resp.Err,
+		})
+		reg.Slow.MaybePromote(reg.Spans, trace, op, dur)
+		resp.Trace = trace
 	}
 	return resp
 }
@@ -236,6 +272,28 @@ func (g *Gateway) route(req wire.Request) wire.Response {
 	}
 	switch req.Op {
 	case wire.OpPing:
+		return resp
+	case wire.OpTrace:
+		// Like a daemon, the gateway answers trace dumps from its own span
+		// ring — its edge spans; the fleet stitcher is the cross-node view.
+		if g.cfg.Obs != nil {
+			if req.Trace != 0 {
+				resp.Spans = g.cfg.Obs.Spans.ByTrace(req.Trace)
+			} else {
+				resp.Spans = g.cfg.Obs.Spans.Snapshot(req.Count)
+			}
+		}
+		return resp
+	case wire.OpTracePull:
+		// The gateway is a hop in fleet traces, so it answers trace pulls
+		// from its own rings instead of forwarding — the stitcher queries
+		// each process directly, this one included.
+		resp.Now = time.Now().UnixNano()
+		if g.cfg.Obs != nil {
+			resp.Spans = g.cfg.Obs.Spans.ByTrace(req.Trace)
+			resp.Spans = append(resp.Spans, g.cfg.Obs.Slow.ByTrace(req.Trace)...)
+			resp.Node = g.cfg.Obs.Node()
+		}
 		return resp
 	case wire.OpMap:
 		cm, err := g.router.Refresh()
@@ -257,7 +315,7 @@ func (g *Gateway) route(req wire.Request) wire.Response {
 		resp.Epoch = cm.Epoch
 		return resp
 	case wire.OpSync:
-		if err := g.router.Sync(); err != nil {
+		if err := g.router.SyncTraced(req.Trace, req.Parent); err != nil {
 			return fail(err)
 		}
 		return resp

@@ -2,12 +2,24 @@ package sdk
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
 	"time"
 
+	"anufs/internal/obs"
 	"anufs/internal/wire"
+)
+
+// Pool counter names (reported into Options' shared counter set).
+const (
+	// CtrPoolRedials counts slot dial attempts after the initial fill —
+	// i.e. how often connections died and were re-established (or retried).
+	CtrPoolRedials = "sdk_pool_redials"
+	// CtrPoolHealthFailures counts health-loop pings that failed and
+	// discarded a connection.
+	CtrPoolHealthFailures = "sdk_pool_health_failures"
 )
 
 // Pool errors. errNoConn contains "sdk: no connection" on purpose: the
@@ -30,6 +42,7 @@ type Pool struct {
 	mu      sync.Mutex
 	conns   []*Conn // nil = empty slot
 	dialing []bool
+	filled  []bool // slot has held a connection before (dials after it are redials)
 	back    []*wire.Backoff
 	next    []time.Time // earliest redial per slot
 	closed  bool
@@ -47,6 +60,7 @@ func NewPool(addr string, opts Options) *Pool {
 		opts:    opts,
 		conns:   make([]*Conn, opts.PoolSize),
 		dialing: make([]bool, opts.PoolSize),
+		filled:  make([]bool, opts.PoolSize),
 		back:    make([]*wire.Backoff, opts.PoolSize),
 		next:    make([]time.Time, opts.PoolSize),
 		stop:    make(chan struct{}),
@@ -54,11 +68,29 @@ func NewPool(addr string, opts Options) *Pool {
 	for i := range p.back {
 		p.back[i] = wire.NewBackoff(50*time.Millisecond, 5*time.Second)
 	}
+	if opts.Obs != nil {
+		// Per-daemon pool health on /metrics: how many connections are up
+		// and how deep the pipelines run, labeled by target address.
+		lbl := fmt.Sprintf("daemon=%q", addr)
+		opts.Obs.AddGauges(func() []obs.Gauge {
+			return []obs.Gauge{
+				{Name: "sdk_pool_live", Labels: lbl, Value: float64(p.Live())},
+				{Name: "sdk_pool_inflight", Labels: lbl, Value: float64(p.InFlight())},
+			}
+		})
+	}
 	if opts.HealthInterval > 0 {
 		p.wg.Add(1)
 		go p.healthLoop()
 	}
 	return p
+}
+
+// count bumps a pool counter when the pool shares a client counter set.
+func (p *Pool) count(name string) {
+	if p.opts.counters != nil {
+		p.opts.counters.Add(name, 1)
+	}
 }
 
 // nth returns the k-th live connection (caller holds p.mu).
@@ -151,6 +183,13 @@ func (p *Pool) get() (*Conn, error) {
 // backs off with jitter (wire.Backoff), so a dead daemon is not hammered
 // by every caller at once.
 func (p *Pool) dialSlot(slot int) *Conn {
+	p.mu.Lock()
+	if p.filled[slot] {
+		p.mu.Unlock()
+		p.count(CtrPoolRedials)
+	} else {
+		p.mu.Unlock()
+	}
 	c, err := Dial(p.addr, p.opts)
 	if err == nil {
 		c.SetTimeout(p.opts.Timeout)
@@ -169,6 +208,7 @@ func (p *Pool) dialSlot(slot int) *Conn {
 	}
 	p.back[slot].Reset()
 	p.conns[slot] = c
+	p.filled[slot] = true
 	p.mu.Unlock()
 	return c
 }
@@ -281,6 +321,7 @@ func (p *Pool) healthLoop() {
 			p.mu.Unlock()
 			for _, c := range conns {
 				if c.Ping() != nil {
+					p.count(CtrPoolHealthFailures)
 					p.discard(c)
 				}
 			}

@@ -21,6 +21,7 @@ package sdk
 import (
 	"time"
 
+	"anufs/internal/metrics"
 	"anufs/internal/obs"
 )
 
@@ -64,6 +65,11 @@ type Options struct {
 	Budget time.Duration
 	// Obs receives sdk counters, gauges, and histograms; nil disables.
 	Obs *obs.Registry
+
+	// counters is the shared counter set pools report redials and health
+	// failures into — set by NewClient so every pool of one client sums
+	// into the same series instead of colliding per-pool snapshots.
+	counters *metrics.CounterSet
 }
 
 // withDefaults fills the zero values.

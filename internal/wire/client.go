@@ -195,6 +195,14 @@ func (c *Client) Trace(trace uint64, n int) ([]obs.Span, error) {
 	return resp.Spans, err
 }
 
+// TracePull fetches one trace's spans from the server's live ring and
+// slow-trace flight recorder, plus the node's identity and wall clock
+// (UnixNano at reply time) — the per-node half of the fleet stitcher.
+func (c *Client) TracePull(trace uint64) ([]obs.Span, string, int64, error) {
+	resp, err := c.call(Request{Op: OpTracePull, Trace: trace})
+	return resp.Spans, resp.Node, resp.Now, err
+}
+
 // TunerLog fetches the n most recent structured tuner decision events
 // (n <= 0 means all retained).
 func (c *Client) TunerLog(n int) ([]obs.TunerEvent, error) {
@@ -219,8 +227,8 @@ func (c *Client) ClosedConnStats() (*ConnStat, int64, error) {
 
 // Ship delivers replicated journal entries to a standby (nil/empty entries
 // is a liveness heartbeat) and returns the standby's durable ack sequence.
-func (c *Client) Ship(entries []ShipEntry) (uint64, error) {
-	resp, err := c.call(Request{Op: OpShip, Entries: entries})
+func (c *Client) Ship(daemon int, entries []ShipEntry) (uint64, error) {
+	resp, err := c.call(Request{Op: OpShip, Daemon: daemon, Entries: entries})
 	return resp.AckSeq, err
 }
 

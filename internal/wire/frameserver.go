@@ -77,6 +77,10 @@ func (f *FrameServer) Serve(conn net.Conn) {
 				resp.Err = "wire: unsupported tagged protocol version"
 			default:
 				resp.Proto = TaggedProtoV1
+				// Grant the intersection of offered and supported capability
+				// bits (trace context, ...). Old clients offer none and old
+				// servers grant none; either way both sides degrade cleanly.
+				resp.Caps = req.Caps & SupportedCaps
 			}
 			send(resp)
 			if resp.Err == "" {

@@ -240,9 +240,9 @@ func (s *Server) serveConn(conn net.Conn, cs *connState) {
 // the observability ops themselves — a trace ID and a "wire" span.
 func (s *Server) serve(cs *connState, req Request) Response {
 	start := time.Now()
-	// OpTrace/OpTunerLog inspect traces rather than participate in them
-	// (OpTrace reuses the Trace field to address the target trace).
-	observer := req.Op == OpTrace || req.Op == OpTunerLog
+	// OpTrace/OpTunerLog/OpTracePull inspect traces rather than participate
+	// in them (they reuse the Trace field to address the target trace).
+	observer := req.Op == OpTrace || req.Op == OpTunerLog || req.Op == OpTracePull
 	var trace uint64
 	if !observer {
 		trace = req.Trace
@@ -253,7 +253,7 @@ func (s *Server) serve(cs *connState, req Request) Response {
 	resp := s.handle(trace, req)
 	dur := time.Since(start)
 	op := string(req.Op)
-	s.obs.Hist.Get("wire_request_seconds", fmt.Sprintf("op=%q", op)).Observe(dur)
+	s.obs.Hist.Get("wire_request_seconds", fmt.Sprintf("op=%q", op)).ObserveTrace(dur, trace)
 	s.counters.Add(CtrRequests, 1)
 	cs.requests.Add(1)
 	if resp.Err != "" {
@@ -269,10 +269,17 @@ func (s *Server) serve(cs *connState, req Request) Response {
 	}
 	if !observer {
 		resp.Trace = trace
+		// The wire span carries the propagated context: its Parent is the
+		// upstream hop's span ID (a gateway or sdk client), and its own ID
+		// lets further hops parent under it.
 		s.obs.Spans.Add(obs.Span{
 			Trace: trace, Name: "wire", Op: op, FileSet: req.FileSet,
 			Server: -1, Start: start, Dur: dur, Err: resp.Err,
+			ID: s.obs.NextSpanID(), Parent: req.Parent,
 		})
+		// Over-budget requests go to the flight recorder now that every
+		// span of the trace this node will record is in the ring.
+		s.obs.Slow.MaybePromote(s.obs.Spans, trace, op, dur)
 	}
 	return resp
 }
@@ -422,6 +429,13 @@ func (s *Server) handle(trace uint64, req Request) Response {
 		} else {
 			resp.Spans = s.obs.Spans.Snapshot(req.Count)
 		}
+	case OpTracePull:
+		// The fleet stitcher's per-node pull: live ring plus flight
+		// recorder (it dedupes), with identity and clock for skew.
+		resp.Spans = s.obs.Spans.ByTrace(req.Trace)
+		resp.Spans = append(resp.Spans, s.obs.Slow.ByTrace(req.Trace)...)
+		resp.Node = s.obs.Node()
+		resp.Now = time.Now().UnixNano()
 	case OpTunerLog:
 		resp.Tuner = s.obs.Tuner.Snapshot(req.Count)
 	case OpMount:
@@ -583,6 +597,42 @@ func (s *Server) handleBatch(trace uint64, fleet FleetHandler, req Request) Resp
 	s.counters.Add(CtrBatches, 1)
 	s.counters.Add(CtrBatchItems, int64(n))
 	s.histBatch.Observe(time.Duration(n))
+	s.linkFoldedItems(trace, req, results)
 	resp.Results = results
 	return resp
+}
+
+// linkFoldedItems preserves per-op traces across client-side batch
+// folding: each folded item that carried its own trace ID gets a
+// "batch-fold" span on ITS trace linking to the enclosing batch's trace,
+// and the batch's trace gets one span linking back to every folded item.
+// Either trace ID then leads the fleet stitcher to the other.
+func (s *Server) linkFoldedItems(trace uint64, req Request, results []BatchResult) {
+	var itemTraces []uint64
+	now := time.Now()
+	for i := range req.Batch {
+		it := &req.Batch[i]
+		if it.Trace == 0 || it.Trace == trace {
+			continue
+		}
+		fs := it.FileSet
+		if fs == "" {
+			fs = req.FileSet
+		}
+		errStr := ""
+		if i < len(results) {
+			errStr = results[i].Err
+		}
+		s.obs.Spans.Add(obs.Span{
+			Trace: it.Trace, Name: "batch-fold", Op: string(it.Op), FileSet: fs,
+			Server: -1, Start: now, Err: errStr, Links: []uint64{trace},
+		})
+		itemTraces = append(itemTraces, it.Trace)
+	}
+	if len(itemTraces) > 0 {
+		s.obs.Spans.Add(obs.Span{
+			Trace: trace, Name: "batch-fold", Op: string(OpBatch), FileSet: req.FileSet,
+			Server: -1, Start: now, Links: itemTraces,
+		})
+	}
 }

@@ -62,9 +62,12 @@ var (
 // HelloRequest is the line-mode request a client sends first on a
 // connection to negotiate the tagged protocol. The server answers with
 // Response.Proto = TaggedProtoV1 on success; any error response means the
-// peer does not speak frames and the connection stays in line mode.
+// peer does not speak frames and the connection stays in line mode. The
+// request offers this build's capability bits (trace context, ...); the
+// server grants the intersection in Response.Caps — an old server leaves
+// it zero and everything it implies simply stays off.
 func HelloRequest() Request {
-	return Request{Op: OpHello, Proto: TaggedProtoV1}
+	return Request{Op: OpHello, Proto: TaggedProtoV1, Caps: SupportedCaps}
 }
 
 // PutFrameHeader writes a frame header into dst, which must be at least

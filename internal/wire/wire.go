@@ -53,6 +53,12 @@ const (
 	// OpTrace dumps request trace spans: the spans of one trace (Request.
 	// Trace set) or the most recent Count spans across all traces.
 	OpTrace Op = "trace"
+	// OpTracePull is OpTrace's fleet-facing sibling: it returns one trace's
+	// spans from this node's live ring AND its slow-trace flight recorder,
+	// plus the node's identity and wall clock (Response.Node/Now) so the
+	// cross-node stitcher can annotate clock skew. Served by daemons,
+	// gateways, and standby receivers.
+	OpTracePull Op = "trace-pull"
 	// OpTunerLog dumps the most recent Count structured tuner decision
 	// events (all retained when Count is 0).
 	OpTunerLog Op = "tuner-log"
@@ -89,6 +95,20 @@ const (
 	OpBatch Op = "batch"
 )
 
+// Capability bits negotiated via OpHello (Request.Caps offered by the
+// client, Response.Caps the intersection the server accepted). They ride
+// the existing hello exchange: old servers simply echo no caps and old
+// clients offer none, so every mix of versions interoperates.
+const (
+	// CapTraceContext: the peer understands distributed trace context —
+	// Request.Trace/Parent carried end to end (and inside tagged-frame
+	// payloads), Response.Trace echoed, OpTracePull served.
+	CapTraceContext uint64 = 1 << 0
+)
+
+// SupportedCaps is the capability set this build negotiates.
+const SupportedCaps = CapTraceContext
+
 // MaxBatchItems caps one OpBatch request — enough to amortize the
 // round-trip and the owner-queue hop, small enough that one batch cannot
 // monopolize a server's queue.
@@ -113,6 +133,10 @@ type BatchItem struct {
 	FileSet string            `json:"fileset,omitempty"`
 	Path    string            `json:"path,omitempty"`
 	Record  *sharedisk.Record `json:"record,omitempty"`
+	// Trace is the folded-in op's own trace ID when the client minted one
+	// before coalescing: the server emits a link span tying it to the
+	// enclosing batch's trace so neither side of the fold loses the story.
+	Trace uint64 `json:"trace,omitempty"`
 }
 
 // BatchResult is the per-item outcome of an OpBatch, index-aligned with
@@ -123,10 +147,13 @@ type BatchResult struct {
 }
 
 // ShipEntry is one replicated journal entry: the primary's sequence and the
-// raw entry payload (Payload is base64 in JSON).
+// raw entry payload (Payload is base64 in JSON). Trace, when non-zero, is
+// the trace ID of the request that appended the entry, so the standby's
+// apply/ack spans join the originating request's fleet timeline.
 type ShipEntry struct {
 	Seq     uint64 `json:"seq"`
 	Payload []byte `json:"payload"`
+	Trace   uint64 `json:"trace,omitempty"`
 }
 
 // Request is one client frame.
@@ -143,10 +170,15 @@ type Request struct {
 	// Prefix is the mount prefix for namespace operations; Path carries the
 	// global path for the P-prefixed ops.
 	Prefix string `json:"prefix,omitempty"`
-	// Trace selects the trace to dump for OpTrace. For every other op it is
-	// the caller-supplied trace ID; the server mints one when zero and
-	// echoes it in Response.Trace.
-	Trace uint64 `json:"trace,omitempty"`
+	// Trace selects the trace to dump for OpTrace/OpTracePull. For every
+	// other op it is the caller-supplied trace ID; the server mints one
+	// when zero and echoes it in Response.Trace. Parent is the span ID of
+	// the sender's enclosing span (the distributed trace context's second
+	// half): the receiving hop parents its own spans under it.
+	Trace  uint64 `json:"trace,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Caps offers capability bits on OpHello (see CapTraceContext).
+	Caps uint64 `json:"caps,omitempty"`
 	// Count bounds how many entries OpTrace/OpTunerLog return (0 = all
 	// retained).
 	Count int `json:"count,omitempty"`
@@ -238,7 +270,14 @@ type Response struct {
 	Epoch uint64 `json:"epoch,omitempty"`
 	Map   []byte `json:"map,omitempty"`
 	// Proto answers OpHello: the protocol version the server accepted.
-	Proto int `json:"proto,omitempty"`
+	// Caps is the capability intersection the server granted.
+	Proto int    `json:"proto,omitempty"`
+	Caps  uint64 `json:"caps,omitempty"`
+	// Node and Now answer OpTracePull: the responding process's identity
+	// and wall clock (UnixNano) at reply time, feeding the stitcher's
+	// per-hop clock-skew estimate.
+	Node string `json:"node,omitempty"`
+	Now  int64  `json:"now,omitempty"`
 	// Results answers OpBatch, index-aligned with Request.Batch.
 	Results []BatchResult `json:"results,omitempty"`
 }
