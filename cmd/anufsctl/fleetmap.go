@@ -22,7 +22,11 @@ func renderMap(w io.Writer, cm *placement.ClusterMap) error {
 		if len(fs) > 0 {
 			owned = strings.Join(fs, ",")
 		}
-		fmt.Fprintf(tw, "%d\t%s\t%g\t%s\n", d.ID, d.Addr, d.Speed, owned)
+		id := fmt.Sprintf("%d", d.ID)
+		if d.ID == cm.Authority {
+			id += "*" // the map authority (join/leave/assign/rebalance endpoint)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%g\t%s\n", id, d.Addr, d.Speed, owned)
 	}
 	return tw.Flush()
 }

@@ -23,6 +23,7 @@ func TestRenderMapGolden(t *testing.T) {
 			"vol02": 1,
 			"vol03": 0,
 		},
+		Authority: 1,
 	}
 	var sb strings.Builder
 	if err := renderMap(&sb, cm); err != nil {
@@ -31,7 +32,7 @@ func TestRenderMapGolden(t *testing.T) {
 	golden := "epoch 7\n" +
 		"DAEMON  ADDR           SPEED  FILESETS\n" +
 		"0       10.0.0.1:7460  1      vol03\n" +
-		"1       10.0.0.2:7460  2.5    vol00,vol02\n" +
+		"1*      10.0.0.2:7460  2.5    vol00,vol02\n" +
 		"2       10.0.0.3:7460  4      vol01\n"
 	if got := sb.String(); got != golden {
 		t.Fatalf("renderMap output drifted.\ngot:\n%s\nwant:\n%s", got, golden)

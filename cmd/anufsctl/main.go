@@ -158,6 +158,13 @@ func main() {
 		epoch, err := c.Rebalance()
 		check(err)
 		fmt.Printf("ok (epoch %d)\n", epoch)
+	case "leave":
+		need(rest, 1)
+		daemon, err := strconv.Atoi(rest[0])
+		check(err)
+		epoch, err := c.Leave(daemon)
+		check(err)
+		fmt.Printf("ok (epoch %d)\n", epoch)
 	case "owner":
 		need(rest, 1)
 		owner, err := c.Owner(rest[0])
@@ -387,6 +394,7 @@ fleet (daemons started with -fleet; add -fleet here to route data commands by th
   map                   show the cluster map (epoch, daemons, assignments)
   map-epoch             show just the map epoch
   assign <fileset> <daemon|auto>   place or live-move a file set (-addr must be the authority)
-  rebalance             recompute ANU placement and hand off every mis-placed file set`)
+  rebalance             recompute ANU placement and hand off every mis-placed file set
+  leave <daemon>        drain a daemon out of the fleet (its file sets hand off first)`)
 	os.Exit(2)
 }

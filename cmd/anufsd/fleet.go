@@ -2,32 +2,52 @@ package main
 
 import (
 	"fmt"
+	"net"
 	"strconv"
 	"strings"
 	"time"
 
 	"anufs/internal/fleet"
 	"anufs/internal/placement"
+	"anufs/internal/sharedisk"
 	"anufs/internal/wire"
 )
 
 // fleetState is what -fleet mode resolves to before the cluster starts:
-// the authority (when hosted here), the initial cluster map, and the
-// authority address joiners keep polling.
+// the authority (when hosted here), the initial cluster map, the authority
+// address joiners keep heartbeating, and the membership identity this
+// daemon advertises.
 type fleetState struct {
 	id            int
 	auth          *fleet.Authority
 	authorityAddr string
+	standbyAddr   string
+	advertise     string // set only in join mode: enables the heartbeat
+	speed         float64
+	journalDir    string
+	fenceAfter    time.Duration
+	pollInterval  time.Duration
 	initial       *placement.ClusterMap
+}
+
+// fleetOptions carries the dynamic-membership knobs from main into
+// setupFleet.
+type fleetOptions struct {
+	advertise  string
+	speed      float64
+	lease      time.Duration
+	journalDir string
+	standby    string
+	persist    func(*placement.ClusterMap) error
 }
 
 // assigned lists the file sets the initial map gives this daemon.
 func (f *fleetState) assigned() []string { return f.initial.FileSetsOf(f.id) }
 
 // setupFleet resolves the fleet flags. Exactly one of roster (host the
-// authority) or join (fetch from an authority) must be set when id >= 0.
+// authority) or join (register with an authority) must be set when id >= 0.
 // nFileSets seeds the authority's initial map with vol00..vol(n-1).
-func setupFleet(id int, roster, join string, nFileSets int) (*fleetState, error) {
+func setupFleet(id int, roster, join string, nFileSets int, opts fleetOptions) (*fleetState, error) {
 	if id < 0 {
 		if roster != "" || join != "" {
 			return nil, fmt.Errorf("-fleet-authority/-fleet-join need -fleet <id>")
@@ -55,21 +75,99 @@ func setupFleet(id int, roster, join string, nFileSets int) (*fleetState, error)
 		for i := 0; i < nFileSets; i++ {
 			names = append(names, fmt.Sprintf("vol%02d", i))
 		}
-		auth, err := fleet.NewAuthority(fleet.AuthorityConfig{Daemons: daemons, FileSets: names})
+		auth, err := fleet.NewAuthority(fleet.AuthorityConfig{
+			Daemons:  daemons,
+			FileSets: names,
+			SelfID:   id,
+			Lease:    opts.lease,
+			Persist:  opts.persist,
+		})
 		if err != nil {
 			return nil, err
 		}
-		return &fleetState{id: id, auth: auth, initial: auth.Map()}, nil
+		return &fleetState{
+			id:         id,
+			auth:       auth,
+			speed:      opts.speed,
+			journalDir: opts.journalDir,
+			initial:    auth.Map(),
+		}, nil
 	}
-	cm, err := fetchInitialMap(join, 30*time.Second)
+	cm, err := joinFleet(join, id, opts, 30*time.Second)
 	if err != nil {
 		return nil, err
 	}
-	return &fleetState{id: id, authorityAddr: join, initial: cm}, nil
+	// When the authority runs a liveness lease (-fleet-lease is given to
+	// every daemon), heartbeat several times per lease so one dropped probe
+	// does not read as death, and self-fence well after the authority would
+	// have declared us dead.
+	var fence, poll time.Duration
+	if opts.lease > 0 {
+		fence = 3 * opts.lease
+		poll = opts.lease / 4
+		if poll < 50*time.Millisecond {
+			poll = 50 * time.Millisecond
+		}
+	}
+	return &fleetState{
+		id:            id,
+		authorityAddr: join,
+		standbyAddr:   opts.standby,
+		advertise:     opts.advertise,
+		speed:         opts.speed,
+		journalDir:    opts.journalDir,
+		fenceAfter:    fence,
+		pollInterval:  poll,
+		initial:       cm,
+	}, nil
 }
 
-// parseRoster parses "id=addr@speed,id=addr@speed,..." — the static fleet
-// membership the authority daemon is started with.
+// resumeFleet rebuilds the fleet authority from a map image a promoted
+// standby replayed out of the shipped journal: this process takes over the
+// dead primary's daemon ID (its file sets are warm in the same store),
+// advertises its own address in the map, and resumes issuing epochs from a
+// floor safely above anything the primary could have published.
+func resumeFleet(im sharedisk.Image, advertise string, opts fleetOptions) (*fleetState, error) {
+	cm, err := fleet.DecodeMapImage(im)
+	if err != nil {
+		return nil, err
+	}
+	self := cm.Authority
+	patched := *cm
+	patched.Daemons = append([]placement.DaemonInfo(nil), cm.Daemons...)
+	found := false
+	for i := range patched.Daemons {
+		if patched.Daemons[i].ID == self {
+			patched.Daemons[i].Addr = advertise
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("fleet resume: map (epoch %d) does not contain its authority daemon %d", cm.Epoch, self)
+	}
+	auth, err := fleet.NewAuthority(fleet.AuthorityConfig{
+		Resume:          &patched,
+		SelfID:          self,
+		EpochFloor:      cm.Epoch + fleet.PromotionEpochJump,
+		Lease:           opts.lease,
+		Persist:         opts.persist,
+		AnnounceOnStart: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &fleetState{
+		id:         self,
+		auth:       auth,
+		speed:      opts.speed,
+		journalDir: opts.journalDir,
+		initial:    auth.Map(),
+	}, nil
+}
+
+// parseRoster parses "id=addr@speed,id=addr@speed,..." — the fleet
+// membership the authority daemon is started with (daemons may also join
+// later over the wire).
 func parseRoster(s string) ([]placement.DaemonInfo, error) {
 	var out []placement.DaemonInfo
 	for _, part := range strings.Split(s, ",") {
@@ -102,14 +200,17 @@ func parseRoster(s string) ([]placement.DaemonInfo, error) {
 	return out, nil
 }
 
-// fetchInitialMap polls the authority for the cluster map until it answers
-// (joining daemons usually start while the authority is still coming up).
-func fetchInitialMap(addr string, patience time.Duration) (*placement.ClusterMap, error) {
+// joinFleet registers this daemon with the authority (idempotent — a
+// roster-listed daemon re-joining with the same identity changes nothing)
+// and returns the cluster map the join reply carries. It retries until the
+// authority answers: joining daemons usually start while the authority is
+// still coming up.
+func joinFleet(addr string, id int, opts fleetOptions, patience time.Duration) (*placement.ClusterMap, error) {
 	deadline := time.Now().Add(patience)
 	backoff := wire.NewBackoff(50*time.Millisecond, time.Second)
 	var lastErr error
 	for {
-		cm, err := fetchMapOnce(addr)
+		cm, err := joinOnce(addr, id, opts)
 		if err == nil {
 			return cm, nil
 		}
@@ -121,16 +222,30 @@ func fetchInitialMap(addr string, patience time.Duration) (*placement.ClusterMap
 	}
 }
 
-func fetchMapOnce(addr string) (*placement.ClusterMap, error) {
-	c, err := wire.Dial(addr)
+func joinOnce(addr string, id int, opts fleetOptions) (*placement.ClusterMap, error) {
+	c, err := wire.DialTimeout(addr, 5*time.Second)
 	if err != nil {
 		return nil, err
 	}
 	defer c.Close()
-	c.SetTimeout(5 * time.Second)
-	encoded, err := c.ClusterMap()
+	_, encoded, err := c.Join(id, opts.advertise, opts.speed, opts.journalDir)
 	if err != nil {
 		return nil, err
 	}
 	return placement.DecodeClusterMap(encoded)
+}
+
+// defaultAdvertise derives a dialable address from the -listen flag when
+// -fleet-advertise is not given: a wildcard host becomes loopback, which
+// is right for single-host fleets (multi-host deployments must advertise
+// explicitly).
+func defaultAdvertise(listen string) string {
+	host, port, err := net.SplitHostPort(listen)
+	if err != nil {
+		return listen
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }

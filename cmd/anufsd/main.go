@@ -54,6 +54,7 @@ import (
 	"anufs/internal/journal"
 	"anufs/internal/live"
 	"anufs/internal/obs"
+	"anufs/internal/placement"
 	"anufs/internal/replica"
 	"anufs/internal/sharedisk"
 	"anufs/internal/wire"
@@ -82,6 +83,10 @@ func main() {
 		fleetID        = flag.Int("fleet", -1, "this daemon's fleet ID; -1 runs standalone (no sharding)")
 		fleetAuthority = flag.String("fleet-authority", "", `host the cluster-map authority with this roster: "id=addr@speed,..." (must include this daemon's -fleet id)`)
 		fleetJoin      = flag.String("fleet-join", "", "join a fleet: the authority daemon's wire address")
+		fleetSpeed     = flag.Float64("fleet-speed", 1, "relative speed this daemon advertises when joining a fleet")
+		fleetLease     = flag.Duration("fleet-lease", 0, "authority: heartbeat lease for dead-daemon detection and journal-aware failover; 0 disables")
+		fleetStandby   = flag.String("fleet-standby", "", "standby authority's wire address, tried when the authority stops answering")
+		fleetAdvertise = flag.String("fleet-advertise", "", "wire address this daemon advertises to the fleet (default: derived from -listen)")
 
 		nodeName = flag.String("node", "", `node identity stamped on trace spans and trace-pull answers (default "daemon-<fleet id>" or "daemon@<listen>")`)
 		slowOver = flag.Duration("slow-trace", 0, "promote traces slower than this into the durable flight recorder (/debug/slow, SIGQUIT); 0 disables")
@@ -193,13 +198,54 @@ func main() {
 	reg.AddStatus("daemon", func() any { return map[string]string{"role": role} })
 
 	// Fleet mode changes which file sets this daemon pre-creates: only the
-	// ones the cluster map assigns to it.
-	fl, err := setupFleet(*fleetID, *fleetAuthority, *fleetJoin, *fileSets)
+	// ones the cluster map assigns to it. When the daemon journals, the
+	// authority persists every committed map through the durable disk —
+	// journaled, snapshotted, and log-shipped to a standby authority on the
+	// same machinery as file-set metadata.
+	var persistMap func(*placement.ClusterMap) error
+	if jnl != nil {
+		if inst, ok := disk.(sharedisk.Installer); ok {
+			persistMap = func(cm *placement.ClusterMap) error {
+				im, err := fleet.EncodeMapImage(cm)
+				if err != nil {
+					return err
+				}
+				return inst.Install(fleet.MapFileSet, im)
+			}
+		}
+	}
+	advertise := *fleetAdvertise
+	if advertise == "" {
+		advertise = defaultAdvertise(*listen)
+	}
+	fopts := fleetOptions{
+		advertise:  advertise,
+		speed:      *fleetSpeed,
+		lease:      *fleetLease,
+		journalDir: *journalDir,
+		standby:    *fleetStandby,
+		persist:    persistMap,
+	}
+	fl, err := setupFleet(*fleetID, *fleetAuthority, *fleetJoin, *fileSets, fopts)
 	if err != nil {
 		log.Fatalf("anufsd: %v", err)
 	}
 	if fl != nil && *standby {
 		log.Fatalf("anufsd: -fleet and -standby are mutually exclusive")
+	}
+	if fl == nil && *standby {
+		// A promoted standby whose shipped journal carried a cluster map was
+		// the authority's standby: resume the authority role here, taking
+		// over the dead primary's daemon ID (its file sets are warm in this
+		// very store).
+		if im, err := disk.Load(fleet.MapFileSet); err == nil {
+			fl, err = resumeFleet(im, advertise, fopts)
+			if err != nil {
+				log.Fatalf("anufsd: fleet resume: %v", err)
+			}
+			log.Printf("anufsd: resuming fleet authority as daemon %d at map epoch %d",
+				fl.id, fl.initial.Epoch)
+		}
 	}
 
 	names := make([]string, 0, *fileSets)
@@ -244,6 +290,12 @@ func main() {
 			Disk:          disk,
 			Authority:     fl.auth,
 			AuthorityAddr: fl.authorityAddr,
+			StandbyAddr:   fl.standbyAddr,
+			Addr:          fl.advertise,
+			Speed:         fl.speed,
+			JournalDir:    fl.journalDir,
+			FenceAfter:    fl.fenceAfter,
+			PollInterval:  fl.pollInterval,
 			Obs:           reg,
 		}, fl.initial)
 		if err != nil {

@@ -40,6 +40,7 @@ func main() {
 		listen    = flag.String("listen", ":7470", "TCP listen address for wire clients")
 		authority = flag.String("authority", "127.0.0.1:7460", "the fleet authority daemon's wire address")
 		peers     = flag.String("peers", "", "comma-separated wire addresses of peer gateways (shared map cache sources)")
+		authStby  = flag.String("authority-standby", "", "standby authority's wire address, consulted for maps when the authority is down")
 		budget    = flag.Duration("budget", fleet.DefaultRouteBudget, "per-request routing budget (map refetches + retries)")
 		pool      = flag.Int("pool", sdk.DefaultPoolSize, "pipelined connections per daemon")
 		timeout   = flag.Duration("timeout", 0, "per-call deadline toward daemons (0 = wire default)")
@@ -54,6 +55,12 @@ func main() {
 		if p = strings.TrimSpace(p); p != "" {
 			peerAddrs = append(peerAddrs, p)
 		}
+	}
+	if *authStby != "" {
+		// The standby refuses map requests until it promotes, so listing it
+		// as a trailing peer is free in steady state and makes the promoted
+		// authority reachable without restarting gateways.
+		peerAddrs = append(peerAddrs, *authStby)
 	}
 
 	reg := obs.New()

@@ -1,0 +1,26 @@
+// Package fleet is a fixture for the wireops fleet-dispatch rule: the
+// Fleet method must case every fleet op the wire package defines.
+package fleet
+
+import "anufs/internal/wire"
+
+// Member is the fixture fleet handler.
+type Member struct{}
+
+// Fleet dispatches fleet ops — but misses OpTakeover, which the server
+// forwards here all the same.
+func (m *Member) Fleet(req wire.Request) int { // want `Fleet dispatch misses OpTakeover`
+	switch req.Op {
+	case wire.OpMap:
+		return 1
+	case wire.OpJoin:
+		return 2
+	}
+	return 0
+}
+
+// probe holds a transport obtained via the self-armed constructor: no
+// deadline diagnostic, because DialTimeout arms one at birth.
+func probe() (*wire.Client, error) {
+	return wire.DialTimeout("127.0.0.1:7460", 30)
+}

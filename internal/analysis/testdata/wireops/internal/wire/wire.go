@@ -14,6 +14,11 @@ const (
 	OpOrphanClient Op = "orphan-client" // want `OpOrphanClient is not dispatched by any server switch`
 	// OpVestigial is reserved for a future epoch bump; the allow records that.
 	OpVestigial Op = "vestigial" //anufs:allow wireops reserved opcode for the next protocol rev; neither end speaks it yet
+	// Fleet ops: the forward clause in serve must name every one of
+	// these, and the fleet package's Fleet method must case them all.
+	OpMap      Op = "map"
+	OpJoin     Op = "join"
+	OpTakeover Op = "takeover"
 )
 
 // Request is one client frame.
@@ -36,8 +41,20 @@ func (c *Client) Ping() { c.call(Request{Op: OpPing}) }
 // Orphan sends the op the server never answers.
 func (c *Client) Orphan() { c.call(Request{Op: OpOrphanClient}) }
 
+// Map, Join, and Takeover send the fleet ops.
+func (c *Client) Map() (Request, Request, Request) {
+	return c.call(Request{Op: OpMap}), c.call(Request{Op: OpJoin}), c.call(Request{Op: OpTakeover})
+}
+
 // Dial connects a client.
 func Dial(addr string) (*Client, error) { return &Client{}, nil }
+
+// DialTimeout connects a client whose deadline is armed at birth.
+func DialTimeout(addr string, d int) (*Client, error) {
+	c := &Client{}
+	c.SetTimeout(d)
+	return c, nil
+}
 
 func serve(req Request) int {
 	switch req.Op {
@@ -45,6 +62,10 @@ func serve(req Request) int {
 		return 1
 	case OpOrphanServer:
 		return 2
+	case OpMap, OpJoin: // want `fleet forward clause misses OpTakeover`
+		return 3
+	case OpTakeover: // dispatched, but outside the forward clause
+		return 4
 	}
 	return 0
 }

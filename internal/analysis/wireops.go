@@ -23,21 +23,46 @@ import (
 //     wire.Dial, sdk.Dial, sdk.NewPool, or sdk.NewClient — must also arm
 //     a deadline before returning: a SetTimeout call or an sdk.Options
 //     literal with a Timeout key. An undeadlined client hangs forever on
-//     a stalled peer. Justified exceptions carry //anufs:allow.
+//     a stalled peer. wire.DialTimeout is born with its deadline armed
+//     and is exempt (but does not excuse other dials in the same
+//     function). Justified exceptions carry //anufs:allow.
+//  4. The fleet dispatch tables must stay complete end to end: the wire
+//     server's forward clause (the case listing OpMap and friends) and
+//     the fleet member's Fleet method must each handle every fleet op
+//     the protocol defines — membership ops included. An op missing
+//     from either table is forwarded into a default arm and dies with
+//     "unknown op" at runtime, which is exactly how a join or takeover
+//     silently stops working.
 var WireOps = &Analyzer{
 	Name: "wireops",
 	Doc: "wire ops must be registered in both the client encode and server " +
-		"dispatch tables (and, for the sdk, in the gateway demux), and " +
-		"dialed clients and pools must set a deadline",
+		"dispatch tables (and, for the sdk, in the gateway demux), the " +
+		"fleet forward clause and Fleet dispatch must cover every fleet op, " +
+		"and dialed clients and pools must set a deadline",
 	Run: runWireOps,
+}
+
+// fleetDispatchOps is the canonical list of ops the wire server forwards
+// to FleetHandler.Fleet: the map/handoff ops and the membership/failover
+// ops (join, leave, heartbeat, takeover). Both dispatch tables — the
+// server's forward clause and the fleet member's Fleet switch — must
+// case every one of these that the wire package defines. Adding a fleet
+// op means adding it HERE as well as to both tables.
+var fleetDispatchOps = []string{
+	"OpMap", "OpMapEpoch", "OpAdopt", "OpHandoff", "OpAssign",
+	"OpRebalance", "OpJoin", "OpLeave", "OpHeartbeat", "OpTakeover",
 }
 
 func runWireOps(pass *Pass) error {
 	if pathHasSuffix(pass.Pkg.Path(), "internal/wire") {
 		checkOpSymmetry(pass)
+		checkFleetForwardClause(pass)
 	}
 	if pathHasSuffix(pass.Pkg.Path(), "internal/sdk") {
 		checkGatewayDemux(pass)
+	}
+	if pathHasSuffix(pass.Pkg.Path(), "internal/fleet") {
+		checkFleetDispatch(pass)
 	}
 	checkDialDeadlines(pass)
 	return nil
@@ -148,6 +173,145 @@ func wireOpOf(pass *Pass, e ast.Expr) types.Object {
 	return obj
 }
 
+// fleetOpsDefined filters fleetDispatchOps down to the names the wire
+// package actually defines, so fixtures (and protocol subsets) are held
+// to the ops they declare rather than the full canonical list.
+func fleetOpsDefined(wireScope *types.Scope) []string {
+	var out []string
+	for _, name := range fleetDispatchOps {
+		if _, ok := wireScope.Lookup(name).(*types.Const); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// checkFleetForwardClause verifies the wire server's fleet forward
+// clause — the case listing OpMap alongside the other fleet ops — names
+// every fleet op the package defines. An op left out of this clause
+// falls through to the file-set dispatch path and fails with "unknown
+// op" even though both protocol ends implement it.
+func checkFleetForwardClause(pass *Pass) {
+	want := fleetOpsDefined(pass.Pkg.Scope())
+	if len(want) == 0 {
+		return
+	}
+	anchor := pass.Pkg.Scope().Lookup("OpMap")
+	if anchor == nil {
+		return
+	}
+	// The forward clauses are the case clauses that contain OpMap; the
+	// union of their ops must cover every defined fleet op.
+	covered := map[string]bool{}
+	var clausePos ast.Node
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			for _, cl := range sw.Body.List {
+				cc := cl.(*ast.CaseClause)
+				hasAnchor := false
+				for _, e := range cc.List {
+					if id, ok := ast.Unparen(e).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == anchor {
+						hasAnchor = true
+					}
+				}
+				if !hasAnchor {
+					continue
+				}
+				if clausePos == nil {
+					clausePos = cc
+				}
+				for _, e := range cc.List {
+					if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							covered[obj.Name()] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if clausePos == nil {
+		return
+	}
+	var missing []string
+	for _, name := range want {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(clausePos.Pos(),
+			"fleet forward clause misses %s: the server will answer \"unknown op\" for ops both ends implement",
+			strings.Join(missing, ", "))
+	}
+}
+
+// checkFleetDispatch verifies the fleet member's Fleet method cases
+// every fleet op the wire package defines. The wire server forwards the
+// whole fleet op set to Fleet; an op missing here reaches the method's
+// default arm and dies at runtime — the failure mode that would silently
+// break join, leave, heartbeat, or takeover.
+func checkFleetDispatch(pass *Pass) {
+	var wirePkg *types.Package
+	for _, imp := range pass.Pkg.Imports() {
+		if pathHasSuffix(imp.Path(), "internal/wire") {
+			wirePkg = imp
+		}
+	}
+	if wirePkg == nil {
+		return
+	}
+	want := fleetOpsDefined(wirePkg.Scope())
+	if len(want) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Fleet" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			handled := map[string]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok {
+					return true
+				}
+				for _, cl := range sw.Body.List {
+					for _, e := range cl.(*ast.CaseClause).List {
+						if o := wireOpOf(pass, e); o != nil {
+							handled[o.Name()] = true
+						}
+					}
+				}
+				return true
+			})
+			var missing []string
+			for _, name := range want {
+				if !handled[name] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(fn.Pos(),
+					"Fleet dispatch misses %s: the wire server forwards every fleet op here, so these die in the default arm",
+					strings.Join(missing, ", "))
+			}
+		}
+	}
+}
+
 // checkGatewayDemux enforces sdk/gateway symmetry: a Request literal built
 // in the sdk with an Op but no FileSet must use an op the gateway demux
 // (some switch case clause in the package) handles, because the default
@@ -242,6 +406,10 @@ func checkDialDeadlines(pass *Pass) {
 					}
 					if obj.Pkg() != nil {
 						switch {
+						case obj.Name() == "DialTimeout" && pathHasSuffix(obj.Pkg().Path(), "internal/wire"):
+							// Born with its deadline armed: neither a dial to
+							// flag nor an arm that would excuse other dials
+							// in this function.
 						case obj.Name() == "Dial" && pathHasSuffix(obj.Pkg().Path(), "internal/wire"):
 							dials = append(dials, dial{n, "wire.Dial"})
 						case pathHasSuffix(obj.Pkg().Path(), "internal/sdk") &&

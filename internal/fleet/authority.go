@@ -8,17 +8,29 @@
 // handoffs; every daemon runs a Member that fences wire operations against
 // the map and serves the fleet ops; clients route through a Router that
 // caches the map and refetches on wrong-owner rejections.
+//
+// Membership is dynamic: daemons join and leave over the wire (OpJoin,
+// OpLeave), renew liveness leases with OpHeartbeat, and a daemon whose
+// lease lapses is failed over — the authority moves its file sets to new
+// owners that replay the victim's journal tail from shared disk before
+// serving (OpTakeover), so acknowledged writes survive kill -9. The map
+// itself can be journaled (AuthorityConfig.Persist) and log-shipped to a
+// standby authority that resumes it after promotion (Resume/EpochFloor).
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"anufs/internal/core"
+	"anufs/internal/election"
 	"anufs/internal/interval"
+	"anufs/internal/metrics"
 	"anufs/internal/placement"
 	"anufs/internal/wire"
 )
@@ -27,28 +39,90 @@ import (
 // transfer + adopt) as seen by the authority.
 const DefaultHandoffTimeout = 60 * time.Second
 
+// DefaultDialTimeout bounds the TCP connect to a handoff donor, so a dead
+// daemon costs seconds (and trips the rebalance circuit breaker), not the
+// full handoff timeout.
+const DefaultDialTimeout = 5 * time.Second
+
+// DefaultPublishTimeout is the per-daemon dial + call deadline on the
+// publish and takeover paths; DefaultPublishWait caps how long one publish
+// round blocks its caller (stragglers keep trying in the background up to
+// their own deadlines — member polling is the convergence backstop).
+const (
+	DefaultPublishTimeout = 1 * time.Second
+	DefaultPublishWait    = 2 * time.Second
+)
+
+// PromotionEpochJump is how far a promoted standby authority advances the
+// epoch past the last map it saw. The primary may have committed (and even
+// acted on) epochs the ship stream never delivered; the jump keeps every
+// epoch the promoted authority issues strictly above anything the dead
+// primary could have published.
+const PromotionEpochJump = 1000
+
 // AuthorityConfig parameterizes the map authority.
 type AuthorityConfig struct {
-	// Daemons is the static fleet: every anufsd process, with address and
-	// relative speed. Fleet membership is fixed for a deployment; changing
-	// it means restarting with a new -fleet-authority list (dynamic
-	// join/leave is future work, see DESIGN.md §12).
+	// Daemons seeds the fleet: every anufsd process known at startup, with
+	// address and relative speed (> 0). Daemons added later join over the
+	// wire (OpJoin); ignored when Resume is set.
 	Daemons []placement.DaemonInfo
-	// FileSets seeds the initial assignment (epoch 1), placed by the ANU
-	// mapper over the daemon IDs with speed-proportional shares.
+	// FileSets seeds the initial assignment, placed by the ANU mapper over
+	// the daemon IDs with speed-proportional shares. Ignored when Resume is
+	// set.
 	FileSets []string
 	// Core configures the ANU mapper; zero value takes core.Defaults().
 	Core core.Config
-	// Dial overrides how the authority reaches daemons (tests inject
-	// failures); nil uses wire.Dial with DefaultHandoffTimeout.
+	// SelfID is the ID of the daemon hosting this authority — published in
+	// the map's Authority field so members and routers can find the
+	// authority after a standby promotion. Defaults to 0, the historical
+	// convention.
+	SelfID int
+	// Dial overrides how the authority reaches handoff donors (tests inject
+	// failures); nil uses wire.DialTimeout(addr, DefaultDialTimeout) with
+	// DefaultHandoffTimeout per call.
 	Dial func(addr string) (*wire.Client, error)
+	// DialFast overrides the short-deadline dialer used for map publishes
+	// and failover takeovers; nil falls back to Dial when that is injected
+	// (tests see every outbound connection), else to
+	// wire.DialTimeout(addr, PublishTimeout).
+	DialFast func(addr string) (*wire.Client, error)
+	// PublishTimeout and PublishWait default to the package constants.
+	PublishTimeout time.Duration
+	PublishWait    time.Duration
+	// Lease enables heartbeat failure detection when > 0: a daemon that
+	// does not heartbeat within one lease (after StartupGrace) is declared
+	// dead and failed over. Zero disables the detector — membership changes
+	// only through explicit join/leave, the pre-elastic behavior.
+	Lease time.Duration
+	// StartupGrace suppresses failure detection for this long after Start,
+	// covering the window before members begin heartbeating. Defaults to
+	// 4x Lease.
+	StartupGrace time.Duration
+	// Persist, when non-nil, is called with every committed map before it
+	// becomes current — the replication hook (anufsd journals the map as a
+	// pseudo file set, which the existing log shipper then carries to the
+	// standby). Persist failures are counted, not fatal: replication
+	// degrades, serving does not.
+	Persist func(cm *placement.ClusterMap) error
+	// Resume, when non-nil, seeds membership and assignment from a
+	// previously persisted map instead of Daemons/FileSets — the promoted
+	// standby's path back to authority.
+	Resume *placement.ClusterMap
+	// EpochFloor forces the first committed epoch strictly above this
+	// value (promotion sets Resume.Epoch + PromotionEpochJump).
+	EpochFloor uint64
+	// AnnounceOnStart publishes the current map once, asynchronously, when
+	// Start runs — how a promoted standby tells surviving daemons where the
+	// authority lives now.
+	AnnounceOnStart bool
 }
 
 // Authority owns the cluster map: it computes assignments from the ANU
 // mapper, bumps the epoch on every change, and orchestrates live handoffs
 // with the donor daemons. Exactly one daemon in a fleet hosts it.
 type Authority struct {
-	dial func(addr string) (*wire.Client, error)
+	dial     func(addr string) (*wire.Client, error)
+	dialFast func(addr string) (*wire.Client, error)
 
 	// cur holds the current *placement.ClusterMap. It is an atomic, not
 	// guarded by mu, so Map() never blocks on an in-flight reconfiguration
@@ -56,31 +130,65 @@ type Authority struct {
 	// map from inside the RPC the authority is waiting on.
 	cur atomic.Value
 
-	// mu serializes reconfigurations (assign/rebalance/handoffs).
+	counters *metrics.CounterSet
+	// elector tracks member liveness leases (nil when Lease == 0).
+	elector *election.Elector
+
+	// mu serializes reconfigurations (assign/rebalance/join/leave/failover).
 	mu      sync.Mutex
 	cfg     AuthorityConfig
 	mapper  *core.Mapper
 	daemons map[int]placement.DaemonInfo
-	// override pins file sets to explicit daemons (anufsctl assign); a
-	// rebalance clears it and returns to pure ANU placement.
-	override map[string]int
+	// dirs maps daemon ID → its journal directory on the shared disk, as
+	// reported by join/heartbeat — what a takeover recipient replays when
+	// the daemon dies. Empty means volatile: failover adopts empty images.
+	dirs    map[int]string
+	started time.Time
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
 }
 
-// NewAuthority builds the authority and its epoch-1 map. No daemons are
+// NewAuthority builds the authority and its initial map. No daemons are
 // contacted; the initial assignment is what the daemons themselves fetch
 // (or compute locally, for the authority daemon) at startup.
 func NewAuthority(cfg AuthorityConfig) (*Authority, error) {
-	if len(cfg.Daemons) == 0 {
+	seed := cfg.Daemons
+	var epoch0 uint64
+	if cfg.Resume != nil {
+		if err := cfg.Resume.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: resume map: %w", err)
+		}
+		seed = cfg.Resume.Daemons
+		epoch0 = cfg.Resume.Epoch
+	}
+	if len(seed) == 0 {
 		return nil, fmt.Errorf("fleet: authority needs at least one daemon")
 	}
 	if cfg.Core.Gamma == 0 {
 		cfg.Core = core.Defaults()
 	}
-	daemons := make(map[int]placement.DaemonInfo, len(cfg.Daemons))
-	ids := make([]int, 0, len(cfg.Daemons))
-	for _, d := range cfg.Daemons {
+	if cfg.PublishTimeout <= 0 {
+		cfg.PublishTimeout = DefaultPublishTimeout
+	}
+	if cfg.PublishWait <= 0 {
+		cfg.PublishWait = DefaultPublishWait
+	}
+	if cfg.StartupGrace <= 0 {
+		cfg.StartupGrace = 4 * cfg.Lease
+	}
+	daemons := make(map[int]placement.DaemonInfo, len(seed))
+	ids := make([]int, 0, len(seed))
+	for _, d := range seed {
 		if _, dup := daemons[d.ID]; dup {
 			return nil, fmt.Errorf("fleet: duplicate daemon id %d", d.ID)
+		}
+		// !(x > 0) rather than x <= 0: NaN speeds must be rejected too, or
+		// rescaleBySpeed feeds uint64(NaN) shares to the mapper.
+		if !(d.Speed > 0) {
+			return nil, fmt.Errorf("fleet: daemon %d speed %v must be > 0", d.ID, d.Speed)
 		}
 		daemons[d.ID] = d
 		ids = append(ids, d.ID)
@@ -92,14 +200,21 @@ func NewAuthority(cfg AuthorityConfig) (*Authority, error) {
 	}
 	a := &Authority{
 		dial:     cfg.Dial,
+		dialFast: cfg.DialFast,
+		counters: metrics.NewCounterSet(),
 		cfg:      cfg,
 		mapper:   mapper,
 		daemons:  daemons,
-		override: map[string]int{},
+		dirs:     map[int]string{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if cfg.Lease > 0 {
+		a.elector = election.New(cfg.Lease, nil)
 	}
 	if a.dial == nil {
 		a.dial = func(addr string) (*wire.Client, error) {
-			c, err := wire.Dial(addr)
+			c, err := wire.DialTimeout(addr, DefaultDialTimeout)
 			if err != nil {
 				return nil, err
 			}
@@ -107,30 +222,130 @@ func NewAuthority(cfg AuthorityConfig) (*Authority, error) {
 			return c, nil
 		}
 	}
+	if a.dialFast == nil {
+		if cfg.Dial != nil {
+			a.dialFast = cfg.Dial
+		} else {
+			a.dialFast = func(addr string) (*wire.Client, error) {
+				return wire.DialTimeout(addr, a.cfg.PublishTimeout)
+			}
+		}
+	}
 	if err := a.rescaleBySpeed(); err != nil {
 		return nil, err
 	}
-	cm := a.composeLocked(1, cfg.FileSets)
+	assign := map[string]int{}
+	if cfg.Resume != nil {
+		for fs, id := range cfg.Resume.Assign {
+			assign[fs] = id
+		}
+	} else {
+		for _, fs := range cfg.FileSets {
+			assign[fs] = a.mapper.Owner(fs)
+		}
+	}
+	epoch := epoch0 + 1
+	if epoch <= cfg.EpochFloor {
+		epoch = cfg.EpochFloor + 1
+	}
+	cm := a.composeLocked(epoch, assign)
 	if err := cm.Validate(); err != nil {
 		return nil, err
 	}
-	a.cur.Store(cm)
+	a.commitLocked(cm)
 	return a, nil
+}
+
+// Start launches the heartbeat failure detector (when Lease > 0) and the
+// optional announce publish. Idempotent.
+func (a *Authority) Start() {
+	a.startOnce.Do(func() {
+		if a.cfg.AnnounceOnStart {
+			go a.publish(a.Map())
+		}
+		if a.elector == nil {
+			close(a.done)
+			return
+		}
+		a.mu.Lock()
+		// Everyone starts with a full lease; members renew via OpHeartbeat.
+		for id := range a.daemons {
+			a.elector.Heartbeat(id)
+		}
+		a.started = time.Now()
+		a.mu.Unlock()
+		go a.detectLoop()
+	})
+}
+
+// Stop terminates the failure detector. Safe to call without Start.
+func (a *Authority) Stop() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.startOnce.Do(func() { close(a.done) }) // Start never ran: nothing to wait for
+	<-a.done
+}
+
+// detectLoop reaps daemons whose liveness lease lapsed and fails over
+// their file sets. The authority daemon vouches for itself each tick — it
+// is running this loop, so it is alive by construction.
+func (a *Authority) detectLoop() {
+	defer close(a.done)
+	tick := a.cfg.Lease / 4
+	if tick <= 0 {
+		tick = 250 * time.Millisecond
+	}
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-time.After(tick):
+		}
+		a.elector.Heartbeat(a.cfg.SelfID)
+		if time.Since(a.started) < a.cfg.StartupGrace {
+			continue
+		}
+		live := map[int]bool{}
+		for _, id := range a.elector.Members() {
+			live[id] = true
+		}
+		a.mu.Lock()
+		var dead []int
+		for id := range a.daemons {
+			if id != a.cfg.SelfID && !live[id] {
+				dead = append(dead, id)
+			}
+		}
+		sort.Ints(dead)
+		for _, id := range dead {
+			a.failoverLocked(id)
+		}
+		cm := a.Map()
+		a.mu.Unlock()
+		if len(dead) > 0 {
+			a.publish(cm)
+		}
+	}
 }
 
 // rescaleBySpeed sets the mapper shares proportional to daemon speeds — the
 // paper's heterogeneity-aware starting point (the live tuner would refine
-// from here; the fleet map starts at the speed prior).
+// from here; the fleet map starts at the speed prior). The share set is the
+// mapper's current membership, which during a leave/failover excludes a
+// daemon still present in the map.
 func (a *Authority) rescaleBySpeed() error {
-	var total float64
-	for _, d := range a.daemons {
-		total += d.Speed
-	}
-	ids := make([]int, 0, len(a.daemons))
-	for id := range a.daemons {
-		ids = append(ids, id)
-	}
+	ids := a.mapper.Servers()
 	sort.Ints(ids)
+	if len(ids) == 0 {
+		return fmt.Errorf("fleet: no daemons to rescale")
+	}
+	var total float64
+	for _, id := range ids {
+		total += a.daemons[id].Speed
+	}
+	if !(total > 0) {
+		// NaN or zero total would turn every share into uint64(NaN) garbage.
+		return fmt.Errorf("fleet: total daemon speed %v must be > 0", total)
+	}
 	target := make(map[int]uint64, len(ids))
 	var sum uint64
 	fastest, fastestSpeed := ids[0], 0.0
@@ -149,26 +364,50 @@ func (a *Authority) rescaleBySpeed() error {
 	return a.mapper.Rescale(target)
 }
 
-// composeLocked builds a map at the given epoch assigning fileSets by the
-// mapper plus overrides. Caller holds mu (or is in the constructor).
-func (a *Authority) composeLocked(epoch uint64, fileSets []string) *placement.ClusterMap {
+// composeLocked builds a map at the given epoch carrying an explicit
+// assignment (copied). The daemon set is the membership at call time;
+// assignment decisions are the caller's — compose never consults the
+// mapper, so membership changes cannot silently move file sets without the
+// handoff/takeover that makes the move safe. Caller holds mu (or is in the
+// constructor).
+func (a *Authority) composeLocked(epoch uint64, assign map[string]int) *placement.ClusterMap {
 	cm := &placement.ClusterMap{
-		Epoch:   epoch,
-		Daemons: make([]placement.DaemonInfo, 0, len(a.daemons)),
-		Assign:  make(map[string]int, len(fileSets)),
+		Epoch:     epoch,
+		Daemons:   make([]placement.DaemonInfo, 0, len(a.daemons)),
+		Assign:    make(map[string]int, len(assign)),
+		Authority: a.cfg.SelfID,
 	}
 	for _, d := range a.daemons {
 		cm.Daemons = append(cm.Daemons, d)
 	}
 	sort.Slice(cm.Daemons, func(i, j int) bool { return cm.Daemons[i].ID < cm.Daemons[j].ID })
-	for _, fs := range fileSets {
-		if id, ok := a.override[fs]; ok {
-			cm.Assign[fs] = id
-			continue
-		}
-		cm.Assign[fs] = a.mapper.Owner(fs)
+	for fs, id := range assign {
+		cm.Assign[fs] = id
 	}
 	return cm
+}
+
+// commitLocked makes cm the current map, persisting it first when a
+// Persist hook is set (the replication path). A persist failure is counted
+// and the commit proceeds: the fleet must keep reconfiguring even when the
+// map journal is sick.
+func (a *Authority) commitLocked(cm *placement.ClusterMap) {
+	if a.cfg.Persist != nil {
+		if err := a.cfg.Persist(cm); err != nil {
+			a.counters.Add(CtrPersistFailures, 1)
+		}
+	}
+	a.cur.Store(cm)
+}
+
+// withAssign copies an assignment and reassigns one file set.
+func withAssign(assign map[string]int, fileSet string, daemon int) map[string]int {
+	out := make(map[string]int, len(assign)+1)
+	for fs, id := range assign {
+		out[fs] = id
+	}
+	out[fileSet] = daemon
+	return out
 }
 
 // Map returns the current cluster map (immutable; callers must not
@@ -180,15 +419,148 @@ func (a *Authority) Map() *placement.ClusterMap {
 // Epoch returns the current map epoch.
 func (a *Authority) Epoch() uint64 { return a.Map().Epoch }
 
-// fileSetsLocked lists the currently assigned file sets.
-func (a *Authority) fileSetsLocked() []string {
-	cur := a.Map()
-	out := make([]string, 0, len(cur.Assign))
-	for fs := range cur.Assign {
-		out = append(out, fs)
+// Counters exposes the authority's counters (joins, leaves, failovers,
+// publish stragglers) for tests and the obs registry.
+func (a *Authority) Counters() *metrics.CounterSet { return a.counters }
+
+// Join registers daemon id at addr with the given relative speed and
+// journal directory, live — no fleet restart. A new daemon starts with no
+// file sets (new placements and the next rebalance use it); a known daemon
+// re-joining refreshes its record. Returns the resulting map.
+func (a *Authority) Join(id int, addr string, speed float64, journalDir string) (*placement.ClusterMap, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("fleet: join with negative daemon id %d", id)
 	}
-	sort.Strings(out)
-	return out
+	if addr == "" {
+		return nil, fmt.Errorf("fleet: daemon %d join without an address", id)
+	}
+	if !(speed > 0) {
+		return nil, fmt.Errorf("fleet: daemon %d speed %v must be > 0", id, speed)
+	}
+	if a.elector != nil {
+		a.elector.Heartbeat(id)
+	}
+	a.mu.Lock()
+	if journalDir != "" {
+		a.dirs[id] = journalDir
+	}
+	prev, known := a.daemons[id]
+	if known && prev.Addr == addr && prev.Speed == speed {
+		// Idempotent re-join (e.g. a daemon restarting in place): nothing
+		// changed, no epoch bump.
+		cm := a.Map()
+		a.mu.Unlock()
+		return cm, nil
+	}
+	if !known {
+		if err := a.mapper.AddServer(id, 0); err != nil {
+			a.mu.Unlock()
+			return nil, err
+		}
+	}
+	a.daemons[id] = placement.DaemonInfo{ID: id, Addr: addr, Speed: speed}
+	if err := a.rescaleBySpeed(); err != nil {
+		if known {
+			a.daemons[id] = prev
+		} else {
+			delete(a.daemons, id)
+			_ = a.mapper.RemoveServer(id)
+		}
+		a.mu.Unlock()
+		return nil, err
+	}
+	cur := a.Map()
+	cm := a.composeLocked(cur.Epoch+1, cur.Assign)
+	a.commitLocked(cm)
+	a.counters.Add(CtrJoins, 1)
+	a.mu.Unlock()
+	a.publish(cm)
+	return cm, nil
+}
+
+// Leave gracefully decommissions daemon id: every file set it owns is
+// handed off (live — the leaver is up and draining) to the remaining
+// daemons, then the daemon is dropped from the map. On a failed handoff
+// the daemon stays a member with its remaining file sets.
+func (a *Authority) Leave(id int) (uint64, error) {
+	a.mu.Lock()
+	if _, ok := a.daemons[id]; !ok {
+		a.mu.Unlock()
+		return 0, fmt.Errorf("fleet: unknown daemon %d", id)
+	}
+	if id == a.cfg.SelfID {
+		a.mu.Unlock()
+		return 0, fmt.Errorf("fleet: daemon %d hosts the authority and cannot leave", id)
+	}
+	// Take the leaver out of the placement function first so nothing new
+	// lands on it, then drain what it owns.
+	if err := a.mapper.RemoveServer(id); err != nil {
+		a.mu.Unlock()
+		return 0, err
+	}
+	if err := a.rescaleBySpeed(); err != nil {
+		_ = a.mapper.AddServer(id, 0)
+		_ = a.rescaleBySpeed()
+		a.mu.Unlock()
+		return 0, err
+	}
+	for _, fs := range a.Map().FileSetsOf(id) {
+		to := a.mapper.Owner(fs)
+		cur := a.Map()
+		candidate := a.composeLocked(cur.Epoch+1, withAssign(cur.Assign, fs, to))
+		if err := a.moveLocked(candidate, fs, id, to); err != nil {
+			// Re-admit the leaver: it still owns this file set.
+			_ = a.mapper.AddServer(id, 0)
+			_ = a.rescaleBySpeed()
+			cm := a.Map()
+			a.mu.Unlock()
+			a.publish(cm)
+			return cm.Epoch, fmt.Errorf("fleet: leave of daemon %d: %w", id, err)
+		}
+	}
+	cur := a.Map()
+	delete(a.daemons, id)
+	delete(a.dirs, id)
+	if a.elector != nil {
+		a.elector.Leave(id)
+	}
+	cm := a.composeLocked(cur.Epoch+1, cur.Assign)
+	a.commitLocked(cm)
+	a.counters.Add(CtrLeaves, 1)
+	a.mu.Unlock()
+	a.publish(cm)
+	return cm.Epoch, nil
+}
+
+// Heartbeat renews daemon id's liveness lease and refreshes its journal
+// directory. Unknown daemons get an error telling them to join — how a
+// member discovers it was declared dead (or that a promoted standby never
+// heard of it) and re-registers.
+func (a *Authority) Heartbeat(id int, addr string, speed float64, journalDir string) (uint64, error) {
+	a.mu.Lock()
+	if _, ok := a.daemons[id]; !ok {
+		a.mu.Unlock()
+		return 0, fmt.Errorf("fleet: unknown daemon %d: join first", id)
+	}
+	if journalDir != "" {
+		a.dirs[id] = journalDir
+	}
+	_ = addr // membership changes go through Join; the heartbeat only renews
+	_ = speed
+	cm := a.Map()
+	a.mu.Unlock()
+	if a.elector != nil {
+		a.elector.Heartbeat(id)
+	}
+	return cm.Epoch, nil
+}
+
+// JournalDir reports the journal directory a daemon last advertised
+// (tests and anufsctl introspection).
+func (a *Authority) JournalDir(id int) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dirs[id]
 }
 
 // Assign pins a file set to a daemon (daemon = -1 places it by the ANU
@@ -213,19 +585,14 @@ func (a *Authority) Assign(fileSet string, daemon int) (uint64, error) {
 		a.mu.Unlock()
 		return cur.Epoch, nil // already there
 	}
-	a.override[fileSet] = daemon
-	fileSets := a.fileSetsLocked()
+	candidate := a.composeLocked(cur.Epoch+1, withAssign(cur.Assign, fileSet, daemon))
 	if !owned {
-		fileSets = append(fileSets, fileSet)
-		sort.Strings(fileSets)
 		// A brand-new file set needs no handoff: commit and publish.
-		cm := a.composeLocked(cur.Epoch+1, fileSets)
-		a.cur.Store(cm)
+		a.commitLocked(candidate)
 		a.mu.Unlock()
-		a.publish(cm)
-		return cm.Epoch, nil
+		a.publish(candidate)
+		return candidate.Epoch, nil
 	}
-	candidate := a.composeLocked(cur.Epoch+1, fileSets)
 	err := a.moveLocked(candidate, fileSet, from, daemon)
 	cm := a.Map()
 	a.mu.Unlock()
@@ -236,15 +603,21 @@ func (a *Authority) Assign(fileSet string, daemon int) (uint64, error) {
 	return cm.Epoch, nil
 }
 
-// Rebalance clears manual pins and recomputes the whole assignment from the
-// speed-proportional ANU mapper, handing off every file set whose owner
-// changes (one epoch bump per move, sequentially — a failed move leaves the
-// map at its last good epoch). Returns the final epoch and the first error.
+// Rebalance recomputes the whole assignment from the speed-proportional
+// ANU mapper, handing off every file set whose owner changes (one epoch
+// bump per move, sequentially — a failed move leaves the map at its last
+// good epoch). A daemon that cannot be dialed is circuit-broken for the
+// rest of the pass: its remaining moves are skipped and listed in the
+// returned error, so one dead daemon costs one dial timeout, not one per
+// move. Returns the final epoch and the first error.
 func (a *Authority) Rebalance() (uint64, error) {
 	a.mu.Lock()
-	a.override = map[string]int{}
-	fileSets := a.fileSetsLocked()
-	// Compute the pure-ANU target and the moves it implies.
+	start := a.Map()
+	fileSets := make([]string, 0, len(start.Assign))
+	for fs := range start.Assign {
+		fileSets = append(fileSets, fs)
+	}
+	sort.Strings(fileSets)
 	type move struct {
 		fs       string
 		from, to int
@@ -252,30 +625,50 @@ func (a *Authority) Rebalance() (uint64, error) {
 	var moves []move
 	for _, fs := range fileSets {
 		want := a.mapper.Owner(fs)
-		if have := a.Map().Assign[fs]; have != want {
+		if have := start.Assign[fs]; have != want {
 			moves = append(moves, move{fs: fs, from: have, to: want})
 		}
 	}
+	broken := map[int]bool{}
+	var skipped []string
 	var firstErr error
 	for _, mv := range moves {
-		cur := a.Map()
-		candidate := a.composeLocked(cur.Epoch+1, fileSets)
-		// composeLocked already assigns by mapper (overrides cleared), but
-		// earlier failed moves must stay with their current owner.
-		for _, other := range moves {
-			if other.fs != mv.fs {
-				candidate.Assign[other.fs] = cur.Assign[other.fs]
-			}
+		if broken[mv.from] || broken[mv.to] {
+			skipped = append(skipped, mv.fs)
+			continue
 		}
-		if err := a.moveLocked(candidate, mv.fs, mv.from, mv.to); err != nil && firstErr == nil {
-			firstErr = err
+		cur := a.Map()
+		candidate := a.composeLocked(cur.Epoch+1, withAssign(cur.Assign, mv.fs, mv.to))
+		if err := a.moveLocked(candidate, mv.fs, mv.from, mv.to); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			var df *dialFailure
+			if errors.As(err, &df) {
+				broken[df.daemon] = true
+			}
 		}
 	}
 	cm := a.Map()
 	a.mu.Unlock()
 	a.publish(cm)
+	if len(skipped) > 0 {
+		return cm.Epoch, fmt.Errorf("fleet: rebalance skipped moves of %s (unreachable daemon): %w",
+			strings.Join(skipped, ", "), firstErr)
+	}
 	return cm.Epoch, firstErr
 }
+
+// dialFailure marks a reconfiguration error caused by failing to reach a
+// daemon at all (as opposed to a daemon that answered and refused) — the
+// signal the rebalance circuit breaker keys on.
+type dialFailure struct {
+	daemon int
+	err    error
+}
+
+func (e *dialFailure) Error() string { return e.err.Error() }
+func (e *dialFailure) Unwrap() error { return e.err }
 
 // moveLocked runs one live handoff under candidate (epoch already bumped):
 // the donor fences itself with the candidate map, drains, flushes, and
@@ -298,21 +691,158 @@ func (a *Authority) moveLocked(candidate *placement.ClusterMap, fileSet string, 
 	}
 	c, err := a.dial(donor.Addr)
 	if err != nil {
-		return fmt.Errorf("fleet: dial donor %d (%s): %w", from, donor.Addr, err)
+		return &dialFailure{daemon: from,
+			err: fmt.Errorf("fleet: dial donor %d (%s): %w", from, donor.Addr, err)}
 	}
 	defer c.Close()
 	if err := c.Handoff(candidate.Epoch, fileSet, recipient.Addr, encoded); err != nil {
 		// The donor rolled itself back and keeps serving under the old
 		// epoch; the candidate map is discarded.
-		return fmt.Errorf("fleet: handoff of %q from %d to %d: %w", fileSet, from, to, err)
+		werr := fmt.Errorf("fleet: handoff of %q from %d to %d: %w", fileSet, from, to, err)
+		if strings.Contains(err.Error(), "dial recipient") {
+			// The donor could not reach the recipient — same circuit as a
+			// direct dial failure, attributed to the recipient.
+			return &dialFailure{daemon: to, err: werr}
+		}
+		return werr
 	}
-	a.cur.Store(candidate)
+	a.commitLocked(candidate)
 	return nil
 }
 
-// publish pushes the map to every daemon, best effort and in parallel —
-// member polling (and wrong-owner refetches) is the correctness backstop;
-// the push just makes convergence immediate.
+// failoverLocked moves a dead daemon's file sets to new owners. Each new
+// owner replays the victim's journal tail from shared disk (OpTakeover)
+// before serving, so every write the victim acknowledged durably survives;
+// a victim that ran without a journal is adopted empty. The victim stays in
+// the intermediate maps (its remaining assignments must validate) and is
+// dropped in the final one; file sets no live daemon would take become
+// unplaced rather than wedging the fleet. Caller holds mu and publishes the
+// final map.
+func (a *Authority) failoverLocked(victim int) {
+	if _, ok := a.daemons[victim]; !ok {
+		return
+	}
+	fileSets := a.Map().FileSetsOf(victim)
+	a.counters.Add(CtrFailovers, 1)
+	if err := a.mapper.RemoveServer(victim); err == nil {
+		_ = a.rescaleBySpeed()
+	}
+	// Group the victim's file sets by their mapper-chosen new owner so each
+	// recipient replays the victim's journal once, not once per file set.
+	groups := map[int][]string{}
+	for _, fs := range fileSets {
+		owner := a.mapper.Owner(fs)
+		groups[owner] = append(groups[owner], fs)
+	}
+	owners := make([]int, 0, len(groups))
+	for id := range groups {
+		owners = append(owners, id)
+	}
+	sort.Ints(owners)
+	dir := a.dirs[victim]
+	adopted := 0
+	for _, owner := range owners {
+		fsList := groups[owner]
+		sort.Strings(fsList)
+		if a.takeoverLocked(owner, victim, fsList, dir) {
+			adopted += len(fsList)
+			continue
+		}
+		// The chosen owner is down too (or refused); try the other live
+		// daemons in ID order before giving the file sets up as unplaced.
+		for _, cand := range a.liveCandidatesLocked(victim, owner) {
+			if a.takeoverLocked(cand, victim, fsList, dir) {
+				adopted += len(fsList)
+				break
+			}
+		}
+	}
+	// Final map: the victim is gone, and anything still assigned to it
+	// (a group every candidate refused) is dropped to unplaced.
+	cur := a.Map()
+	assign := make(map[string]int, len(cur.Assign))
+	unplaced := 0
+	for fs, id := range cur.Assign {
+		if id == victim {
+			unplaced++
+			continue
+		}
+		assign[fs] = id
+	}
+	delete(a.daemons, victim)
+	delete(a.dirs, victim)
+	if a.elector != nil {
+		a.elector.Leave(victim)
+	}
+	cm := a.composeLocked(cur.Epoch+1, assign)
+	a.commitLocked(cm)
+	a.counters.Add(CtrFailoverFileSets, int64(adopted))
+	a.counters.Add(CtrFailoverUnplaced, int64(unplaced))
+}
+
+// takeoverLocked asks one daemon to adopt fileSets from a dead daemon,
+// replaying the victim's journal directory first. Commits the candidate
+// map on success.
+func (a *Authority) takeoverLocked(owner, victim int, fileSets []string, journalDir string) bool {
+	oinfo, ok := a.daemons[owner]
+	if !ok || owner == victim {
+		return false
+	}
+	cur := a.Map()
+	assign := make(map[string]int, len(cur.Assign))
+	for fs, id := range cur.Assign {
+		assign[fs] = id
+	}
+	for _, fs := range fileSets {
+		assign[fs] = owner
+	}
+	candidate := a.composeLocked(cur.Epoch+1, assign)
+	encoded, err := candidate.Encode()
+	if err != nil {
+		return false
+	}
+	c, err := a.dialFast(oinfo.Addr)
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	if err := c.Takeover(candidate.Epoch, fileSets, journalDir, encoded); err != nil {
+		return false
+	}
+	a.commitLocked(candidate)
+	return true
+}
+
+// liveCandidatesLocked lists takeover fallback recipients in ID order:
+// known daemons that are neither the victim nor the already-tried owner
+// and, when the detector is on, hold a live lease (the authority daemon is
+// live by construction).
+func (a *Authority) liveCandidatesLocked(victim, except int) []int {
+	live := map[int]bool{a.cfg.SelfID: true}
+	if a.elector != nil {
+		for _, id := range a.elector.Members() {
+			live[id] = true
+		}
+	}
+	out := make([]int, 0, len(a.daemons))
+	for id := range a.daemons {
+		if id == victim || id == except {
+			continue
+		}
+		if a.elector != nil && !live[id] {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// publish pushes the map to every daemon, best effort and in parallel.
+// Member polling (and wrong-owner refetches) is the correctness backstop;
+// the push just makes convergence immediate. The wait is hard-capped by
+// PublishWait and each daemon by the fast dialer's deadline, so a dead
+// daemon cannot stall an Assign/Rebalance/Join return.
 func (a *Authority) publish(cm *placement.ClusterMap) {
 	encoded, err := cm.Encode()
 	if err != nil {
@@ -323,13 +853,23 @@ func (a *Authority) publish(cm *placement.ClusterMap) {
 		wg.Add(1)
 		go func(addr string) {
 			defer wg.Done()
-			c, err := a.dial(addr)
+			c, err := a.dialFast(addr)
 			if err != nil {
+				a.counters.Add(CtrPublishStragglers, 1)
 				return
 			}
 			defer c.Close()
-			_ = c.Adopt(cm.Epoch, "", nil, encoded) // empty FileSet = map-only push
+			if c.Adopt(cm.Epoch, "", nil, encoded) != nil { // empty FileSet = map-only push
+				a.counters.Add(CtrPublishStragglers, 1)
+			}
 		}(d.Addr)
 	}
-	wg.Wait()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(a.cfg.PublishWait):
+		// Abandon the round; straggler goroutines finish (or time out on
+		// their own deadlines) in the background.
+	}
 }

@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,6 +25,17 @@ const (
 	CtrArrivingRejects = "fleet_arriving_rejects"
 	CtrDropFailures    = "fleet_drop_failures"
 	CtrMapRefreshes    = "fleet_map_refreshes"
+	// Membership / failover counters (authority side unless noted).
+	CtrJoins             = "fleet_joins"
+	CtrLeaves            = "fleet_leaves"
+	CtrFailovers         = "fleet_failovers"
+	CtrFailoverFileSets  = "fleet_failover_filesets"
+	CtrFailoverUnplaced  = "fleet_failover_unplaced"
+	CtrPublishStragglers = "fleet_publish_stragglers"
+	CtrPersistFailures   = "fleet_persist_failures"
+	CtrTakeovers         = "fleet_takeovers"      // member: file sets adopted via failover
+	CtrTakeoverEmpty     = "fleet_takeover_empty" // member: adopted with nothing to replay
+	CtrRejoins           = "fleet_rejoins"        // member: heartbeat-triggered re-joins
 )
 
 // unplacedMsg prefixes rejections of operations on file sets absent from
@@ -52,15 +64,46 @@ type MemberConfig struct {
 	// AuthorityAddr is the authority daemon's wire address (join mode);
 	// empty on the authority daemon itself.
 	AuthorityAddr string
+	// StandbyAddr is the standby authority's address, tried by the poll
+	// loop when the primary (map-advertised or AuthorityAddr) stops
+	// answering. Pre-promotion the standby refuses fleet ops, so the
+	// rotation naturally settles there only after it has taken over.
+	StandbyAddr string
+	// Addr is this daemon's own advertised wire address. Non-empty turns
+	// the poll loop into a membership heartbeat: the daemon renews its
+	// liveness lease at the authority instead of just probing the epoch,
+	// and re-joins (with Speed and JournalDir below) when the authority
+	// does not know it — a restart after being declared dead, or a
+	// promoted standby resuming from a map from before this daemon joined.
+	Addr string
+	// Speed is this daemon's relative speed, reported on join (> 0;
+	// defaults to 1). JournalDir is its journal directory on the shared
+	// disk — what a surviving daemon replays if this one dies; empty means
+	// volatile (failover adopts its file sets empty).
+	Speed      float64
+	JournalDir string
+	// FenceAfter self-fences the gate when the authority has been
+	// unreachable for this long (join mode only): a partitioned daemon
+	// stops acknowledging writes its file sets' next owner will never see.
+	// Zero disables self-fencing.
+	FenceAfter time.Duration
 	// Obs receives the fleet gauges/histograms/counters; nil disables.
 	Obs *obs.Registry
 	// DrainTimeout and PollInterval default to the package constants.
 	DrainTimeout time.Duration
 	PollInterval time.Duration
-	// Dial overrides outbound connections (tests); nil uses wire.Dial with
-	// a handoff-sized timeout.
+	// Dial overrides outbound connections (tests); nil uses a
+	// bounded-connect dial with a handoff-sized per-call timeout.
 	Dial func(addr string) (*wire.Client, error)
+	// DialFast overrides the short-deadline dialer the poll/heartbeat loop
+	// uses; nil falls back to Dial when that is injected, else to
+	// wire.DialTimeout with a probe-sized deadline.
+	DialFast func(addr string) (*wire.Client, error)
 }
+
+// DefaultProbeTimeout bounds one poll-loop dial + call against an
+// authority candidate address.
+const DefaultProbeTimeout = 2 * time.Second
 
 // Member is one daemon's fleet state: the cached cluster map, the
 // ready/in-flight bookkeeping the wrong-owner fence needs, and the
@@ -73,6 +116,12 @@ type Member struct {
 	mu sync.Mutex
 	// cur is the newest validated cluster map this daemon has seen.
 	cur *placement.ClusterMap
+	// lastContact is when the poll loop last heard from an authority
+	// (join mode); the FenceAfter self-fence measures from here.
+	lastContact time.Time
+	// authIdx rotates through candidate authority addresses on probe
+	// failures (map-advertised, configured primary, standby).
+	authIdx int
 	// ready marks file sets this daemon is actively serving; a file set
 	// assigned here but not ready is either still being created or mid
 	// adoption (clients get ErrArriving and retry).
@@ -107,24 +156,39 @@ func NewMember(cfg MemberConfig, initial *placement.ClusterMap) (*Member, error)
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = DefaultPollInterval
 	}
+	if cfg.Speed == 0 {
+		cfg.Speed = 1
+	}
+	if !(cfg.Speed > 0) {
+		return nil, fmt.Errorf("fleet: daemon %d speed %v must be > 0", cfg.ID, cfg.Speed)
+	}
 	if cfg.Dial == nil {
 		cfg.Dial = func(addr string) (*wire.Client, error) {
-			c, err := wire.Dial(addr)
+			c, err := wire.DialTimeout(addr, DefaultDialTimeout)
 			if err != nil {
 				return nil, err
 			}
 			c.SetTimeout(DefaultHandoffTimeout)
 			return c, nil
 		}
+		if cfg.DialFast == nil {
+			cfg.DialFast = func(addr string) (*wire.Client, error) {
+				return wire.DialTimeout(addr, DefaultProbeTimeout)
+			}
+		}
+	}
+	if cfg.DialFast == nil {
+		cfg.DialFast = cfg.Dial
 	}
 	m := &Member{
-		cfg:      cfg,
-		counters: metrics.NewCounterSet(),
-		cur:      initial,
-		ready:    map[string]bool{},
-		inflight: map[string]int{},
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		cfg:         cfg,
+		counters:    metrics.NewCounterSet(),
+		cur:         initial,
+		lastContact: time.Now(),
+		ready:       map[string]bool{},
+		inflight:    map[string]int{},
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	onDisk := map[string]bool{}
 	for _, fs := range cfg.Disk.FileSets() {
@@ -138,6 +202,9 @@ func NewMember(cfg MemberConfig, initial *placement.ClusterMap) (*Member, error)
 	if cfg.Obs != nil {
 		m.handoffH = cfg.Obs.Hist.Get("fleet_handoff_seconds", "")
 		cfg.Obs.AddCounters(m.counters.Snapshot)
+		if cfg.Authority != nil {
+			cfg.Obs.AddCounters(cfg.Authority.counters.Snapshot)
+		}
 		cfg.Obs.AddGauges(func() []obs.Gauge {
 			cm := m.CurrentMap()
 			m.mu.Lock()
@@ -154,8 +221,12 @@ func NewMember(cfg MemberConfig, initial *placement.ClusterMap) (*Member, error)
 }
 
 // Start launches the join-mode poll loop (a no-op on the authority daemon,
-// whose map is locally authoritative).
+// whose map is locally authoritative) and, on the authority daemon, the
+// authority's failure detector.
 func (m *Member) Start() {
+	if m.cfg.Authority != nil {
+		m.cfg.Authority.Start()
+	}
 	if m.cfg.AuthorityAddr == "" {
 		close(m.done)
 		return
@@ -163,7 +234,7 @@ func (m *Member) Start() {
 	go m.pollLoop()
 }
 
-// Stop terminates the poll loop.
+// Stop terminates the poll loop (and the hosted authority's detector).
 func (m *Member) Stop() {
 	select {
 	case <-m.stop:
@@ -171,6 +242,9 @@ func (m *Member) Stop() {
 		close(m.stop)
 	}
 	<-m.done
+	if m.cfg.Authority != nil {
+		m.cfg.Authority.Stop()
+	}
 }
 
 // CurrentMap returns the newest map this daemon has seen.
@@ -201,15 +275,80 @@ func (m *Member) pollLoop() {
 	}
 }
 
-// pollOnce fetches the authority's epoch and, when newer, the full map.
-// Returns true on a successful probe (fresh or not).
+// authorityCandidates lists the addresses where an authority might answer,
+// preference first: the current map's advertised authority daemon, the
+// configured primary, the configured standby. Duplicates are dropped.
+func (m *Member) authorityCandidates() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(addr string) {
+		if addr != "" && !seen[addr] {
+			seen[addr] = true
+			out = append(out, addr)
+		}
+	}
+	if d, ok := m.CurrentMap().AuthorityDaemon(); ok {
+		add(d.Addr)
+	}
+	add(m.cfg.AuthorityAddr)
+	add(m.cfg.StandbyAddr)
+	return out
+}
+
+// pollOnce probes one authority candidate — a membership heartbeat when
+// this daemon advertises an address, a bare epoch probe otherwise — and
+// fetches the full map when the authority's epoch is newer. A failed probe
+// rotates to the next candidate (primary → standby → …). Returns true on a
+// successful probe (fresh or not).
 func (m *Member) pollOnce() bool {
-	c, err := m.cfg.Dial(m.cfg.AuthorityAddr)
+	cands := m.authorityCandidates()
+	if len(cands) == 0 {
+		return false
+	}
+	m.mu.Lock()
+	addr := cands[m.authIdx%len(cands)]
+	m.mu.Unlock()
+	ok := m.probe(addr)
+	m.mu.Lock()
+	if ok {
+		m.authIdx = 0
+		m.lastContact = time.Now()
+	} else {
+		m.authIdx++
+	}
+	m.mu.Unlock()
+	return ok
+}
+
+// probe runs one dial + heartbeat/epoch exchange against addr.
+func (m *Member) probe(addr string) bool {
+	c, err := m.cfg.DialFast(addr)
 	if err != nil {
 		return false
 	}
 	defer c.Close()
-	epoch, err := c.MapEpoch()
+	var epoch uint64
+	if m.cfg.Addr != "" {
+		epoch, err = c.Heartbeat(m.cfg.ID, m.cfg.Addr, m.cfg.Speed, m.cfg.JournalDir)
+		if err != nil && strings.Contains(err.Error(), "fleet: unknown daemon") {
+			// The authority does not know us: we were declared dead (and
+			// restarted), or a promoted standby resumed a map from before we
+			// joined. Re-register; the join reply carries the new map.
+			_, encoded, jerr := c.Join(m.cfg.ID, m.cfg.Addr, m.cfg.Speed, m.cfg.JournalDir)
+			if jerr != nil {
+				return false
+			}
+			cm, derr := placement.DecodeClusterMap(encoded)
+			if derr != nil {
+				return false
+			}
+			m.counters.Add(CtrRejoins, 1)
+			m.adoptMap(cm)
+			return true
+		}
+	} else {
+		epoch, err = c.MapEpoch()
+	}
 	if err != nil {
 		return false
 	}
@@ -249,6 +388,15 @@ func (m *Member) adoptMapLocked(cm *placement.ClusterMap) {
 // marks its file set ready.
 func (m *Member) Gate(op wire.Op, fileSet string) (func(), error) {
 	m.mu.Lock()
+	if m.cfg.FenceAfter > 0 && m.cfg.AuthorityAddr != "" && time.Since(m.lastContact) > m.cfg.FenceAfter {
+		// Partitioned from every authority for longer than the fence
+		// window: our file sets may already be serving elsewhere, so an ack
+		// from here could be a write the new owner never sees. Stop
+		// acknowledging anything until a probe succeeds.
+		since := time.Since(m.lastContact).Round(time.Millisecond)
+		m.mu.Unlock()
+		return nil, fmt.Errorf("fleet: daemon %d self-fenced: no authority contact for %s", m.cfg.ID, since)
+	}
 	cm := m.cur
 	if m.cfg.Authority != nil {
 		cm = m.cfg.Authority.Map()
@@ -337,6 +485,43 @@ func (m *Member) Fleet(req wire.Request) wire.Response {
 			return fail(err)
 		}
 		resp.Epoch = epoch
+	case wire.OpJoin:
+		if m.cfg.Authority == nil {
+			return fail(fmt.Errorf("fleet: daemon %d is not the authority", m.cfg.ID))
+		}
+		cm, err := m.cfg.Authority.Join(req.Daemon, req.Addr, req.Speed, req.JournalDir)
+		if err != nil {
+			return fail(err)
+		}
+		encoded, err := cm.Encode()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Map = encoded
+		resp.Epoch = cm.Epoch
+	case wire.OpLeave:
+		if m.cfg.Authority == nil {
+			return fail(fmt.Errorf("fleet: daemon %d is not the authority", m.cfg.ID))
+		}
+		epoch, err := m.cfg.Authority.Leave(req.Daemon)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Epoch = epoch
+	case wire.OpHeartbeat:
+		if m.cfg.Authority == nil {
+			return fail(fmt.Errorf("fleet: daemon %d is not the authority", m.cfg.ID))
+		}
+		epoch, err := m.cfg.Authority.Heartbeat(req.Daemon, req.Addr, req.Speed, req.JournalDir)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Epoch = epoch
+	case wire.OpTakeover:
+		if err := m.handleTakeover(req); err != nil {
+			return fail(err)
+		}
+		resp.Epoch = m.CurrentMap().Epoch
 	default:
 		return fail(fmt.Errorf("fleet: unknown fleet op %q", req.Op))
 	}
@@ -410,6 +595,77 @@ func (m *Member) handleAdopt(req wire.Request) error {
 	m.adoptMapLocked(cm)
 	m.mu.Unlock()
 	m.counters.Add(CtrAdopts, 1)
+	return nil
+}
+
+// handleTakeover serves OpTakeover: adopt file sets from a daemon the
+// authority declared dead. The lost-write window closes here — before
+// serving, we replay the victim's journal directory on the shared disk
+// (read-only: journal.Recover never mutates, so a victim that is merely
+// partitioned does not get its journal clobbered) and install the durable
+// images it describes. A file set absent from the replay (victim ran
+// volatile, or never flushed it) is adopted empty and counted.
+func (m *Member) handleTakeover(req wire.Request) error {
+	if len(req.FileSets) == 0 {
+		return fmt.Errorf("fleet: takeover without file sets")
+	}
+	cm, err := placement.DecodeClusterMap(req.Map)
+	if err != nil {
+		return err
+	}
+	if cm.Epoch != req.Epoch {
+		return fmt.Errorf("fleet: takeover epoch %d does not match its map (epoch %d)", req.Epoch, cm.Epoch)
+	}
+	for _, fs := range req.FileSets {
+		if id, ok := cm.Assign[fs]; !ok || id != m.cfg.ID {
+			return fmt.Errorf("fleet: takeover map (epoch %d) does not assign %q to daemon %d",
+				cm.Epoch, fs, m.cfg.ID)
+		}
+	}
+	m.mu.Lock()
+	if req.Epoch < m.cur.Epoch {
+		cur := m.cur.Epoch
+		m.mu.Unlock()
+		return fmt.Errorf("fleet: stale takeover at epoch %d (daemon %d at epoch %d)",
+			req.Epoch, m.cfg.ID, cur)
+	}
+	m.mu.Unlock()
+
+	images := map[string]sharedisk.Image{}
+	if req.JournalDir != "" {
+		st, _, err := journal.Recover(req.JournalDir)
+		if err != nil {
+			// Refusing is the safe failure: adopting without the replay
+			// would re-open the lost-write window the takeover exists to
+			// close. The authority falls back to another candidate or
+			// leaves the file sets unplaced for the operator.
+			return fmt.Errorf("fleet: takeover replay of %s: %w", req.JournalDir, err)
+		}
+		images = st.Images()
+	}
+	installer, ok := m.cfg.Disk.(sharedisk.Installer)
+	if !ok {
+		return fmt.Errorf("fleet: disk %T cannot install images", m.cfg.Disk)
+	}
+	for _, fs := range req.FileSets {
+		im, found := images[fs]
+		if !found {
+			m.counters.Add(CtrTakeoverEmpty, 1)
+		}
+		if err := installer.Install(fs, im); err != nil {
+			return fmt.Errorf("fleet: takeover install of %q: %w", fs, err)
+		}
+		if err := m.cfg.Cluster.AdoptFileSet(fs); err != nil {
+			return fmt.Errorf("fleet: takeover adopt of %q: %w", fs, err)
+		}
+	}
+	m.mu.Lock()
+	for _, fs := range req.FileSets {
+		m.ready[fs] = true
+	}
+	m.adoptMapLocked(cm)
+	m.mu.Unlock()
+	m.counters.Add(CtrTakeovers, int64(len(req.FileSets)))
 	return nil
 }
 

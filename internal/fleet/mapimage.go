@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"anufs/internal/placement"
+	"anufs/internal/sharedisk"
+)
+
+// MapFileSet is the pseudo file set the authority persists the cluster map
+// under. Writing the map through the daemon's Durable disk makes it a
+// journaled, snapshot-surviving record that the existing log shipper
+// carries to the standby authority for free — the map replicates on the
+// same machinery as file-set metadata. The "/" in the name keeps it out of
+// the flat client namespace, and it is never in any map's Assign, so the
+// fleet gate rejects every client operation addressed to it.
+const MapFileSet = "__fleet/map"
+
+// mapRecordKey is the single record inside the map image; the encoded map
+// rides in the record's Owner field (a string — Record has no byte payload
+// and the map is JSON anyway).
+const mapRecordKey = "clustermap"
+
+// EncodeMapImage wraps an encoded cluster map in a shared-disk image whose
+// Version is the map's epoch — Install's downgrade check then enforces
+// monotonicity for free, and a standby replaying shipped segments always
+// ends at the newest map it received.
+func EncodeMapImage(cm *placement.ClusterMap) (sharedisk.Image, error) {
+	encoded, err := cm.Encode()
+	if err != nil {
+		return sharedisk.Image{}, err
+	}
+	return sharedisk.Image{
+		Version: cm.Epoch,
+		Records: map[string]sharedisk.Record{
+			mapRecordKey: {
+				Size:    int64(len(encoded)),
+				ModTime: time.Now(),
+				Owner:   string(encoded),
+			},
+		},
+	}, nil
+}
+
+// DecodeMapImage recovers the cluster map from a persisted map image — the
+// promoted standby's first step back to authority.
+func DecodeMapImage(im sharedisk.Image) (*placement.ClusterMap, error) {
+	rec, ok := im.Records[mapRecordKey]
+	if !ok {
+		return nil, fmt.Errorf("fleet: image %q carries no %s record", MapFileSet, mapRecordKey)
+	}
+	return placement.DecodeClusterMap([]byte(rec.Owner))
+}

@@ -331,15 +331,47 @@ func sleepUntil(d time.Duration, deadline time.Time) bool {
 // so they work identically over a line-mode wire.Client and the sdk's
 // pipelined pools.
 
+// CallAuthority sends one request to the fleet authority, preferring the
+// daemon the current map advertises (which survives a standby promotion —
+// the promoted authority publishes itself in the map) and falling back to
+// the configured address when the advertised one fails or is absent.
+func (r *Router) CallAuthority(req wire.Request) (wire.Response, error) {
+	var addrs []string
+	if d, ok := r.Map().AuthorityDaemon(); ok {
+		addrs = append(addrs, d.Addr)
+	}
+	if r.cfg.AuthorityAddr != "" && (len(addrs) == 0 || addrs[0] != r.cfg.AuthorityAddr) {
+		addrs = append(addrs, r.cfg.AuthorityAddr)
+	}
+	var lastErr error
+	for _, addr := range addrs {
+		c, err := r.Caller(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := c.Call(req)
+		if err != nil {
+			lastErr = err
+			if transientErr(err) {
+				r.invalidate(addr)
+				continue
+			}
+			return resp, err
+		}
+		return resp, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("fleet: no authority address")
+	}
+	return wire.Response{}, lastErr
+}
+
 // CreateFileSet creates a file set fleet-wide: unplaced file sets are first
 // assigned by the authority (ANU placement), then created on their owner.
 func (r *Router) CreateFileSet(fileSet string) error {
 	if _, placed := r.Map().Owner(fileSet); !placed {
-		ac, err := r.Caller(r.cfg.AuthorityAddr)
-		if err != nil {
-			return err
-		}
-		resp, err := ac.Call(wire.Request{Op: wire.OpAssign, FileSet: fileSet, Daemon: -1})
+		resp, err := r.CallAuthority(wire.Request{Op: wire.OpAssign, FileSet: fileSet, Daemon: -1})
 		if err != nil {
 			return fmt.Errorf("fleet: place %q: %w", fileSet, err)
 		}

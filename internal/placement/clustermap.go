@@ -27,6 +27,13 @@ type ClusterMap struct {
 	// Assign maps file set → owning daemon ID. File sets absent from the
 	// map are unplaced (a router treats them as errors, not guesses).
 	Assign map[string]int `json:"assign"`
+	// Authority is the ID of the daemon hosting the map authority. After a
+	// standby promotion the promoted process publishes itself here, which is
+	// how members and routers learn where join/heartbeat/assign now live.
+	// Zero is both "daemon 0" and "unset" — pre-replication maps carried no
+	// authority field, and daemon 0 hosting the authority is the historical
+	// convention either way, so the ambiguity is harmless by construction.
+	Authority int `json:"authority,omitempty"`
 }
 
 // Encode serializes the map for the wire (`map` op payload). The daemon
@@ -83,6 +90,13 @@ func (m *ClusterMap) Validate() error {
 		}
 	}
 	return nil
+}
+
+// AuthorityDaemon returns the daemon hosting the map authority, or ok=false
+// when that daemon is not in the map (a promoted standby advertises itself
+// in Daemons, so false means a malformed map).
+func (m *ClusterMap) AuthorityDaemon() (DaemonInfo, bool) {
+	return m.Daemon(m.Authority)
 }
 
 // Daemon returns the info for a daemon ID.

@@ -69,6 +69,30 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+// DialTimeout connects to a wire server with a bound on BOTH the TCP
+// connect and, as the initial per-call deadline, every call (override with
+// SetTimeout). Control-plane paths that must stay responsive with a dead
+// peer in the fleet — map publishes, membership heartbeats, failure-time
+// takeovers — dial this way: a blackholed address costs d, not the OS
+// connect timeout. The client is born with its deadline armed, which is
+// what the wireops deadline rule checks for.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		nextID:  1,
+		pending: map[uint64]chan Response{},
+		done:    make(chan struct{}),
+	}
+	c.SetTimeout(d)
+	go c.readLoop()
+	return c, nil
+}
+
 // Close tears the connection down; in-flight calls fail.
 func (c *Client) Close() error {
 	err := c.conn.Close()
@@ -453,6 +477,46 @@ func (c *Client) Assign(fileSet string, daemon int) (uint64, error) {
 func (c *Client) Rebalance() (uint64, error) {
 	resp, err := c.call(Request{Op: OpRebalance})
 	return resp.Epoch, err
+}
+
+// Join registers a daemon with the fleet authority at runtime: id is the
+// daemon's fleet ID, addr its dialable wire address, speed its relative
+// speed (> 0), and journalDir its journal directory on the shared disk
+// (empty = volatile; its state cannot be replayed if it dies). Idempotent:
+// re-joining with the same identity refreshes the membership record. The
+// reply is the new map's epoch and encoded bytes.
+func (c *Client) Join(id int, addr string, speed float64, journalDir string) (uint64, []byte, error) {
+	resp, err := c.call(Request{Op: OpJoin, Daemon: id, Addr: addr, Speed: speed, JournalDir: journalDir})
+	return resp.Epoch, resp.Map, err
+}
+
+// Leave gracefully decommissions a daemon (authority daemons only): its
+// file sets are handed off to the remaining daemons before it is dropped
+// from the map. Returns the epoch of the map without the daemon.
+func (c *Client) Leave(id int) (uint64, error) {
+	resp, err := c.call(Request{Op: OpLeave, Daemon: id})
+	return resp.Epoch, err
+}
+
+// Heartbeat renews a member's liveness lease at the authority and doubles
+// as the member's epoch probe (the reply carries the authority's current
+// epoch). addr/speed/journalDir keep the authority's membership record
+// fresh — a roster-started daemon's journal dir reaches the authority this
+// way, which is what makes its journal replayable on failover.
+func (c *Client) Heartbeat(id int, addr string, speed float64, journalDir string) (uint64, error) {
+	resp, err := c.call(Request{Op: OpHeartbeat, Daemon: id, Addr: addr, Speed: speed, JournalDir: journalDir})
+	return resp.Epoch, err
+}
+
+// Takeover tells a daemon to adopt the listed file sets from a daemon the
+// authority has declared dead: the recipient replays the victim's journal
+// directory (read-only) up to its durable boundary, installs the replayed
+// images, and serves the file sets under the candidate map (encoded in
+// mapData at the given epoch). An empty journalDir adopts the file sets
+// empty — the victim ran volatile, so there is nothing to replay.
+func (c *Client) Takeover(epoch uint64, fileSets []string, journalDir string, mapData []byte) error {
+	_, err := c.call(Request{Op: OpTakeover, Epoch: epoch, FileSets: fileSets, JournalDir: journalDir, Map: mapData})
+	return err
 }
 
 // Mapping fetches the cluster's replicated routing configuration and

@@ -67,7 +67,8 @@ type FleetHandler interface {
 	// ErrArriving (ours, adoption pending), or a plain error (unplaced).
 	Gate(op Op, fileSet string) (release func(), err error)
 	// Fleet serves the fleet ops (map, map-epoch, adopt, handoff, assign,
-	// rebalance). The returned Response's ID is overwritten by the server.
+	// rebalance) and the membership/failover ops (join, leave, heartbeat,
+	// takeover). The returned Response's ID is overwritten by the server.
 	Fleet(req Request) Response
 }
 

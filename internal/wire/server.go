@@ -312,7 +312,8 @@ func (s *Server) handle(trace uint64, req Request) Response {
 	fleet := s.fleet
 	s.mu.Unlock()
 	switch req.Op {
-	case OpMap, OpMapEpoch, OpAdopt, OpHandoff, OpAssign, OpRebalance:
+	case OpMap, OpMapEpoch, OpAdopt, OpHandoff, OpAssign, OpRebalance,
+		OpJoin, OpLeave, OpHeartbeat, OpTakeover:
 		if fleet == nil {
 			return fail(errors.New("wire: not in fleet mode (start anufsd with -fleet)"))
 		}

@@ -82,6 +82,20 @@ const (
 	OpHandoff   Op = "handoff"
 	OpAssign    Op = "assign"
 	OpRebalance Op = "rebalance"
+	// Fleet membership operations (authority-only except OpTakeover).
+	// OpJoin registers a daemon with the authority at runtime — no fleet
+	// restart; the reply carries the new map. OpLeave gracefully
+	// decommissions a daemon: the authority hands its file sets off to the
+	// remaining daemons first. OpHeartbeat renews a member's liveness lease
+	// at the authority (and doubles as the cheap epoch probe: the reply
+	// carries the authority's current epoch). OpTakeover is the failover op
+	// the authority sends to a file set's NEW owner after declaring the old
+	// one dead: the recipient replays the victim's journal tail from shared
+	// disk before adopting, so acked writes survive the victim's kill -9.
+	OpJoin      Op = "join"
+	OpLeave     Op = "leave"
+	OpHeartbeat Op = "heartbeat"
+	OpTakeover  Op = "takeover"
 	// Tagged-protocol operations (internal/sdk is the primary client).
 	// OpHello, sent as the first request on a connection, negotiates the
 	// tagged-frame protocol (see tagged.go); OpPing is the no-op liveness
@@ -199,6 +213,14 @@ type Request struct {
 	Addr   string `json:"addr,omitempty"`
 	Daemon int    `json:"daemon,omitempty"`
 	Map    []byte `json:"map,omitempty"`
+	// Membership fields. Speed is the joining daemon's relative speed
+	// (OpJoin/OpHeartbeat); JournalDir is its journal directory on the
+	// shared disk — what a surviving daemon replays when this daemon dies
+	// (OpJoin/OpHeartbeat report it, OpTakeover carries the victim's).
+	// FileSets lists the file sets one OpTakeover moves to the recipient.
+	Speed      float64  `json:"speed,omitempty"`
+	JournalDir string   `json:"journal_dir,omitempty"`
+	FileSets   []string `json:"filesets,omitempty"`
 	// Proto is the protocol version offered by OpHello (TaggedProtoV1).
 	Proto int `json:"proto,omitempty"`
 	// Batch carries the items of an OpBatch; Durable asks the server to
