@@ -99,12 +99,19 @@ func setupFleet(id int, roster, join string, nFileSets int, opts fleetOptions) (
 	}
 	// When the authority runs a liveness lease (-fleet-lease is given to
 	// every daemon), heartbeat several times per lease so one dropped probe
-	// does not read as death, and self-fence well after the authority would
-	// have declared us dead.
+	// does not read as death, and self-fence at HALF the lease: the fence
+	// must trip strictly before the authority — which declares death after
+	// one full lease of silence — can replay our journal and reassign our
+	// file sets. A daemon that kept acking past the replay point would be
+	// accepting writes the new owner never sees (the clocks only measure
+	// local intervals from the same exchange, so half a lease of margin
+	// absorbs the probe round trip). The cost of fencing early is a
+	// transient availability dip on a false alarm; the cost of fencing
+	// late is silent data loss.
 	var fence, poll time.Duration
 	if opts.lease > 0 {
-		fence = 3 * opts.lease
-		poll = opts.lease / 4
+		fence = opts.lease / 2
+		poll = opts.lease / 8
 		if poll < 50*time.Millisecond {
 			poll = 50 * time.Millisecond
 		}

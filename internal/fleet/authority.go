@@ -45,9 +45,13 @@ const DefaultHandoffTimeout = 60 * time.Second
 const DefaultDialTimeout = 5 * time.Second
 
 // DefaultPublishTimeout is the per-daemon dial + call deadline on the
-// publish and takeover paths; DefaultPublishWait caps how long one publish
-// round blocks its caller (stragglers keep trying in the background up to
-// their own deadlines — member polling is the convergence backstop).
+// publish path; DefaultPublishWait caps how long one publish round blocks
+// its caller (stragglers keep trying in the background up to their own
+// deadlines — member polling is the convergence backstop). Takeovers dial
+// with the same short connect deadline but then widen the call deadline to
+// DefaultHandoffTimeout: the recipient replays the victim's whole journal
+// before replying, which a publish-sized deadline would misread as a
+// refusal on any non-trivial journal.
 const (
 	DefaultPublishTimeout = 1 * time.Second
 	DefaultPublishWait    = 2 * time.Second
@@ -82,8 +86,9 @@ type AuthorityConfig struct {
 	// DefaultHandoffTimeout per call.
 	Dial func(addr string) (*wire.Client, error)
 	// DialFast overrides the short-deadline dialer used for map publishes
-	// and failover takeovers; nil falls back to Dial when that is injected
-	// (tests see every outbound connection), else to
+	// and failover takeovers (takeovers widen the per-call deadline after
+	// the dial — only the connect stays fast); nil falls back to Dial when
+	// that is injected (tests see every outbound connection), else to
 	// wire.DialTimeout(addr, PublishTimeout).
 	DialFast func(addr string) (*wire.Client, error)
 	// PublishTimeout and PublishWait default to the package constants.
@@ -139,9 +144,20 @@ type Authority struct {
 	cfg     AuthorityConfig
 	mapper  *core.Mapper
 	daemons map[int]placement.DaemonInfo
+	// issued is the highest epoch ever composed into a candidate map,
+	// committed or not (guarded by mu). Epochs are reserved, never reused:
+	// an abandoned candidate may still have been installed by its
+	// recipient (the RPC timed out after the server-side adopt), so a
+	// later map with different contents must carry a strictly higher
+	// epoch or that recipient would never converge to it.
+	issued uint64
 	// dirs maps daemon ID → its journal directory on the shared disk, as
 	// reported by join/heartbeat — what a takeover recipient replays when
 	// the daemon dies. Empty means volatile: failover adopts empty images.
+	// Guarded by dirsMu, not mu, so the heartbeat path never queues behind
+	// a reconfiguration holding mu across network RPCs (dirsMu nests
+	// inside mu; never take mu while holding dirsMu).
+	dirsMu  sync.Mutex
 	dirs    map[int]string
 	started time.Time
 
@@ -248,12 +264,27 @@ func NewAuthority(cfg AuthorityConfig) (*Authority, error) {
 	if epoch <= cfg.EpochFloor {
 		epoch = cfg.EpochFloor + 1
 	}
+	a.issued = epoch
 	cm := a.composeLocked(epoch, assign)
 	if err := cm.Validate(); err != nil {
 		return nil, err
 	}
 	a.commitLocked(cm)
 	return a, nil
+}
+
+// nextEpochLocked reserves a fresh epoch for one candidate map, strictly
+// above the current map and every candidate ever composed — committed or
+// abandoned. Failed reconfigurations leave gaps in the epoch sequence;
+// consumers only need monotonicity. Caller holds mu.
+func (a *Authority) nextEpochLocked() uint64 {
+	e := a.Map().Epoch
+	if a.issued > e {
+		e = a.issued
+	}
+	e++
+	a.issued = e
+	return e
 }
 
 // Start launches the heartbeat failure detector (when Lease > 0) and the
@@ -440,10 +471,12 @@ func (a *Authority) Join(id int, addr string, speed float64, journalDir string) 
 	if a.elector != nil {
 		a.elector.Heartbeat(id)
 	}
-	a.mu.Lock()
 	if journalDir != "" {
+		a.dirsMu.Lock()
 		a.dirs[id] = journalDir
+		a.dirsMu.Unlock()
 	}
+	a.mu.Lock()
 	prev, known := a.daemons[id]
 	if known && prev.Addr == addr && prev.Speed == speed {
 		// Idempotent re-join (e.g. a daemon restarting in place): nothing
@@ -470,7 +503,7 @@ func (a *Authority) Join(id int, addr string, speed float64, journalDir string) 
 		return nil, err
 	}
 	cur := a.Map()
-	cm := a.composeLocked(cur.Epoch+1, cur.Assign)
+	cm := a.composeLocked(a.nextEpochLocked(), cur.Assign)
 	a.commitLocked(cm)
 	a.counters.Add(CtrJoins, 1)
 	a.mu.Unlock()
@@ -507,7 +540,7 @@ func (a *Authority) Leave(id int) (uint64, error) {
 	for _, fs := range a.Map().FileSetsOf(id) {
 		to := a.mapper.Owner(fs)
 		cur := a.Map()
-		candidate := a.composeLocked(cur.Epoch+1, withAssign(cur.Assign, fs, to))
+		candidate := a.composeLocked(a.nextEpochLocked(), withAssign(cur.Assign, fs, to))
 		if err := a.moveLocked(candidate, fs, id, to); err != nil {
 			// Re-admit the leaver: it still owns this file set.
 			_ = a.mapper.AddServer(id, 0)
@@ -520,11 +553,13 @@ func (a *Authority) Leave(id int) (uint64, error) {
 	}
 	cur := a.Map()
 	delete(a.daemons, id)
+	a.dirsMu.Lock()
 	delete(a.dirs, id)
+	a.dirsMu.Unlock()
 	if a.elector != nil {
 		a.elector.Leave(id)
 	}
-	cm := a.composeLocked(cur.Epoch+1, cur.Assign)
+	cm := a.composeLocked(a.nextEpochLocked(), cur.Assign)
 	a.commitLocked(cm)
 	a.counters.Add(CtrLeaves, 1)
 	a.mu.Unlock()
@@ -533,22 +568,30 @@ func (a *Authority) Leave(id int) (uint64, error) {
 }
 
 // Heartbeat renews daemon id's liveness lease and refreshes its journal
-// directory. Unknown daemons get an error telling them to join — how a
-// member discovers it was declared dead (or that a promoted standby never
-// heard of it) and re-registers.
+// directory. Unknown daemons get a join-first error (wire.CodeJoinFirst) —
+// how a member discovers it was declared dead (or that a promoted standby
+// never heard of it) and re-registers.
+//
+// Deliberately never takes a.mu: reconfigurations (failover, leave,
+// rebalance) hold mu across chains of network RPCs, and a heartbeat queued
+// behind one would time out at the member's probe deadline — leases would
+// lapse because the authority was busy, and the next detector tick would
+// declare healthy members dead, cascading the failover. Membership is read
+// from the atomic current map instead; during a reconfiguration that is
+// the last committed state, which is exactly the view the member acts on.
 func (a *Authority) Heartbeat(id int, addr string, speed float64, journalDir string) (uint64, error) {
-	a.mu.Lock()
-	if _, ok := a.daemons[id]; !ok {
-		a.mu.Unlock()
-		return 0, fmt.Errorf("fleet: unknown daemon %d: join first", id)
+	cm := a.Map()
+	if _, ok := cm.Daemon(id); !ok {
+		return 0, &wire.CodedError{Code: wire.CodeJoinFirst,
+			Err: fmt.Errorf("fleet: unknown daemon %d: join first", id)}
 	}
 	if journalDir != "" {
+		a.dirsMu.Lock()
 		a.dirs[id] = journalDir
+		a.dirsMu.Unlock()
 	}
 	_ = addr // membership changes go through Join; the heartbeat only renews
 	_ = speed
-	cm := a.Map()
-	a.mu.Unlock()
 	if a.elector != nil {
 		a.elector.Heartbeat(id)
 	}
@@ -558,8 +601,8 @@ func (a *Authority) Heartbeat(id int, addr string, speed float64, journalDir str
 // JournalDir reports the journal directory a daemon last advertised
 // (tests and anufsctl introspection).
 func (a *Authority) JournalDir(id int) string {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.dirsMu.Lock()
+	defer a.dirsMu.Unlock()
 	return a.dirs[id]
 }
 
@@ -585,7 +628,7 @@ func (a *Authority) Assign(fileSet string, daemon int) (uint64, error) {
 		a.mu.Unlock()
 		return cur.Epoch, nil // already there
 	}
-	candidate := a.composeLocked(cur.Epoch+1, withAssign(cur.Assign, fileSet, daemon))
+	candidate := a.composeLocked(a.nextEpochLocked(), withAssign(cur.Assign, fileSet, daemon))
 	if !owned {
 		// A brand-new file set needs no handoff: commit and publish.
 		a.commitLocked(candidate)
@@ -638,7 +681,7 @@ func (a *Authority) Rebalance() (uint64, error) {
 			continue
 		}
 		cur := a.Map()
-		candidate := a.composeLocked(cur.Epoch+1, withAssign(cur.Assign, mv.fs, mv.to))
+		candidate := a.composeLocked(a.nextEpochLocked(), withAssign(cur.Assign, mv.fs, mv.to))
 		if err := a.moveLocked(candidate, mv.fs, mv.from, mv.to); err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -699,7 +742,7 @@ func (a *Authority) moveLocked(candidate *placement.ClusterMap, fileSet string, 
 		// The donor rolled itself back and keeps serving under the old
 		// epoch; the candidate map is discarded.
 		werr := fmt.Errorf("fleet: handoff of %q from %d to %d: %w", fileSet, from, to, err)
-		if strings.Contains(err.Error(), "dial recipient") {
+		if wire.ErrorCode(err) == wire.CodeDialRecipient {
 			// The donor could not reach the recipient — same circuit as a
 			// direct dial failure, attributed to the recipient.
 			return &dialFailure{daemon: to, err: werr}
@@ -739,7 +782,9 @@ func (a *Authority) failoverLocked(victim int) {
 		owners = append(owners, id)
 	}
 	sort.Ints(owners)
+	a.dirsMu.Lock()
 	dir := a.dirs[victim]
+	a.dirsMu.Unlock()
 	adopted := 0
 	for _, owner := range owners {
 		fsList := groups[owner]
@@ -770,11 +815,13 @@ func (a *Authority) failoverLocked(victim int) {
 		assign[fs] = id
 	}
 	delete(a.daemons, victim)
+	a.dirsMu.Lock()
 	delete(a.dirs, victim)
+	a.dirsMu.Unlock()
 	if a.elector != nil {
 		a.elector.Leave(victim)
 	}
-	cm := a.composeLocked(cur.Epoch+1, assign)
+	cm := a.composeLocked(a.nextEpochLocked(), assign)
 	a.commitLocked(cm)
 	a.counters.Add(CtrFailoverFileSets, int64(adopted))
 	a.counters.Add(CtrFailoverUnplaced, int64(unplaced))
@@ -796,7 +843,7 @@ func (a *Authority) takeoverLocked(owner, victim int, fileSets []string, journal
 	for _, fs := range fileSets {
 		assign[fs] = owner
 	}
-	candidate := a.composeLocked(cur.Epoch+1, assign)
+	candidate := a.composeLocked(a.nextEpochLocked(), assign)
 	encoded, err := candidate.Encode()
 	if err != nil {
 		return false
@@ -806,6 +853,13 @@ func (a *Authority) takeoverLocked(owner, victim int, fileSets []string, journal
 		return false
 	}
 	defer c.Close()
+	// The connect deadline stays publish-fast (a dead candidate refuses in
+	// about a second), but the call itself replays the victim's journal and
+	// installs the images before replying — give it a handoff-sized budget,
+	// or every realistic takeover times out, the authority walks the
+	// candidate list shedding the file sets to unplaced, and recipients
+	// that finished server-side anyway are left owning abandoned maps.
+	c.SetTimeout(DefaultHandoffTimeout)
 	if err := c.Takeover(candidate.Epoch, fileSets, journalDir, encoded); err != nil {
 		return false
 	}

@@ -3,7 +3,6 @@ package fleet
 import (
 	"fmt"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -85,7 +84,12 @@ type MemberConfig struct {
 	// FenceAfter self-fences the gate when the authority has been
 	// unreachable for this long (join mode only): a partitioned daemon
 	// stops acknowledging writes its file sets' next owner will never see.
-	// Zero disables self-fencing.
+	// Zero disables self-fencing. Ordering matters: FenceAfter must be
+	// strictly shorter than the authority's Lease (with margin for one
+	// probe round trip), so the daemon stops acking BEFORE the authority
+	// can replay its journal and reassign its file sets — a fence that
+	// trips after the takeover re-opens the lost-write window it exists
+	// to close. anufsd wires Lease/2.
 	FenceAfter time.Duration
 	// Obs receives the fleet gauges/histograms/counters; nil disables.
 	Obs *obs.Registry
@@ -330,7 +334,7 @@ func (m *Member) probe(addr string) bool {
 	var epoch uint64
 	if m.cfg.Addr != "" {
 		epoch, err = c.Heartbeat(m.cfg.ID, m.cfg.Addr, m.cfg.Speed, m.cfg.JournalDir)
-		if err != nil && strings.Contains(err.Error(), "fleet: unknown daemon") {
+		if err != nil && wire.ErrorCode(err) == wire.CodeJoinFirst {
 			// The authority does not know us: we were declared dead (and
 			// restarted), or a promoted standby resumed a map from before we
 			// joined. Re-register; the join reply carries the new map.
@@ -445,6 +449,7 @@ func (m *Member) Fleet(req wire.Request) wire.Response {
 	var resp wire.Response
 	fail := func(err error) wire.Response {
 		resp.Err = err.Error()
+		resp.Code = wire.ErrorCode(err)
 		return resp
 	}
 	switch req.Op {
@@ -754,7 +759,10 @@ func (m *Member) donate(req wire.Request) error {
 	c, err := m.cfg.Dial(req.Addr)
 	if err != nil {
 		rollback(true)
-		return fmt.Errorf("fleet: dial recipient %s: %w", req.Addr, err)
+		// Coded so the authority's rebalance circuit breaker can attribute
+		// the failure to the recipient without parsing the message.
+		return &wire.CodedError{Code: wire.CodeDialRecipient,
+			Err: fmt.Errorf("fleet: dial recipient %s: %w", req.Addr, err)}
 	}
 	defer c.Close()
 	if err := c.Adopt(req.Epoch, fs, snap, req.Map); err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -206,12 +207,14 @@ func TestLeaveDrainsDaemon(t *testing.T) {
 }
 
 // TestHeartbeatUnknownDaemonTellsJoin: the authority answers heartbeats
-// from daemons it does not know with the re-join signal.
+// from daemons it does not know with the re-join signal — carried as a
+// machine-readable code, not message text the member would have to parse.
 func TestHeartbeatUnknownDaemonTellsJoin(t *testing.T) {
 	f := startFleet(t, []float64{1, 1}, nil)
 	if _, err := f.auth.Heartbeat(9, "x:1", 1, ""); err == nil ||
-		!strings.Contains(err.Error(), "join first") {
-		t.Fatalf("heartbeat from unknown daemon = %v, want join-first error", err)
+		wire.ErrorCode(err) != wire.CodeJoinFirst {
+		t.Fatalf("heartbeat from unknown daemon = %v (code %q), want code %q",
+			err, wire.ErrorCode(err), wire.CodeJoinFirst)
 	}
 	if _, err := f.auth.Heartbeat(1, f.daemons[1].addr, 1, "/tmp/j1"); err != nil {
 		t.Fatal(err)
@@ -330,6 +333,12 @@ func TestAssignDeadRecipientBounded(t *testing.T) {
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("assign to a dead recipient succeeded")
+	}
+	// The donor's dial-recipient failure crossed the wire as a coded error
+	// (the circuit-breaker signal), not as message text to be parsed.
+	if wire.ErrorCode(err) != wire.CodeDialRecipient {
+		t.Fatalf("assign to a dead recipient = %v (code %q), want code %q",
+			err, wire.ErrorCode(err), wire.CodeDialRecipient)
 	}
 	if elapsed > 5*time.Second {
 		t.Fatalf("assign to a dead recipient took %s, want bounded well under the handoff timeout", elapsed)
@@ -630,22 +639,22 @@ func TestRejoinAfterFalseDeath(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	// Heal the partition: the next heartbeat gets "unknown daemon", the
-	// member re-joins, and the map includes it again.
+	// Heal the partition: the next heartbeat gets the join-first code, the
+	// member re-joins, and the map includes it again. Wait for the rejoin
+	// counter as well — the authority commits the new map inside the Join
+	// call, a beat before the member increments its counter.
 	partitioned.Store(false)
 	deadline = time.Now().Add(5 * time.Second)
 	for {
-		if _, ok := auth.Map().Daemon(1); ok {
+		_, ok := auth.Map().Daemon(1)
+		if ok && m1.Counters().Snapshot()[CtrRejoins] >= 1 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("healed daemon never re-joined: rejoins=%d",
-				m1.Counters().Snapshot()[CtrRejoins])
+			t.Fatalf("healed daemon never re-joined: in map=%v rejoins=%d",
+				ok, m1.Counters().Snapshot()[CtrRejoins])
 		}
 		time.Sleep(10 * time.Millisecond)
-	}
-	if n := m1.Counters().Snapshot()[CtrRejoins]; n < 1 {
-		t.Fatalf("rejoin counter = %d, want >= 1", n)
 	}
 }
 
@@ -689,6 +698,196 @@ func TestFenceAfterCutsOffPartitionedDaemon(t *testing.T) {
 			t.Fatalf("partitioned daemon never self-fenced: %v", err)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// slowTakeoverFleet wraps a member's fleet dispatch, delaying takeovers —
+// a stand-in for replaying a large journal before the reply.
+type slowTakeoverFleet struct {
+	*Member
+	delay time.Duration
+}
+
+func (s *slowTakeoverFleet) Fleet(req wire.Request) wire.Response {
+	if req.Op == wire.OpTakeover {
+		time.Sleep(s.delay)
+	}
+	return s.Member.Fleet(req)
+}
+
+// TestTakeoverSurvivesSlowJournalReplay: the takeover call runs a full
+// journal replay on the recipient before replying, so it must get a
+// handoff-sized deadline — not the publish deadline its dialer starts
+// with. A recipient slower than the publish deadline must still complete
+// the failover instead of "timing out" into unplaced file sets while it
+// adopts the candidate map server-side anyway.
+func TestTakeoverSurvivesSlowJournalReplay(t *testing.T) {
+	d0 := startElasticDaemon(t, 0, false)
+	pubTimeout := 100 * time.Millisecond
+	auth, err := NewAuthority(AuthorityConfig{
+		Resume: &placement.ClusterMap{
+			Epoch: 3,
+			Daemons: []placement.DaemonInfo{
+				{ID: 0, Addr: d0.addr, Speed: 1},
+				{ID: 1, Addr: "127.0.0.1:1", Speed: 1}, // the dead victim
+			},
+			Assign: map[string]int{"vol00": 1, "vol01": 1},
+		},
+		SelfID:         0,
+		PublishTimeout: pubTimeout, // real dialers: dialFast connects with this
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, err := NewMember(MemberConfig{
+		ID: 0, Cluster: d0.clus, Disk: d0.disk, Authority: auth,
+		DrainTimeout: 2 * time.Second, PollInterval: 20 * time.Millisecond,
+		Dial: testDial,
+	}, auth.Map())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0.member = m0
+	// The survivor answers takeovers 3x slower than the publish deadline.
+	d0.srv.SetFleet(&slowTakeoverFleet{Member: m0, delay: 3 * pubTimeout})
+	t.Cleanup(func() {
+		d0.srv.Close()
+		d0.clus.Stop()
+	})
+
+	auth.mu.Lock()
+	auth.failoverLocked(1)
+	auth.mu.Unlock()
+
+	cm := auth.Map()
+	if _, ok := cm.Daemon(1); ok {
+		t.Fatal("victim still in the map after failover")
+	}
+	for _, fs := range []string{"vol00", "vol01"} {
+		if got, ok := cm.Assign[fs]; !ok || got != 0 {
+			t.Fatalf("%s owner after slow takeover = %d, %v; want daemon 0 (takeover timed out?)", fs, got, ok)
+		}
+	}
+	ac := auth.Counters().Snapshot()
+	if ac[CtrFailoverUnplaced] != 0 {
+		t.Fatalf("slow takeover left %d file sets unplaced", ac[CtrFailoverUnplaced])
+	}
+	if ac[CtrFailoverFileSets] != 2 {
+		t.Fatalf("failover adopted %d file sets, want 2", ac[CtrFailoverFileSets])
+	}
+}
+
+// refusingRecorder is a fleet handler that refuses every takeover after
+// recording its epoch — the shape of a recipient that adopted the
+// candidate map server-side while the authority saw only a failure.
+type refusingRecorder struct {
+	mu     sync.Mutex
+	epochs []uint64
+}
+
+func (r *refusingRecorder) Gate(op wire.Op, fileSet string) (func(), error) {
+	return func() {}, nil
+}
+
+func (r *refusingRecorder) Fleet(req wire.Request) wire.Response {
+	if req.Op == wire.OpTakeover {
+		r.mu.Lock()
+		r.epochs = append(r.epochs, req.Epoch)
+		r.mu.Unlock()
+	}
+	return wire.Response{Err: "refused"}
+}
+
+// TestFailoverNeverReusesEpochs: every candidate map the authority sends —
+// committed or abandoned — must consume a distinct epoch. Reusing an
+// abandoned candidate's epoch for the committed victim-less map would
+// strand any recipient that actually installed the candidate (e.g. the
+// RPC timed out after the server-side adopt): it would ignore the
+// committed equal-epoch map as not-newer and keep serving file sets the
+// authority considers unplaced.
+func TestFailoverNeverReusesEpochs(t *testing.T) {
+	d0 := startElasticDaemon(t, 0, false)
+	rec := &refusingRecorder{}
+	d0.srv.SetFleet(rec)
+	t.Cleanup(func() {
+		d0.srv.Close()
+		d0.clus.Stop()
+	})
+	auth, err := NewAuthority(AuthorityConfig{
+		Resume: &placement.ClusterMap{
+			Epoch: 5,
+			Daemons: []placement.DaemonInfo{
+				{ID: 0, Addr: d0.addr, Speed: 1},
+				{ID: 1, Addr: "127.0.0.1:1", Speed: 1}, // the dead victim
+			},
+			Assign: map[string]int{"vol00": 1, "vol01": 1},
+		},
+		SelfID: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	auth.mu.Lock()
+	auth.failoverLocked(1)
+	auth.mu.Unlock()
+
+	rec.mu.Lock()
+	attempts := append([]uint64(nil), rec.epochs...)
+	rec.mu.Unlock()
+	if len(attempts) == 0 {
+		t.Fatal("no takeover was attempted")
+	}
+	final := auth.Map().Epoch
+	for _, e := range attempts {
+		if final <= e {
+			t.Fatalf("committed map epoch %d does not supersede abandoned candidate epoch %d", final, e)
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, e := range attempts {
+		if seen[e] {
+			t.Fatalf("candidate epoch %d issued twice: %v", e, attempts)
+		}
+		seen[e] = true
+	}
+}
+
+// TestHeartbeatNotBlockedByReconfiguration: heartbeats must stay
+// responsive while the authority holds its reconfiguration lock across
+// network RPCs (failover, leave, rebalance) — otherwise leases lapse
+// because the authority is busy and the detector cascades failovers onto
+// healthy members.
+func TestHeartbeatNotBlockedByReconfiguration(t *testing.T) {
+	auth, err := NewAuthority(AuthorityConfig{
+		Daemons: []placement.DaemonInfo{
+			{ID: 0, Addr: "a:1", Speed: 1},
+			{ID: 1, Addr: "b:1", Speed: 1},
+		},
+		Dial: func(string) (*wire.Client, error) { return nil, errors.New("no network") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a long failover: the reconfiguration lock is held while the
+	// heartbeat arrives.
+	auth.mu.Lock()
+	defer auth.mu.Unlock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := auth.Heartbeat(1, "b:1", 1, "/j1")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("heartbeat during reconfiguration = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("heartbeat blocked behind the reconfiguration lock")
+	}
+	if got := auth.JournalDir(1); got != "/j1" {
+		t.Fatalf("journal dir not recorded lock-free: %q", got)
 	}
 }
 

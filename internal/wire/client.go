@@ -195,6 +195,9 @@ func ResponseError(resp Response) error {
 	if strings.HasPrefix(resp.Err, arrivingMsg) {
 		return fmt.Errorf("%w (server: %s)", ErrArriving, resp.Err)
 	}
+	if resp.Code != "" {
+		return &CodedError{Code: resp.Code, Err: errors.New(resp.Err)}
+	}
 	return errors.New(resp.Err)
 }
 

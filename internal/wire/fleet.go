@@ -46,6 +46,42 @@ func IsWrongOwner(err error) (epoch uint64, ok bool) {
 // is not stale — the client just retries after a short backoff.
 var ErrArriving = errors.New(arrivingMsg + ": adoption in progress, retry")
 
+// Machine-readable codes for the fleet errors client control flow keys
+// on. They ride Response.Code so the decision survives any rewording of
+// the human-readable message (matching on message substrings silently
+// broke when a message changed — or matched an unrelated error that
+// happened to embed the phrase).
+const (
+	// CodeJoinFirst answers a heartbeat from a daemon the authority does
+	// not know: the member must re-join before its lease can renew.
+	CodeJoinFirst = "join-first"
+	// CodeDialRecipient reports a handoff donor that could not reach its
+	// recipient at all — the rebalance circuit breaker attributes this to
+	// the recipient, not the donor.
+	CodeDialRecipient = "dial-recipient"
+)
+
+// CodedError is an error carrying one of the codes above. Server handlers
+// return it so the dispatch layer can stamp Response.Code; clients get it
+// rebuilt by ResponseError and branch via ErrorCode.
+type CodedError struct {
+	Code string
+	Err  error
+}
+
+func (e *CodedError) Error() string { return e.Err.Error() }
+func (e *CodedError) Unwrap() error { return e.Err }
+
+// ErrorCode extracts the machine-readable code from an error chain; empty
+// when the error carries none.
+func ErrorCode(err error) string {
+	var ce *CodedError
+	if errors.As(err, &ce) {
+		return ce.Code
+	}
+	return ""
+}
+
 // IsArriving reports whether err is an arriving rejection, locally typed or
 // reconstructed from a wire error string.
 func IsArriving(err error) bool {

@@ -252,8 +252,13 @@ type ServerStat struct {
 
 // Response is one server frame.
 type Response struct {
-	ID     uint64            `json:"id"`
-	Err    string            `json:"err,omitempty"`
+	ID  uint64 `json:"id"`
+	Err string `json:"err,omitempty"`
+	// Code is a machine-readable classification of Err for the errors
+	// client control flow keys on (CodeJoinFirst, CodeDialRecipient) —
+	// rewording Err must never change a caller's behavior. Empty for
+	// errors no client branches on.
+	Code   string            `json:"code,omitempty"`
 	Record *sharedisk.Record `json:"record,omitempty"`
 	Paths  []string          `json:"paths,omitempty"`
 	Owner  int               `json:"owner,omitempty"`
