@@ -3,30 +3,49 @@ package main
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"text/tabwriter"
 
+	"anufs/internal/namespace"
 	"anufs/internal/placement"
 )
 
 // renderMap prints a cluster map as the `anufsctl map` table: the epoch,
-// then one row per daemon with its assigned file sets. Kept separate from
-// main so the output format is pinned by a golden test.
-func renderMap(w io.Writer, cm *placement.ClusterMap) error {
+// then one row per daemon with the volumes it hosts and its assigned
+// file sets. A non-empty volFilter keeps only that volume's file sets
+// (daemons left with nothing show "-"). Kept separate from main so the
+// output format is pinned by a golden test.
+func renderMap(w io.Writer, cm *placement.ClusterMap, volFilter string) error {
 	fmt.Fprintf(w, "epoch %d\n", cm.Epoch)
 	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "DAEMON\tADDR\tSPEED\tFILESETS")
+	fmt.Fprintln(tw, "DAEMON\tADDR\tSPEED\tVOLUMES\tFILESETS")
 	for _, d := range cm.Daemons {
-		fs := cm.FileSetsOf(d.ID)
-		owned := "-"
+		var fs []string
+		volSet := map[string]bool{}
+		for _, name := range cm.FileSetsOf(d.ID) {
+			vol := namespace.VolumeOf(name)
+			if volFilter != "" && vol != volFilter {
+				continue
+			}
+			fs = append(fs, name)
+			volSet[vol] = true
+		}
+		vols := make([]string, 0, len(volSet))
+		for v := range volSet {
+			vols = append(vols, v)
+		}
+		sort.Strings(vols)
+		owned, hosted := "-", "-"
 		if len(fs) > 0 {
 			owned = strings.Join(fs, ",")
+			hosted = strings.Join(vols, ",")
 		}
 		id := fmt.Sprintf("%d", d.ID)
 		if d.ID == cm.Authority {
 			id += "*" // the map authority (join/leave/assign/rebalance endpoint)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%g\t%s\n", id, d.Addr, d.Speed, owned)
+		fmt.Fprintf(tw, "%s\t%s\t%g\t%s\t%s\n", id, d.Addr, d.Speed, hosted, owned)
 	}
 	return tw.Flush()
 }

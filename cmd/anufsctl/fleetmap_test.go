@@ -18,24 +18,53 @@ func TestRenderMapGolden(t *testing.T) {
 			{ID: 2, Addr: "10.0.0.3:7460", Speed: 4},
 		},
 		Assign: map[string]int{
-			"vol00": 1,
-			"vol01": 2,
-			"vol02": 1,
-			"vol03": 0,
+			"vol00":     1,
+			"vol01":     2,
+			"vol02":     1,
+			"vol03":     0,
+			"acme/logs": 1,
 		},
 		Authority: 1,
 	}
 	var sb strings.Builder
-	if err := renderMap(&sb, cm); err != nil {
+	if err := renderMap(&sb, cm, ""); err != nil {
 		t.Fatal(err)
 	}
 	golden := "epoch 7\n" +
-		"DAEMON  ADDR           SPEED  FILESETS\n" +
-		"0       10.0.0.1:7460  1      vol03\n" +
-		"1*      10.0.0.2:7460  2.5    vol00,vol02\n" +
-		"2       10.0.0.3:7460  4      vol01\n"
+		"DAEMON  ADDR           SPEED  VOLUMES       FILESETS\n" +
+		"0       10.0.0.1:7460  1      default       vol03\n" +
+		"1*      10.0.0.2:7460  2.5    acme,default  acme/logs,vol00,vol02\n" +
+		"2       10.0.0.3:7460  4      default       vol01\n"
 	if got := sb.String(); got != golden {
 		t.Fatalf("renderMap output drifted.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestRenderMapVolumeFilter keeps only the named volume's file sets;
+// daemons that host none of them render as "-".
+func TestRenderMapVolumeFilter(t *testing.T) {
+	cm := &placement.ClusterMap{
+		Epoch: 3,
+		Daemons: []placement.DaemonInfo{
+			{ID: 0, Addr: "a:1", Speed: 1},
+			{ID: 1, Addr: "b:1", Speed: 1},
+		},
+		Assign: map[string]int{
+			"acme/logs": 0,
+			"acme/tmp":  0,
+			"vol00":     1,
+		},
+	}
+	var sb strings.Builder
+	if err := renderMap(&sb, cm, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "acme/logs,acme/tmp") {
+		t.Fatalf("filtered map lost acme's file sets:\n%s", out)
+	}
+	if strings.Contains(out, "vol00") {
+		t.Fatalf("filtered map leaked another volume's file set:\n%s", out)
 	}
 }
 
@@ -47,7 +76,7 @@ func TestRenderMapEmptyDaemon(t *testing.T) {
 		Assign:  map[string]int{},
 	}
 	var sb strings.Builder
-	if err := renderMap(&sb, cm); err != nil {
+	if err := renderMap(&sb, cm, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "-") {

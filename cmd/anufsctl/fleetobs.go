@@ -200,6 +200,36 @@ func runTop(targets []topTarget, iters int, interval time.Duration) {
 		check(tw.Flush())
 		prevAt = now
 
+		// Multi-tenant: per-volume RED rows plus quota denials — the
+		// tenant-facing view of the same request stream.
+		vtw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		volRows := 0
+		for _, sec := range scrapes {
+			s := sec.scrape
+			for _, vol := range s.LabelValues("anufs_volume_requests", "volume") {
+				reqs, _ := s.Value("anufs_volume_requests", map[string]string{"volume": vol})
+				errs, _ := s.Value("anufs_volume_errors", map[string]string{"volume": vol})
+				denied, _ := s.Value("anufs_volume_quota_denials", map[string]string{"volume": vol})
+				key := sec.target.name + "|volume|" + vol
+				rate := "-"
+				if p, ok := prev[key]; ok && elapsed > 0 {
+					rate = fmt.Sprintf("%.0f/s", (reqs-p["count"])/elapsed.Seconds())
+				}
+				prev[key] = map[string]float64{"count": reqs}
+				p99 := "-"
+				if q, ok := s.Quantile("anufs_volume_request_seconds", map[string]string{"volume": vol}, 0.99); ok {
+					p99 = q.String()
+				}
+				if volRows == 0 {
+					fmt.Fprintln(vtw, "\nVOLUMES\tVOLUME\tREQS\tRATE\tERRS\tQUOTA-DENIED\tP99")
+				}
+				fmt.Fprintf(vtw, "%s\t%s\t%.0f\t%s\t%.0f\t%.0f\t%s\n",
+					sec.target.name, vol, reqs, rate, errs, denied, p99)
+				volRows++
+			}
+		}
+		check(vtw.Flush())
+
 		// Replication: per-peer shipping lag and acked sequence.
 		repl := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 		replRows := 0

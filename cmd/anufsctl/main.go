@@ -30,6 +30,7 @@ import (
 	"anufs/internal/placement"
 	"anufs/internal/sdk"
 	"anufs/internal/sharedisk"
+	"anufs/internal/volume"
 	"anufs/internal/wire"
 )
 
@@ -50,6 +51,7 @@ func main() {
 	fleetMode := flag.Bool("fleet", false, "route data commands through the fleet cluster map (-addr is any fleet daemon; the authority for assign/rebalance); with trace <id>, pull and stitch the trace across the fleet")
 	nodesFlag := flag.String("nodes", "", `trace-pull targets for "trace <id> -fleet": comma-separated name=addr (or bare addr) wire addresses; default = every daemon in the cluster map`)
 	metricsFlag := flag.String("metrics", "", `observability HTTP addresses for "top": comma-separated name=host:port (or bare host:port)`)
+	volFlag := flag.String("volume", "", `with "map": show only this volume's file sets`)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -139,7 +141,7 @@ func main() {
 			emitJSON(cm)
 			return
 		}
-		check(renderMap(os.Stdout, cm))
+		check(renderMap(os.Stdout, cm, *volFlag))
 	case "map-epoch":
 		epoch, err := c.MapEpoch()
 		check(err)
@@ -165,6 +167,70 @@ func main() {
 		epoch, err := c.Leave(daemon)
 		check(err)
 		fmt.Printf("ok (epoch %d)\n", epoch)
+	case "volume":
+		// Volume administration is authority-only: point -addr at the
+		// authority daemon (or any daemon when routing via a gateway that
+		// forwards these ops).
+		need(rest, 1)
+		sub, vrest := rest[0], rest[1:]
+		switch sub {
+		case "create":
+			need(vrest, 1)
+			epoch, err := c.VolumeCreate(vrest[0])
+			check(err)
+			fmt.Printf("ok (epoch %d)\n", epoch)
+		case "rm":
+			need(vrest, 1)
+			epoch, err := c.VolumeDelete(vrest[0])
+			check(err)
+			fmt.Printf("ok (epoch %d)\n", epoch)
+		case "ls":
+			vols, version, err := c.VolumeList()
+			check(err)
+			if *jsonOut {
+				emitJSON(struct {
+					Version uint64        `json:"version"`
+					Volumes []volume.Info `json:"volumes"`
+				}{version, vols})
+				return
+			}
+			fmt.Printf("registry version %d\n", version)
+			tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "VOLUME\tPOLICY\tWEIGHT\tMAX-FILESETS\tOP-RATE")
+			for _, v := range vols {
+				maxFS, opRate := "-", "-"
+				if v.Quota.MaxFileSets > 0 {
+					maxFS = strconv.Itoa(v.Quota.MaxFileSets)
+				}
+				if v.Quota.OpRate > 0 {
+					opRate = fmt.Sprintf("%g/s", v.Quota.OpRate)
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%g\t%s\t%s\n", v.Name, v.Policy, v.Weight, maxFS, opRate)
+			}
+			check(tw.Flush())
+		case "set-quota":
+			// volume set-quota <name> <max-filesets> <op-rate> [weight]
+			need(vrest, 3)
+			maxFS, err := strconv.Atoi(vrest[1])
+			check(err)
+			opRate, err := strconv.ParseFloat(vrest[2], 64)
+			check(err)
+			weight := 0.0
+			if len(vrest) >= 4 {
+				weight, err = strconv.ParseFloat(vrest[3], 64)
+				check(err)
+			}
+			epoch, err := c.VolumeSetQuota(vrest[0], maxFS, opRate, weight)
+			check(err)
+			fmt.Printf("ok (epoch %d)\n", epoch)
+		case "set-policy":
+			need(vrest, 2)
+			epoch, err := c.VolumeSetPolicy(vrest[0], vrest[1])
+			check(err)
+			fmt.Printf("ok (epoch %d)\n", epoch)
+		default:
+			usage()
+		}
 	case "owner":
 		need(rest, 1)
 		owner, err := c.Owner(rest[0])
@@ -388,13 +454,20 @@ commands:
   trace <id> -fleet     pull the trace from every node (-nodes name=addr,... adds
                         gateways/standbys) and print one stitched cross-node timeline
   top [iters [ival]]    poll -metrics host:port,... and render per-node/per-op RED rows,
+                        per-volume tenant rows (rate, errors, quota denials, p99),
                         replication lag, pool health, and exemplar traces
   tunerlog [n]          dump structured tuner decision events
 fleet (daemons started with -fleet; add -fleet here to route data commands by the map):
-  map                   show the cluster map (epoch, daemons, assignments)
+  map [-volume v]       show the cluster map (epoch, daemons, hosted volumes, assignments)
   map-epoch             show just the map epoch
   assign <fileset> <daemon|auto>   place or live-move a file set (-addr must be the authority)
   rebalance             recompute ANU placement and hand off every mis-placed file set
-  leave <daemon>        drain a daemon out of the fleet (its file sets hand off first)`)
+  leave <daemon>        drain a daemon out of the fleet (its file sets hand off first)
+volumes (multi-tenant; -addr must be the authority; file sets are named <volume>/<fileset>):
+  volume create <name>
+  volume rm <name>                 refused while the volume still owns file sets
+  volume ls                        list volumes, policies, weights, quotas (add -json)
+  volume set-quota <name> <max-filesets> <op-rate> [weight]   0 = unlimited / keep weight
+  volume set-policy <name> <spread|pack>`)
 	os.Exit(2)
 }

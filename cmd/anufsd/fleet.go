@@ -10,6 +10,7 @@ import (
 	"anufs/internal/fleet"
 	"anufs/internal/placement"
 	"anufs/internal/sharedisk"
+	"anufs/internal/volume"
 	"anufs/internal/wire"
 )
 
@@ -39,6 +40,13 @@ type fleetOptions struct {
 	journalDir string
 	standby    string
 	persist    func(*placement.ClusterMap) error
+	// persistVolumes journals the volume registry (the __volumes/registry
+	// image) the way persist journals the map; resumeVols/resumeVolsVer
+	// seed the registry from a recovered image, so quotas survive both an
+	// authority restart and a standby promotion.
+	persistVolumes func(vols []volume.Info, version uint64) error
+	resumeVols     []volume.Info
+	resumeVolsVer  uint64
 }
 
 // assigned lists the file sets the initial map gives this daemon.
@@ -76,11 +84,14 @@ func setupFleet(id int, roster, join string, nFileSets int, opts fleetOptions) (
 			names = append(names, fmt.Sprintf("vol%02d", i))
 		}
 		auth, err := fleet.NewAuthority(fleet.AuthorityConfig{
-			Daemons:  daemons,
-			FileSets: names,
-			SelfID:   id,
-			Lease:    opts.lease,
-			Persist:  opts.persist,
+			Daemons:              daemons,
+			FileSets:             names,
+			SelfID:               id,
+			Lease:                opts.lease,
+			Persist:              opts.persist,
+			PersistVolumes:       opts.persistVolumes,
+			ResumeVolumes:        opts.resumeVols,
+			ResumeVolumesVersion: opts.resumeVolsVer,
 		})
 		if err != nil {
 			return nil, err
@@ -153,12 +164,15 @@ func resumeFleet(im sharedisk.Image, advertise string, opts fleetOptions) (*flee
 		return nil, fmt.Errorf("fleet resume: map (epoch %d) does not contain its authority daemon %d", cm.Epoch, self)
 	}
 	auth, err := fleet.NewAuthority(fleet.AuthorityConfig{
-		Resume:          &patched,
-		SelfID:          self,
-		EpochFloor:      cm.Epoch + fleet.PromotionEpochJump,
-		Lease:           opts.lease,
-		Persist:         opts.persist,
-		AnnounceOnStart: true,
+		Resume:               &patched,
+		SelfID:               self,
+		EpochFloor:           cm.Epoch + fleet.PromotionEpochJump,
+		Lease:                opts.lease,
+		Persist:              opts.persist,
+		PersistVolumes:       opts.persistVolumes,
+		ResumeVolumes:        opts.resumeVols,
+		ResumeVolumesVersion: opts.resumeVolsVer,
+		AnnounceOnStart:      true,
 	})
 	if err != nil {
 		return nil, err

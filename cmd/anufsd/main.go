@@ -57,6 +57,7 @@ import (
 	"anufs/internal/placement"
 	"anufs/internal/replica"
 	"anufs/internal/sharedisk"
+	"anufs/internal/volume"
 	"anufs/internal/wire"
 )
 
@@ -203,6 +204,7 @@ func main() {
 	// journaled, snapshotted, and log-shipped to a standby authority on the
 	// same machinery as file-set metadata.
 	var persistMap func(*placement.ClusterMap) error
+	var persistVols func([]volume.Info, uint64) error
 	if jnl != nil {
 		if inst, ok := disk.(sharedisk.Installer); ok {
 			persistMap = func(cm *placement.ClusterMap) error {
@@ -212,6 +214,27 @@ func main() {
 				}
 				return inst.Install(fleet.MapFileSet, im)
 			}
+			// The volume registry replicates the same way: journaled as the
+			// __volumes/registry pseudo file set, shipped to the standby.
+			persistVols = func(vols []volume.Info, version uint64) error {
+				im, err := volume.EncodeImage(vols, version)
+				if err != nil {
+					return err
+				}
+				return inst.Install(volume.VolumesFileSet, im)
+			}
+		}
+	}
+	// A recovered store (authority restart, or a standby about to promote)
+	// may hold a replicated registry image: resume it so tenant quotas and
+	// weights never reset to defaults across a failover.
+	var resumeVols []volume.Info
+	var resumeVolsVer uint64
+	if im, err := disk.Load(volume.VolumesFileSet); err == nil {
+		if vols, ver, derr := volume.DecodeImage(im); derr == nil {
+			resumeVols, resumeVolsVer = vols, ver
+		} else {
+			log.Printf("anufsd: ignoring corrupt %s image: %v", volume.VolumesFileSet, derr)
 		}
 	}
 	advertise := *fleetAdvertise
@@ -219,12 +242,15 @@ func main() {
 		advertise = defaultAdvertise(*listen)
 	}
 	fopts := fleetOptions{
-		advertise:  advertise,
-		speed:      *fleetSpeed,
-		lease:      *fleetLease,
-		journalDir: *journalDir,
-		standby:    *fleetStandby,
-		persist:    persistMap,
+		advertise:      advertise,
+		speed:          *fleetSpeed,
+		lease:          *fleetLease,
+		journalDir:     *journalDir,
+		standby:        *fleetStandby,
+		persist:        persistMap,
+		persistVolumes: persistVols,
+		resumeVols:     resumeVols,
+		resumeVolsVer:  resumeVolsVer,
 	}
 	fl, err := setupFleet(*fleetID, *fleetAuthority, *fleetJoin, *fileSets, fopts)
 	if err != nil {

@@ -1,0 +1,167 @@
+// Command benchvol measures cross-tenant isolation in the owner queues:
+// a victim tenant's p99 create latency, solo and while a noisy tenant
+// saturates the same server, under two queue disciplines —
+//
+//	wfq   weighted fair queueing (per-volume FIFO queues, stride-scheduled
+//	      by weight, per-volume depth bound): the multi-tenant default
+//	fifo  one global FIFO with a shared depth bound: the pre-volume shape,
+//	      where the noisy tenant's backlog stands in front of everyone
+//
+// Output is `go test -bench` format so cmd/bench2json converts it to the
+// BENCH_volume.json artifact in CI: one line per discipline/phase with
+// ns/op (mean victim latency), plus a companion /p99 line carrying the
+// 99th-percentile latency.
+//
+// With -check, benchvol exits nonzero unless WFQ holds the victim's
+// contended p99 within -max-degradation times its solo p99 — the
+// regression gate for the isolation the volume subsystem exists to
+// provide. (FIFO is measured for contrast but not gated: it degrades
+// unboundedly by design.)
+//
+// Usage:
+//
+//	benchvol -samples 60 -check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anufs/internal/live"
+	"anufs/internal/sharedisk"
+)
+
+func main() {
+	var (
+		samples = flag.Int("samples", 60, "victim ops measured per phase")
+		opCost  = flag.Duration("opcost", 2*time.Millisecond, "server-side cost per queued task")
+		depth   = flag.Int("depth", 8, "owner-queue depth bound (per volume under wfq, global under fifo)")
+		workers = flag.Int("workers", 24, "noisy-tenant goroutines in the contended phase")
+		check   = flag.Bool("check", false, "fail unless wfq contended p99 <= -max-degradation x solo p99")
+		maxDeg  = flag.Float64("max-degradation", 3, "tolerated contended/solo victim p99 ratio for -check")
+	)
+	flag.Parse()
+
+	var wfqRatio float64
+	for _, mode := range []string{"wfq", "fifo"} {
+		c := newCluster(mode == "wfq", *opCost, *depth)
+		solo := victimP99(c, "solo", *samples)
+		emit(mode, "solo", solo)
+
+		stop := saturate(c, *workers)
+		// Let the noisy tenant's backlog actually fill the queue before
+		// measuring: with workers >> depth the push path blocks, so a short
+		// grace period is enough.
+		time.Sleep(20 * *opCost)
+		contended := victimP99(c, "contended", *samples)
+		stop()
+		c.Stop()
+		emit(mode, "contended", contended)
+
+		ratio := float64(contended.p99) / float64(solo.p99)
+		fmt.Fprintf(os.Stderr, "benchvol: %-4s victim p99 solo=%v contended=%v (%.1fx)\n",
+			mode, solo.p99, contended.p99, ratio)
+		if mode == "wfq" {
+			wfqRatio = ratio
+		}
+	}
+
+	if *check {
+		fmt.Fprintf(os.Stderr, "benchvol: wfq contended/solo victim p99: %.2fx (ceiling %.1fx)\n",
+			wfqRatio, *maxDeg)
+		if wfqRatio > *maxDeg {
+			log.Fatalf("benchvol: wfq let the victim's p99 degrade %.1fx under a noisy neighbour, ceiling is %.1fx",
+				wfqRatio, *maxDeg)
+		}
+	}
+}
+
+// phaseResult is one phase's victim-side latency summary.
+type phaseResult struct {
+	n    int
+	mean time.Duration
+	p99  time.Duration
+}
+
+func emit(mode, phase string, r phaseResult) {
+	fmt.Printf("BenchmarkVolumeIsolation/%s/%s \t%d\t%.1f ns/op\n",
+		mode, phase, r.n, float64(r.mean.Nanoseconds()))
+	fmt.Printf("BenchmarkVolumeIsolation/%s/%s/p99 \t1\t%d ns/op\n",
+		mode, phase, r.p99.Nanoseconds())
+}
+
+// newCluster boots a one-server cluster with the hot (noisy) and cold
+// (victim) tenants' file sets pre-created. Tuning is parked (Window=hour)
+// so the queue discipline is the only variable.
+func newCluster(fair bool, opCost time.Duration, depth int) *live.Cluster {
+	cfg := live.DefaultConfig()
+	cfg.Window = time.Hour
+	cfg.OpCost = opCost
+	cfg.QueueDepth = depth
+	cfg.FairQueue = fair
+	c, err := live.NewCluster(cfg, sharedisk.NewStore(0), map[int]float64{0: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fs := range []string{"hot/a", "cold/a"} {
+		if err := c.CreateFileSet(fs); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return c
+}
+
+// victimP99 issues n sequential victim-tenant creates and summarizes
+// their latency. Paths carry the phase so the two phases never collide.
+func victimP99(c *live.Cluster, phase string, n int) phaseResult {
+	lats := make([]int64, 0, n)
+	var total int64
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := c.Create("cold/a", fmt.Sprintf("/%s-%d", phase, i), sharedisk.Record{Size: 1}); err != nil {
+			log.Fatalf("benchvol: victim op: %v", err)
+		}
+		d := time.Since(start).Nanoseconds()
+		lats = append(lats, d)
+		total += d
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := (len(lats) * 99) / 100
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	return phaseResult{
+		n:    len(lats),
+		mean: time.Duration(total / int64(len(lats))),
+		p99:  time.Duration(lats[idx]),
+	}
+}
+
+// saturate floods the hot tenant from workers goroutines until the
+// returned stop function is called. Each worker issues sequential ops,
+// so choosing workers comfortably above the queue depth keeps the hot
+// volume's queue pinned full.
+func saturate(c *live.Cluster, workers int) (stop func()) {
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !done.Load(); i++ {
+				// Errors are expected at shutdown (queue closed); ignore.
+				_ = c.Create("hot/a", fmt.Sprintf("/w%d-%d", w, i), sharedisk.Record{Size: 1})
+			}
+		}(w)
+	}
+	return func() {
+		done.Store(true)
+		wg.Wait()
+	}
+}

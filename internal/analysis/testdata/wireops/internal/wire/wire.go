@@ -19,6 +19,9 @@ const (
 	OpMap      Op = "map"
 	OpJoin     Op = "join"
 	OpTakeover Op = "takeover"
+	// Volume-administration ops ride the same fleet forward path.
+	OpVolumeCreate Op = "volume-create"
+	OpVolumeList   Op = "volume-list"
 )
 
 // Request is one client frame.
@@ -46,6 +49,11 @@ func (c *Client) Map() (Request, Request, Request) {
 	return c.call(Request{Op: OpMap}), c.call(Request{Op: OpJoin}), c.call(Request{Op: OpTakeover})
 }
 
+// VolumeCreate and VolumeList send the volume-administration ops.
+func (c *Client) VolumeCreate() (Request, Request) {
+	return c.call(Request{Op: OpVolumeCreate}), c.call(Request{Op: OpVolumeList})
+}
+
 // Dial connects a client.
 func Dial(addr string) (*Client, error) { return &Client{}, nil }
 
@@ -62,9 +70,9 @@ func serve(req Request) int {
 		return 1
 	case OpOrphanServer:
 		return 2
-	case OpMap, OpJoin: // want `fleet forward clause misses OpTakeover`
+	case OpMap, OpJoin, OpVolumeCreate: // want `fleet forward clause misses OpTakeover, OpVolumeList`
 		return 3
-	case OpTakeover: // dispatched, but outside the forward clause
+	case OpTakeover, OpVolumeList: // dispatched, but outside the forward clause
 		return 4
 	}
 	return 0

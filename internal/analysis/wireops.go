@@ -43,14 +43,17 @@ var WireOps = &Analyzer{
 }
 
 // fleetDispatchOps is the canonical list of ops the wire server forwards
-// to FleetHandler.Fleet: the map/handoff ops and the membership/failover
-// ops (join, leave, heartbeat, takeover). Both dispatch tables — the
-// server's forward clause and the fleet member's Fleet switch — must
-// case every one of these that the wire package defines. Adding a fleet
-// op means adding it HERE as well as to both tables.
+// to FleetHandler.Fleet: the map/handoff ops, the membership/failover
+// ops (join, leave, heartbeat, takeover), and the volume-administration
+// ops. Both dispatch tables — the server's forward clause and the fleet
+// member's Fleet switch — must case every one of these that the wire
+// package defines. Adding a fleet op means adding it HERE as well as to
+// both tables.
 var fleetDispatchOps = []string{
 	"OpMap", "OpMapEpoch", "OpAdopt", "OpHandoff", "OpAssign",
 	"OpRebalance", "OpJoin", "OpLeave", "OpHeartbeat", "OpTakeover",
+	"OpVolumeCreate", "OpVolumeDelete", "OpVolumeList",
+	"OpVolumeSetQuota", "OpVolumeSetPolicy",
 }
 
 func runWireOps(pass *Pass) error {

@@ -32,6 +32,7 @@ import (
 	"anufs/internal/interval"
 	"anufs/internal/metrics"
 	"anufs/internal/placement"
+	"anufs/internal/volume"
 	"anufs/internal/wire"
 )
 
@@ -109,10 +110,21 @@ type AuthorityConfig struct {
 	// standby). Persist failures are counted, not fatal: replication
 	// degrades, serving does not.
 	Persist func(cm *placement.ClusterMap) error
+	// PersistVolumes is Persist's analogue for the volume registry: called
+	// with every mutated registry snapshot (anufsd journals it as the
+	// __volumes/registry pseudo file set, which log shipping carries to the
+	// standby). Failures are counted, not fatal.
+	PersistVolumes func(vols []volume.Info, version uint64) error
 	// Resume, when non-nil, seeds membership and assignment from a
 	// previously persisted map instead of Daemons/FileSets — the promoted
 	// standby's path back to authority.
 	Resume *placement.ClusterMap
+	// ResumeVolumes seeds the volume registry from a previously persisted
+	// snapshot (the __volumes/registry image a standby replicated), so
+	// quotas and weights survive authority failover. Empty starts fresh
+	// with only the default volume.
+	ResumeVolumes        []volume.Info
+	ResumeVolumesVersion uint64
 	// EpochFloor forces the first committed epoch strictly above this
 	// value (promotion sets Resume.Epoch + PromotionEpochJump).
 	EpochFloor uint64
@@ -138,6 +150,9 @@ type Authority struct {
 	counters *metrics.CounterSet
 	// elector tracks member liveness leases (nil when Lease == 0).
 	elector *election.Elector
+	// vols is the authoritative volume registry (its own lock; mutations
+	// bump the map epoch through volumesChanged).
+	vols *volume.Registry
 
 	// mu serializes reconfigurations (assign/rebalance/join/leave/failover).
 	mu      sync.Mutex
@@ -218,12 +233,16 @@ func NewAuthority(cfg AuthorityConfig) (*Authority, error) {
 		dial:     cfg.Dial,
 		dialFast: cfg.DialFast,
 		counters: metrics.NewCounterSet(),
+		vols:     volume.NewRegistry(),
 		cfg:      cfg,
 		mapper:   mapper,
 		daemons:  daemons,
 		dirs:     map[int]string{},
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if len(cfg.ResumeVolumes) > 0 {
+		a.vols.Install(cfg.ResumeVolumes, cfg.ResumeVolumesVersion)
 	}
 	if cfg.Lease > 0 {
 		a.elector = election.New(cfg.Lease, nil)
@@ -615,15 +634,21 @@ func (a *Authority) Assign(fileSet string, daemon int) (uint64, error) {
 		return 0, fmt.Errorf("fleet: assign needs a file set")
 	}
 	a.mu.Lock()
+	cur := a.Map()
+	from, owned := cur.Assign[fileSet]
+	if !owned {
+		if err := a.admitFileSetLocked(cur, fileSet); err != nil {
+			a.mu.Unlock()
+			return cur.Epoch, err
+		}
+	}
 	if daemon == -1 {
-		daemon = a.mapper.Owner(fileSet)
+		daemon = a.placeLocked(cur, fileSet, owned)
 	}
 	if _, ok := a.daemons[daemon]; !ok {
 		a.mu.Unlock()
 		return 0, fmt.Errorf("fleet: unknown daemon %d", daemon)
 	}
-	cur := a.Map()
-	from, owned := cur.Assign[fileSet]
 	if owned && from == daemon {
 		a.mu.Unlock()
 		return cur.Epoch, nil // already there
@@ -902,6 +927,10 @@ func (a *Authority) publish(cm *placement.ClusterMap) {
 	if err != nil {
 		return
 	}
+	// The volume registry piggybacks on every map push (members install it
+	// only when the version is newer), so quota/weight changes converge on
+	// the same machinery as the map.
+	vols, vversion := a.vols.List()
 	var wg sync.WaitGroup
 	for _, d := range cm.Daemons {
 		wg.Add(1)
@@ -913,7 +942,10 @@ func (a *Authority) publish(cm *placement.ClusterMap) {
 				return
 			}
 			defer c.Close()
-			if c.Adopt(cm.Epoch, "", nil, encoded) != nil { // empty FileSet = map-only push
+			// Empty FileSet = map-only push.
+			_, err = c.Call(wire.Request{Op: wire.OpAdopt, Epoch: cm.Epoch, Map: encoded,
+				Volumes: vols, VolumesVersion: vversion})
+			if err != nil {
 				a.counters.Add(CtrPublishStragglers, 1)
 			}
 		}(d.Addr)

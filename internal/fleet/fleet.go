@@ -9,9 +9,11 @@ import (
 	"anufs/internal/journal"
 	"anufs/internal/live"
 	"anufs/internal/metrics"
+	"anufs/internal/namespace"
 	"anufs/internal/obs"
 	"anufs/internal/placement"
 	"anufs/internal/sharedisk"
+	"anufs/internal/volume"
 	"anufs/internal/wire"
 )
 
@@ -35,6 +37,12 @@ const (
 	CtrTakeovers         = "fleet_takeovers"      // member: file sets adopted via failover
 	CtrTakeoverEmpty     = "fleet_takeover_empty" // member: adopted with nothing to replay
 	CtrRejoins           = "fleet_rejoins"        // member: heartbeat-triggered re-joins
+	// Multi-tenant volume counters: quota denials (authority MaxFileSets +
+	// member op-rate), registry persist failures (authority), registry
+	// refreshes installed from pushes/polls (member).
+	CtrQuotaDenials          = "fleet_quota_denials"
+	CtrVolumePersistFailures = "fleet_volume_persist_failures"
+	CtrVolumeRefreshes       = "fleet_volume_refreshes"
 )
 
 // unplacedMsg prefixes rejections of operations on file sets absent from
@@ -135,6 +143,14 @@ type Member struct {
 	// invariant: every acknowledged write either completed before the
 	// flush or was never admitted.
 	inflight map[string]int
+	// buckets holds one op-rate token bucket per quota'd volume (nil entry
+	// or absent = unlimited); rebuilt by applyVolumes.
+	buckets map[string]*volume.Bucket
+
+	// vols is this daemon's volume registry view — the authority's own
+	// registry on the authority daemon, a replica installed from pushes and
+	// polls elsewhere. Has its own lock.
+	vols *volume.Registry
 
 	stop chan struct{}
 	done chan struct{}
@@ -191,9 +207,15 @@ func NewMember(cfg MemberConfig, initial *placement.ClusterMap) (*Member, error)
 		lastContact: time.Now(),
 		ready:       map[string]bool{},
 		inflight:    map[string]int{},
+		buckets:     map[string]*volume.Bucket{},
+		vols:        volume.NewRegistry(),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	if cfg.Authority != nil {
+		m.vols = cfg.Authority.vols
+	}
+	m.applyVolumes()
 	onDisk := map[string]bool{}
 	for _, fs := range cfg.Disk.FileSets() {
 		onDisk[fs] = true
@@ -337,16 +359,20 @@ func (m *Member) probe(addr string) bool {
 		if err != nil && wire.ErrorCode(err) == wire.CodeJoinFirst {
 			// The authority does not know us: we were declared dead (and
 			// restarted), or a promoted standby resumed a map from before we
-			// joined. Re-register; the join reply carries the new map.
-			_, encoded, jerr := c.Join(m.cfg.ID, m.cfg.Addr, m.cfg.Speed, m.cfg.JournalDir)
+			// joined. Re-register; the join reply carries the new map (and
+			// the volume registry — a promoted standby's quotas must bind
+			// here, before this daemon serves another op).
+			jresp, jerr := c.Call(wire.Request{Op: wire.OpJoin, Daemon: m.cfg.ID,
+				Addr: m.cfg.Addr, Speed: m.cfg.Speed, JournalDir: m.cfg.JournalDir})
 			if jerr != nil {
 				return false
 			}
-			cm, derr := placement.DecodeClusterMap(encoded)
+			cm, derr := placement.DecodeClusterMap(jresp.Map)
 			if derr != nil {
 				return false
 			}
 			m.counters.Add(CtrRejoins, 1)
+			m.installVolumes(jresp.Volumes, jresp.VolumesVersion)
 			m.adoptMap(cm)
 			return true
 		}
@@ -359,14 +385,17 @@ func (m *Member) probe(addr string) bool {
 	if epoch <= m.CurrentMap().Epoch {
 		return true
 	}
-	encoded, err := c.ClusterMap()
+	// Full fetch: the OpMap reply carries the volume registry alongside the
+	// map, so one poll converges both.
+	mresp, err := c.Call(wire.Request{Op: wire.OpMap})
 	if err != nil {
 		return false
 	}
-	cm, err := placement.DecodeClusterMap(encoded)
+	cm, err := placement.DecodeClusterMap(mresp.Map)
 	if err != nil {
 		return false
 	}
+	m.installVolumes(mresp.Volumes, mresp.VolumesVersion)
 	m.adoptMap(cm)
 	return true
 }
@@ -422,6 +451,17 @@ func (m *Member) Gate(op wire.Op, fileSet string) (func(), error) {
 		m.mu.Unlock()
 		return nil, wire.ErrArriving
 	}
+	// Op-rate quota: one token bucket per volume per daemon (the authority
+	// cannot see per-op traffic, so the rate is enforced where the ops
+	// land). Checked after ownership so only the serving daemon ever emits
+	// quota-exceeded for an op.
+	vol := namespace.VolumeOf(fileSet)
+	if b := m.buckets[vol]; b != nil && !b.Allow() {
+		m.counters.Add(CtrQuotaDenials, 1)
+		m.mu.Unlock()
+		return nil, wire.QuotaExceeded(fmt.Errorf(
+			"fleet: volume %q over its op-rate quota (%g ops/s per daemon)", vol, b.Rate()))
+	}
 	m.inflight[fileSet]++
 	m.mu.Unlock()
 	var once sync.Once
@@ -460,6 +500,9 @@ func (m *Member) Fleet(req wire.Request) wire.Response {
 		}
 		resp.Map = encoded
 		resp.Epoch = m.CurrentMap().Epoch
+		// Volume registry rides every map fetch: pollers converge on quotas
+		// and weights with the same RPC that converges the map.
+		resp.Volumes, resp.VolumesVersion = m.vols.List()
 	case wire.OpMapEpoch:
 		resp.Epoch = m.CurrentMap().Epoch
 	case wire.OpAdopt:
@@ -504,6 +547,7 @@ func (m *Member) Fleet(req wire.Request) wire.Response {
 		}
 		resp.Map = encoded
 		resp.Epoch = cm.Epoch
+		resp.Volumes, resp.VolumesVersion = m.vols.List()
 	case wire.OpLeave:
 		if m.cfg.Authority == nil {
 			return fail(fmt.Errorf("fleet: daemon %d is not the authority", m.cfg.ID))
@@ -527,6 +571,53 @@ func (m *Member) Fleet(req wire.Request) wire.Response {
 			return fail(err)
 		}
 		resp.Epoch = m.CurrentMap().Epoch
+	case wire.OpVolumeCreate:
+		if m.cfg.Authority == nil {
+			return fail(fmt.Errorf("fleet: daemon %d is not the authority", m.cfg.ID))
+		}
+		epoch, err := m.cfg.Authority.VolumeCreate(req.Volume)
+		if err != nil {
+			return fail(err)
+		}
+		m.applyVolumes()
+		resp.Epoch = epoch
+	case wire.OpVolumeDelete:
+		if m.cfg.Authority == nil {
+			return fail(fmt.Errorf("fleet: daemon %d is not the authority", m.cfg.ID))
+		}
+		epoch, err := m.cfg.Authority.VolumeDelete(req.Volume)
+		if err != nil {
+			return fail(err)
+		}
+		m.applyVolumes()
+		resp.Epoch = epoch
+	case wire.OpVolumeList:
+		if m.cfg.Authority == nil {
+			return fail(fmt.Errorf("fleet: daemon %d is not the authority", m.cfg.ID))
+		}
+		resp.Volumes, resp.VolumesVersion = m.cfg.Authority.Volumes()
+		resp.Epoch = m.CurrentMap().Epoch
+	case wire.OpVolumeSetQuota:
+		if m.cfg.Authority == nil {
+			return fail(fmt.Errorf("fleet: daemon %d is not the authority", m.cfg.ID))
+		}
+		q := volume.Quota{MaxFileSets: req.MaxFileSets, OpRate: req.OpRate}
+		epoch, err := m.cfg.Authority.VolumeSetQuota(req.Volume, q, req.Weight)
+		if err != nil {
+			return fail(err)
+		}
+		m.applyVolumes()
+		resp.Epoch = epoch
+	case wire.OpVolumeSetPolicy:
+		if m.cfg.Authority == nil {
+			return fail(fmt.Errorf("fleet: daemon %d is not the authority", m.cfg.ID))
+		}
+		epoch, err := m.cfg.Authority.VolumeSetPolicy(req.Volume, req.Policy)
+		if err != nil {
+			return fail(err)
+		}
+		m.applyVolumes()
+		resp.Epoch = epoch
 	default:
 		return fail(fmt.Errorf("fleet: unknown fleet op %q", req.Op))
 	}
@@ -536,6 +627,9 @@ func (m *Member) Fleet(req wire.Request) wire.Response {
 // handleAdopt serves OpAdopt: a map-only push (no FileSet) or a donated
 // file set arriving with its image and the map of the handoff's epoch.
 func (m *Member) handleAdopt(req wire.Request) error {
+	// A pushed volume registry installs independently of the map's fate:
+	// its own version check makes stale snapshots no-ops.
+	m.installVolumes(req.Volumes, req.VolumesVersion)
 	var cm *placement.ClusterMap
 	if len(req.Map) > 0 {
 		var err error

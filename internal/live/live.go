@@ -40,8 +40,15 @@ type Config struct {
 	// server; a server with speed s serves in OpCost/s.
 	OpCost time.Duration
 	// QueueDepth bounds each server's request queue; Submit blocks when the
-	// queue is full (clients experience backpressure, not drops).
+	// queue is full (clients experience backpressure, not drops). With
+	// FairQueue on, the bound applies per tenant volume, so one tenant's
+	// backlog cannot exert backpressure on another tenant's submitters.
 	QueueDepth int
+	// FairQueue turns each server queue into a weighted-fair scheduler
+	// over tenant volumes (see taskQueue): a hot volume saturating its own
+	// queue no longer starves a cold one. Off = the pre-volume global
+	// FIFO. DefaultConfig enables it.
+	FairQueue bool
 	// RetryBudget bounds how long a request keeps retrying while the file
 	// set it targets is mid-move.
 	RetryBudget time.Duration
@@ -64,6 +71,7 @@ func DefaultConfig() Config {
 		Window:      250 * time.Millisecond,
 		OpCost:      2 * time.Millisecond,
 		QueueDepth:  1024,
+		FairQueue:   true,
 		RetryBudget: 5 * time.Second,
 		LockLease:   30 * time.Second,
 	}
@@ -101,7 +109,7 @@ type server struct {
 	speed float64
 	ms    *metaserver.Server
 	locks *lockmgr.Manager
-	ch    chan task
+	q     *taskQueue
 	done  chan struct{}
 	// observe, if non-nil, records each completion into the cluster's
 	// latency series.
@@ -122,7 +130,11 @@ type server struct {
 
 func (s *server) run(opCost time.Duration) {
 	defer close(s.done)
-	for t := range s.ch {
+	for {
+		t, ok := s.q.pop()
+		if !ok {
+			return
+		}
 		deq := time.Now()
 		wait := deq.Sub(t.enq)
 		if d := time.Duration(float64(opCost) / s.speed); d > 0 {
@@ -203,9 +215,12 @@ type Cluster struct {
 	// graveyard holds killed servers: their goroutines keep draining their
 	// queues (replying ErrNotOwner after the crash) until Stop closes them.
 	graveyard []*server
-	moves     int64
-	stopped   bool
-	tunerWG   sync.WaitGroup
+	// volWeights is the current per-volume WFQ weight table, applied to
+	// every server queue (and to servers commissioned later).
+	volWeights map[string]float64
+	moves      int64
+	stopped    bool
+	tunerWG    sync.WaitGroup
 	// submitters tracks in-flight queue sends so Stop can close the server
 	// channels only once no sender can touch them.
 	submitters sync.WaitGroup
@@ -277,15 +292,34 @@ func (c *Cluster) newServer(id int, speed float64) *server {
 		speed:    speed,
 		ms:       metaserver.New(id, c.disk),
 		locks:    lockmgr.New(c.cfg.LockLease, nil),
-		ch:       make(chan task, c.cfg.QueueDepth),
+		q:        newTaskQueue(c.cfg.FairQueue, c.cfg.QueueDepth),
 		done:     make(chan struct{}),
 		observe:  c.observe,
 		spans:    c.obs.Spans,
 		histLat:  c.obs.Hist.Get("live_latency_seconds", label),
 		histWait: c.obs.Hist.Get("live_queue_wait_seconds", label),
 	}
+	if c.volWeights != nil {
+		s.q.setWeights(c.volWeights)
+	}
 	go s.run(c.cfg.OpCost)
 	return s
+}
+
+// SetVolumeWeights installs the per-volume WFQ weight table on every
+// server queue (volumes not listed get weight 1). In fleet mode the
+// member calls this whenever it adopts a newer volume registry, so quota
+// changes published by the authority reshape scheduling fleet-wide.
+func (c *Cluster) SetVolumeWeights(w map[string]float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.volWeights = w
+	for _, s := range c.servers {
+		s.q.setWeights(w)
+	}
+	for _, s := range c.graveyard {
+		s.q.setWeights(w)
+	}
 }
 
 // Stop shuts the cluster down: the tuner exits, in-flight submissions
@@ -304,10 +338,15 @@ func (c *Cluster) Stop() {
 	}
 	servers = append(servers, c.graveyard...)
 	c.mu.Unlock()
+	// Close the queues first: blocked pushers (including the tuner mid-
+	// reconfig) wake with ErrStopped, while already-queued tasks still
+	// drain and get their replies.
+	for _, s := range servers {
+		s.q.close()
+	}
 	c.tunerWG.Wait()
 	c.submitters.Wait()
 	for _, s := range servers {
-		close(s.ch)
 		<-s.done
 	}
 }
@@ -392,10 +431,8 @@ func (c *Cluster) routeOnce(trace uint64, op, fileSet string, fn func(*server) e
 	c.mu.Unlock()
 	defer c.submitters.Done()
 	t := task{fn: fn, enq: time.Now(), reply: make(chan taskResult, 1), trace: trace, op: op, fileSet: fileSet}
-	select {
-	case srv.ch <- t:
-	case <-c.stopCh:
-		return taskResult{}, ErrStopped
+	if err := srv.q.push(t); err != nil {
+		return taskResult{}, err
 	}
 	return <-t.reply, nil
 }
@@ -718,15 +755,14 @@ func (c *Cluster) finishReconfigLocked(before *core.Mapper) {
 					s.locks.DropFileSet(mv.Name)
 					return s.ms.Release(mv.Name)
 				},
-				enq:   time.Now(),
-				reply: make(chan taskResult, 1),
+				enq:     time.Now(),
+				reply:   make(chan taskResult, 1),
+				fileSet: mv.Name,
 			}
-			select {
-			case from.ch <- t:
-				<-t.reply
-			case <-c.stopCh:
+			if err := from.q.push(t); err != nil {
 				return
 			}
+			<-t.reply
 		}
 		if to, ok := servers[mv.To]; ok {
 			// Acquire directly: the gaining server can load the image

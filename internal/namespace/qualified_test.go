@@ -1,0 +1,120 @@
+package namespace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQualifyFileSetRoundTrip(t *testing.T) {
+	id, err := QualifyFileSet("tenantA", "fs0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "tenantA/fs0" {
+		t.Fatalf("QualifyFileSet = %q", id)
+	}
+	vol, fs := SplitFileSet(id)
+	if vol != "tenantA" || fs != "fs0" {
+		t.Fatalf("SplitFileSet(%q) = (%q, %q)", id, vol, fs)
+	}
+}
+
+func TestSplitFileSetUnqualified(t *testing.T) {
+	vol, fs := SplitFileSet("vol00")
+	if vol != DefaultVolume || fs != "vol00" {
+		t.Fatalf("SplitFileSet(vol00) = (%q, %q)", vol, fs)
+	}
+	if VolumeOf("vol00") != DefaultVolume {
+		t.Fatalf("VolumeOf(vol00) = %q", VolumeOf("vol00"))
+	}
+	if VolumeOf("a/b") != "a" {
+		t.Fatalf("VolumeOf(a/b) = %q", VolumeOf("a/b"))
+	}
+}
+
+func TestSplitFileSetSystemImage(t *testing.T) {
+	// System pseudo file sets like __fleet/map split but never validate.
+	vol, fs := SplitFileSet("__fleet/map")
+	if vol != "__fleet" || fs != "map" {
+		t.Fatalf("SplitFileSet(__fleet/map) = (%q, %q)", vol, fs)
+	}
+	if ValidVolumeName(vol) == nil {
+		t.Fatal("reserved __fleet validated as a volume name")
+	}
+}
+
+func TestValidVolumeName(t *testing.T) {
+	bad := []string{
+		"", "a/b", "/", "__sys", "has space", "tab\there", "ctl\x00",
+		string([]byte{0xff, 0xfe}), strings.Repeat("x", MaxVolumeName+1),
+	}
+	for _, v := range bad {
+		if ValidVolumeName(v) == nil {
+			t.Errorf("ValidVolumeName(%q) accepted", v)
+		}
+	}
+	good := []string{"a", "tenant-1", "τενant", "数据", strings.Repeat("x", MaxVolumeName)}
+	for _, v := range good {
+		if err := ValidVolumeName(v); err != nil {
+			t.Errorf("ValidVolumeName(%q): %v", v, err)
+		}
+	}
+}
+
+func TestQualifyFileSetRejects(t *testing.T) {
+	cases := [][2]string{
+		{"", "fs"}, {"v/ol", "fs"}, {"__v", "fs"}, {"v", ""}, {"v", "a/b"},
+	}
+	for _, c := range cases {
+		if _, err := QualifyFileSet(c[0], c[1]); err == nil {
+			t.Errorf("QualifyFileSet(%q, %q) accepted", c[0], c[1])
+		}
+	}
+}
+
+// FuzzVolumeQualifiedName hardens qualified-ID construction and parsing:
+// whatever bytes arrive (separator injection, empty volume, unicode),
+// Qualify either rejects the pair or produces an ID that splits back to
+// exactly its inputs, and Split never panics and is total.
+func FuzzVolumeQualifiedName(f *testing.F) {
+	f.Add("tenantA", "fs0")
+	f.Add("", "fs0")          // empty volume
+	f.Add("a/b", "fs")        // separator injection in the volume
+	f.Add("a", "b/c")         // separator injection in the file set
+	f.Add("__fleet", "map")   // reserved system prefix
+	f.Add("τενant", "фс")     // unicode
+	f.Add("default", "vol00") // explicit default volume
+	f.Add("a b", "fs")        // space
+	f.Add("\xff\xfe", "fs")   // invalid UTF-8
+	f.Add("v", "")            // empty file set
+	f.Fuzz(func(t *testing.T, vol, fs string) {
+		id, err := QualifyFileSet(vol, fs)
+		if err == nil {
+			if ValidVolumeName(vol) != nil {
+				t.Fatalf("Qualify(%q, %q) accepted an invalid volume", vol, fs)
+			}
+			if strings.Count(id, VolumeSep) != 1 {
+				t.Fatalf("Qualify(%q, %q) = %q: want exactly one separator", vol, fs, id)
+			}
+			v2, f2 := SplitFileSet(id)
+			if v2 != vol || f2 != fs {
+				t.Fatalf("round trip broke: (%q, %q) -> %q -> (%q, %q)", vol, fs, id, v2, f2)
+			}
+		}
+		// Split is total: no panic, the volume never contains the
+		// separator, and re-qualifying a valid split is a fixpoint.
+		v, rest := SplitFileSet(vol + VolumeSep + fs)
+		if strings.Contains(v, VolumeSep) {
+			t.Fatalf("SplitFileSet(%q) volume %q contains separator", vol+VolumeSep+fs, v)
+		}
+		if !strings.Contains(vol, VolumeSep) && v != vol {
+			t.Fatalf("SplitFileSet(%q) volume = %q, want %q", vol+VolumeSep+fs, v, vol)
+		}
+		if ValidVolumeName(v) == nil && rest != "" && !strings.Contains(rest, VolumeSep) {
+			again, err := QualifyFileSet(v, rest)
+			if err != nil || again != vol+VolumeSep+fs {
+				t.Fatalf("re-qualify of split (%q, %q) failed: %q, %v", v, rest, again, err)
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"anufs/internal/metrics"
 	"anufs/internal/obs"
 	"anufs/internal/sharedisk"
+	"anufs/internal/volume"
 	"anufs/internal/wire"
 )
 
@@ -256,6 +257,49 @@ func (c *Client) Batch(fileSet string, items []wire.BatchItem) ([]wire.BatchResu
 		return nil, fmt.Errorf("wire: batch of %d items got %d results", len(items), len(resp.Results))
 	}
 	return resp.Results, nil
+}
+
+// --- volume administration ------------------------------------------------
+
+// Volume ops are authority-only; the router targets the daemon the current
+// map advertises, so they keep working across a standby promotion.
+
+// VolumeCreate registers a tenant volume and returns the announcing epoch.
+func (c *Client) VolumeCreate(name string) (uint64, error) {
+	defer c.track()()
+	resp, err := c.router.CallAuthority(wire.Request{Op: wire.OpVolumeCreate, Volume: name})
+	return resp.Epoch, err
+}
+
+// VolumeDelete removes an empty volume.
+func (c *Client) VolumeDelete(name string) (uint64, error) {
+	defer c.track()()
+	resp, err := c.router.CallAuthority(wire.Request{Op: wire.OpVolumeDelete, Volume: name})
+	return resp.Epoch, err
+}
+
+// VolumeList fetches every volume and the registry version.
+func (c *Client) VolumeList() ([]volume.Info, uint64, error) {
+	defer c.track()()
+	resp, err := c.router.CallAuthority(wire.Request{Op: wire.OpVolumeList})
+	return resp.Volumes, resp.VolumesVersion, err
+}
+
+// VolumeSetQuota sets a volume's quotas and WFQ weight (zero values mean
+// unlimited / keep the current weight).
+func (c *Client) VolumeSetQuota(name string, maxFileSets int, opRate, weight float64) (uint64, error) {
+	defer c.track()()
+	resp, err := c.router.CallAuthority(wire.Request{Op: wire.OpVolumeSetQuota,
+		Volume: name, MaxFileSets: maxFileSets, OpRate: opRate, Weight: weight})
+	return resp.Epoch, err
+}
+
+// VolumeSetPolicy sets a volume's placement policy (spread | pack).
+func (c *Client) VolumeSetPolicy(name, policy string) (uint64, error) {
+	defer c.track()()
+	resp, err := c.router.CallAuthority(wire.Request{Op: wire.OpVolumeSetPolicy,
+		Volume: name, Policy: policy})
+	return resp.Epoch, err
 }
 
 // Flush ships every pending batched write and returns when all are

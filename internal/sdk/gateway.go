@@ -319,7 +319,9 @@ func (g *Gateway) route(req wire.Request) wire.Response {
 			return fail(err)
 		}
 		return resp
-	case wire.OpAssign, wire.OpRebalance:
+	case wire.OpAssign, wire.OpRebalance,
+		wire.OpVolumeCreate, wire.OpVolumeDelete, wire.OpVolumeList,
+		wire.OpVolumeSetQuota, wire.OpVolumeSetPolicy:
 		// Authority-only: forward verbatim, then mark the map cache stale
 		// up to the answered epoch so every later map read (ours and our
 		// peers', via peer refresh) reaches it.

@@ -1,0 +1,52 @@
+package volume
+
+import (
+	"fmt"
+	"time"
+
+	"anufs/internal/sharedisk"
+)
+
+// VolumesFileSet is the pseudo file set the authority persists the volume
+// registry under — the same trick as fleet's "__fleet/map": writing it
+// through the daemon's Durable disk makes quotas and weights journaled,
+// snapshot-surviving records that the log shipper carries to the standby
+// for free, so a promoted authority still knows every tenant's limits.
+// The "/" keeps it out of the flat client namespace and the "__" volume
+// prefix is reserved, so no tenant can collide with it.
+const VolumesFileSet = "__volumes/registry"
+
+// volumesRecordKey is the single record inside the image; the encoded
+// registry rides in the record's Owner field, like the cluster map.
+const volumesRecordKey = "volumes"
+
+// EncodeImage wraps a registry snapshot in a shared-disk image whose
+// Version is the registry version — Install's downgrade check then
+// enforces monotonicity, and a standby replaying shipped segments always
+// ends at the newest registry it received.
+func EncodeImage(vols []Info, version uint64) (sharedisk.Image, error) {
+	encoded, err := Encode(vols, version)
+	if err != nil {
+		return sharedisk.Image{}, err
+	}
+	return sharedisk.Image{
+		Version: version,
+		Records: map[string]sharedisk.Record{
+			volumesRecordKey: {
+				Size:    int64(len(encoded)),
+				ModTime: time.Now(),
+				Owner:   string(encoded),
+			},
+		},
+	}, nil
+}
+
+// DecodeImage recovers a registry snapshot from a persisted image — the
+// promoted standby's route back to every tenant's quotas.
+func DecodeImage(im sharedisk.Image) ([]Info, uint64, error) {
+	rec, ok := im.Records[volumesRecordKey]
+	if !ok {
+		return nil, 0, fmt.Errorf("volume: image %q carries no %s record", VolumesFileSet, volumesRecordKey)
+	}
+	return Decode([]byte(rec.Owner))
+}

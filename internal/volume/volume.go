@@ -1,0 +1,228 @@
+// Package volume is the multi-tenant registry: named volumes (tenants)
+// that own private file-set namespaces, quotas (file-set count, op rate),
+// a weighted-fair-queueing weight, and a placement policy. The paper's
+// ANU mapper balances one flat namespace of 21 file sets; a production
+// shared-disk system serves tenants, so every file-set ID is
+// volume-qualified ("vol/fileset", see internal/namespace) and this
+// registry is the authority's source of truth for what each tenant may do.
+package volume
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"anufs/internal/namespace"
+)
+
+// Placement policies. Spread hashes a volume's file sets across the whole
+// fleet (the paper's interval placement — right for hot tenants that need
+// aggregate throughput); Pack co-locates a volume's file sets on as few
+// daemons as possible (right for cold tenants, and it keeps their working
+// set in one journal).
+const (
+	PolicySpread = "spread"
+	PolicyPack   = "pack"
+)
+
+// ValidPolicy reports whether p names a placement policy.
+func ValidPolicy(p string) bool { return p == PolicySpread || p == PolicyPack }
+
+// Quota bounds one tenant. Zero values mean unlimited.
+type Quota struct {
+	// MaxFileSets caps how many file sets the volume may own.
+	MaxFileSets int `json:"max_filesets,omitempty"`
+	// OpRate caps the volume's sustained operations per second at each
+	// owning daemon (enforced by a token bucket in the fleet gate).
+	OpRate float64 `json:"op_rate,omitempty"`
+}
+
+// Info is one volume's durable configuration.
+type Info struct {
+	Name   string  `json:"name"`
+	Quota  Quota   `json:"quota"`
+	Policy string  `json:"policy"`
+	Weight float64 `json:"weight"` // weighted-fair-queueing share; >= 0, default 1
+}
+
+// Default is the implicit volume every unqualified file-set ID belongs
+// to: unlimited quota, spread placement, unit weight. It always exists.
+func Default() Info {
+	return Info{Name: namespace.DefaultVolume, Policy: PolicySpread, Weight: 1}
+}
+
+// Registry is the volume table. The authority owns the only mutable
+// instance; members and standbys hold read-only installed copies. Safe
+// for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	version uint64
+	vols    map[string]Info
+}
+
+// NewRegistry creates a registry holding only the default volume, at
+// version 1 (versions are monotone and survive re-encoding; version 0 is
+// "never persisted").
+func NewRegistry() *Registry {
+	return &Registry{version: 1, vols: map[string]Info{namespace.DefaultVolume: Default()}}
+}
+
+// Version returns the registry's monotone version.
+func (r *Registry) Version() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
+
+// Get returns a volume's config. Unknown volumes return ok=false.
+func (r *Registry) Get(name string) (Info, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.vols[name]
+	return v, ok
+}
+
+// List returns every volume sorted by name, plus the registry version.
+func (r *Registry) List() ([]Info, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sortedLocked(), r.version
+}
+
+func (r *Registry) sortedLocked() []Info {
+	out := make([]Info, 0, len(r.vols))
+	for _, v := range r.vols {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Create adds a volume with default config (unlimited quota, spread,
+// unit weight) and returns the new registry version.
+func (r *Registry) Create(name string) (uint64, error) {
+	if err := namespace.ValidVolumeName(name); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.vols[name]; ok {
+		return 0, fmt.Errorf("volume: %q already exists", name)
+	}
+	r.vols[name] = Info{Name: name, Policy: PolicySpread, Weight: 1}
+	r.version++
+	return r.version, nil
+}
+
+// Delete removes a volume. The default volume is permanent, and inUse
+// (when non-nil) lets the caller refuse deleting a volume that still owns
+// file sets — quota state must not silently vanish under live data.
+func (r *Registry) Delete(name string, inUse func(vol string) int) (uint64, error) {
+	if name == namespace.DefaultVolume {
+		return 0, fmt.Errorf("volume: the default volume cannot be deleted")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.vols[name]; !ok {
+		return 0, fmt.Errorf("volume: %q does not exist", name)
+	}
+	if inUse != nil {
+		if n := inUse(name); n > 0 {
+			return 0, fmt.Errorf("volume: %q still owns %d file sets", name, n)
+		}
+	}
+	delete(r.vols, name)
+	r.version++
+	return r.version, nil
+}
+
+// SetQuota updates a volume's quota and WFQ weight.
+func (r *Registry) SetQuota(name string, q Quota, weight float64) (uint64, error) {
+	if q.MaxFileSets < 0 || q.OpRate < 0 || weight < 0 {
+		return 0, fmt.Errorf("volume: negative quota or weight")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.vols[name]
+	if !ok {
+		return 0, fmt.Errorf("volume: %q does not exist", name)
+	}
+	v.Quota = q
+	if weight > 0 {
+		v.Weight = weight
+	}
+	r.vols[name] = v
+	r.version++
+	return r.version, nil
+}
+
+// SetPolicy updates a volume's placement policy.
+func (r *Registry) SetPolicy(name, policy string) (uint64, error) {
+	if !ValidPolicy(policy) {
+		return 0, fmt.Errorf("volume: unknown policy %q (want %s or %s)", policy, PolicySpread, PolicyPack)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.vols[name]
+	if !ok {
+		return 0, fmt.Errorf("volume: %q does not exist", name)
+	}
+	v.Policy = policy
+	r.vols[name] = v
+	r.version++
+	return r.version, nil
+}
+
+// Install replaces the registry contents with a newer snapshot (adopted
+// from the authority, or replayed from the journal on promotion). Stale
+// versions are ignored, so replays and reordered pushes cannot roll
+// quotas back. Returns whether the snapshot was applied.
+func (r *Registry) Install(vols []Info, version uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if version <= r.version {
+		// A fresh registry starts at version 1 holding only the default
+		// volume, and any other version-1 snapshot is that same content —
+		// so equal versions never carry news.
+		return false
+	}
+	m := make(map[string]Info, len(vols)+1)
+	for _, v := range vols {
+		m[v.Name] = v
+	}
+	if _, ok := m[namespace.DefaultVolume]; !ok {
+		m[namespace.DefaultVolume] = Default()
+	}
+	r.vols = m
+	r.version = version
+	return true
+}
+
+// Encode serializes a volume list for the wire or the durable image.
+func Encode(vols []Info, version uint64) ([]byte, error) {
+	return json.Marshal(struct {
+		Version uint64 `json:"version"`
+		Volumes []Info `json:"volumes"`
+	}{version, vols})
+}
+
+// Decode parses what Encode produced.
+func Decode(data []byte) ([]Info, uint64, error) {
+	var payload struct {
+		Version uint64 `json:"version"`
+		Volumes []Info `json:"volumes"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return nil, 0, fmt.Errorf("volume: decode: %w", err)
+	}
+	for _, v := range payload.Volumes {
+		if v.Name == "" {
+			return nil, 0, fmt.Errorf("volume: decode: volume with empty name")
+		}
+		if v.Weight < 0 || v.Quota.MaxFileSets < 0 || v.Quota.OpRate < 0 {
+			return nil, 0, fmt.Errorf("volume: decode: %q has negative quota or weight", v.Name)
+		}
+	}
+	return payload.Volumes, payload.Version, nil
+}

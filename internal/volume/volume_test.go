@@ -1,0 +1,134 @@
+package volume
+
+import (
+	"testing"
+
+	"anufs/internal/namespace"
+	"anufs/internal/sharedisk"
+)
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Get(namespace.DefaultVolume); !ok {
+		t.Fatal("default volume missing from fresh registry")
+	}
+	v0 := r.Version()
+	ver, err := r.Create("tenantA")
+	if err != nil || ver <= v0 {
+		t.Fatalf("Create: ver=%d err=%v", ver, err)
+	}
+	if _, err := r.Create("tenantA"); err == nil {
+		t.Fatal("duplicate Create accepted")
+	}
+	if _, err := r.Create("bad/name"); err == nil {
+		t.Fatal("separator in volume name accepted")
+	}
+	if _, err := r.Create("__sys"); err == nil {
+		t.Fatal("reserved volume name accepted")
+	}
+	if _, err := r.SetQuota("tenantA", Quota{MaxFileSets: 2, OpRate: 100}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SetPolicy("tenantA", PolicyPack); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SetPolicy("tenantA", "sideways"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	got, ok := r.Get("tenantA")
+	if !ok || got.Quota.MaxFileSets != 2 || got.Quota.OpRate != 100 || got.Weight != 4 || got.Policy != PolicyPack {
+		t.Fatalf("Get(tenantA) = %+v", got)
+	}
+	if _, err := r.Delete("tenantA", func(string) int { return 3 }); err == nil {
+		t.Fatal("Delete of in-use volume accepted")
+	}
+	if _, err := r.Delete("tenantA", func(string) int { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Delete(namespace.DefaultVolume, nil); err == nil {
+		t.Fatal("Delete of default volume accepted")
+	}
+}
+
+func TestRegistryInstallMonotone(t *testing.T) {
+	r := NewRegistry()
+	newer := []Info{{Name: "t", Weight: 2, Policy: PolicySpread, Quota: Quota{MaxFileSets: 1}}}
+	if !r.Install(newer, 5) {
+		t.Fatal("newer snapshot rejected")
+	}
+	if got, ok := r.Get("t"); !ok || got.Weight != 2 {
+		t.Fatalf("installed volume missing: %+v ok=%v", got, ok)
+	}
+	if _, ok := r.Get(namespace.DefaultVolume); !ok {
+		t.Fatal("Install dropped the default volume")
+	}
+	if r.Install([]Info{{Name: "stale"}}, 4) {
+		t.Fatal("stale snapshot applied")
+	}
+	if r.Install([]Info{{Name: "same"}}, 5) {
+		t.Fatal("equal-version snapshot applied")
+	}
+	if r.Version() != 5 {
+		t.Fatalf("version = %d, want 5", r.Version())
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	vols := []Info{
+		{Name: "default", Policy: PolicySpread, Weight: 1},
+		{Name: "tenantA", Policy: PolicyPack, Weight: 3, Quota: Quota{MaxFileSets: 7, OpRate: 50}},
+	}
+	im, err := EncodeImage(vols, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Version != 9 {
+		t.Fatalf("image version = %d", im.Version)
+	}
+	got, ver, err := DecodeImage(im)
+	if err != nil || ver != 9 || len(got) != 2 {
+		t.Fatalf("DecodeImage: %v %d %v", got, ver, err)
+	}
+	if got[1].Quota.MaxFileSets != 7 || got[1].Policy != PolicyPack {
+		t.Fatalf("round trip lost config: %+v", got[1])
+	}
+}
+
+// TestImageThroughDurableDisk proves the registry image rides the same
+// journaled Install path as file-set metadata: install, reload, decode.
+func TestImageThroughDurableDisk(t *testing.T) {
+	st := sharedisk.NewStore(0)
+	im, err := EncodeImage([]Info{{Name: "t", Weight: 1, Policy: PolicySpread}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Install(VolumesFileSet, im); err != nil {
+		t.Fatal(err)
+	}
+	// A stale re-install (journal replay of an older segment) must not
+	// roll the registry back.
+	old, _ := EncodeImage(nil, 2)
+	if err := st.Install(VolumesFileSet, old); err == nil {
+		t.Fatal("stale registry image installed over newer one")
+	}
+	loaded, err := st.Load(VolumesFileSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vols, ver, err := DecodeImage(loaded)
+	if err != nil || ver != 3 || len(vols) != 1 || vols[0].Name != "t" {
+		t.Fatalf("reload: %+v %d %v", vols, ver, err)
+	}
+}
+
+func TestEncodeDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := Decode([]byte("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, _, err := Decode([]byte(`{"version":1,"volumes":[{"name":""}]}`)); err == nil {
+		t.Fatal("empty volume name accepted")
+	}
+	if _, _, err := Decode([]byte(`{"version":1,"volumes":[{"name":"a","weight":-1}]}`)); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"anufs/internal/core"
 	"anufs/internal/obs"
 	"anufs/internal/sharedisk"
+	"anufs/internal/volume"
 )
 
 // Client is a connection to a wire server. It multiplexes concurrent
@@ -520,6 +521,47 @@ func (c *Client) Heartbeat(id int, addr string, speed float64, journalDir string
 func (c *Client) Takeover(epoch uint64, fileSets []string, journalDir string, mapData []byte) error {
 	_, err := c.call(Request{Op: OpTakeover, Epoch: epoch, FileSets: fileSets, JournalDir: journalDir, Map: mapData})
 	return err
+}
+
+// VolumeCreate registers a tenant volume with default config (unlimited
+// quota, spread placement, unit WFQ weight). Authority daemons only; the
+// reply carries the epoch whose publish distributed the new registry.
+func (c *Client) VolumeCreate(name string) (uint64, error) {
+	resp, err := c.call(Request{Op: OpVolumeCreate, Volume: name})
+	return resp.Epoch, err
+}
+
+// VolumeDelete removes an empty volume (authority daemons only). Volumes
+// that still own file sets are refused.
+func (c *Client) VolumeDelete(name string) (uint64, error) {
+	resp, err := c.call(Request{Op: OpVolumeDelete, Volume: name})
+	return resp.Epoch, err
+}
+
+// VolumeList returns every volume's durable config and the registry
+// version it was cut at.
+func (c *Client) VolumeList() ([]volume.Info, uint64, error) {
+	resp, err := c.call(Request{Op: OpVolumeList})
+	return resp.Volumes, resp.VolumesVersion, err
+}
+
+// VolumeSetQuota updates a volume's quotas and WFQ weight: maxFileSets
+// caps how many file sets the tenant may own (0 = unlimited), opRate caps
+// its sustained ops/sec at each owning daemon (0 = unlimited), and weight
+// (> 0 to change, 0 keeps the current value) is its weighted-fair-queueing
+// share in the owner queues.
+func (c *Client) VolumeSetQuota(name string, maxFileSets int, opRate, weight float64) (uint64, error) {
+	resp, err := c.call(Request{
+		Op: OpVolumeSetQuota, Volume: name,
+		MaxFileSets: maxFileSets, OpRate: opRate, Weight: weight,
+	})
+	return resp.Epoch, err
+}
+
+// VolumeSetPolicy flips a volume's placement policy ("spread" or "pack").
+func (c *Client) VolumeSetPolicy(name, policy string) (uint64, error) {
+	resp, err := c.call(Request{Op: OpVolumeSetPolicy, Volume: name, Policy: policy})
+	return resp.Epoch, err
 }
 
 // Mapping fetches the cluster's replicated routing configuration and

@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestQuotaExceededCoding pins the machine-readable error vocabulary
+// tenants script against: a quota rejection stays typed through wrapping
+// on the server side and through the Response.Code round trip on the
+// client side — never through string matching.
+func TestQuotaExceededCoding(t *testing.T) {
+	base := errors.New(`fleet: volume "acme" at its file-set quota (4 of 4)`)
+	err := QuotaExceeded(base)
+	if !IsQuotaExceeded(err) {
+		t.Fatal("QuotaExceeded error not recognized by IsQuotaExceeded")
+	}
+	if ErrorCode(err) != CodeQuotaExceeded {
+		t.Fatalf("ErrorCode = %q, want %q", ErrorCode(err), CodeQuotaExceeded)
+	}
+	// Wrapping (as routers and retries do) must not strip the code.
+	wrapped := fmt.Errorf("route attempt 2: %w", err)
+	if !IsQuotaExceeded(wrapped) {
+		t.Fatal("wrapping stripped the quota-exceeded code")
+	}
+	if err.Error() != base.Error() {
+		t.Fatalf("coded error changed the message: %q", err.Error())
+	}
+	// Ordinary errors carry no code.
+	if IsQuotaExceeded(base) || ErrorCode(base) != "" {
+		t.Fatal("uncoded error reported a code")
+	}
+}
+
+// TestQuotaExceededSurvivesResponseRoundTrip: the server stamps
+// Response.Code from the error chain; ResponseError rebuilds the typed
+// error on the far side, exactly as both the wire and sdk clients decode
+// responses.
+func TestQuotaExceededSurvivesResponseRoundTrip(t *testing.T) {
+	server := QuotaExceeded(errors.New(`fleet: volume "acme" over its op-rate quota (50 ops/s per daemon)`))
+	resp := Response{Err: server.Error(), Code: ErrorCode(server)}
+	client := ResponseError(resp)
+	if client == nil {
+		t.Fatal("ResponseError dropped the error")
+	}
+	if !IsQuotaExceeded(client) {
+		t.Fatalf("decoded error lost its code: %v", client)
+	}
+	if client.Error() != server.Error() {
+		t.Fatalf("message drifted across the wire: %q vs %q", client.Error(), server.Error())
+	}
+	// A response without a code decodes to an untyped error.
+	if IsQuotaExceeded(ResponseError(Response{Err: "boom"})) {
+		t.Fatal("uncoded response decoded as quota-exceeded")
+	}
+}

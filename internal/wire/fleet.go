@@ -59,7 +59,19 @@ const (
 	// recipient at all — the rebalance circuit breaker attributes this to
 	// the recipient, not the donor.
 	CodeDialRecipient = "dial-recipient"
+	// CodeQuotaExceeded rejects an operation that would push a volume past
+	// one of its tenant quotas (file-set count at the authority, op rate at
+	// the owning daemon's gate). Clients back off or surface it; they must
+	// NOT retry-loop, the quota will not clear on its own.
+	CodeQuotaExceeded = "quota-exceeded"
 )
+
+// QuotaExceeded wraps err with CodeQuotaExceeded.
+func QuotaExceeded(err error) error { return &CodedError{Code: CodeQuotaExceeded, Err: err} }
+
+// IsQuotaExceeded reports whether err is a quota rejection, locally typed
+// or rebuilt from Response.Code.
+func IsQuotaExceeded(err error) bool { return ErrorCode(err) == CodeQuotaExceeded }
 
 // CodedError is an error carrying one of the codes above. Server handlers
 // return it so the dispatch layer can stamp Response.Code; clients get it

@@ -81,6 +81,19 @@ type Server struct {
 	// fleet, when set, fences file-set ops against the cluster map and
 	// serves the fleet ops (SetFleet).
 	fleet FleetHandler
+	// volStats is the per-tenant RED accounting for file-set-addressed
+	// requests, keyed by the volume of the request's file set (the prefix
+	// of its qualified ID). Exposed as labeled gauges on /metrics and as a
+	// latency histogram labeled volume=... — one scrape answers "which
+	// tenant is hot and which tenant is being throttled".
+	volStats map[string]*volStat
+}
+
+// volStat is one volume's request accounting.
+type volStat struct {
+	requests     int64
+	errors       int64
+	quotaDenials int64
 }
 
 // NewServer wraps a cluster. The caller retains ownership of the cluster
@@ -95,6 +108,7 @@ func NewServer(c *live.Cluster) *Server {
 		counters: metrics.NewCounterSet(),
 		slow:     DefaultSlowThreshold,
 		conns:    map[net.Conn]*connState{},
+		volStats: map[string]*volStat{},
 	}
 	s.histDepth = s.obs.Hist.Get("wire_pipeline_depth", "")
 	s.histBatch = s.obs.Hist.Get("wire_batch_items", "")
@@ -112,6 +126,26 @@ func NewServer(c *live.Cluster) *Server {
 			{Name: "wire_closed_connections", Value: float64(nc)},
 			{Name: "wire_inflight_requests", Value: float64(inflight)},
 		}
+	})
+	s.obs.AddGauges(func() []obs.Gauge {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		vols := make([]string, 0, len(s.volStats))
+		for v := range s.volStats {
+			vols = append(vols, v)
+		}
+		sort.Strings(vols)
+		out := make([]obs.Gauge, 0, 3*len(vols))
+		for _, v := range vols {
+			vs := s.volStats[v]
+			label := fmt.Sprintf("volume=%q", v)
+			out = append(out,
+				obs.Gauge{Name: "volume_requests", Labels: label, Value: float64(vs.requests)},
+				obs.Gauge{Name: "volume_errors", Labels: label, Value: float64(vs.errors)},
+				obs.Gauge{Name: "volume_quota_denials", Labels: label, Value: float64(vs.quotaDenials)},
+			)
+		}
+		return out
 	})
 	return s
 }
@@ -260,6 +294,27 @@ func (s *Server) serve(cs *connState, req Request) Response {
 		s.counters.Add(CtrErrors, 1)
 		cs.errors.Add(1)
 	}
+	if req.FileSet != "" {
+		// Per-tenant RED: rate and errors by volume (latency rides the
+		// histogram below). Quota denials are broken out — they are the
+		// throttle working, not the tenant failing.
+		vol := namespace.VolumeOf(req.FileSet)
+		s.obs.Hist.Get("volume_request_seconds", fmt.Sprintf("volume=%q", vol)).Observe(dur)
+		s.mu.Lock()
+		vs := s.volStats[vol]
+		if vs == nil {
+			vs = &volStat{}
+			s.volStats[vol] = vs
+		}
+		vs.requests++
+		if resp.Err != "" {
+			vs.errors++
+			if resp.Code == CodeQuotaExceeded {
+				vs.quotaDenials++
+			}
+		}
+		s.mu.Unlock()
+	}
 	s.mu.Lock()
 	slow := s.slow
 	s.mu.Unlock()
@@ -313,7 +368,8 @@ func (s *Server) handle(trace uint64, req Request) Response {
 	s.mu.Unlock()
 	switch req.Op {
 	case OpMap, OpMapEpoch, OpAdopt, OpHandoff, OpAssign, OpRebalance,
-		OpJoin, OpLeave, OpHeartbeat, OpTakeover:
+		OpJoin, OpLeave, OpHeartbeat, OpTakeover,
+		OpVolumeCreate, OpVolumeDelete, OpVolumeList, OpVolumeSetQuota, OpVolumeSetPolicy:
 		if fleet == nil {
 			return fail(errors.New("wire: not in fleet mode (start anufsd with -fleet)"))
 		}
@@ -325,10 +381,13 @@ func (s *Server) handle(trace uint64, req Request) Response {
 		release, err := fleet.Gate(req.Op, req.FileSet)
 		if err != nil {
 			// A wrong-owner rejection carries the rejecting daemon's epoch so
-			// the client knows how fresh a map it needs before retrying.
+			// the client knows how fresh a map it needs before retrying; a
+			// coded rejection (quota-exceeded) carries its machine-readable
+			// code so the client can branch without string matching.
 			if epoch, ok := IsWrongOwner(err); ok {
 				resp.Epoch = epoch
 			}
+			resp.Code = ErrorCode(err)
 			return fail(err)
 		}
 		defer release()
@@ -553,6 +612,7 @@ func (s *Server) handleBatch(trace uint64, fleet FleetHandler, req Request) Resp
 				if epoch, ok := IsWrongOwner(err); ok {
 					resp.Epoch = epoch
 				}
+				resp.Code = ErrorCode(err)
 				return fail(err)
 			}
 			releases = append(releases, release)

@@ -13,6 +13,7 @@ package wire
 import (
 	"anufs/internal/obs"
 	"anufs/internal/sharedisk"
+	"anufs/internal/volume"
 )
 
 // Op enumerates protocol operations.
@@ -96,6 +97,19 @@ const (
 	OpLeave     Op = "leave"
 	OpHeartbeat Op = "heartbeat"
 	OpTakeover  Op = "takeover"
+	// Volume (multi-tenant) operations — authority-only, forwarded through
+	// the fleet dispatch like OpAssign. OpVolumeCreate registers a tenant;
+	// OpVolumeDelete removes an empty one; OpVolumeList returns every
+	// volume's config plus the registry version; OpVolumeSetQuota updates a
+	// tenant's file-set/op-rate quota and WFQ weight; OpVolumeSetPolicy
+	// flips its placement policy between spread and pack. Every mutation
+	// bumps the cluster-map epoch so the new registry rides the existing
+	// publish/adopt pipeline to all members.
+	OpVolumeCreate    Op = "volume-create"
+	OpVolumeDelete    Op = "volume-delete"
+	OpVolumeList      Op = "volume-list"
+	OpVolumeSetQuota  Op = "volume-set-quota"
+	OpVolumeSetPolicy Op = "volume-set-policy"
 	// Tagged-protocol operations (internal/sdk is the primary client).
 	// OpHello, sent as the first request on a connection, negotiates the
 	// tagged-frame protocol (see tagged.go); OpPing is the no-op liveness
@@ -221,6 +235,19 @@ type Request struct {
 	Speed      float64  `json:"speed,omitempty"`
 	JournalDir string   `json:"journal_dir,omitempty"`
 	FileSets   []string `json:"filesets,omitempty"`
+	// Volume fields. Volume names the tenant for the OpVolume* ops;
+	// MaxFileSets/OpRate/Weight carry OpVolumeSetQuota's limits and Policy
+	// carries OpVolumeSetPolicy's choice. Volumes/VolumesVersion piggyback
+	// the authority's registry snapshot on OpAdopt map pushes so members
+	// learn quota and weight changes on the same frame as the epoch that
+	// carries them.
+	Volume         string        `json:"volume,omitempty"`
+	MaxFileSets    int           `json:"max_filesets,omitempty"`
+	OpRate         float64       `json:"op_rate,omitempty"`
+	Weight         float64       `json:"weight,omitempty"`
+	Policy         string        `json:"policy,omitempty"`
+	Volumes        []volume.Info `json:"volumes,omitempty"`
+	VolumesVersion uint64        `json:"volumes_version,omitempty"`
 	// Proto is the protocol version offered by OpHello (TaggedProtoV1).
 	Proto int `json:"proto,omitempty"`
 	// Batch carries the items of an OpBatch; Durable asks the server to
@@ -307,4 +334,9 @@ type Response struct {
 	Now  int64  `json:"now,omitempty"`
 	// Results answers OpBatch, index-aligned with Request.Batch.
 	Results []BatchResult `json:"results,omitempty"`
+	// Volumes answers OpVolumeList (and rides OpMap/OpJoin replies so a
+	// member refreshing its map also refreshes tenant configs);
+	// VolumesVersion is the registry version the snapshot was cut at.
+	Volumes        []volume.Info `json:"volumes,omitempty"`
+	VolumesVersion uint64        `json:"volumes_version,omitempty"`
 }
