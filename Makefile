@@ -1,7 +1,7 @@
 GO ?= go
 ANUFSVET := $(CURDIR)/bin/anufsvet
 
-.PHONY: all build test vet fuzz-smoke bench-sat bench-trace bench-vol clean
+.PHONY: all build test vet fuzz-smoke bench-sat bench-trace bench-vol bench-alloc clean
 
 all: build test vet
 
@@ -43,7 +43,15 @@ bench-trace:
 bench-vol:
 	$(GO) run ./cmd/benchvol -check
 
+# bench-alloc measures the marked hot paths (wire fast codec, journal
+# frame encoding) and enforces the 0 allocs/op budget via cmd/allocguard,
+# as CI does. Baseline benchmarks (encoding/json comparison) are exempt.
+bench-alloc:
+	$(GO) test -run=NONE -bench=BenchmarkEncode -benchmem ./internal/wire/ ./internal/journal/ \
+		| tee bench_alloc.txt
+	$(GO) run ./cmd/allocguard bench_alloc.txt
+
 clean:
-	rm -rf bin
+	rm -rf bin bench_alloc.txt
 
 FORCE:

@@ -1,7 +1,8 @@
 // Command anufsvet is the repository's invariant checker: a
 // multichecker over the custom analyzers in internal/analysis
 // (simdeterminism, journalkinds, wireops, lockdiscipline,
-// hotpathalloc).
+// hotpathalloc, goroutinelife, errcode — plus the implicit
+// allowhygiene checks on //anufs:allow annotations).
 //
 // It runs two ways:
 //
@@ -9,9 +10,11 @@
 //	go vet -vettool=$(which anufsvet) ./...   # as a vet tool (CI)
 //
 // Standalone mode loads packages (tests included) via `go list -export`
-// and prints every diagnostic; vettool mode speaks the `go vet` unit
-// protocol and shares its build cache. Suppress a diagnostic at the
-// site with a justified annotation:
+// — once per run, shared across all analyzers — and prints every
+// diagnostic; vettool mode speaks the `go vet` unit protocol and shares
+// its build cache, including .vetx fact files for the interprocedural
+// hot-path analysis. Suppress a diagnostic at the site with a justified
+// annotation:
 //
 //	//anufs:allow <analyzer> <reason...>
 //
@@ -22,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"anufs/internal/analysis"
 )
@@ -35,6 +40,7 @@ func main() {
 
 	fs := flag.NewFlagSet("anufsvet", flag.ExitOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	debug := fs.String("debug", "", "debug flags: 't' reports per-analyzer wall time")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: anufsvet [packages]\n   or: go vet -vettool=$(which anufsvet) [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
@@ -56,14 +62,25 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
+	loadStart := time.Now()
 	pkgs, err := analysis.Load(".", patterns...)
+	loadTime := time.Since(loadStart)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "anufsvet: %v\n", err)
 		os.Exit(2)
 	}
+	// Packages arrive in dependency order, facts-only dependencies
+	// included, so each unit's interprocedural lookups are already
+	// populated when the analyzers reach it.
+	store := analysis.NewFactStore()
+	stats := &analysis.RunStats{}
 	bad := 0
 	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers)
+		if pkg.FactsOnly {
+			analysis.ComputeFacts(pkg, analyzers, store, stats)
+			continue
+		}
+		diags, err := analysis.Run(pkg, analyzers, store, stats)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "anufsvet: %v\n", err)
 			os.Exit(2)
@@ -71,6 +88,19 @@ func main() {
 		for _, d := range diags {
 			fmt.Println(analysis.Format(pkg.Fset, d))
 			bad++
+		}
+	}
+	if *debug == "t" {
+		names := make([]string, 0, len(stats.Elapsed))
+		for name := range stats.Elapsed {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return stats.Elapsed[names[i]] > stats.Elapsed[names[j]]
+		})
+		fmt.Fprintf(os.Stderr, "anufsvet: load+typecheck %v (one go list, shared by all analyzers)\n", loadTime.Round(time.Millisecond))
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "anufsvet: %-16s %v\n", name, stats.Elapsed[name].Round(time.Millisecond))
 		}
 	}
 	if bad > 0 {

@@ -44,9 +44,15 @@ func TestSelfCheckBadFixture(t *testing.T) {
 		"time.Now reads the wall clock",
 		"time.Sleep reads the wall clock",
 		"OpStat is never sent by a client Request literal",
+		"unbounded loop in goroutine has no shutdown path",
+		"branching on err.Error() text is fragile",
+		"call to bufalloc.Fresh allocates in hot path Encode: make allocates at bufalloc.go:8",
 		"(simdeterminism)",
 		"(wireops)",
-		"3 invariant violation(s)",
+		"(goroutinelife)",
+		"(errcode)",
+		"(hotpathalloc)",
+		"6 invariant violation(s)",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("anufsvet output missing %q; got:\n%s", want, got)
@@ -76,6 +82,12 @@ func TestSelfCheckVettoolMode(t *testing.T) {
 	for _, want := range []string{
 		"time.Now reads the wall clock",
 		"OpStat is never sent by a client Request literal",
+		"unbounded loop in goroutine has no shutdown path",
+		"branching on err.Error() text is fragile",
+		// The cross-package hot-path diagnostic only appears if go vet's
+		// unit checker carried bufalloc's allocation facts into hotenc's
+		// unit via the vetx files — the end-to-end proof of fact plumbing.
+		"call to bufalloc.Fresh allocates in hot path Encode: make allocates at bufalloc.go:8",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("go vet -vettool output missing %q; got:\n%s", want, got)

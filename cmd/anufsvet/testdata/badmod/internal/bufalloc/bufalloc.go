@@ -1,0 +1,9 @@
+// Package bufalloc is the callee side of the cross-package hot-path
+// fixture: its exported helper allocates, and the hotpathalloc fact
+// pipeline must carry that summary to the dependent package.
+package bufalloc
+
+// Fresh allocates a new buffer on every call.
+func Fresh(n int) []byte {
+	return make([]byte, n)
+}

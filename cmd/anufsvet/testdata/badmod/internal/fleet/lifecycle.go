@@ -1,0 +1,30 @@
+// Package fleet plants goroutine-lifecycle and error-discipline
+// violations for the anufsvet self-check.
+package fleet
+
+import (
+	"errors"
+	"strings"
+)
+
+type member struct {
+	events chan int
+}
+
+// Run launches a goroutine whose unbounded loop has no shutdown path —
+// the goroutinelife analyzer must flag the loop.
+func (m *member) Run() {
+	go func() {
+		for {
+			<-m.events
+		}
+	}()
+}
+
+// transient branches on error text — the errcode analyzer must flag the
+// strings.Contains call.
+func transient(err error) bool {
+	return strings.Contains(err.Error(), "connection closed")
+}
+
+var errSentinel = errors.New("fleet: sentinel")

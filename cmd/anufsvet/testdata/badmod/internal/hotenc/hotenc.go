@@ -1,0 +1,15 @@
+// Package hotenc is the caller side of the cross-package hot-path
+// fixture: a marked-hot function calls an allocating helper from another
+// package, which only the exported allocation facts can reveal.
+package hotenc
+
+import "anufs/internal/bufalloc"
+
+// Encode is hot but leans on a cross-package allocating callee — the
+// hotpathalloc analyzer must flag the call via imported facts (this is
+// the end-to-end proof of the vetx fact plumbing in vettool mode).
+//
+//anufs:hotpath
+func Encode(n int) []byte {
+	return bufalloc.Fresh(n)
+}

@@ -44,11 +44,19 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// ExportFacts, when set, summarizes the package for dependents: it
+	// returns an opaque blob (conventionally JSON) that a later pass
+	// over an importing package reads back through Pass.ImportFact.
+	// Export data carries no function bodies, so this is the only
+	// channel an interprocedural analyzer has across package
+	// boundaries. ExportFacts must not report diagnostics; the driver
+	// may call it on dependency-only units where Run never executes.
+	ExportFacts func(*Pass) []byte
 }
 
-// A Pass provides one analyzer with one typechecked package and a sink
-// for diagnostics. Unlike x/tools there is no fact or result plumbing:
-// the suite's analyzers are all package-local.
+// A Pass provides one analyzer with one typechecked package, a sink for
+// diagnostics, and read access to the facts this analyzer exported for
+// the package's dependencies.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -59,6 +67,11 @@ type Pass struct {
 	// suppression after the analyzer runs, so Run should report every
 	// violation unconditionally.
 	Report func(Diagnostic)
+	// ImportFact returns the blob this analyzer exported for an
+	// imported package (by its base import path), or nil when the
+	// driver has none — analyzers must degrade soundly (assume nothing)
+	// on a nil fact.
+	ImportFact func(pkgPath string) []byte
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"anufs/internal/analysis"
+	"anufs/internal/analysis/analysistest"
+)
+
+func TestErrCode(t *testing.T) {
+	analysistest.Run(t, "testdata/errcode", analysis.ErrCode)
+}

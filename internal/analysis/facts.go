@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+)
+
+// A FactStore accumulates the serialized fact blobs analyzers export
+// about packages, keyed by base import path (the " [pkg.test]" suffix of
+// merged test variants is stripped, so a dependent's lookup by the path
+// it imports always lands). Facts are how the suite crosses package
+// boundaries: export data carries types but no function bodies, so an
+// interprocedural analyzer summarizes each package once and dependents
+// consume the summary instead of re-deriving it.
+//
+// Two drivers fill a store. The Load driver processes packages in the
+// dependency order `go list -deps` guarantees, exporting facts as it
+// goes; the vet driver reads the .vetx files `go vet` hands it for the
+// unit's dependencies and writes this unit's facts to VetxOutput.
+type FactStore struct {
+	m map[string]map[string][]byte // base path → analyzer name → blob
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[string]map[string][]byte{}}
+}
+
+// Get returns the blob analyzer exported for pkgPath, nil if none.
+func (s *FactStore) Get(pkgPath, analyzer string) []byte {
+	if s == nil {
+		return nil
+	}
+	return s.m[basePath(pkgPath)][analyzer]
+}
+
+// Set records the blob analyzer exported for pkgPath.
+func (s *FactStore) Set(pkgPath, analyzer string, data []byte) {
+	if s == nil || len(data) == 0 {
+		return
+	}
+	base := basePath(pkgPath)
+	if s.m[base] == nil {
+		s.m[base] = map[string][]byte{}
+	}
+	s.m[base][analyzer] = data
+}
+
+// EncodePackage serializes every analyzer's blob for pkgPath into one
+// .vetx payload (JSON map of analyzer name to blob). An empty payload is
+// valid: it means no analyzer had anything to say about the package.
+func (s *FactStore) EncodePackage(pkgPath string) []byte {
+	if s == nil {
+		return nil
+	}
+	blobs := s.m[basePath(pkgPath)]
+	if len(blobs) == 0 {
+		return nil
+	}
+	data, err := json.Marshal(blobs)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// DecodePackage loads a .vetx payload produced by EncodePackage into the
+// store under pkgPath. Empty and malformed payloads are ignored — a
+// missing fact only widens what the consumer must assume, it is never an
+// error.
+func (s *FactStore) DecodePackage(pkgPath string, data []byte) {
+	if s == nil || len(data) == 0 {
+		return
+	}
+	blobs := map[string][]byte{}
+	if err := json.Unmarshal(data, &blobs); err != nil {
+		return
+	}
+	base := basePath(pkgPath)
+	if s.m[base] == nil {
+		s.m[base] = map[string][]byte{}
+	}
+	for name, blob := range blobs {
+		s.m[base][name] = blob
+	}
+}
+
+// basePath strips the " [pkg.test]" suffix from a merged test variant's
+// import path.
+func basePath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

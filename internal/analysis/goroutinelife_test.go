@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"anufs/internal/analysis"
+	"anufs/internal/analysis/analysistest"
+)
+
+func TestGoroutineLife(t *testing.T) {
+	analysistest.Run(t, "testdata/goroutinelife", analysis.GoroutineLife)
+}

@@ -1,9 +1,12 @@
 package analysis
 
 import (
+	"encoding/json"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
+	"strconv"
 	"strings"
 )
 
@@ -15,30 +18,545 @@ import (
 //	func (h *Histogram) Observe(d time.Duration) { ... }
 const hotPathMarker = "//anufs:hotpath"
 
-// HotPathAlloc forbids allocation-heavy constructs inside functions
-// marked //anufs:hotpath — the obs Observe/histogram path sits on every
-// request, and a single fmt.Sprintf there costs more than the entire
-// measurement (~23ns budget). Forbidden: any fmt call, non-constant
-// string concatenation, append, make, map/slice composite literals, and
-// string([]byte) conversions.
+// maxHotDepth bounds the interprocedural search: an allocation more
+// than this many calls away from a hot function does not taint it. The
+// bound keeps fact blobs finite under recursion and keeps diagnostics
+// explainable — a four-deep chain is still a chain a reviewer can
+// follow; deeper than that, the callee should carry its own
+// //anufs:hotpath marker and be checked at its own definition.
+const maxHotDepth = 4
+
+// HotPathAlloc forbids allocation inside functions marked
+// //anufs:hotpath — directly (any fmt call, non-constant string
+// concatenation, append to a fresh slice, make, map/slice composite
+// literals, string([]byte) conversions) and transitively: a hot
+// function calling an unmarked callee that allocates within
+// maxHotDepth calls is a diagnostic at the call site. Cross-package
+// callees are resolved through per-package allocation summaries
+// exported as facts, since gc export data carries no function bodies.
+//
+// A few amortized-reuse idioms are recognized and exempt, so zero-alloc
+// codecs are expressible without suppression:
+//
+//   - append whose destination is caller-owned (a parameter, a field of
+//     the receiver, or a local derived from one): growth amortizes to
+//     zero against the reused buffer, as in append-style encoders
+//     `func AppendX(dst []byte, ...) []byte`.
+//   - constructs inside an if whose condition reads cap(...): the
+//     guarded-growth idiom — the allocation runs only while the buffer
+//     warms up.
+//   - string([]byte) conversions used directly as ==/!= operands or as a
+//     switch tag (`switch string(key)`): gc compares in place, no copy.
+//   - `if v != string(b) { v = string(b) }`: the string-reuse idiom —
+//     the body's conversion runs only when the value actually changed.
 var HotPathAlloc = &Analyzer{
 	Name: "hotpathalloc",
-	Doc: "no fmt calls, string building, append/make, or map/slice literals " +
-		"inside functions marked //anufs:hotpath",
-	Run: runHotPathAlloc,
+	Doc: "no allocation inside functions marked //anufs:hotpath, including " +
+		"transitively through unmarked callees (bounded depth, cross-package via facts)",
+	Run:         runHotPathAlloc,
+	ExportFacts: exportHotPathFacts,
+}
+
+// hotFact is the per-function allocation summary exported for
+// dependents. Dist is the number of calls between the function and the
+// nearest allocation (0 = allocates in its own body); -1 means clean
+// within maxHotDepth. Why is a human-readable explanation ending at the
+// allocation site.
+type hotFact struct {
+	Hot  bool   `json:"h,omitempty"`
+	Dist int    `json:"d"`
+	Why  string `json:"w,omitempty"`
+}
+
+// hotState carries the per-package call-graph walk.
+type hotState struct {
+	pass     *Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	sums     map[*types.Func]hotFact
+	visiting map[*types.Func]bool
+	imported map[string]map[string]hotFact // dep pkg path → FullName → fact
+}
+
+func newHotState(pass *Pass) *hotState {
+	st := &hotState{
+		pass:     pass,
+		decls:    map[*types.Func]*ast.FuncDecl{},
+		sums:     map[*types.Func]hotFact{},
+		visiting: map[*types.Func]bool{},
+		imported: map[string]map[string]hotFact{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					st.decls[obj] = fn
+				}
+			}
+		}
+	}
+	return st
 }
 
 func runHotPathAlloc(pass *Pass) error {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !isHotPath(fn) {
-				continue
-			}
-			checkHotPathBody(pass, fn)
+	st := newHotState(pass)
+	for obj, fn := range st.decls {
+		if !isHotPath(fn) {
+			continue
 		}
+		name := fn.Name.Name
+		st.scanBody(fn,
+			func(pos token.Pos, what string) {
+				if strings.HasPrefix(what, "fmt.") {
+					pass.Reportf(pos, "%s in hot path %s (format off the hot path or //anufs:allow hotpathalloc <why>)", what, name)
+					return
+				}
+				pass.Reportf(pos, "%s in hot path %s", what, name)
+			},
+			func(pos token.Pos, callee *types.Func) {
+				if callee == obj {
+					return // self-recursion: checked as its own body
+				}
+				if d, ok := st.decls[callee]; ok && isHotPath(d) {
+					return // marked callees are checked at their definition
+				}
+				if f, ok := st.crossFact(callee); ok && f.Hot {
+					return
+				}
+				sum := st.summary(callee)
+				if sum.Dist < 0 || sum.Dist+1 > maxHotDepth {
+					return
+				}
+				pass.Reportf(pos, "call to %s allocates in hot path %s: %s",
+					funcLabel(callee), name, sum.Why)
+			})
 	}
 	return nil
+}
+
+// exportHotPathFacts summarizes every declared function for dependents.
+func exportHotPathFacts(pass *Pass) []byte {
+	st := newHotState(pass)
+	facts := map[string]hotFact{}
+	for obj, fn := range st.decls {
+		sum := st.summary(obj)
+		sum.Hot = isHotPath(fn)
+		if !sum.Hot && sum.Dist < 0 {
+			continue // the default assumption; no need to ship it
+		}
+		facts[obj.FullName()] = sum
+	}
+	if len(facts) == 0 {
+		return nil
+	}
+	data, err := json.Marshal(facts)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// summary computes the allocation summary of a function: the shortest
+// call distance to an allocation, bounded by maxHotDepth. Same-package
+// callees are walked from source; cross-package callees resolve through
+// imported facts; stdlib callees are assumed clean except fmt.
+func (st *hotState) summary(fn *types.Func) hotFact {
+	if sum, ok := st.sums[fn]; ok {
+		return sum
+	}
+	decl, ok := st.decls[fn]
+	if !ok {
+		if f, ok := st.crossFact(fn); ok {
+			return f
+		}
+		return hotFact{Dist: -1}
+	}
+	if st.visiting[fn] {
+		return hotFact{Dist: -1} // break recursion cycles: assume clean
+	}
+	st.visiting[fn] = true
+	sum := hotFact{Dist: -1}
+	st.scanBody(decl,
+		func(pos token.Pos, what string) {
+			if sum.Dist != 0 {
+				sum = hotFact{Dist: 0, Why: what + " at " + st.shortPos(pos)}
+			}
+		},
+		func(pos token.Pos, callee *types.Func) {
+			if callee == fn {
+				return
+			}
+			cs := st.summary(callee)
+			if cs.Dist < 0 {
+				return
+			}
+			d := cs.Dist + 1
+			if d > maxHotDepth {
+				return
+			}
+			if sum.Dist < 0 || d < sum.Dist {
+				sum = hotFact{Dist: d, Why: "calls " + funcLabel(callee) + " (" + st.shortPos(pos) + "): " + cs.Why}
+			}
+		})
+	delete(st.visiting, fn)
+	st.sums[fn] = sum
+	return sum
+}
+
+// crossFact looks up the fact exported for a function defined in
+// another package. The second result distinguishes "known clean" from
+// "no fact at all" only in that both return a clean summary — absence
+// of facts degrades to assuming the callee does not allocate, which
+// keeps the analyzer quiet rather than noisy when summaries are
+// unavailable (stdlib, or a driver without fact plumbing).
+func (st *hotState) crossFact(fn *types.Func) (hotFact, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil || pkg.Path() == st.pass.Pkg.Path() {
+		return hotFact{Dist: -1}, false
+	}
+	if pkg.Path() == "fmt" {
+		return hotFact{Dist: 0, Why: "fmt." + fn.Name() + " allocates and reflects"}, true
+	}
+	facts, ok := st.imported[pkg.Path()]
+	if !ok {
+		facts = map[string]hotFact{}
+		if st.pass.ImportFact != nil {
+			if blob := st.pass.ImportFact(pkg.Path()); blob != nil {
+				_ = json.Unmarshal(blob, &facts)
+			}
+		}
+		st.imported[pkg.Path()] = facts
+	}
+	if f, ok := facts[fn.FullName()]; ok {
+		return f, true
+	}
+	return hotFact{Dist: -1}, true
+}
+
+// scanBody walks one function body, invoking alloc for every allocating
+// construct not excused by a reuse idiom, and call for every resolved
+// non-builtin callee. go and defer statements are walked like any call;
+// function literals are walked too (they run on the same path unless
+// launched via go, and a `go` statement's own allocation is reported
+// separately).
+func (st *hotState) scanBody(fn *ast.FuncDecl, alloc func(token.Pos, string), call func(token.Pos, *types.Func)) {
+	info := st.pass.TypesInfo
+	reuse := reuseRooted(info, fn)
+	exemptRanges := growthGuards(info, fn.Body)
+	exemptConv := stringReuseConversions(info, fn.Body)
+	exempt := func(n ast.Node) bool {
+		for _, r := range exemptRanges {
+			if n.Pos() >= r[0] && n.Pos() < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if !exempt(n) {
+				alloc(n.Pos(), "go statement allocates")
+			}
+		case *ast.CallExpr:
+			st.scanCall(n, reuse, exempt, exemptConv, alloc, call)
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && !exempt(n) {
+				if t := info.TypeOf(n.Lhs[0]); t != nil && isStringType(t) {
+					alloc(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD {
+				return true
+			}
+			t := info.TypeOf(n)
+			if t == nil || !isStringType(t) {
+				return true
+			}
+			if tv, ok := info.Types[n]; ok && tv.Value != nil {
+				return true // constant-folded at compile time
+			}
+			if !exempt(n) {
+				alloc(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map, *types.Slice:
+				if !exempt(n) {
+					alloc(n.Pos(), "map/slice literal allocates")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (st *hotState) scanCall(callExpr *ast.CallExpr, reuse map[types.Object]bool,
+	exempt func(ast.Node) bool, exemptConv map[*ast.CallExpr]bool,
+	alloc func(token.Pos, string), call func(token.Pos, *types.Func)) {
+	info := st.pass.TypesInfo
+	// Builtins: make always allocates; append allocates unless the
+	// destination is a caller-owned buffer (amortized reuse).
+	if id, ok := ast.Unparen(callExpr.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if !exempt(callExpr) {
+					alloc(callExpr.Pos(), "make allocates")
+				}
+			case "append":
+				if !exempt(callExpr) && len(callExpr.Args) > 0 &&
+					!rootedExpr(info, reuse, callExpr.Args[0]) {
+					alloc(callExpr.Pos(), "append allocates")
+				}
+			}
+			return
+		}
+	}
+	// string([]byte) / string([]rune) conversions copy, unless part of
+	// the string-reuse idiom.
+	if tv, ok := info.Types[callExpr.Fun]; ok && tv.IsType() {
+		if isStringType(tv.Type) && len(callExpr.Args) == 1 && !exemptConv[callExpr] && !exempt(callExpr) {
+			if at := info.TypeOf(callExpr.Args[0]); at != nil {
+				if _, isSlice := at.Underlying().(*types.Slice); isSlice {
+					alloc(callExpr.Pos(), "string conversion copies")
+				}
+			}
+		}
+		return
+	}
+	fn, ok := calleeObject(st.pass, callExpr).(*types.Func)
+	if !ok {
+		return // function value or unresolvable callee
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if !exempt(callExpr) {
+			alloc(callExpr.Pos(), "fmt."+fn.Name()+" allocates and reflects")
+		}
+		return
+	}
+	if !exempt(callExpr) {
+		call(callExpr.Pos(), fn)
+	}
+}
+
+// reuseRooted computes the set of variables that denote caller-owned
+// storage in fn: parameters, the receiver, and locals lexically derived
+// from them (`buf := j.scratch[:0]`, `dst = append(dst, ...)`).
+// Package-level variables count too — they outlive every call.
+func reuseRooted(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	rooted := map[types.Object]bool{}
+	addField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					rooted[obj] = true
+				}
+			}
+		}
+	}
+	addField(fn.Recv)
+	if fn.Type.Params != nil {
+		addField(fn.Type.Params)
+	}
+	// One forward pass over assignments grows the set; the analyzer is
+	// lexical, so a later re-rooting of the same name still counts.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !rootedExpr(info, rooted, as.Rhs[i]) {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				rooted[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				rooted[obj] = true
+			}
+		}
+		return true
+	})
+	return rooted
+}
+
+// rootedExpr reports whether the expression denotes (or derives from)
+// caller-owned storage: a rooted identifier, a slice/index of one, a
+// field selected from one, or an append to one.
+func rootedExpr(info *types.Info, rooted map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return false
+		}
+		if rooted[obj] {
+			return true
+		}
+		// Package-level variables are persistent storage.
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		return false
+	case *ast.SliceExpr:
+		return rootedExpr(info, rooted, e.X)
+	case *ast.IndexExpr:
+		return rootedExpr(info, rooted, e.X)
+	case *ast.SelectorExpr:
+		return rootedExpr(info, rooted, e.X)
+	case *ast.StarExpr:
+		return rootedExpr(info, rooted, e.X)
+	case *ast.CallExpr:
+		// append(rooted, ...) returns storage aliasing the rooted buffer.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(e.Args) > 0 {
+				return rootedExpr(info, rooted, e.Args[0])
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// growthGuards returns the position ranges of if-bodies guarded by a
+// condition that reads cap(...) — the amortized-growth idiom
+// `if n > cap(buf) { buf = grow(n) }`. Constructs inside are exempt.
+func growthGuards(info *types.Info, body *ast.BlockStmt) [][2]token.Pos {
+	var ranges [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Cond == nil {
+			return true
+		}
+		usesCap := false
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			if ce, ok := c.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(ce.Fun).(*ast.Ident); ok {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "cap" {
+						usesCap = true
+					}
+				}
+			}
+			return !usesCap
+		})
+		if usesCap {
+			ranges = append(ranges, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return ranges
+}
+
+// stringReuseConversions collects the string([]byte) conversions the
+// gc compiler compiles without a copy, so hot decoders are expressible:
+//
+//   - a conversion used directly as a ==/!= operand or as a switch tag
+//     (`switch string(key) { ... }`): the compiler compares the bytes in
+//     place;
+//   - the reuse-on-equality idiom `if v != string(b) { v = string(b) }`:
+//     the body's conversion does allocate, but only when the value
+//     actually changed, so steady state allocates nothing.
+func stringReuseConversions(info *types.Info, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	exempt := map[*ast.CallExpr]bool{}
+	isConv := func(e ast.Expr) *ast.CallExpr {
+		ce, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(ce.Args) != 1 {
+			return nil
+		}
+		tv, ok := info.Types[ce.Fun]
+		if !ok || !tv.IsType() || !isStringType(tv.Type) {
+			return nil
+		}
+		if at := info.TypeOf(ce.Args[0]); at != nil {
+			if _, isSlice := at.Underlying().(*types.Slice); isSlice {
+				return ce
+			}
+		}
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			// Comparison operands convert without copying.
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if ce := isConv(n.X); ce != nil {
+					exempt[ce] = true
+				}
+				if ce := isConv(n.Y); ce != nil {
+					exempt[ce] = true
+				}
+			}
+		case *ast.SwitchStmt:
+			// A switch tag compiles to a chain of comparisons.
+			if n.Tag != nil {
+				if ce := isConv(n.Tag); ce != nil {
+					exempt[ce] = true
+				}
+			}
+		case *ast.IfStmt:
+			// The reuse-on-equality idiom additionally excuses the
+			// assignment conversions inside the guarded body.
+			cond, ok := n.Cond.(*ast.BinaryExpr)
+			if !ok || cond.Op != token.NEQ && cond.Op != token.EQL {
+				return true
+			}
+			if isConv(cond.X) == nil && isConv(cond.Y) == nil {
+				return true
+			}
+			ast.Inspect(n.Body, func(b ast.Node) bool {
+				if as, ok := b.(*ast.AssignStmt); ok {
+					for _, rhs := range as.Rhs {
+						if ce := isConv(rhs); ce != nil {
+							exempt[ce] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return exempt
+}
+
+// funcLabel renders a callee for diagnostics: pkg.Func for functions,
+// Type.Method for methods.
+func funcLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func (st *hotState) shortPos(pos token.Pos) string {
+	p := st.pass.Fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
 }
 
 func isHotPath(fn *ast.FuncDecl) bool {
@@ -51,73 +569,6 @@ func isHotPath(fn *ast.FuncDecl) bool {
 		}
 	}
 	return false
-}
-
-func checkHotPathBody(pass *Pass, fn *ast.FuncDecl) {
-	name := fn.Name.Name
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			checkHotPathCall(pass, name, n)
-		case *ast.AssignStmt:
-			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
-				if t := pass.TypesInfo.TypeOf(n.Lhs[0]); t != nil && isStringType(t) {
-					pass.Reportf(n.Pos(), "string concatenation allocates in hot path %s", name)
-				}
-			}
-		case *ast.BinaryExpr:
-			if n.Op.String() != "+" {
-				return true
-			}
-			t := pass.TypesInfo.TypeOf(n)
-			if t == nil || !isStringType(t) {
-				return true
-			}
-			if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Value != nil {
-				return true // constant-folded at compile time
-			}
-			pass.Reportf(n.Pos(), "string concatenation allocates in hot path %s", name)
-		case *ast.CompositeLit:
-			t := pass.TypesInfo.TypeOf(n)
-			if t == nil {
-				return true
-			}
-			switch t.Underlying().(type) {
-			case *types.Map, *types.Slice:
-				pass.Reportf(n.Pos(), "map/slice literal allocates in hot path %s", name)
-			}
-		}
-		return true
-	})
-}
-
-func checkHotPathCall(pass *Pass, name string, call *ast.CallExpr) {
-	// Builtins: append and make always allocate or risk it.
-	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
-			if b.Name() == "append" || b.Name() == "make" {
-				pass.Reportf(call.Pos(), "%s allocates in hot path %s", b.Name(), name)
-			}
-			return
-		}
-	}
-	// string([]byte) / string([]rune) conversions copy.
-	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
-		if isStringType(tv.Type) && len(call.Args) == 1 {
-			if at := pass.TypesInfo.TypeOf(call.Args[0]); at != nil {
-				if _, isSlice := at.Underlying().(*types.Slice); isSlice {
-					pass.Reportf(call.Pos(), "string conversion copies in hot path %s", name)
-				}
-			}
-		}
-		return
-	}
-	obj := calleeObject(pass, call)
-	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
-		pass.Reportf(call.Pos(),
-			"fmt.%s allocates and reflects in hot path %s (format off the hot path or //anufs:allow hotpathalloc <why>)",
-			obj.Name(), name)
-	}
 }
 
 func isStringType(t types.Type) bool {

@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // Package is one typechecked package ready for analysis.
@@ -27,6 +28,12 @@ type Package struct {
 	// checks that require test coverage only fire on such units, which
 	// matches how `go vet` builds its units.
 	HasTestFiles bool
+	// FactsOnly marks a package that is in the load only so analyzers
+	// can export facts about it for its dependents: a module-internal
+	// dependency outside the requested patterns, or the plain variant
+	// of a package whose merged test variant is the analysis unit.
+	// Drivers must not report diagnostics for FactsOnly packages.
+	FactsOnly bool
 }
 
 // listEntry is the subset of `go list -json` output the loader needs.
@@ -44,6 +51,22 @@ type listEntry struct {
 	Module     *struct{ Path string }
 }
 
+// loadCache memoizes Load results for the lifetime of the process,
+// keyed by (absolute dir, patterns). One anufsvet run — and one test
+// binary running many analyzers over the same fixtures — invokes
+// `go list -e -export -deps -test -json` and typechecks each unit once;
+// every subsequent Load for the same key reuses the packages, which are
+// read-only after construction.
+var loadCache = struct {
+	sync.Mutex
+	m map[string]*loadResult
+}{m: map[string]*loadResult{}}
+
+type loadResult struct {
+	pkgs []*Package
+	err  error
+}
+
 // Load typechecks the packages matching patterns in dir, test files
 // included, the same way `go vet` builds its analysis units: for a
 // package with in-package test files the merged package+test variant is
@@ -52,7 +75,32 @@ type listEntry struct {
 // tests). Dependencies are imported from compiler export data produced
 // by `go list -export`, so loading needs no network and shares the
 // build cache.
+//
+// Module-internal dependencies that are not themselves analysis units
+// come back marked FactsOnly, in dependency order before their
+// dependents (`go list -deps` guarantees the order), so a driver that
+// walks the slice front to back always has dependency facts in hand
+// before it analyzes an importer.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	key := loadKey(dir, patterns)
+	loadCache.Lock()
+	defer loadCache.Unlock()
+	if r, ok := loadCache.m[key]; ok {
+		return r.pkgs, r.err
+	}
+	pkgs, err := load(dir, patterns)
+	loadCache.m[key] = &loadResult{pkgs: pkgs, err: err}
+	return pkgs, err
+}
+
+func loadKey(dir string, patterns []string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	return dir + "\x00" + strings.Join(patterns, "\x00")
+}
+
+func load(dir string, patterns []string) ([]*Package, error) {
 	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -84,8 +132,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	// Pick the analysis units: prefer the merged "pkg [pkg.test]"
 	// variant; fall back to the plain package when it has no in-package
-	// tests. Skip dep-only entries, external test packages, and the
-	// synthesized ".test" mains.
+	// tests. Skip external test packages and the synthesized ".test"
+	// mains. Standard-library entries are never typechecked from
+	// source; module-internal entries that are not units (dep-only, or
+	// superseded by a merged variant) are loaded FactsOnly so the
+	// interprocedural analyzers can summarize them for dependents.
 	merged := map[string]bool{} // base paths that have a merged variant
 	for _, e := range entries {
 		if e.ForTest != "" && e.ImportPath == e.ForTest+" ["+e.ForTest+".test]" {
@@ -96,23 +147,25 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := newCachedImporter(fset, exports)
 	var pkgs []*Package
 	for _, e := range entries {
-		if e.DepOnly || e.Standard || strings.HasSuffix(e.ImportPath, ".test") ||
+		if e.Standard || strings.HasSuffix(e.ImportPath, ".test") ||
 			strings.HasSuffix(e.Name, "_test") {
 			continue
-		}
-		if e.ForTest == "" && merged[e.ImportPath] {
-			continue // the merged variant supersedes the base
 		}
 		if e.ForTest != "" && e.ImportPath != e.ForTest+" ["+e.ForTest+".test]" {
 			continue
 		}
+		factsOnly := e.DepOnly || e.ForTest == "" && merged[e.ImportPath]
 		if len(e.CgoFiles) > 0 {
+			if factsOnly {
+				continue // degrade: no facts rather than a load failure
+			}
 			return nil, fmt.Errorf("%s: cgo packages are not supported", e.ImportPath)
 		}
 		pkg, err := typecheck(fset, e, imp)
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = factsOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

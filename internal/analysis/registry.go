@@ -9,6 +9,8 @@ func Registry() []*Analyzer {
 		WireOps,
 		LockDiscipline,
 		HotPathAlloc,
+		GoroutineLife,
+		ErrCode,
 	}
 }
 

@@ -1,0 +1,3 @@
+module anufs
+
+go 1.22

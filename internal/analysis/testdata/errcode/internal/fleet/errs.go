@@ -1,0 +1,65 @@
+// Package fleet is a fixture for the errcode analyzer: non-test code
+// must not branch on err.Error() text.
+package fleet
+
+import (
+	"errors"
+	"strings"
+)
+
+var errGone = errors.New("fleet: daemon gone")
+
+// response stands in for wire.Response: Err is a plain string field,
+// not an error — matching on it is how pre-code peers are handled and
+// is NOT a diagnostic.
+type response struct {
+	Err  string
+	Code string
+}
+
+func direct(err error) bool {
+	return strings.Contains(err.Error(), "gone") // want `branching on err\.Error\(\) text is fragile`
+}
+
+func prefixed(err error) bool {
+	return strings.HasPrefix(err.Error(), "fleet:") // want `branching on err\.Error\(\) text is fragile`
+}
+
+func viaLocal(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "gone") // want `branching on err\.Error\(\) text is fragile`
+}
+
+func compared(err error) bool {
+	return err.Error() == "fleet: daemon gone" // want `branching on err\.Error\(\) text is fragile`
+}
+
+func switched(err error) string {
+	switch err.Error() { // want `branching on err\.Error\(\) text is fragile`
+	case "fleet: daemon gone":
+		return "gone"
+	}
+	return ""
+}
+
+// typed branches the right way: sentinel comparison survives rewording.
+func typed(err error) bool {
+	return errors.Is(err, errGone)
+}
+
+// wireField matches on a Response's string field — the legacy-peer
+// fallback pattern — which is fine: no error value is involved.
+func wireField(resp response) bool {
+	return resp.Code == "gone" || strings.HasPrefix(resp.Err, "fleet:")
+}
+
+// logged may read the text for humans; only branching is the offense.
+func logged(err error, sink func(string)) {
+	sink("fleet: " + err.Error())
+}
+
+// allowed carries a justified suppression for a genuine fallback site.
+func allowed(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "connection refused") //anufs:allow errcode OS dial errors have no exported sentinel across platforms
+}

@@ -1,0 +1,16 @@
+package fleet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Tests may assert on error text — the analyzer skips _test.go files,
+// so this draws no diagnostic.
+func TestErrorText(t *testing.T) {
+	err := errors.New("fleet: daemon gone")
+	if !strings.Contains(err.Error(), "gone") {
+		t.Fatal("unexpected message")
+	}
+}

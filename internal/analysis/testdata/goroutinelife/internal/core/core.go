@@ -1,0 +1,14 @@
+// Package core is outside the goroutinelife scope (fleet, live,
+// replica, sdk): the same leak pattern draws no diagnostic here.
+package core
+
+import "time"
+
+// Spin would be flagged in a scoped package; here it is not.
+func Spin() {
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

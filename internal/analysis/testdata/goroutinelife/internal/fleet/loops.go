@@ -1,0 +1,129 @@
+// Package fleet is a fixture for the goroutinelife analyzer: every
+// goroutine must tie its unbounded loops to a shutdown path.
+package fleet
+
+import "time"
+
+type member struct {
+	stop   chan struct{}
+	work   chan int
+	events chan int
+	flag   bool
+}
+
+// Leak launches a loop with no exit at all: flagged.
+func (m *member) Leak() {
+	go func() {
+		for { // want `unbounded loop in goroutine has no shutdown path`
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// TickerLeak selects, but on nothing that stops: flagged.
+func (m *member) TickerLeak() {
+	t := time.NewTicker(time.Second)
+	go func() {
+		for { // want `unbounded loop in goroutine has no shutdown path`
+			select {
+			case <-t.C:
+				m.flag = true
+			}
+		}
+	}()
+}
+
+// runForever is launched by name below; the diagnostic lands on the
+// loop inside the named body.
+func (m *member) runForever() {
+	for { // want `unbounded loop in goroutine has no shutdown path`
+		time.Sleep(time.Second)
+	}
+}
+
+// LaunchNamed launches a same-package method: resolved through the
+// declaration.
+func (m *member) LaunchNamed() {
+	go m.runForever()
+}
+
+// SelectStop exits through a stop channel: clean.
+func (m *member) SelectStop() {
+	go func() {
+		for {
+			select {
+			case <-m.stop:
+				return
+			case v := <-m.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// RecvStop receives the stop channel outside a select: clean.
+func (m *member) RecvStop() {
+	go func() {
+		for {
+			<-m.stop
+			return
+		}
+	}()
+}
+
+// ErrGuard exits when the connection dies — teardown is the stop
+// signal: clean.
+func (m *member) ErrGuard(read func() (int, error)) {
+	go func() {
+		for {
+			_, err := read()
+			if err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// OkGuard exits when the channel closes via the receive's ok: clean.
+func (m *member) OkGuard() {
+	go func() {
+		for {
+			v, ok := <-m.events
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// RangeChan ranges over a channel, which terminates on close: exempt by
+// construction.
+func (m *member) RangeChan() {
+	go func() {
+		for v := range m.events {
+			_ = v
+		}
+	}()
+}
+
+// Bounded loops (a condition, or a range over a slice) are not suspect.
+func (m *member) Bounded(xs []int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+		}
+		for _, x := range xs {
+			_ = x
+		}
+	}()
+}
+
+// Allowed carries a justified suppression.
+func (m *member) Allowed() {
+	go func() {
+		//anufs:allow goroutinelife fixture: exercises the allow escape hatch
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

@@ -1,0 +1,32 @@
+// Package bufenc is the dependency side of the interprocedural
+// hotpathalloc fixture: its allocation summaries are exported as facts
+// and consumed by internal/wirelike.
+package bufenc
+
+// Alloc allocates directly; callers on a hot path inherit the taint.
+func Alloc(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// AppendTo is an append-style encoder: the destination is caller-owned,
+// so growth amortizes to zero against the reused buffer. Clean.
+func AppendTo(dst []byte, b []byte) []byte {
+	dst = append(dst, b...)
+	return dst
+}
+
+// Chain allocates one call away (through Alloc).
+func Chain(b []byte) []byte {
+	return Alloc(b)
+}
+
+// HotEncode is marked hot and carries its own violation: it is checked
+// here, at its definition, and callers in other packages must NOT
+// re-report it.
+//
+//anufs:hotpath
+func HotEncode(b []byte) string {
+	return string(b) // want `string conversion copies in hot path HotEncode`
+}

@@ -1,0 +1,95 @@
+// Package wirelike is the consumer side of the interprocedural
+// hotpathalloc fixture: hot functions here call same-package and
+// cross-package callees whose allocation behavior arrives via the call
+// graph and exported facts.
+package wirelike
+
+import "anufs/internal/bufenc"
+
+type codec struct {
+	scratch []byte
+	name    string
+}
+
+// allocLocal allocates directly (same-package, depth 1 from callers).
+func allocLocal() []byte {
+	return make([]byte, 16)
+}
+
+// viaOne → allocLocal: depth 2 from a caller.
+func viaOne() []byte { return allocLocal() }
+
+// viaTwo → viaOne → allocLocal: depth 3 from a caller.
+func viaTwo() []byte { return viaOne() }
+
+// deep1..deep5 build a chain whose allocation is five calls away —
+// beyond maxHotDepth, so a hot caller of deep1 is NOT flagged.
+func deep5() []byte { return make([]byte, 1) }
+func deep4() []byte { return deep5() }
+func deep3() []byte { return deep4() }
+func deep2() []byte { return deep3() }
+func deep1() []byte { return deep2() }
+
+// reuseAppend appends into its caller's buffer: clean.
+func reuseAppend(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+// Encode is the hot entry point.
+//
+//anufs:hotpath
+func (c *codec) Encode(b []byte) {
+	c.scratch = reuseAppend(c.scratch[:0], 1) // clean: caller-owned buffer all the way down
+	c.scratch = bufenc.AppendTo(c.scratch, b) // clean: cross-package append-style encoder
+	_ = allocLocal()                          // want `call to wirelike\.allocLocal allocates in hot path Encode: make allocates at wirelike\.go:\d+`
+	_ = viaOne()                              // want `call to wirelike\.viaOne allocates in hot path Encode: calls wirelike\.allocLocal \(wirelike\.go:\d+\): make allocates at wirelike\.go:\d+`
+	_ = viaTwo()                              // want `call to wirelike\.viaTwo allocates in hot path Encode`
+	_ = deep1()                               // beyond maxHotDepth: not flagged
+	_ = bufenc.Alloc(b)                       // want `call to bufenc\.Alloc allocates in hot path Encode: make allocates at bufenc\.go:\d+`
+	_ = bufenc.Chain(b)                       // want `call to bufenc\.Chain allocates in hot path Encode: calls bufenc\.Alloc \(bufenc\.go:\d+\): make allocates at bufenc\.go:\d+`
+	_ = bufenc.HotEncode(b)                   // not flagged here: the callee is marked hot and checked at its definition
+	_ = viaTwo()                              //anufs:allow hotpathalloc exercised once per connection handshake, not per frame
+}
+
+// Grow exercises the amortized-growth exemption: the allocation is
+// behind a cap() guard, so the hot path stays quiet.
+//
+//anufs:hotpath
+func (c *codec) Grow(n int) {
+	if n > cap(c.scratch) {
+		c.scratch = make([]byte, n) // exempt: guarded growth
+		_ = allocLocal()            // exempt: same guard
+	}
+	c.scratch = c.scratch[:n]
+}
+
+// SetName exercises the string-reuse idiom: the comparison does not
+// allocate and the conversion runs only when the value changed.
+//
+//anufs:hotpath
+func (c *codec) SetName(b []byte) {
+	if c.name != string(b) {
+		c.name = string(b)
+	}
+	_ = string(b) // want `string conversion copies in hot path SetName`
+}
+
+// Dispatch exercises the comparison/switch-tag exemption: gc compiles a
+// string([]byte) conversion used as a comparison operand or switch tag
+// without copying, so key-dispatch decoders stay quiet.
+//
+//anufs:hotpath
+func (c *codec) Dispatch(key []byte) int {
+	if string(key) == "id" { // exempt: comparison operand
+		return 0
+	}
+	switch string(key) { // exempt: switch tag
+	case "op":
+		return 1
+	case "fileset":
+		return 2
+	}
+	s := string(key) // want `string conversion copies in hot path Dispatch`
+	_ = s
+	return -1
+}

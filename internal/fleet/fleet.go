@@ -47,8 +47,9 @@ const (
 
 // unplacedMsg prefixes rejections of operations on file sets absent from
 // the cluster map; the Router treats it as transient when its own (newer)
-// map places the file set.
-const unplacedMsg = "fleet: unplaced file set"
+// map places the file set. The text is wire.UnplacedMsg so the client
+// fallback for pre-code peers cannot drift from what the gate emits.
+const unplacedMsg = wire.UnplacedMsg
 
 // DefaultDrainTimeout bounds how long a donor waits for in-flight
 // operations on a departing file set; DefaultPollInterval is the join-mode
@@ -438,8 +439,8 @@ func (m *Member) Gate(op wire.Op, fileSet string) (func(), error) {
 	owner, placed := cm.Assign[fileSet]
 	if !placed {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("%s %q (epoch %d): assign it to a daemon first (anufsctl assign)",
-			unplacedMsg, fileSet, cm.Epoch)
+		return nil, wire.Unplaced(fmt.Errorf("%s %q (epoch %d): assign it to a daemon first (anufsctl assign)",
+			unplacedMsg, fileSet, cm.Epoch))
 	}
 	if owner != m.cfg.ID {
 		m.counters.Add(CtrWrongOwner, 1)

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -179,22 +178,12 @@ func (r *Router) invalidate(addr string) {
 }
 
 // transientErr reports connection-level failures worth a reconnect+retry,
-// as opposed to application errors the caller must see.
+// as opposed to application errors the caller must see. The decision
+// lives in wire.TransientError: typed sentinels first, with one
+// sanctioned text fallback for errors whose type was lost crossing the
+// wire.
 func transientErr(err error) bool {
-	if err == nil {
-		return false
-	}
-	s := err.Error()
-	return strings.Contains(s, "connection closed") ||
-		strings.Contains(s, "timed out") ||
-		strings.Contains(s, "wire: send:") ||
-		strings.Contains(s, "connection refused") ||
-		strings.Contains(s, "connection reset") ||
-		strings.Contains(s, "sdk: no connection") ||
-		// A pool the router just invalidated fails its in-flight callers
-		// with "pool closed"; they must reconnect and retry like everyone
-		// else, not surface a fatal error for a race they lost.
-		strings.Contains(s, "sdk: pool closed")
+	return wire.TransientError(err)
 }
 
 // Do routes one operation against the file set's owning daemon, converging
@@ -277,7 +266,7 @@ func (r *Router) do(trace uint64, fileSet string, fn func(d placement.DaemonInfo
 			}
 			// The daemon may have moved on while we were disconnected.
 			_, _ = r.Refresh()
-		case strings.Contains(err.Error(), unplacedMsg) && cm.Assign[fileSet] == d.ID:
+		case wire.IsUnplaced(err) && cm.Assign[fileSet] == d.ID:
 			// The daemon has not seen the map that assigns it this file set
 			// yet (our map is newer than its). Transient: it converges by
 			// authority push or poll.

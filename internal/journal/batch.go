@@ -119,10 +119,11 @@ func (j *Journal) writeBatch(batch []*appendReq) error {
 			return err
 		}
 	}
-	var buf []byte
+	buf := j.writeBuf[:0]
 	for _, r := range batch {
 		buf = append(buf, r.frame...)
 	}
+	j.writeBuf = buf // keep the grown buffer for the next batch
 	if _, err := j.f.Write(buf); err != nil {
 		return err
 	}

@@ -141,6 +141,7 @@ type Journal struct {
 	f        *os.File
 	segFirst uint64 // sequence of the active segment's first entry
 	segSize  int64
+	writeBuf []byte // reused batch write buffer (committer-only, under mu)
 	nextSeq  uint64 // sequence the next appended entry will get
 	closeErr error
 	closed   bool
@@ -246,37 +247,53 @@ func (j *Journal) Counters() *metrics.CounterSet { return j.counters }
 
 // LogCreateFileSet journals a file-set creation; returns once durable.
 func (j *Journal) LogCreateFileSet(fileSet string) error {
-	return j.append(0, encodeEntry(Entry{Kind: KindCreateFileSet, FileSet: fileSet}))
+	return j.append(0, Entry{Kind: KindCreateFileSet, FileSet: fileSet})
 }
 
 // LogDrop journals the removal of a file set (fleet handoff donated it);
 // returns once durable. Replay after a drop leaves no trace of the file
 // set, so a restarted donor cannot resurrect a fenced copy.
 func (j *Journal) LogDrop(fileSet string) error {
-	return j.append(0, encodeEntry(Entry{Kind: KindDrop, FileSet: fileSet}))
+	return j.append(0, Entry{Kind: KindDrop, FileSet: fileSet})
 }
 
 // LogFlush journals a flushed image; returns once durable.
 func (j *Journal) LogFlush(fileSet string, im sharedisk.Image) error {
-	return j.append(0, encodeEntry(Entry{Kind: KindFlush, FileSet: fileSet, Image: im}))
+	return j.append(0, Entry{Kind: KindFlush, FileSet: fileSet, Image: im})
 }
 
 // LogFlushTraced is LogFlush carrying the client request trace that forced
 // the flush: the append's group-commit wait is recorded as a span under
 // that trace (sharedisk.TracedWAL).
 func (j *Journal) LogFlushTraced(trace uint64, fileSet string, im sharedisk.Image) error {
-	return j.append(trace, encodeEntry(Entry{Kind: KindFlush, FileSet: fileSet, Image: im}))
+	return j.append(trace, Entry{Kind: KindFlush, FileSet: fileSet, Image: im})
 }
 
-// append frames the payload and hands it to the group committer, blocking
-// until the entry is fsynced (or the journal fails/closes). With an ack
-// gate armed (SetAckGate), a locally durable append additionally waits for
-// the gate — semi-synchronous replication.
-func (j *Journal) append(trace uint64, payload []byte) error {
-	r := &appendReq{frame: appendFrame(nil, payload), done: make(chan error, 1), trace: trace, enq: time.Now()}
+// appendReqPool recycles append requests — frame buffer and reply channel
+// included — so a steady append load encodes into warmed buffers instead
+// of allocating one frame per record. The buffered reply channel is
+// always drained before a request is pooled, so reuse cannot deliver a
+// stale error.
+var appendReqPool = sync.Pool{
+	New: func() any { return &appendReq{done: make(chan error, 1)} },
+}
+
+// append encodes the entry as a framed record and hands it to the group
+// committer, blocking until the entry is fsynced (or the journal
+// fails/closes). With an ack gate armed (SetAckGate), a locally durable
+// append additionally waits for the gate — semi-synchronous replication.
+//
+//anufs:hotpath
+func (j *Journal) append(trace uint64, e Entry) error {
+	r := appendReqPool.Get().(*appendReq)
+	r.frame = appendEntryFrame(r.frame[:0], e)
+	r.trace = trace
+	r.enq = time.Now()
+	r.seq = 0
 	select {
 	case j.appendCh <- r:
 	case <-j.quit:
+		appendReqPool.Put(r) // never submitted: safe to recycle
 		return ErrClosed
 	}
 	var err error
@@ -288,12 +305,15 @@ func (j *Journal) append(trace uint64, payload []byte) error {
 		select {
 		case err = <-r.done:
 		default:
+			// Abandoned in the queue; the request cannot be recycled.
 			return ErrClosed
 		}
 	}
+	seq := r.seq
+	appendReqPool.Put(r)
 	if err == nil {
 		if gate := j.gate(); gate != nil {
-			err = gate(r.seq)
+			err = gate(seq)
 		}
 	}
 	return err

@@ -84,14 +84,34 @@ func nextFrame(data []byte) (payload []byte, n int, ok bool) {
 	return payload, frameHeaderLen + int(ln), true
 }
 
-// encodeEntry serializes an entry payload (no frame header).
-func encodeEntry(e Entry) []byte {
-	buf := []byte{byte(e.Kind)}
-	buf = appendString(buf, e.FileSet)
+// appendEntry serializes an entry payload (no frame header) onto dst.
+func appendEntry(dst []byte, e Entry) []byte {
+	dst = append(dst, byte(e.Kind))
+	dst = appendString(dst, e.FileSet)
 	if e.Kind == KindFlush {
-		buf = appendImage(buf, e.Image)
+		dst = appendImage(dst, e.Image)
 	}
-	return buf
+	return dst
+}
+
+// encodeEntry serializes an entry payload into a fresh buffer.
+func encodeEntry(e Entry) []byte { return appendEntry(nil, e) }
+
+// appendEntryFrame appends e as one complete framed record onto dst: the
+// 8-byte header slot is reserved up front, the payload is encoded in
+// place, and length+CRC are backfilled — one pass, no intermediate
+// payload buffer, so a pooled dst makes the append path allocation-free.
+//
+//anufs:hotpath
+func appendEntryFrame(dst []byte, e Entry) []byte {
+	hdrOff := len(dst)
+	var hdr [frameHeaderLen]byte
+	dst = append(dst, hdr[:]...)
+	dst = appendEntry(dst, e)
+	payload := dst[hdrOff+frameHeaderLen:]
+	binary.LittleEndian.PutUint32(dst[hdrOff:hdrOff+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[hdrOff+4:hdrOff+8], crc32.ChecksumIEEE(payload))
+	return dst
 }
 
 // decodeEntry parses an entry payload. It never panics: any malformed input

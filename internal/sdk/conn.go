@@ -34,6 +34,7 @@ type Conn struct {
 	writeMu sync.Mutex
 	bw      *bufio.Writer
 	fw      *wire.FrameWriter
+	encBuf  []byte // reused request encode buffer, guarded by writeMu
 
 	mu      sync.Mutex
 	nextTag uint64
@@ -151,6 +152,8 @@ func (c *Conn) Ping() error {
 func (c *Conn) readLoop(br *bufio.Reader) {
 	defer close(c.done)
 	fr := wire.NewFrameReader(br)
+	var dec wire.Decoder
+	var resp wire.Response // reused across frames for the fast decoder's string reuse
 	for {
 		kind, tag, payload, err := fr.ReadFrame()
 		if err != nil {
@@ -159,16 +162,26 @@ func (c *Conn) readLoop(br *bufio.Reader) {
 		if kind != wire.FrameResponse {
 			break // protocol violation; framing is not trustworthy anymore
 		}
-		var resp wire.Response
-		if err := json.Unmarshal(payload, &resp); err != nil {
-			continue // intact framing, broken payload: let the call time out
+		fast := dec.DecodeResponse(payload, &resp)
+		if !fast {
+			resp = wire.Response{}
+			if err := json.Unmarshal(payload, &resp); err != nil {
+				continue // intact framing, broken payload: let the call time out
+			}
 		}
 		c.mu.Lock()
 		ch, ok := c.pending[tag]
 		delete(c.pending, tag)
 		c.mu.Unlock()
 		if ok {
-			ch <- resp
+			delivered := resp
+			if fast && delivered.Record != nil {
+				// The fast decoder's Record points into its scratch, which
+				// the next frame overwrites; the waiter gets its own copy.
+				rec := *delivered.Record
+				delivered.Record = &rec
+			}
+			ch <- delivered
 		}
 	}
 	// Connection gone: fail everything pending.
@@ -181,14 +194,25 @@ func (c *Conn) readLoop(br *bufio.Reader) {
 	c.mu.Unlock()
 }
 
-// sendFrame writes one request frame under the write lock. The flush per
-// frame keeps latency flat at low depth; at high depth the kernel
-// coalesces the small writes anyway.
+// sendRequest encodes and writes one request frame under the write lock,
+// reusing the connection's encode buffer; requests the fast encoder
+// cannot represent fall back to encoding/json. The flush per frame keeps
+// latency flat at low depth; at high depth the kernel coalesces the
+// small writes anyway.
 //
 //anufs:hotpath
-func (c *Conn) sendFrame(tag uint64, payload []byte) error {
+func (c *Conn) sendRequest(tag uint64, req *wire.Request) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	payload, ok := wire.AppendRequest(c.encBuf[:0], req)
+	if ok {
+		c.encBuf = payload
+	} else {
+		var err error
+		if payload, err = json.Marshal(req); err != nil {
+			return err
+		}
+	}
 	if err := c.fw.WriteFrame(wire.FrameRequest, tag, payload); err != nil {
 		return err
 	}
@@ -219,15 +243,11 @@ func (c *Conn) Call(req wire.Request) (wire.Response, error) {
 	c.pending[tag] = ch
 	c.mu.Unlock()
 
-	payload, err := json.Marshal(req)
-	if err == nil {
-		err = c.sendFrame(tag, payload)
-	}
-	if err != nil {
+	if err := c.sendRequest(tag, &req); err != nil {
 		c.mu.Lock()
 		delete(c.pending, tag)
 		c.mu.Unlock()
-		return wire.Response{}, fmt.Errorf("wire: send: %w", err)
+		return wire.Response{}, fmt.Errorf("%w: %w", wire.ErrSendFailed, err)
 	}
 	d := time.Duration(c.timeout.Load())
 	if d == 0 {
@@ -247,7 +267,7 @@ func (c *Conn) Call(req wire.Request) (wire.Response, error) {
 			c.mu.Lock()
 			delete(c.pending, tag)
 			c.mu.Unlock()
-			return wire.Response{}, fmt.Errorf("wire: %s call timed out after %v", req.Op, d)
+			return wire.Response{}, fmt.Errorf("wire: %s call %w after %v", req.Op, wire.ErrTimedOut, d)
 		}
 	}
 	return resp, wire.ResponseError(resp)

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"strings"
 	"sync"
 	"time"
 
@@ -241,8 +240,9 @@ func (p *Pool) Call(req wire.Request) (wire.Response, error) {
 	}
 	resp, err := c.Call(req)
 	if err != nil {
-		s := err.Error()
-		if strings.Contains(s, "connection closed") || strings.Contains(s, "wire: send:") {
+		// Only connection-level failures poison the slot; wire.ErrTimedOut
+		// does not — a slow server is not a dead socket.
+		if errors.Is(err, errConnClosed) || errors.Is(err, wire.ErrConnClosed) || errors.Is(err, wire.ErrSendFailed) {
 			p.discard(c)
 		}
 	}

@@ -120,7 +120,7 @@ func (c *Client) readLoop() {
 	}
 	// Connection gone: fail everything pending.
 	c.mu.Lock()
-	c.err = errors.New("wire: connection closed")
+	c.err = ErrConnClosed
 	for id, ch := range c.pending {
 		ch <- Response{ID: id, Err: c.err.Error()}
 		delete(c.pending, id)
@@ -148,7 +148,7 @@ func (c *Client) call(req Request) (Response, error) {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		return Response{}, fmt.Errorf("wire: send: %w", err)
+		return Response{}, fmt.Errorf("%w: %w", ErrSendFailed, err)
 	}
 	d := time.Duration(c.timeout.Load())
 	if d == 0 {
@@ -169,7 +169,7 @@ func (c *Client) call(req Request) (Response, error) {
 			c.mu.Lock()
 			delete(c.pending, req.ID)
 			c.mu.Unlock()
-			return Response{}, fmt.Errorf("wire: %s call timed out after %v", req.Op, d)
+			return Response{}, fmt.Errorf("wire: %s call %w after %v", req.Op, ErrTimedOut, d)
 		}
 	}
 	if resp.Trace != 0 {
@@ -193,8 +193,15 @@ func ResponseError(resp Response) error {
 	if strings.HasPrefix(resp.Err, wrongOwnerMsg) {
 		return &WrongOwnerError{Epoch: resp.Epoch}
 	}
-	if strings.HasPrefix(resp.Err, arrivingMsg) {
+	// Response.Code is authoritative. Peers that predate the typed codes
+	// send Code == "" — only then do the message-prefix fallbacks apply
+	// (matching resp.Err is fine: it is a string field of the protocol,
+	// not an error's message).
+	if resp.Code == CodeArriving || resp.Code == "" && strings.HasPrefix(resp.Err, arrivingMsg) {
 		return fmt.Errorf("%w (server: %s)", ErrArriving, resp.Err)
+	}
+	if resp.Code == "" && strings.HasPrefix(resp.Err, UnplacedMsg) {
+		return &CodedError{Code: CodeUnplaced, Err: errors.New(resp.Err)}
 	}
 	if resp.Code != "" {
 		return &CodedError{Code: resp.Code, Err: errors.New(resp.Err)}

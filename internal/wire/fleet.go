@@ -3,7 +3,6 @@ package wire
 import (
 	"errors"
 	"fmt"
-	"strings"
 )
 
 // This file is the wire surface of fleet mode (internal/fleet): the error
@@ -43,8 +42,20 @@ func IsWrongOwner(err error) (epoch uint64, ok bool) {
 
 // ErrArriving rejects an operation on a file set that is assigned to this
 // daemon but whose adoption has not completed. Unlike wrong-owner, the map
-// is not stale — the client just retries after a short backoff.
-var ErrArriving = errors.New(arrivingMsg + ": adoption in progress, retry")
+// is not stale — the client just retries after a short backoff. It is a
+// *CodedError so the dispatch layer stamps Response.Code = CodeArriving
+// and clients rebuild the decision without reading the message.
+var ErrArriving error = &CodedError{
+	Code: CodeArriving,
+	Err:  errors.New(arrivingMsg + ": adoption in progress, retry"),
+}
+
+// UnplacedMsg prefixes the fleet gate's rejection of an operation on a
+// file set no daemon is assigned. Servers that predate CodeUnplaced send
+// only this text, so ResponseError keeps a prefix fallback against it;
+// internal/fleet builds the message from this constant so the two sides
+// cannot drift.
+const UnplacedMsg = "fleet: unplaced file set"
 
 // Machine-readable codes for the fleet errors client control flow keys
 // on. They ride Response.Code so the decision survives any rewording of
@@ -64,6 +75,15 @@ const (
 	// the owning daemon's gate). Clients back off or surface it; they must
 	// NOT retry-loop, the quota will not clear on its own.
 	CodeQuotaExceeded = "quota-exceeded"
+	// CodeArriving marks an arriving rejection (ErrArriving): the file
+	// set is assigned here but adoption has not completed. Clients retry
+	// after a short backoff without refetching the map.
+	CodeArriving = "arriving"
+	// CodeUnplaced marks an operation on a file set the cluster map
+	// assigns to no daemon. The router retries only when its own map
+	// disagrees (the daemon's map is behind); otherwise the caller must
+	// assign the file set first.
+	CodeUnplaced = "unplaced"
 )
 
 // QuotaExceeded wraps err with CodeQuotaExceeded.
@@ -94,14 +114,26 @@ func ErrorCode(err error) string {
 	return ""
 }
 
-// IsArriving reports whether err is an arriving rejection, locally typed or
-// reconstructed from a wire error string.
+// IsArriving reports whether err is an arriving rejection, locally typed
+// or rebuilt from Response.Code by ResponseError. The old string match on
+// err.Error() is gone — the errcode analyzer's first scalp — because it
+// silently matched any error that embedded the phrase and broke when the
+// message was reworded; responses from pre-code peers are normalized by
+// ResponseError's prefix fallback before they ever reach this check.
 func IsArriving(err error) bool {
 	if err == nil {
 		return false
 	}
-	return errors.Is(err, ErrArriving) || strings.Contains(err.Error(), arrivingMsg)
+	return errors.Is(err, ErrArriving) || ErrorCode(err) == CodeArriving
 }
+
+// Unplaced wraps err with CodeUnplaced.
+func Unplaced(err error) error { return &CodedError{Code: CodeUnplaced, Err: err} }
+
+// IsUnplaced reports whether err is an unplaced rejection, locally typed
+// or rebuilt from Response.Code (with ResponseError's text fallback
+// covering pre-code peers).
+func IsUnplaced(err error) bool { return ErrorCode(err) == CodeUnplaced }
 
 // FleetHandler is what the wire server needs from a fleet member
 // (internal/fleet.Member implements it). It lives here as an interface so

@@ -106,20 +106,29 @@ func (f *FrameServer) Serve(conn net.Conn) {
 // boundaries are lost there is nothing to resynchronize on.
 func (f *FrameServer) serveTagged(conn net.Conn, br *bufio.Reader, reqWG *sync.WaitGroup) {
 	var writeMu sync.Mutex
+	var encBuf []byte // reused response encode buffer, guarded by writeMu
 	bw := bufio.NewWriterSize(conn, lineBufBytes)
 	fw := NewFrameWriter(bw)
 	sendTagged := func(tag uint64, resp Response) {
-		payload, err := json.Marshal(resp)
-		if err != nil {
-			payload = []byte(`{"err":"wire: unencodable response"}`)
-		}
 		writeMu.Lock()
 		defer writeMu.Unlock()
+		payload, ok := AppendResponse(encBuf[:0], &resp)
+		if ok {
+			encBuf = payload
+		} else {
+			var err error
+			payload, err = json.Marshal(resp)
+			if err != nil {
+				payload = []byte(`{"err":"wire: unencodable response"}`)
+			}
+		}
 		if fw.WriteFrame(FrameResponse, tag, payload) == nil {
 			_ = bw.Flush()
 		}
 	}
 	fr := NewFrameReader(br)
+	var dec Decoder
+	var req Request // reused across frames so the fast decoder can reuse its strings
 	for {
 		kind, tag, payload, err := fr.ReadFrame()
 		if err != nil {
@@ -132,13 +141,22 @@ func (f *FrameServer) serveTagged(conn net.Conn, br *bufio.Reader, reqWG *sync.W
 			f.badFrame()
 			return
 		}
-		var req Request
-		if err := json.Unmarshal(payload, &req); err != nil {
-			// Framing is intact (the length field delimited the payload);
-			// answer the tag and keep the connection.
-			f.badFrame()
-			sendTagged(tag, Response{Err: "bad frame: " + err.Error()})
-			continue
+		if !dec.DecodeRequest(payload, &req) {
+			req = Request{}
+			if err := json.Unmarshal(payload, &req); err != nil {
+				// Framing is intact (the length field delimited the payload);
+				// answer the tag and keep the connection.
+				f.badFrame()
+				sendTagged(tag, Response{Err: "bad frame: " + err.Error()})
+				continue
+			}
+		}
+		dispatched := req
+		if dispatched.Record == &dec.rec {
+			// The fast decoder's Record lives in its scratch, which the next
+			// frame overwrites; the handler goroutine gets its own copy.
+			rec := *dispatched.Record
+			dispatched.Record = &rec
 		}
 		reqWG.Add(1)
 		f.inflight(1)
@@ -146,7 +164,7 @@ func (f *FrameServer) serveTagged(conn net.Conn, br *bufio.Reader, reqWG *sync.W
 			defer reqWG.Done()
 			sendTagged(tag, f.Handle(req))
 			f.inflight(-1)
-		}(tag, req)
+		}(tag, dispatched)
 	}
 }
 
